@@ -1,0 +1,200 @@
+//! Criterion microbenchmarks for the numerical kernels: grid build, SUPG
+//! assembly, iterative solves, Young–Boris chemistry, redistribution
+//! planning and the distributed-array data movement.
+
+use airshed_chem::mechanism::Mechanism;
+use airshed_chem::species as sp;
+use airshed_chem::vertical::{diffuse_column, ColumnGeometry};
+use airshed_chem::youngboris::{integrate_cell, YbOptions, YbWorkspace};
+use airshed_core::config::DatasetChoice;
+use airshed_grid::datasets::Dataset;
+use airshed_hpf::dist::Distribution;
+use airshed_hpf::redist::airshed_redists;
+use airshed_machine::MachineProfile;
+use airshed_transport::solver::bicgstab;
+use airshed_transport::supg::assemble_layer;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_grid(c: &mut Criterion) {
+    c.bench_function("grid/la_dataset_build", |b| {
+        b.iter(|| {
+            let d = Dataset::los_angeles();
+            black_box(d.nodes())
+        })
+    });
+    let d = Dataset::los_angeles();
+    c.bench_function("grid/stats_la", |b| {
+        b.iter(|| black_box(airshed_grid::stats::grid_stats(&d).compression))
+    });
+    c.bench_function("grid/node_locator_1k_queries", |b| {
+        let loc = airshed_grid::mesh::NodeLocator::new(&d.mesh);
+        let pts: Vec<airshed_grid::geometry::Point> = (0..1000)
+            .map(|i| {
+                airshed_grid::geometry::Point::new(
+                    (i % 317) as f64,
+                    (i % 157) as f64,
+                )
+            })
+            .collect();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in &pts {
+                acc += loc.nearest(&d.mesh, *p);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_supg(c: &mut Criterion) {
+    let d = DatasetChoice::LosAngeles.build();
+    let wind: Vec<(f64, f64)> = d
+        .mesh
+        .points
+        .iter()
+        .map(|p| (0.2 + 0.001 * p.y, 0.05 - 0.0005 * p.x))
+        .collect();
+    c.bench_function("supg/assemble_layer_la", |b| {
+        b.iter(|| black_box(assemble_layer(&d.mesh, &wind, 0.012).stiff.nnz()))
+    });
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let d = DatasetChoice::LosAngeles.build();
+    let wind: Vec<(f64, f64)> = vec![(0.25, 0.08); d.mesh.n_nodes()];
+    let m = assemble_layer(&d.mesh, &wind, 0.012);
+    let sys = m.mass.add_scaled_same_pattern(2.0, &m.stiff);
+    let rhs: Vec<f64> = (0..sys.n()).map(|i| 0.04 + 1e-4 * (i % 17) as f64).collect();
+    c.bench_function("solver/bicgstab_la_layer", |b| {
+        b.iter_batched(
+            || vec![0.0; sys.n()],
+            |mut x| black_box(bicgstab(&sys, &rhs, &mut x, 1e-8, 400).iterations),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_chemistry(c: &mut Criterion) {
+    let mech = Mechanism::carbon_bond();
+    let mut polluted = sp::background_vector();
+    polluted[sp::NO] = 0.05;
+    polluted[sp::NO2] = 0.03;
+    polluted[sp::PAR] = 0.8;
+    polluted[sp::FORM] = 0.01;
+    c.bench_function("chem/yb_cell_10min_daytime", |b| {
+        let mut ws = YbWorkspace::new(sp::N_SPECIES);
+        b.iter_batched(
+            || polluted.clone(),
+            |mut conc| {
+                black_box(
+                    integrate_cell(
+                        &mech,
+                        &mut conc,
+                        300.0,
+                        0.85,
+                        10.0,
+                        &YbOptions::default(),
+                        &mut ws,
+                    )
+                    .substeps,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let geom = ColumnGeometry::from_interfaces(&[0.0, 75.0, 200.0, 450.0, 900.0, 1600.0]);
+    let kz = [300.0, 250.0, 150.0, 30.0];
+    c.bench_function("chem/vertical_column_species", |b| {
+        b.iter_batched(
+            || vec![0.1, 0.05, 0.04, 0.04, 0.04],
+            |mut col| {
+                diffuse_column(&geom, &kz, 0.3, 0.02, 15.0, &mut col);
+                black_box(col[0])
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_exec(c: &mut Criterion) {
+    // Real message-passing redistribution over the PVM substrate.
+    let shape = [35usize, 5, 700];
+    let global: Vec<f64> = (0..shape.iter().product::<usize>())
+        .map(|i| i as f64)
+        .collect();
+    let src = airshed_hpf::array::DistributedArray::scatter(
+        &global,
+        &shape,
+        Distribution::block(3, 1),
+        8,
+    );
+    c.bench_function("exec/message_passing_redistribution_p8", |b| {
+        b.iter(|| {
+            let (out, stats) = airshed_hpf::exec::execute_redistribution(
+                &src,
+                &Distribution::block(3, 2),
+                8,
+            );
+            black_box((out.tile(0).len(), stats.per_node[0].bytes_sent))
+        })
+    });
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let mech = Mechanism::carbon_bond();
+    c.bench_function("chem/nitrogen_audit", |b| {
+        b.iter(|| black_box(airshed_chem::audit::audit_nitrogen(&mech).len()))
+    });
+}
+
+fn bench_redist(c: &mut Criterion) {
+    c.bench_function("redist/plan_la_p64", |b| {
+        b.iter(|| {
+            black_box(
+                airshed_redists(&[35, 5, 700], 64, 8)
+                    .chem_to_repl
+                    .total_messages(),
+            )
+        })
+    });
+    let m = MachineProfile::t3e();
+    let plans = airshed_redists(&[35, 5, 3328], 128, 8);
+    c.bench_function("redist/phase_cost_ne_p128", |b| {
+        b.iter(|| black_box(m.comm_phase_seconds(&plans.chem_to_repl.loads)))
+    });
+    c.bench_function("redist/array_move_roundtrip", |b| {
+        let shape = [35usize, 5, 700];
+        let global: Vec<f64> = (0..shape.iter().product::<usize>())
+            .map(|i| i as f64)
+            .collect();
+        b.iter_batched(
+            || {
+                airshed_hpf::array::DistributedArray::scatter(
+                    &global,
+                    &shape,
+                    Distribution::replicated(3),
+                    16,
+                )
+            },
+            |mut a| {
+                a.redistribute(Distribution::block(3, 1), 8);
+                a.redistribute(Distribution::block(3, 2), 8);
+                black_box(a.tile(0).len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_grid, bench_supg, bench_solver, bench_chemistry, bench_redist, bench_exec, bench_audit
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation (§6, Figure 11): the three foreign-module coupling scenarios.
+//!
+//! The paper implements scenario A (interface node) and describes B
+//! (direct to nodes) and C (variable to variable) as increasingly complex
+//! but cheaper. This bench prices all three for the Airshed+PopExp
+//! payload across module sizes.
+
+use airshed_bench::table::Table;
+use airshed_core::config::DatasetChoice;
+use airshed_hpf::foreign::{coupling_loads, CouplingScenario};
+use airshed_machine::MachineProfile;
+
+fn main() {
+    let dataset = DatasetChoice::LosAngeles.build();
+    let paragon = MachineProfile::paragon();
+    // Coupled payload: the 4-species surface field.
+    let bytes = 4 * dataset.nodes() * paragon.word_size;
+    println!(
+        "payload: 4 species x {} columns = {} kB",
+        dataset.nodes(),
+        bytes / 1024
+    );
+
+    let native: Vec<usize> = (0..12).collect();
+    let mut t = Table::new(vec![
+        "module nodes",
+        "A interface (ms)",
+        "B direct (ms)",
+        "C var-to-var (ms)",
+        "A/B",
+        "A/C",
+    ]);
+    for pf in [1usize, 2, 4, 8, 16] {
+        let foreign: Vec<usize> = (12..12 + pf).collect();
+        let cost = |s: CouplingScenario| {
+            coupling_loads(s, 0, &native, &foreign, bytes)
+                .iter()
+                .map(|(_, l)| paragon.comm_cost(l))
+                .fold(0.0, f64::max)
+        };
+        let a = cost(CouplingScenario::InterfaceNode);
+        let b = cost(CouplingScenario::DirectToNodes);
+        let c = cost(CouplingScenario::VarToVar);
+        t.row(vec![
+            pf.to_string(),
+            format!("{:.3}", 1000.0 * a),
+            format!("{:.3}", 1000.0 * b),
+            format!("{:.3}", 1000.0 * c),
+            format!("{:.2}", a / b),
+            format!("{:.2}", a / c),
+        ]);
+    }
+    t.print(
+        "Ablation: coupling scenario costs (Figure 11 A/B/C) on the Paragon",
+        "ablation_coupling",
+    );
+    println!(
+        "reading: A's interface-node broadcast double-handles the payload, so its\n\
+         cost grows with module size; B and C stay nearly flat — the paper's\n\
+         \"more aggressive implementation could reduce this extra overhead\"."
+    );
+}

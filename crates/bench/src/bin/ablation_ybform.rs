@@ -1,0 +1,82 @@
+//! Ablation: Young–Boris asymptotic update forms.
+//!
+//! The 1977 paper uses a Padé(1,1) rational update for stiff species; we
+//! default to the L-stable exponential (QSSA) form. This bench compares
+//! accuracy and cost on a polluted daytime box run: same mechanism, same
+//! tolerance, both forms, against a tight-tolerance reference.
+
+use airshed_bench::table::Table;
+use airshed_chem::mechanism::Mechanism;
+use airshed_chem::species as sp;
+use airshed_chem::youngboris::{integrate_cell, AsymptoticForm, YbOptions, YbStats, YbWorkspace};
+
+fn polluted() -> Vec<f64> {
+    let mut c = sp::background_vector();
+    c[sp::NO] = 0.06;
+    c[sp::NO2] = 0.03;
+    c[sp::CO] = 2.0;
+    c[sp::PAR] = 1.0;
+    c[sp::OLE] = 0.04;
+    c[sp::ETH] = 0.03;
+    c[sp::TOL] = 0.03;
+    c[sp::XYL] = 0.02;
+    c[sp::FORM] = 0.015;
+    c[sp::ALD2] = 0.01;
+    c
+}
+
+fn run(form: AsymptoticForm, eps: f64) -> (Vec<f64>, YbStats) {
+    let m = Mechanism::carbon_bond();
+    let mut ws = YbWorkspace::new(sp::N_SPECIES);
+    let mut c = polluted();
+    let opts = YbOptions { eps, form, ..Default::default() };
+    let mut stats = YbStats::default();
+    for _ in 0..18 {
+        stats.absorb(integrate_cell(&m, &mut c, 300.0, 0.85, 10.0, &opts, &mut ws));
+    }
+    (c, stats)
+}
+
+fn main() {
+    // Tight-tolerance exponential run as the reference.
+    let (reference, _) = run(AsymptoticForm::Exponential, 2e-4);
+
+    let mut t = Table::new(vec![
+        "form",
+        "eps",
+        "substeps",
+        "rejected",
+        "O3 (ppb)",
+        "O3 err",
+        "NOx err",
+    ]);
+    for form in [AsymptoticForm::Exponential, AsymptoticForm::Rational] {
+        for eps in [0.01, 0.002, 0.0005] {
+            let (c, stats) = run(form, eps);
+            let o3_err = (c[sp::O3] - reference[sp::O3]).abs() / reference[sp::O3];
+            let nox = c[sp::NO] + c[sp::NO2];
+            let nox_ref = reference[sp::NO] + reference[sp::NO2];
+            let nox_err = (nox - nox_ref).abs() / nox_ref;
+            t.row(vec![
+                format!("{form:?}"),
+                format!("{eps}"),
+                stats.substeps.to_string(),
+                stats.rejected.to_string(),
+                format!("{:.1}", 1000.0 * c[sp::O3]),
+                format!("{:.2}%", 100.0 * o3_err),
+                format!("{:.2}%", 100.0 * nox_err),
+            ]);
+        }
+    }
+    t.print(
+        "Ablation: Young-Boris asymptotic form (rational Padé vs exponential QSSA)",
+        "ablation_ybform",
+    );
+    println!(
+        "reading: the rational Padé form is not L-stable — for strongly stiff\n\
+         species it rings around equilibrium, and the error controller responds\n\
+         by collapsing the substep (orders of magnitude more substeps at loose\n\
+         tolerance). The exponential (QSSA) form is monotone and needs only the\n\
+         substeps the real chemistry dictates — which is why it is the default."
+    );
+}

@@ -1,0 +1,38 @@
+//! Figure 13: performance comparison of the integrated Airshed+PopExp
+//! application with PopExp as a native Fx task vs a PVM foreign module,
+//! on the Intel Paragon.
+//!
+//! Expected shape (paper): "a fixed, relatively small, extra overhead
+//! associated with the foreign module approach ... it does not
+//! significantly impact overall performance."
+
+use airshed_bench::la_profile;
+use airshed_bench::table::{secs, Table};
+use airshed_machine::MachineProfile;
+use airshed_popexp::fig13_sweep;
+
+fn main() {
+    let profile = la_profile();
+    let paragon = MachineProfile::paragon();
+    let ps = [8usize, 16, 32, 64, 128];
+    let rows = fig13_sweep(&profile, paragon, &ps);
+
+    let mut t = Table::new(vec![
+        "P",
+        "native task (s)",
+        "foreign module (s)",
+        "overhead",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.p.to_string(),
+            secs(r.native_seconds),
+            secs(r.foreign_seconds),
+            format!("{:+.3}%", 100.0 * r.overhead),
+        ]);
+    }
+    t.print(
+        "Figure 13: Airshed+PopExp on the Paragon, native vs foreign PopExp",
+        "fig13",
+    );
+}

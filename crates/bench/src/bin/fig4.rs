@@ -1,0 +1,42 @@
+//! Figure 4: scaling of the execution-time components of Airshed on a
+//! Cray T3E with the LA data set.
+//!
+//! Expected shape (paper): chemistry scales well to large P; transport
+//! stops scaling at ~8 nodes (5 layers); I/O processing stays constant;
+//! communication is a very small fraction of the total.
+
+use airshed_bench::table::{secs, Table};
+use airshed_bench::{la_profile, PAPER_NODES};
+use airshed_core::driver::replay;
+use airshed_machine::MachineProfile;
+
+fn main() {
+    let profile = la_profile();
+    let t3e = MachineProfile::t3e();
+
+    let mut t = Table::new(vec![
+        "P",
+        "Chemistry (s)",
+        "Transport (s)",
+        "I/O Proc (s)",
+        "Communication (s)",
+        "Total (s)",
+        "Comm share",
+    ]);
+    for &p in &PAPER_NODES {
+        let r = replay(&profile, t3e, p);
+        t.row(vec![
+            p.to_string(),
+            secs(r.chemistry_seconds),
+            secs(r.transport_seconds),
+            secs(r.io_seconds),
+            secs(r.communication_seconds),
+            secs(r.total_seconds),
+            format!("{:.1}%", 100.0 * r.communication_seconds / r.total_seconds),
+        ]);
+    }
+    t.print(
+        "Figure 4: component scaling on the T3E, LA data set",
+        "fig4",
+    );
+}

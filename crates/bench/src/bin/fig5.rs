@@ -1,0 +1,38 @@
+//! Figure 5: scaling of the three main-loop redistribution steps for the
+//! LA data set on the T3E (per-occurrence seconds).
+//!
+//! Expected shape (paper): `D_Chem->D_Repl` is the most expensive and
+//! grows slowly with P (latency term); `D_Repl->D_Trans` and
+//! `D_Trans->D_Chem` drop from 4 to 8 nodes (2 layers -> 1 layer per
+//! node) and then flatten / creep up with the latency component.
+
+use airshed_bench::table::Table;
+use airshed_bench::{la_profile, PAPER_NODES};
+use airshed_core::driver::replay;
+use airshed_machine::MachineProfile;
+
+fn main() {
+    let profile = la_profile();
+    let t3e = MachineProfile::t3e();
+
+    let mut t = Table::new(vec![
+        "P",
+        "D_Repl->D_Trans (ms)",
+        "D_Trans->D_Chem (ms)",
+        "D_Chem->D_Repl (ms)",
+    ]);
+    for &p in &PAPER_NODES {
+        let r = replay(&profile, t3e, p);
+        let ms = |label: &str| format!("{:.3}", 1000.0 * r.comm_per_step(label));
+        t.row(vec![
+            p.to_string(),
+            ms("D_Repl->D_Trans"),
+            ms("D_Trans->D_Chem"),
+            ms("D_Chem->D_Repl"),
+        ]);
+    }
+    t.print(
+        "Figure 5: per-step redistribution times, LA on T3E",
+        "fig5",
+    );
+}

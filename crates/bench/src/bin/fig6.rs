@@ -1,0 +1,54 @@
+//! Figure 6: predicted (P) and measured (M) times for the communication
+//! steps of Airshed with the LA data set on the T3E.
+//!
+//! "Measured" is the plan-driven virtual-machine charge; "predicted" is
+//! the closed-form §4.2 model — two independent code paths.
+
+use airshed_bench::table::Table;
+use airshed_bench::{la_profile, PAPER_NODES};
+use airshed_core::driver::replay;
+use airshed_core::predict::PerfModel;
+use airshed_machine::MachineProfile;
+
+fn main() {
+    let profile = la_profile();
+    let t3e = MachineProfile::t3e();
+    let model = PerfModel::from_profile(&profile);
+
+    let mut t = Table::new(vec![
+        "P",
+        "R->T meas (ms)",
+        "R->T pred (ms)",
+        "T->C meas (ms)",
+        "T->C pred (ms)",
+        "C->R meas (ms)",
+        "C->R pred (ms)",
+    ]);
+    let mut worst: f64 = 0.0;
+    for &p in &PAPER_NODES {
+        let meas = replay(&profile, t3e, p);
+        let pred = model.predict(&t3e, p);
+        let pairs = [
+            (meas.comm_per_step("D_Repl->D_Trans"), pred.comm_repl_to_trans),
+            (meas.comm_per_step("D_Trans->D_Chem"), pred.comm_trans_to_chem),
+            (meas.comm_per_step("D_Chem->D_Repl"), pred.comm_chem_to_repl),
+        ];
+        for (m, pr) in &pairs {
+            worst = worst.max((pr - m).abs() / m.max(1e-12));
+        }
+        t.row(vec![
+            p.to_string(),
+            format!("{:.3}", 1000.0 * pairs[0].0),
+            format!("{:.3}", 1000.0 * pairs[0].1),
+            format!("{:.3}", 1000.0 * pairs[1].0),
+            format!("{:.3}", 1000.0 * pairs[1].1),
+            format!("{:.3}", 1000.0 * pairs[2].0),
+            format!("{:.3}", 1000.0 * pairs[2].1),
+        ]);
+    }
+    t.print(
+        "Figure 6: predicted vs measured communication steps, LA on T3E",
+        "fig6",
+    );
+    println!("worst relative model error: {:.1}%", 100.0 * worst);
+}

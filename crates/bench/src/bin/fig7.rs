@@ -1,0 +1,54 @@
+//! Figure 7: predicted and measured times for the computation phases of
+//! Airshed with the LA data set on the T3E.
+//!
+//! The paper plots stacked bars (Communication / Chemistry / Transport /
+//! I/O Processing) for measured and predicted at each node count; we
+//! print the same quantities side by side.
+
+use airshed_bench::table::{secs, Table};
+use airshed_bench::{la_profile, PAPER_NODES};
+use airshed_core::driver::replay;
+use airshed_core::predict::PerfModel;
+use airshed_machine::MachineProfile;
+
+fn main() {
+    let profile = la_profile();
+    let t3e = MachineProfile::t3e();
+    let model = PerfModel::from_profile(&profile);
+
+    let mut t = Table::new(vec![
+        "P",
+        "which",
+        "Chemistry (s)",
+        "Transport (s)",
+        "I/O Proc (s)",
+        "Comm (s)",
+        "Total (s)",
+    ]);
+    for &p in &PAPER_NODES {
+        let m = replay(&profile, t3e, p);
+        t.row(vec![
+            format!("{p}"),
+            "measured".to_string(),
+            secs(m.chemistry_seconds),
+            secs(m.transport_seconds),
+            secs(m.io_seconds),
+            secs(m.communication_seconds),
+            secs(m.total_seconds),
+        ]);
+        let pr = model.predict(&t3e, p);
+        t.row(vec![
+            format!("{p}"),
+            "predicted".to_string(),
+            secs(pr.chemistry),
+            secs(pr.transport),
+            secs(pr.io),
+            secs(pr.communication),
+            secs(pr.total),
+        ]);
+    }
+    t.print(
+        "Figure 7: predicted vs measured computation phases, LA on T3E",
+        "fig7",
+    );
+}

@@ -1,0 +1,116 @@
+//! Plain-text table printing for the figure harness.
+//!
+//! Every figure binary prints (a) a human-readable aligned table and (b)
+//! machine-readable CSV lines prefixed with `#csv#`, so downstream
+//! plotting can grep them out.
+
+/// A simple column-aligned table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Render the aligned table.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut width = vec![0usize; ncol];
+        for c in 0..ncol {
+            width[c] = self.headers[c].len();
+            for r in &self.rows {
+                width[c] = width[c].max(r[c].len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], width: &[usize]| -> String {
+            let mut s = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{:>w$}", cell, w = width[c]));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &width));
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (ncol - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&line(r, &width));
+        }
+        out
+    }
+
+    /// Render CSV lines with the `#csv#` prefix.
+    pub fn render_csv(&self, tag: &str) -> String {
+        let mut out = format!("#csv# {tag},{}\n", self.headers.join(","));
+        for r in &self.rows {
+            out.push_str(&format!("#csv# {tag},{}\n", r.join(",")));
+        }
+        out
+    }
+
+    /// Print both renderings.
+    pub fn print(&self, title: &str, tag: &str) {
+        println!("\n=== {title} ===");
+        print!("{}", self.render());
+        print!("{}", self.render_csv(tag));
+    }
+}
+
+/// Format seconds with sensible precision.
+pub fn secs(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_csv() {
+        let mut t = Table::new(vec!["P", "seconds"]);
+        t.row(vec!["4", "4000"]);
+        t.row(vec!["128", "55.3"]);
+        let s = t.render();
+        assert!(s.contains("  P  seconds"));
+        assert!(s.contains("  4     4000"));
+        let csv = t.render_csv("fig2");
+        assert!(csv.contains("#csv# fig2,P,seconds"));
+        assert!(csv.contains("#csv# fig2,128,55.3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(4000.0), "4000");
+        assert_eq!(secs(55.34), "55.3");
+        assert_eq!(secs(0.0123), "0.012");
+    }
+}

@@ -1,0 +1,570 @@
+//! Reaction mechanism representation and the condensed carbon-bond
+//! mechanism used by the Airshed reproduction.
+//!
+//! The mechanism follows the structure of CB-IV (Gery et al. 1989), the
+//! family the CIT/Airshed chemistry belongs to: explicit inorganic
+//! photochemistry, lumped-structure organics with fractional product
+//! yields, operator species (XO2, XO2N), and CB-IV's signature *negative*
+//! product coefficients for PAR consumption by OLE/ROR chemistry.
+//!
+//! Rate constants are expressed in the ppm–minute system; photolysis rates
+//! scale with the solar actinic factor supplied by the meteorology module.
+
+use crate::species::{self as sp};
+
+/// Rate law for one reaction.
+#[derive(Debug, Clone, Copy)]
+pub enum RateLaw {
+    /// `k = a · (T/300)^t_exp · exp(-ea_over_r / T)`, ppm–min units.
+    Arrhenius { a: f64, t_exp: f64, ea_over_r: f64 },
+    /// `J = j_max · sun^power`, where `sun ∈ [0,1]` is the actinic factor
+    /// (1 at local noon, 0 at night). `power > 1` models rates that decay
+    /// faster with zenith angle (e.g. O1D production).
+    Photolysis { j_max: f64, power: f64 },
+}
+
+impl RateLaw {
+    /// Evaluate the rate constant at temperature `t` (K) and actinic
+    /// factor `sun`.
+    #[inline]
+    pub fn eval(&self, t: f64, sun: f64) -> f64 {
+        match *self {
+            RateLaw::Arrhenius { a, t_exp, ea_over_r } => {
+                a * (t / 300.0).powf(t_exp) * (-ea_over_r / t).exp()
+            }
+            RateLaw::Photolysis { j_max, power } => {
+                if sun <= 0.0 {
+                    0.0
+                } else {
+                    j_max * sun.powf(power)
+                }
+            }
+        }
+    }
+}
+
+/// One reaction. `rate_order` lists the species whose concentrations
+/// multiply the rate constant (repeated entries give second order in that
+/// species). `consume`/`produce` carry stoichiometric coefficients, which
+/// may be fractional; CB-IV-style negative product coefficients are
+/// expressed as additional `consume` entries by the builder.
+#[derive(Debug, Clone)]
+pub struct Reaction {
+    pub label: &'static str,
+    pub rate_law: RateLaw,
+    pub rate_order: Vec<usize>,
+    pub consume: Vec<(usize, f64)>,
+    pub produce: Vec<(usize, f64)>,
+}
+
+/// A complete mechanism.
+///
+/// ```
+/// use airshed_chem::mechanism::Mechanism;
+/// use airshed_chem::species as sp;
+///
+/// let mech = Mechanism::carbon_bond();
+/// assert_eq!(mech.n_species, 35);
+/// // Daytime rate constants: NO2 photolysis is on.
+/// let mut k = Vec::new();
+/// mech.rate_constants(298.0, 1.0, &mut k);
+/// assert!(k[0] > 0.1); // J(NO2) ~ 0.5 /min at noon
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mechanism {
+    pub reactions: Vec<Reaction>,
+    pub n_species: usize,
+}
+
+impl Mechanism {
+    /// Number of reactions.
+    pub fn n_reactions(&self) -> usize {
+        self.reactions.len()
+    }
+
+    /// Evaluate all rate constants into `k` (length `n_reactions`).
+    pub fn rate_constants(&self, t_kelvin: f64, sun: f64, k: &mut Vec<f64>) {
+        k.clear();
+        k.extend(self.reactions.iter().map(|r| r.rate_law.eval(t_kelvin, sun)));
+    }
+
+    /// Accumulate production rates `p` (ppm/min) and loss *frequencies*
+    /// `l` (1/min) at the state `conc`, given precomputed rate constants.
+    /// This is the `dc/dt = P - L·c` decomposition the Young–Boris scheme
+    /// integrates.
+    pub fn prod_loss(&self, conc: &[f64], k: &[f64], p: &mut [f64], l: &mut [f64]) {
+        debug_assert_eq!(conc.len(), self.n_species);
+        p.iter_mut().for_each(|x| *x = 0.0);
+        l.iter_mut().for_each(|x| *x = 0.0);
+        const FLOOR: f64 = 1e-30;
+        for (r, &kr) in self.reactions.iter().zip(k) {
+            if kr == 0.0 {
+                continue;
+            }
+            let mut rate = kr;
+            for &s in &r.rate_order {
+                rate *= conc[s];
+            }
+            if rate <= 0.0 {
+                continue;
+            }
+            for &(s, nu) in &r.consume {
+                // Loss frequency: nu · rate / c. The concentrations in
+                // `rate_order` include c[s] itself, so this is finite for
+                // any state with c[s] > 0; floor avoids 0/0 for rate 0.
+                l[s] += nu * rate / conc[s].max(FLOOR);
+            }
+            for &(s, nu) in &r.produce {
+                p[s] += nu * rate;
+            }
+        }
+    }
+
+    /// Net tendency `dc/dt = P - L·c` (ppm/min). Convenience for tests and
+    /// reference explicit integration.
+    pub fn tendency(&self, conc: &[f64], k: &[f64], out: &mut [f64]) {
+        let mut p = vec![0.0; self.n_species];
+        let mut l = vec![0.0; self.n_species];
+        self.prod_loss(conc, k, &mut p, &mut l);
+        for i in 0..self.n_species {
+            out[i] = p[i] - l[i] * conc[i];
+        }
+    }
+
+    /// Total nitrogen (all N-containing species weighted by N count) —
+    /// conserved by the gas-phase mechanism, used as a correctness probe.
+    pub fn total_nitrogen(conc: &[f64]) -> f64 {
+        conc[sp::NO]
+            + conc[sp::NO2]
+            + conc[sp::NO3]
+            + 2.0 * conc[sp::N2O5]
+            + conc[sp::HONO]
+            + conc[sp::HNO3]
+            + conc[sp::PNA]
+            + conc[sp::PAN]
+            + conc[sp::NTR]
+            + conc[sp::NH3]
+    }
+
+    /// Build the condensed carbon-bond mechanism (73 reactions,
+    /// 35 species).
+    pub fn carbon_bond() -> Mechanism {
+        use sp::*;
+        let mut rx: Vec<Reaction> = Vec::with_capacity(80);
+
+        // Helper closures to keep the table readable.
+        let arr = |a: f64, ea_over_r: f64| RateLaw::Arrhenius { a, t_exp: 0.0, ea_over_r };
+        let k0 = |a: f64| RateLaw::Arrhenius { a, t_exp: 0.0, ea_over_r: 0.0 };
+        let phot = |j_max: f64, power: f64| RateLaw::Photolysis { j_max, power };
+
+        let mut add = |label: &'static str,
+                       rate_law: RateLaw,
+                       order: &[usize],
+                       consume: &[(usize, f64)],
+                       produce: &[(usize, f64)]| {
+            rx.push(Reaction {
+                label,
+                rate_law,
+                rate_order: order.to_vec(),
+                consume: consume.to_vec(),
+                produce: produce.to_vec(),
+            });
+        };
+
+        // ---- Inorganic photochemistry --------------------------------
+        add("NO2+hv->NO+O", phot(0.533, 1.0), &[NO2], &[(NO2, 1.0)], &[(NO, 1.0), (O, 1.0)]);
+        add("O->O3", k0(4.2e6), &[O], &[(O, 1.0)], &[(O3, 1.0)]);
+        add("O3+NO->NO2", arr(4428.0, 1500.0), &[O3, NO], &[(O3, 1.0), (NO, 1.0)], &[(NO2, 1.0)]);
+        add("O+NO2->NO", k0(1.375e4), &[O, NO2], &[(O, 1.0), (NO2, 1.0)], &[(NO, 1.0)]);
+        add("O+NO2->NO3", k0(2.3e3), &[O, NO2], &[(O, 1.0), (NO2, 1.0)], &[(NO3, 1.0)]);
+        add("NO2+O3->NO3", arr(176.0, 2450.0), &[NO2, O3], &[(NO2, 1.0), (O3, 1.0)], &[(NO3, 1.0)]);
+        add("O3+hv->O", phot(0.028, 1.0), &[O3], &[(O3, 1.0)], &[(O, 1.0)]);
+        add("O3+hv->O1D", phot(3.0e-3, 2.0), &[O3], &[(O3, 1.0)], &[(O1D, 1.0)]);
+        add("O1D->O", k0(4.3e10), &[O1D], &[(O1D, 1.0)], &[(O, 1.0)]);
+        add("O1D(+H2O)->2OH", k0(6.5e9), &[O1D], &[(O1D, 1.0)], &[(OH, 2.0)]);
+        add("O3+OH->HO2", arr(2336.0, 940.0), &[O3, OH], &[(O3, 1.0), (OH, 1.0)], &[(HO2, 1.0)]);
+        add("O3+HO2->OH", arr(21.2, 580.0), &[O3, HO2], &[(O3, 1.0), (HO2, 1.0)], &[(OH, 1.0)]);
+        // ---- NO3 / N2O5 night chemistry ------------------------------
+        add(
+            "NO3+hv->.89NO2+.89O+.11NO",
+            phot(30.0, 0.5),
+            &[NO3],
+            &[(NO3, 1.0)],
+            &[(NO2, 0.89), (O, 0.89), (NO, 0.11)],
+        );
+        add("NO3+NO->2NO2", k0(4.42e4), &[NO3, NO], &[(NO3, 1.0), (NO, 1.0)], &[(NO2, 2.0)]);
+        add("NO3+NO2->N2O5", k0(1.8e3), &[NO3, NO2], &[(NO3, 1.0), (NO2, 1.0)], &[(N2O5, 1.0)]);
+        add("N2O5->NO3+NO2", arr(2.5e16, 10897.0), &[N2O5], &[(N2O5, 1.0)], &[(NO3, 1.0), (NO2, 1.0)]);
+        add("N2O5(+H2O)->2HNO3", k0(1.9e-3), &[N2O5], &[(N2O5, 1.0)], &[(HNO3, 2.0)]);
+        // ---- HOx / NOy ------------------------------------------------
+        add("HONO+hv->NO+OH", phot(0.0977, 1.0), &[HONO], &[(HONO, 1.0)], &[(NO, 1.0), (OH, 1.0)]);
+        add("NO+OH->HONO", k0(9.8e3), &[NO, OH], &[(NO, 1.0), (OH, 1.0)], &[(HONO, 1.0)]);
+        add("HONO+OH->NO2", k0(9.77e3), &[HONO, OH], &[(HONO, 1.0), (OH, 1.0)], &[(NO2, 1.0)]);
+        add("NO2+OH->HNO3", k0(1.682e4), &[NO2, OH], &[(NO2, 1.0), (OH, 1.0)], &[(HNO3, 1.0)]);
+        add("HNO3+OH->NO3", k0(192.0), &[HNO3, OH], &[(HNO3, 1.0), (OH, 1.0)], &[(NO3, 1.0)]);
+        add("NO+HO2->NO2+OH", arr(5482.0, -240.0), &[NO, HO2], &[(NO, 1.0), (HO2, 1.0)], &[(NO2, 1.0), (OH, 1.0)]);
+        add("HO2+HO2->H2O2", k0(4.14e3), &[HO2, HO2], &[(HO2, 2.0)], &[(H2O2, 1.0)]);
+        add("H2O2+hv->2OH", phot(1.3e-3, 1.0), &[H2O2], &[(H2O2, 1.0)], &[(OH, 2.0)]);
+        add("H2O2+OH->HO2", k0(2.52e3), &[H2O2, OH], &[(H2O2, 1.0), (OH, 1.0)], &[(HO2, 1.0)]);
+        add("OH+HO2->", k0(1.6e5), &[OH, HO2], &[(OH, 1.0), (HO2, 1.0)], &[]);
+        add("CO+OH->HO2", k0(322.0), &[CO, OH], &[(CO, 1.0), (OH, 1.0)], &[(HO2, 1.0)]);
+        add("SO2+OH->SULF+HO2", k0(1.5e3), &[SO2, OH], &[(SO2, 1.0), (OH, 1.0)], &[(SULF, 1.0), (HO2, 1.0)]);
+        add("HO2+NO2->PNA", k0(2.0e3), &[HO2, NO2], &[(HO2, 1.0), (NO2, 1.0)], &[(PNA, 1.0)]);
+        add("PNA->HO2+NO2", arr(4.8e15, 10121.0), &[PNA], &[(PNA, 1.0)], &[(HO2, 1.0), (NO2, 1.0)]);
+        add("PNA+OH->NO2", k0(6.9e3), &[PNA, OH], &[(PNA, 1.0), (OH, 1.0)], &[(NO2, 1.0)]);
+        // ---- Formaldehyde / aldehydes --------------------------------
+        add("FORM+OH->HO2+CO", k0(1.5e4), &[FORM, OH], &[(FORM, 1.0), (OH, 1.0)], &[(HO2, 1.0), (CO, 1.0)]);
+        add("FORM+hv->2HO2+CO", phot(4.0e-3, 1.2), &[FORM], &[(FORM, 1.0)], &[(HO2, 2.0), (CO, 1.0)]);
+        add("FORM+hv->CO", phot(6.5e-3, 1.0), &[FORM], &[(FORM, 1.0)], &[(CO, 1.0)]);
+        add("FORM+O->OH+HO2+CO", k0(237.0), &[FORM, O], &[(FORM, 1.0), (O, 1.0)], &[(OH, 1.0), (HO2, 1.0), (CO, 1.0)]);
+        add("FORM+NO3->HNO3+HO2+CO", k0(0.93), &[FORM, NO3], &[(FORM, 1.0), (NO3, 1.0)], &[(HNO3, 1.0), (HO2, 1.0), (CO, 1.0)]);
+        add("ALD2+O->C2O3+OH", k0(636.0), &[ALD2, O], &[(ALD2, 1.0), (O, 1.0)], &[(C2O3, 1.0), (OH, 1.0)]);
+        add("ALD2+OH->C2O3", k0(2.4e4), &[ALD2, OH], &[(ALD2, 1.0), (OH, 1.0)], &[(C2O3, 1.0)]);
+        add("ALD2+NO3->C2O3+HNO3", k0(3.7), &[ALD2, NO3], &[(ALD2, 1.0), (NO3, 1.0)], &[(C2O3, 1.0), (HNO3, 1.0)]);
+        add(
+            "ALD2+hv->FORM+XO2+CO+2HO2",
+            phot(6.0e-4, 1.3),
+            &[ALD2],
+            &[(ALD2, 1.0)],
+            &[(FORM, 1.0), (XO2, 1.0), (CO, 1.0), (HO2, 2.0)],
+        );
+        // ---- Peroxyacyl / PAN ----------------------------------------
+        add(
+            "C2O3+NO->NO2+XO2+FORM+HO2",
+            k0(8.0e3),
+            &[C2O3, NO],
+            &[(C2O3, 1.0), (NO, 1.0)],
+            &[(NO2, 1.0), (XO2, 1.0), (FORM, 1.0), (HO2, 1.0)],
+        );
+        add("C2O3+NO2->PAN", k0(1.0e4), &[C2O3, NO2], &[(C2O3, 1.0), (NO2, 1.0)], &[(PAN, 1.0)]);
+        add("PAN->C2O3+NO2", arr(1.2e18, 13543.0), &[PAN], &[(PAN, 1.0)], &[(C2O3, 1.0), (NO2, 1.0)]);
+        add(
+            "C2O3+C2O3->2FORM+2XO2+2HO2",
+            k0(3.7e3),
+            &[C2O3, C2O3],
+            &[(C2O3, 2.0)],
+            &[(FORM, 2.0), (XO2, 2.0), (HO2, 2.0)],
+        );
+        add(
+            "C2O3+HO2->.79FORM+.79XO2+.79HO2+.79OH",
+            k0(9.6e3),
+            &[C2O3, HO2],
+            &[(C2O3, 1.0), (HO2, 1.0)],
+            &[(FORM, 0.79), (XO2, 0.79), (HO2, 0.79), (OH, 0.79)],
+        );
+        // ---- Paraffins (note CB-IV negative PAR yields fold into
+        //      the consume list) --------------------------------------
+        add(
+            "PAR+OH->.87XO2+.13XO2N+.11HO2+.11ALD2+.76ROR",
+            k0(1.2e3),
+            &[PAR, OH],
+            &[(PAR, 1.11), (OH, 1.0)], // 1 + 0.11 negative product
+            &[(XO2, 0.87), (XO2N, 0.13), (HO2, 0.11), (ALD2, 0.11), (ROR, 0.76)],
+        );
+        add(
+            "ROR->.96XO2+1.1ALD2+.94HO2+.04XO2N (-2.1PAR)",
+            arr(5.4e15, 8000.0),
+            &[ROR],
+            &[(ROR, 1.0), (PAR, 2.1)],
+            &[(XO2, 0.96), (ALD2, 1.1), (HO2, 0.94), (XO2N, 0.04)],
+        );
+        add("ROR->HO2", k0(95.0), &[ROR], &[(ROR, 1.0)], &[(HO2, 1.0)]);
+        add("ROR+NO2->NTR", k0(2.2e4), &[ROR, NO2], &[(ROR, 1.0), (NO2, 1.0)], &[(NTR, 1.0)]);
+        // ---- Olefins --------------------------------------------------
+        add(
+            "OLE+O->.63ALD2+.38HO2+.28XO2+.3CO+.2FORM+.02XO2N+.2OH",
+            k0(5.92e3),
+            &[OLE, O],
+            &[(OLE, 1.0), (O, 1.0)],
+            &[
+                (ALD2, 0.63),
+                (HO2, 0.38),
+                (XO2, 0.28),
+                (CO, 0.3),
+                (FORM, 0.2),
+                (XO2N, 0.02),
+                (OH, 0.2),
+                (PAR, 0.22),
+            ],
+        );
+        add(
+            "OLE+OH->FORM+ALD2+XO2+HO2 (-PAR)",
+            arr(7700.0, -540.0),
+            &[OLE, OH],
+            &[(OLE, 1.0), (OH, 1.0), (PAR, 1.0)],
+            &[(FORM, 1.0), (ALD2, 1.0), (XO2, 1.0), (HO2, 1.0)],
+        );
+        add(
+            "OLE+O3->.5ALD2+.74FORM+.33CO+.44HO2+.22XO2+.1OH (-PAR)",
+            arr(0.81, 1900.0),
+            &[OLE, O3],
+            &[(OLE, 1.0), (O3, 1.0), (PAR, 1.0)],
+            &[
+                (ALD2, 0.5),
+                (FORM, 0.74),
+                (CO, 0.33),
+                (HO2, 0.44),
+                (XO2, 0.22),
+                (OH, 0.1),
+            ],
+        );
+        add(
+            "OLE+NO3->.91XO2+FORM+ALD2+.09XO2N+NO2 (-PAR)",
+            k0(11.35),
+            &[OLE, NO3],
+            &[(OLE, 1.0), (NO3, 1.0), (PAR, 1.0)],
+            &[(XO2, 0.91), (FORM, 1.0), (ALD2, 1.0), (XO2N, 0.09), (NO2, 1.0)],
+        );
+        // ---- Ethene ---------------------------------------------------
+        add(
+            "ETH+OH->XO2+1.56FORM+.22ALD2+HO2",
+            arr(2950.0, -411.0),
+            &[ETH, OH],
+            &[(ETH, 1.0), (OH, 1.0)],
+            &[(XO2, 1.0), (FORM, 1.56), (ALD2, 0.22), (HO2, 1.0)],
+        );
+        add(
+            "ETH+O3->FORM+.42CO+.12HO2",
+            arr(1.7, 2560.0),
+            &[ETH, O3],
+            &[(ETH, 1.0), (O3, 1.0)],
+            &[(FORM, 1.0), (CO, 0.42), (HO2, 0.12)],
+        );
+        // ---- Aromatics -------------------------------------------------
+        add(
+            "TOL+OH->.36CRES+.44HO2+.56XO2+.3MGLY",
+            k0(9.15e3),
+            &[TOL, OH],
+            &[(TOL, 1.0), (OH, 1.0)],
+            &[(CRES, 0.36), (HO2, 0.44), (XO2, 0.56), (MGLY, 0.3)],
+        );
+        add(
+            "CRES+OH->.4MGLY+.6XO2+.6HO2",
+            k0(6.1e4),
+            &[CRES, OH],
+            &[(CRES, 1.0), (OH, 1.0)],
+            &[(MGLY, 0.4), (XO2, 0.6), (HO2, 0.6)],
+        );
+        add("CRES+NO3->NTR", k0(3.25e4), &[CRES, NO3], &[(CRES, 1.0), (NO3, 1.0)], &[(NTR, 1.0)]);
+        add(
+            "XYL+OH->.7HO2+.5XO2+.8MGLY+.2CRES",
+            k0(3.62e4),
+            &[XYL, OH],
+            &[(XYL, 1.0), (OH, 1.0)],
+            &[(HO2, 0.7), (XO2, 0.5), (MGLY, 0.8), (CRES, 0.2)],
+        );
+        add("MGLY+hv->C2O3+HO2+CO", phot(0.02, 1.0), &[MGLY], &[(MGLY, 1.0)], &[(C2O3, 1.0), (HO2, 1.0), (CO, 1.0)]);
+        add("MGLY+OH->XO2+C2O3", k0(2.6e4), &[MGLY, OH], &[(MGLY, 1.0), (OH, 1.0)], &[(XO2, 1.0), (C2O3, 1.0)]);
+        // ---- Isoprene --------------------------------------------------
+        add(
+            "ISOP+OH->XO2+FORM+.67HO2+.4MGLY+.2C2O3",
+            k0(1.42e5),
+            &[ISOP, OH],
+            &[(ISOP, 1.0), (OH, 1.0)],
+            &[(XO2, 1.0), (FORM, 1.0), (HO2, 0.67), (MGLY, 0.4), (C2O3, 0.2)],
+        );
+        add(
+            "ISOP+O3->FORM+.4ALD2+.55XO2+.25HO2+.2MGLY",
+            k0(0.018),
+            &[ISOP, O3],
+            &[(ISOP, 1.0), (O3, 1.0)],
+            &[(FORM, 1.0), (ALD2, 0.4), (XO2, 0.55), (HO2, 0.25), (MGLY, 0.2)],
+        );
+        add(
+            "ISOP+NO3->NTR+XO2",
+            k0(470.0),
+            &[ISOP, NO3],
+            &[(ISOP, 1.0), (NO3, 1.0)],
+            &[(NTR, 1.0), (XO2, 1.0)],
+        );
+        // ---- Operator radicals ----------------------------------------
+        add("XO2+NO->NO2", k0(1.2e4), &[XO2, NO], &[(XO2, 1.0), (NO, 1.0)], &[(NO2, 1.0)]);
+        add("XO2+XO2->", k0(2.4e3), &[XO2, XO2], &[(XO2, 2.0)], &[]);
+        add("XO2N+NO->NTR", k0(1.0e3), &[XO2N, NO], &[(XO2N, 1.0), (NO, 1.0)], &[(NTR, 1.0)]);
+        add("XO2+HO2->", k0(1.2e4), &[XO2, HO2], &[(XO2, 1.0), (HO2, 1.0)], &[]);
+        // ---- Methane ---------------------------------------------------
+        add("CH4+OH->MEO2", arr(1180.0, 1710.0), &[CH4, OH], &[(CH4, 1.0), (OH, 1.0)], &[(MEO2, 1.0)]);
+        add(
+            "MEO2+NO->FORM+HO2+NO2",
+            k0(1.1e4),
+            &[MEO2, NO],
+            &[(MEO2, 1.0), (NO, 1.0)],
+            &[(FORM, 1.0), (HO2, 1.0), (NO2, 1.0)],
+        );
+        add("MEO2+HO2->", k0(1.3e4), &[MEO2, HO2], &[(MEO2, 1.0), (HO2, 1.0)], &[]);
+
+        // NH3 has no gas-phase reactions here; it is consumed by the
+        // aerosol equilibrium module.
+
+        Mechanism {
+            reactions: rx,
+            n_species: N_SPECIES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species as sp;
+
+    fn mech() -> Mechanism {
+        Mechanism::carbon_bond()
+    }
+
+    #[test]
+    fn mechanism_size() {
+        let m = mech();
+        assert_eq!(m.n_species, 35);
+        assert!(
+            m.n_reactions() >= 65 && m.n_reactions() <= 90,
+            "got {} reactions",
+            m.n_reactions()
+        );
+    }
+
+    #[test]
+    fn every_species_index_in_range() {
+        let m = mech();
+        for r in &m.reactions {
+            for &s in &r.rate_order {
+                assert!(s < m.n_species, "{}: bad order idx", r.label);
+            }
+            for &(s, nu) in r.consume.iter().chain(r.produce.iter()) {
+                assert!(s < m.n_species, "{}: bad stoich idx", r.label);
+                assert!(nu > 0.0, "{}: non-positive coefficient", r.label);
+            }
+        }
+    }
+
+    #[test]
+    fn consumed_species_appear_in_rate_order() {
+        // Loss frequency L = nu·rate/c is only well-behaved if the rate is
+        // proportional to c, i.e. the consumed species appears in the rate
+        // order. The single sanctioned exception is CB-IV's negative-PAR
+        // yield (PAR consumed by OLE/ROR chemistry at a rate set by the
+        // olefin), which the stiff solver handles through a large loss
+        // frequency.
+        let m = mech();
+        for r in &m.reactions {
+            for &(s, _) in &r.consume {
+                assert!(
+                    r.rate_order.contains(&s) || s == sp::PAR,
+                    "{}: consumes {} but rate does not depend on it",
+                    r.label,
+                    sp::SPECIES[s].name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arrhenius_reproduces_o3_no_rate() {
+        // O3 + NO: k(298) ≈ 26.6 ppm^-1 min^-1 (CB-IV).
+        let m = mech();
+        let r = m
+            .reactions
+            .iter()
+            .find(|r| r.label.starts_with("O3+NO"))
+            .unwrap();
+        let k = r.rate_law.eval(298.15, 0.0);
+        assert!((k - 26.6).abs() / 26.6 < 0.10, "k = {k}");
+    }
+
+    #[test]
+    fn photolysis_zero_at_night() {
+        let m = mech();
+        let mut k = Vec::new();
+        m.rate_constants(298.0, 0.0, &mut k);
+        for (r, &kr) in m.reactions.iter().zip(&k) {
+            if matches!(r.rate_law, RateLaw::Photolysis { .. }) {
+                assert_eq!(kr, 0.0, "{} nonzero at night", r.label);
+            } else {
+                assert!(kr >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn prod_loss_consistent_with_tendency() {
+        let m = mech();
+        let mut conc = sp::background_vector();
+        conc[sp::NO] = 0.05;
+        conc[sp::NO2] = 0.03;
+        conc[sp::OH] = 1e-7;
+        conc[sp::HO2] = 1e-6;
+        let mut k = Vec::new();
+        m.rate_constants(298.0, 0.8, &mut k);
+        let mut p = vec![0.0; 35];
+        let mut l = vec![0.0; 35];
+        m.prod_loss(&conc, &k, &mut p, &mut l);
+        let mut f = vec![0.0; 35];
+        m.tendency(&conc, &k, &mut f);
+        for i in 0..35 {
+            assert!(
+                (f[i] - (p[i] - l[i] * conc[i])).abs() <= 1e-12 * (1.0 + f[i].abs()),
+                "species {i}"
+            );
+            assert!(p[i] >= 0.0 && l[i] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn nitrogen_conserved_by_tendency() {
+        // d/dt of total N must be ~0 (the mechanism neither creates nor
+        // destroys nitrogen atoms).
+        let m = mech();
+        let mut conc = sp::background_vector();
+        conc[sp::NO] = 0.08;
+        conc[sp::NO2] = 0.04;
+        conc[sp::O3] = 0.06;
+        conc[sp::PAN] = 0.002;
+        conc[sp::OH] = 2e-7;
+        conc[sp::HO2] = 1e-6;
+        conc[sp::C2O3] = 1e-6;
+        conc[sp::NO3] = 1e-5;
+        conc[sp::N2O5] = 1e-5;
+        conc[sp::XO2N] = 1e-6;
+        conc[sp::ROR] = 1e-7;
+        let mut k = Vec::new();
+        m.rate_constants(298.0, 0.7, &mut k);
+        let mut f = vec![0.0; 35];
+        m.tendency(&conc, &k, &mut f);
+        let dn: f64 = f[sp::NO]
+            + f[sp::NO2]
+            + f[sp::NO3]
+            + 2.0 * f[sp::N2O5]
+            + f[sp::HONO]
+            + f[sp::HNO3]
+            + f[sp::PNA]
+            + f[sp::PAN]
+            + f[sp::NTR]
+            + f[sp::NH3];
+        let scale: f64 = [sp::NO, sp::NO2, sp::NO3]
+            .iter()
+            .map(|&s| (f[s]).abs())
+            .fold(0.0, f64::max)
+            .max(1e-12);
+        assert!(dn.abs() / scale < 1e-9, "dN/dt = {dn}, scale {scale}");
+    }
+
+    #[test]
+    fn photostationary_state_ratio() {
+        // In bright sun with only the NO/NO2/O3 triad active, the
+        // photostationary state gives [O3][NO]/[NO2] = J1/k3.
+        let m = mech();
+        let mut k = Vec::new();
+        m.rate_constants(298.0, 1.0, &mut k);
+        let j1 = k[0]; // NO2 photolysis
+        let k3 = m
+            .reactions
+            .iter()
+            .zip(&k)
+            .find(|(r, _)| r.label.starts_with("O3+NO"))
+            .map(|(_, &kv)| kv)
+            .unwrap();
+        let ratio = j1 / k3;
+        // Typical noon PSS ratio is ~0.01-0.03 ppm.
+        assert!(ratio > 0.005 && ratio < 0.05, "PSS ratio {ratio}");
+    }
+}

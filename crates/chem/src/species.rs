@@ -1,0 +1,173 @@
+//! The 35-species set.
+//!
+//! The paper's data sets track 35 chemical species. We use a condensed
+//! carbon-bond style speciation: explicit inorganic photochemistry
+//! (NOx/O3/HOx/SOx), lumped organics (PAR/OLE/TOL/XYL/ISOP/…), operator
+//! species (XO2/XO2N/C2O3/ROR/MEO2) and ammonia for the aerosol module —
+//! exactly 35 entries, matching the `species` extent of the concentration
+//! array `A(35, layers, nodes)`.
+
+/// Index type for species. Species are dense indices `0..N_SPECIES`.
+pub type SpeciesId = usize;
+
+/// Number of species — the paper's data sets use 35.
+pub const N_SPECIES: usize = 35;
+
+// Inorganic.
+pub const NO: SpeciesId = 0;
+pub const NO2: SpeciesId = 1;
+pub const O3: SpeciesId = 2;
+pub const O: SpeciesId = 3;
+pub const O1D: SpeciesId = 4;
+pub const OH: SpeciesId = 5;
+pub const HO2: SpeciesId = 6;
+pub const H2O2: SpeciesId = 7;
+pub const NO3: SpeciesId = 8;
+pub const N2O5: SpeciesId = 9;
+pub const HONO: SpeciesId = 10;
+pub const HNO3: SpeciesId = 11;
+pub const PNA: SpeciesId = 12; // peroxynitric acid, HNO4
+pub const CO: SpeciesId = 13;
+pub const SO2: SpeciesId = 14;
+pub const SULF: SpeciesId = 15; // sulfuric acid vapour / sulfate precursor
+// Carbonyls and organic intermediates.
+pub const FORM: SpeciesId = 16; // formaldehyde
+pub const ALD2: SpeciesId = 17; // higher aldehydes
+pub const C2O3: SpeciesId = 18; // peroxyacyl radical
+pub const PAN: SpeciesId = 19;
+pub const MGLY: SpeciesId = 20; // methylglyoxal
+// Lumped primary organics.
+pub const PAR: SpeciesId = 21; // paraffin carbon bond
+pub const OLE: SpeciesId = 22; // olefin carbon bond
+pub const ETH: SpeciesId = 23; // ethene
+pub const TOL: SpeciesId = 24; // toluene
+pub const XYL: SpeciesId = 25; // xylene
+pub const CRES: SpeciesId = 26; // cresol
+pub const ISOP: SpeciesId = 27; // isoprene (biogenic)
+// Operator radicals.
+pub const ROR: SpeciesId = 28; // secondary alkoxy radical
+pub const XO2: SpeciesId = 29; // NO-to-NO2 conversion operator
+pub const XO2N: SpeciesId = 30; // NO-to-nitrate operator
+pub const NTR: SpeciesId = 31; // organic nitrate
+pub const MEO2: SpeciesId = 32; // methylperoxy radical
+pub const CH4: SpeciesId = 33;
+pub const NH3: SpeciesId = 34; // ammonia (aerosol neutralisation)
+
+/// Static per-species metadata.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeciesInfo {
+    pub name: &'static str,
+    /// Clean-air background / boundary concentration (ppm).
+    pub background_ppm: f64,
+    /// Dry-deposition velocity (m/min) applied in the lowest layer.
+    pub deposition_m_per_min: f64,
+    /// Relative weight of this species in urban area emissions
+    /// (dimensionless split factor; zero for pure secondary species).
+    pub urban_emission_weight: f64,
+    /// Relative weight in elevated point-source (stack) emissions.
+    pub point_emission_weight: f64,
+}
+
+/// The full species table, indexed by [`SpeciesId`].
+pub const SPECIES: [SpeciesInfo; N_SPECIES] = [
+    SpeciesInfo { name: "NO", background_ppm: 1e-5, deposition_m_per_min: 0.0, urban_emission_weight: 0.36, point_emission_weight: 0.45 },
+    SpeciesInfo { name: "NO2", background_ppm: 1e-4, deposition_m_per_min: 0.18, urban_emission_weight: 0.04, point_emission_weight: 0.05 },
+    SpeciesInfo { name: "O3", background_ppm: 0.04, deposition_m_per_min: 0.24, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "O", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "O1D", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "OH", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "HO2", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "H2O2", background_ppm: 1e-3, deposition_m_per_min: 0.3, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "NO3", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "N2O5", background_ppm: 0.0, deposition_m_per_min: 0.24, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "HONO", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.006, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "HNO3", background_ppm: 1e-4, deposition_m_per_min: 0.6, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "PNA", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "CO", background_ppm: 0.12, deposition_m_per_min: 0.0, urban_emission_weight: 3.2, point_emission_weight: 0.3 },
+    SpeciesInfo { name: "SO2", background_ppm: 1e-4, deposition_m_per_min: 0.3, urban_emission_weight: 0.05, point_emission_weight: 0.9 },
+    SpeciesInfo { name: "SULF", background_ppm: 0.0, deposition_m_per_min: 0.12, urban_emission_weight: 0.0, point_emission_weight: 0.01 },
+    SpeciesInfo { name: "FORM", background_ppm: 1e-3, deposition_m_per_min: 0.3, urban_emission_weight: 0.04, point_emission_weight: 0.01 },
+    SpeciesInfo { name: "ALD2", background_ppm: 5e-4, deposition_m_per_min: 0.3, urban_emission_weight: 0.03, point_emission_weight: 0.005 },
+    SpeciesInfo { name: "C2O3", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "PAN", background_ppm: 1e-4, deposition_m_per_min: 0.12, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "MGLY", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "PAR", background_ppm: 0.01, deposition_m_per_min: 0.0, urban_emission_weight: 1.6, point_emission_weight: 0.1 },
+    SpeciesInfo { name: "OLE", background_ppm: 5e-4, deposition_m_per_min: 0.0, urban_emission_weight: 0.12, point_emission_weight: 0.01 },
+    SpeciesInfo { name: "ETH", background_ppm: 1e-3, deposition_m_per_min: 0.0, urban_emission_weight: 0.10, point_emission_weight: 0.01 },
+    SpeciesInfo { name: "TOL", background_ppm: 5e-4, deposition_m_per_min: 0.0, urban_emission_weight: 0.12, point_emission_weight: 0.01 },
+    SpeciesInfo { name: "XYL", background_ppm: 2e-4, deposition_m_per_min: 0.0, urban_emission_weight: 0.08, point_emission_weight: 0.005 },
+    SpeciesInfo { name: "CRES", background_ppm: 0.0, deposition_m_per_min: 0.3, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "ISOP", background_ppm: 2e-4, deposition_m_per_min: 0.0, urban_emission_weight: 0.02, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "ROR", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "XO2", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "XO2N", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "NTR", background_ppm: 0.0, deposition_m_per_min: 0.12, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "MEO2", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
+    SpeciesInfo { name: "CH4", background_ppm: 1.8, deposition_m_per_min: 0.0, urban_emission_weight: 0.1, point_emission_weight: 0.05 },
+    SpeciesInfo { name: "NH3", background_ppm: 1e-3, deposition_m_per_min: 0.3, urban_emission_weight: 0.03, point_emission_weight: 0.0 },
+];
+
+/// Background (clean-air) concentration vector, used for initial and
+/// boundary conditions.
+pub fn background_vector() -> Vec<f64> {
+    SPECIES.iter().map(|s| s.background_ppm).collect()
+}
+
+/// Look up a species id by name (case-sensitive). Mainly for examples and
+/// report labelling.
+pub fn by_name(name: &str) -> Option<SpeciesId> {
+    SPECIES.iter().position(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_35_species() {
+        assert_eq!(SPECIES.len(), 35);
+        assert_eq!(N_SPECIES, 35);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for i in 0..N_SPECIES {
+            for j in (i + 1)..N_SPECIES {
+                assert_ne!(SPECIES[i].name, SPECIES[j].name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("O3"), Some(O3));
+        assert_eq!(by_name("NO2"), Some(NO2));
+        assert_eq!(by_name("PAN"), Some(PAN));
+        assert_eq!(by_name("nope"), None);
+    }
+
+    #[test]
+    fn radicals_have_no_background_or_emissions() {
+        for &r in &[O, O1D, OH, HO2, C2O3, ROR, XO2, XO2N, MEO2, NO3] {
+            assert_eq!(SPECIES[r].background_ppm, 0.0, "{}", SPECIES[r].name);
+            assert_eq!(SPECIES[r].urban_emission_weight, 0.0);
+        }
+    }
+
+    #[test]
+    fn emitted_species_make_sense() {
+        // NOx, CO and organics dominate urban emissions; SO2 dominates
+        // point sources.
+        assert!(SPECIES[CO].urban_emission_weight > 1.0);
+        assert!(SPECIES[NO].urban_emission_weight > SPECIES[NO2].urban_emission_weight);
+        assert!(SPECIES[SO2].point_emission_weight > SPECIES[SO2].urban_emission_weight);
+    }
+
+    #[test]
+    fn background_vector_matches_table() {
+        let bg = background_vector();
+        assert_eq!(bg.len(), N_SPECIES);
+        assert_eq!(bg[O3], 0.04);
+        assert_eq!(bg[CH4], 1.8);
+    }
+}

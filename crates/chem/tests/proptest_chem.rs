@@ -1,0 +1,161 @@
+//! Property-based tests for the chemistry numerics.
+
+use airshed_chem::mechanism::{Mechanism, RateLaw, Reaction};
+use airshed_chem::species::{self as sp, N_SPECIES};
+use airshed_chem::vertical::{diffuse_column, thomas_solve, ColumnGeometry};
+use airshed_chem::youngboris::{integrate_cell, YbOptions, YbWorkspace};
+use proptest::prelude::*;
+
+/// One-species decay mechanism with rate `k`.
+fn decay(k: f64) -> Mechanism {
+    Mechanism {
+        reactions: vec![Reaction {
+            label: "A->",
+            rate_law: RateLaw::Arrhenius { a: k, t_exp: 0.0, ea_over_r: 0.0 },
+            rate_order: vec![0],
+            consume: vec![(0, 1.0)],
+            produce: vec![],
+        }],
+        n_species: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Young–Boris tracks the analytic solution of linear decay across
+    /// five decades of stiffness.
+    #[test]
+    fn yb_matches_linear_decay(
+        log_k in -2.0f64..3.0,
+        c0 in 0.01f64..10.0,
+        dt in 0.1f64..30.0,
+    ) {
+        let k = 10f64.powf(log_k);
+        let m = decay(k);
+        let mut ws = YbWorkspace::new(1);
+        let mut c = vec![c0];
+        let opts = YbOptions { eps: 5e-4, ..Default::default() };
+        integrate_cell(&m, &mut c, 298.0, 0.0, dt, &opts, &mut ws);
+        let exact = c0 * (-k * dt).exp();
+        let tol = 2e-2 * c0.max(exact) + 1e-12;
+        prop_assert!(
+            (c[0] - exact).abs() < tol.max(5e-3 * exact),
+            "k={k} dt={dt}: got {} want {exact}", c[0]
+        );
+    }
+
+    /// The full mechanism never produces negative or non-finite
+    /// concentrations from any plausible initial condition.
+    #[test]
+    fn carbon_bond_preserves_positivity(
+        no in 0.0f64..0.2,
+        no2 in 0.0f64..0.1,
+        o3 in 0.0f64..0.2,
+        par in 0.0f64..2.0,
+        ole in 0.0f64..0.1,
+        form in 0.0f64..0.05,
+        sun in 0.0f64..1.0,
+        t in 270.0f64..315.0,
+    ) {
+        let m = Mechanism::carbon_bond();
+        let mut ws = YbWorkspace::new(N_SPECIES);
+        let mut c = sp::background_vector();
+        c[sp::NO] = no;
+        c[sp::NO2] = no2;
+        c[sp::O3] = o3;
+        c[sp::PAR] = par;
+        c[sp::OLE] = ole;
+        c[sp::FORM] = form;
+        integrate_cell(&m, &mut c, t, sun, 15.0, &YbOptions::default(), &mut ws);
+        prop_assert!(c.iter().all(|&x| x.is_finite() && x >= 0.0), "{c:?}");
+    }
+
+    /// Gas-phase nitrogen is conserved (to solver tolerance) from any
+    /// initial NOx split.
+    #[test]
+    fn nitrogen_conservation_random_ic(
+        no in 0.001f64..0.1,
+        no2 in 0.001f64..0.1,
+        sun in 0.0f64..1.0,
+    ) {
+        let m = Mechanism::carbon_bond();
+        let mut ws = YbWorkspace::new(N_SPECIES);
+        let mut c = sp::background_vector();
+        c[sp::NO] = no;
+        c[sp::NO2] = no2;
+        let n0 = Mechanism::total_nitrogen(&c);
+        integrate_cell(&m, &mut c, 298.0, sun, 30.0, &YbOptions::default(), &mut ws);
+        let n1 = Mechanism::total_nitrogen(&c);
+        prop_assert!(
+            (n1 - n0).abs() / n0 < 0.01,
+            "N {n0} -> {n1} (sun {sun})"
+        );
+    }
+
+    /// Thomas solve agrees with explicit 3x3/4x4 Gaussian elimination for
+    /// random diagonally dominant systems.
+    #[test]
+    fn thomas_matches_dense(
+        lower in prop::collection::vec(-1.0f64..0.0, 4),
+        upper in prop::collection::vec(-1.0f64..0.0, 4),
+        rhs in prop::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let n = 4;
+        let mut lo = lower.clone();
+        let mut up = upper.clone();
+        lo[0] = 0.0;
+        up[n - 1] = 0.0;
+        // Diagonal dominance.
+        let diag: Vec<f64> = (0..n)
+            .map(|i| 1.0 + lo[i].abs() + up[i].abs())
+            .collect();
+        let mut x = rhs.clone();
+        thomas_solve(&lo, &diag, &up, &mut x);
+        // Residual check: A x == rhs.
+        for i in 0..n {
+            let mut ax = diag[i] * x[i];
+            if i > 0 {
+                ax += lo[i] * x[i - 1];
+            }
+            if i + 1 < n {
+                ax += up[i] * x[i + 1];
+            }
+            prop_assert!((ax - rhs[i]).abs() < 1e-9, "row {i}: {ax} vs {}", rhs[i]);
+        }
+    }
+
+    /// Vertical diffusion conserves column mass for any positive Kz
+    /// profile and initial column (no emission/deposition).
+    #[test]
+    fn vertical_diffusion_conserves_mass(
+        kz in prop::collection::vec(0.1f64..5000.0, 4),
+        col in prop::collection::vec(0.0f64..1.0, 5),
+        dt in 0.5f64..60.0,
+    ) {
+        let geom = ColumnGeometry::from_interfaces(&[0.0, 75.0, 200.0, 450.0, 900.0, 1600.0]);
+        let mut c = col.clone();
+        let m0 = geom.column_mass(&c);
+        diffuse_column(&geom, &kz, 0.0, 0.0, dt, &mut c);
+        let m1 = geom.column_mass(&c);
+        prop_assert!((m1 - m0).abs() <= 1e-9 * m0.max(1.0), "{m0} -> {m1}");
+        prop_assert!(c.iter().all(|&x| x >= -1e-12));
+    }
+
+    /// Diffusion is a contraction: the max-min spread never grows.
+    #[test]
+    fn vertical_diffusion_is_a_contraction(
+        kz in prop::collection::vec(0.1f64..5000.0, 4),
+        col in prop::collection::vec(0.0f64..1.0, 5),
+    ) {
+        let geom = ColumnGeometry::from_interfaces(&[0.0, 75.0, 200.0, 450.0, 900.0, 1600.0]);
+        let spread = |c: &[f64]| {
+            c.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - c.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        let mut c = col.clone();
+        let s0 = spread(&c);
+        diffuse_column(&geom, &kz, 0.0, 0.0, 10.0, &mut c);
+        prop_assert!(spread(&c) <= s0 + 1e-12);
+    }
+}

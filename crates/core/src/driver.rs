@@ -1,0 +1,458 @@
+//! The data-parallel Airshed driver — Figure 1's loop with the three
+//! redistribution steps of §2.2.
+//!
+//! `run_with_profile` executes the real numerics once (host-side) while
+//! charging the configured virtual machine; it returns both the timing
+//! report and the captured [`WorkProfile`]. `replay` re-charges a
+//! captured profile on a different machine or node count without
+//! re-running the kernels — the results are identical because the
+//! numerics are deterministic and P-independent.
+
+use crate::config::SimConfig;
+use crate::phases::PhaseEngine;
+use crate::profile::{HourProfile, StepProfile, WorkProfile};
+use crate::report::RunReport;
+use crate::state::SimState;
+use airshed_hpf::dist::Distribution;
+use airshed_hpf::loops::block_ranges;
+use airshed_hpf::redist::{airshed_redists, plan, AirshedRedists, RedistPlan};
+use airshed_machine::accounting::PhaseCategory;
+use airshed_machine::{Machine, MachineProfile};
+
+/// Machine word size — 8 bytes on all three paper machines.
+pub const WORD: usize = 8;
+
+/// How the chemistry phase distributes grid columns. Fx supports block,
+/// cyclic and block-cyclic layouts; the paper's Airshed used `BLOCK`.
+/// `CYCLIC` stripes columns round-robin, which balances the urban/rural
+/// chemistry load imbalance — the `ablation_cyclic` bench quantifies the
+/// trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChemLayout {
+    #[default]
+    Block,
+    Cyclic,
+}
+
+impl ChemLayout {
+    /// The HPF distribution of `A(species, layers, nodes)` this layout
+    /// gives the chemistry phase.
+    pub fn distribution(&self) -> Distribution {
+        match self {
+            ChemLayout::Block => Distribution::block(3, 2),
+            ChemLayout::Cyclic => Distribution::cyclic(3, 2),
+        }
+    }
+
+    /// Reduce per-column work to per-node work under this layout.
+    pub fn per_node(&self, per_item: &[f64], p: usize) -> Vec<f64> {
+        match self {
+            ChemLayout::Block => per_node_block(per_item, p),
+            ChemLayout::Cyclic => {
+                let mut out = vec![0.0; p];
+                for (i, &w) in per_item.iter().enumerate() {
+                    out[i % p] += w;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// All redistribution plans one run needs, planned once per (shape, P).
+pub struct HourPlans {
+    pub main: AirshedRedists,
+    /// `D_Trans -> D_Repl` at the hour boundary (before `outputhour`).
+    pub trans_to_repl: RedistPlan,
+    /// Chemistry column layout.
+    pub chem_layout: ChemLayout,
+}
+
+impl HourPlans {
+    pub fn new(shape: &[usize; 3], p: usize) -> HourPlans {
+        Self::with_layout(shape, p, ChemLayout::Block)
+    }
+
+    /// Plans for a specific chemistry layout: the `D_Trans -> D_Chem` and
+    /// `D_Chem -> D_Repl` plans follow the chosen distribution.
+    pub fn with_layout(shape: &[usize; 3], p: usize, chem_layout: ChemLayout) -> HourPlans {
+        let mut main = airshed_redists(shape, p, WORD);
+        if chem_layout != ChemLayout::Block {
+            let d_chem = chem_layout.distribution();
+            let mut t2c = plan(shape, &Distribution::block(3, 1), &d_chem, p, WORD);
+            t2c.label = "D_Trans->D_Chem";
+            let mut c2r = plan(shape, &d_chem, &Distribution::replicated(3), p, WORD);
+            c2r.label = "D_Chem->D_Repl";
+            main.trans_to_chem = t2c;
+            main.chem_to_repl = c2r;
+        }
+        let mut trans_to_repl = plan(
+            shape,
+            &Distribution::block(3, 1),
+            &Distribution::replicated(3),
+            p,
+            WORD,
+        );
+        trans_to_repl.label = "D_Trans->D_Repl";
+        HourPlans {
+            main,
+            trans_to_repl,
+            chem_layout,
+        }
+    }
+}
+
+/// Reduce per-item work (per layer or per column) to per-node work under
+/// a BLOCK distribution.
+pub fn per_node_block(per_item: &[f64], p: usize) -> Vec<f64> {
+    block_ranges(per_item.len(), p)
+        .into_iter()
+        .map(|r| per_item[r].iter().sum())
+        .collect()
+}
+
+/// Charge one hour's captured work to the machine, walking the exact
+/// phase/redistribution sequence of the main loop.
+pub fn charge_hour(machine: &mut Machine, hp: &HourProfile, plans: &HourPlans) {
+    let p = machine.p();
+    machine.sequential(PhaseCategory::IoProc, hp.input_work);
+    machine.sequential(PhaseCategory::IoProc, hp.pretrans_work);
+
+    for (k, step) in hp.steps.iter().enumerate() {
+        if k == 0 {
+            // Entering the first step from the replicated (I/O) state.
+            machine.communicate("D_Repl->D_Trans", &plans.main.repl_to_trans.loads);
+        }
+        machine.compute(
+            PhaseCategory::Transport,
+            &per_node_block(&step.transport1, p),
+        );
+        machine.communicate("D_Trans->D_Chem", &plans.main.trans_to_chem.loads);
+        machine.compute(
+            PhaseCategory::Chemistry,
+            &plans.chem_layout.per_node(&step.chemistry, p),
+        );
+        machine.communicate("D_Chem->D_Repl", &plans.main.chem_to_repl.loads);
+        // Aerosol: sequential over the replicated array; grouped with
+        // chemistry in the paper's phase accounting.
+        machine.sequential(PhaseCategory::Chemistry, step.aerosol);
+        machine.communicate("D_Repl->D_Trans", &plans.main.repl_to_trans.loads);
+        machine.compute(
+            PhaseCategory::Transport,
+            &per_node_block(&step.transport2, p),
+        );
+    }
+    // Hour boundary: back to replicated for outputhour/inputhour.
+    machine.communicate("D_Trans->D_Repl", &plans.trans_to_repl.loads);
+    machine.sequential(PhaseCategory::IoProc, hp.output_work);
+}
+
+/// Execute a configured run: real numerics once, virtual time for
+/// `config.machine` × `config.p`. Returns the report and the reusable
+/// work profile.
+pub fn run_with_profile(config: &SimConfig) -> (RunReport, WorkProfile) {
+    let (report, profile, _) = run_resumable(config, None);
+    (report, profile)
+}
+
+/// Execute `config.hours` hours, optionally resuming from a checkpoint
+/// (which supplies both the state and the first hour). Returns the
+/// report, the work profile, and a checkpoint for the following hour —
+/// a run split at any hour boundary is bit-identical to an uninterrupted
+/// one (no hidden state crosses the hour loop).
+pub fn run_resumable(
+    config: &SimConfig,
+    resume: Option<crate::checkpoint::Checkpoint>,
+) -> (RunReport, WorkProfile, crate::checkpoint::Checkpoint) {
+    let dataset = config.dataset.build();
+    let mut engine = PhaseEngine::new(dataset, config.kh, config.chem_opts);
+    if config.weather == crate::config::Weather::Stagnation {
+        engine.generator = airshed_met::hourly::InputGenerator::stagnation();
+    }
+    if config.emission_scale != 1.0 {
+        engine.scale_emissions(config.emission_scale);
+    }
+    let (mut state, first_hour) = match resume {
+        Some(c) => {
+            assert_eq!(
+                c.state.shape(),
+                [
+                    engine.dataset.spec.species,
+                    engine.dataset.spec.layers,
+                    engine.dataset.nodes()
+                ],
+                "checkpoint shape does not match the configured dataset"
+            );
+            (c.state, c.next_hour)
+        }
+        None => (SimState::from_background(&engine.dataset), config.start_hour),
+    };
+    let cell_volumes = SimState::cell_volumes(&engine.dataset);
+    let shape = state.shape();
+
+    let mut machine = Machine::new(config.machine, config.p);
+    let plans = HourPlans::new(&shape, config.p);
+
+    let mut hours = Vec::with_capacity(config.hours);
+    let mut summaries = Vec::with_capacity(config.hours);
+
+    for h in 0..config.hours {
+        let hour = first_hour + h;
+        let (input, input_work) = engine.input_hour(hour);
+        let (op, pretrans_work) = engine.pretrans(&input);
+
+        let mut steps = Vec::with_capacity(input.nsteps);
+        for _ in 0..input.nsteps {
+            let transport1 = engine.transport_half_step(&op, &mut state);
+            let chemistry = engine.chemistry_step(&mut state, &input);
+            let (_aero, aerosol) = engine.aerosol_step(&mut state, &input, &cell_volumes);
+            let transport2 = engine.transport_half_step(&op, &mut state);
+            steps.push(StepProfile {
+                transport1,
+                transport2,
+                chemistry,
+                aerosol,
+            });
+        }
+        debug_assert!(state.is_physical(), "state went unphysical at hour {hour}");
+
+        let (summary, output_work) = engine.output_hour(&state, hour);
+        let mut surface =
+            Vec::with_capacity(crate::profile::SURFACE_SPECIES.len() * state.nodes);
+        for &s in &crate::profile::SURFACE_SPECIES {
+            surface.extend_from_slice(state.plane(s, 0));
+        }
+        let hp = HourProfile {
+            input_work,
+            pretrans_work,
+            output_work,
+            input_bytes: input.data_bytes(),
+            steps,
+            surface,
+        };
+        charge_hour(&mut machine, &hp, &plans);
+        hours.push(hp);
+        summaries.push(summary);
+    }
+
+    let profile = WorkProfile {
+        dataset: engine.dataset.spec.name,
+        shape,
+        hours,
+        summaries: summaries.clone(),
+    };
+    let report = RunReport::from_machine(
+        engine.dataset.spec.name,
+        &machine,
+        config.hours,
+        summaries,
+    );
+    let checkpoint = crate::checkpoint::Checkpoint {
+        next_hour: first_hour + config.hours,
+        state,
+    };
+    (report, profile, checkpoint)
+}
+
+/// Execute a configured run, discarding the profile.
+pub fn run(config: &SimConfig) -> RunReport {
+    run_with_profile(config).0
+}
+
+/// Replay a captured profile on another machine / node count. Science
+/// summaries carry over unchanged (the numerics do not depend on the
+/// machine).
+pub fn replay(profile: &WorkProfile, machine_profile: MachineProfile, p: usize) -> RunReport {
+    replay_with_layout(profile, machine_profile, p, ChemLayout::Block)
+}
+
+/// Replay with an explicit chemistry column layout (block vs cyclic).
+pub fn replay_with_layout(
+    profile: &WorkProfile,
+    machine_profile: MachineProfile,
+    p: usize,
+    layout: ChemLayout,
+) -> RunReport {
+    let mut machine = Machine::new(machine_profile, p);
+    let plans = HourPlans::with_layout(&profile.shape, p, layout);
+    for hp in &profile.hours {
+        charge_hour(&mut machine, hp, &plans);
+    }
+    RunReport::from_machine(
+        profile.dataset,
+        &machine,
+        profile.hours.len(),
+        profile.summaries.clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::testsupport::{tiny_config, tiny_profile, tiny_run};
+
+    #[test]
+    fn run_produces_consistent_report() {
+        let (r, prof) = tiny_run();
+        assert_eq!(r.p, 4);
+        assert_eq!(r.hours, 3);
+        assert!(r.total_seconds > 0.0);
+        // Attributed phases must add up to the elapsed time (no group
+        // overlap in the data-parallel driver).
+        let sum = r.io_seconds + r.transport_seconds + r.chemistry_seconds
+            + r.communication_seconds;
+        assert!(
+            (sum - r.total_seconds).abs() < 1e-6 * r.total_seconds,
+            "sum {sum} vs total {}",
+            r.total_seconds
+        );
+        assert_eq!(prof.hours.len(), 3);
+        assert!(prof.total_steps() >= 3 * prof.hours.len());
+    }
+
+    #[test]
+    fn replay_matches_original_run_exactly() {
+        let (r, prof) = tiny_run();
+        let r2 = replay(prof, tiny_config().machine, 4);
+        assert!((r.total_seconds - r2.total_seconds).abs() < 1e-12);
+        assert!((r.communication_seconds - r2.communication_seconds).abs() < 1e-12);
+        assert!((r.chemistry_seconds - r2.chemistry_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chemistry_scales_io_does_not() {
+        let prof = tiny_profile();
+        let r2 = replay(prof, airshed_machine::MachineProfile::t3e(), 2);
+        let r16 = replay(prof, airshed_machine::MachineProfile::t3e(), 16);
+        // Chemistry parallelises across columns.
+        assert!(
+            r16.chemistry_seconds < 0.3 * r2.chemistry_seconds,
+            "chem {} vs {}",
+            r16.chemistry_seconds,
+            r2.chemistry_seconds
+        );
+        // I/O processing stays constant.
+        assert!(
+            (r16.io_seconds - r2.io_seconds).abs() < 1e-9,
+            "io {} vs {}",
+            r16.io_seconds,
+            r2.io_seconds
+        );
+    }
+
+    #[test]
+    fn transport_stops_scaling_at_layer_count() {
+        let prof = tiny_profile();
+        let t = |p: usize| replay(prof, airshed_machine::MachineProfile::t3e(), p);
+        let r2 = t(2);
+        let r5 = t(5);
+        let r32 = t(32);
+        // Scaling up to 5 layers...
+        assert!(r5.transport_seconds < 0.6 * r2.transport_seconds);
+        // ...then flat.
+        let ratio = r32.transport_seconds / r5.transport_seconds;
+        assert!(
+            (0.95..1.05).contains(&ratio),
+            "transport must stop scaling beyond layers: {ratio}"
+        );
+    }
+
+    #[test]
+    fn comm_steps_are_recorded_with_counts() {
+        let (r, prof) = tiny_run();
+        let steps = prof.total_steps();
+        let find = |label: &str| {
+            r.comm_steps
+                .iter()
+                .find(|c| c.label == label)
+                .unwrap_or_else(|| panic!("missing {label}"))
+        };
+        let hours = prof.hours.len();
+        assert_eq!(find("D_Trans->D_Chem").count, steps);
+        assert_eq!(find("D_Chem->D_Repl").count, steps);
+        // One extra D_Repl->D_Trans at each hour start.
+        assert_eq!(find("D_Repl->D_Trans").count, steps + hours);
+        assert_eq!(find("D_Trans->D_Repl").count, hours);
+    }
+
+    #[test]
+    fn cyclic_layout_balances_chemistry_load() {
+        // The urban/rural work imbalance makes BLOCK chemistry blocks
+        // uneven; CYCLIC striping balances them, so the chemistry phase
+        // gets faster (or at worst equal) at every node count.
+        let prof = tiny_profile();
+        for p in [8usize, 16, 32] {
+            let block = replay_with_layout(
+                prof,
+                airshed_machine::MachineProfile::t3e(),
+                p,
+                ChemLayout::Block,
+            );
+            let cyclic = replay_with_layout(
+                prof,
+                airshed_machine::MachineProfile::t3e(),
+                p,
+                ChemLayout::Cyclic,
+            );
+            assert!(
+                cyclic.chemistry_seconds <= block.chemistry_seconds * 1.001,
+                "P={p}: cyclic {} vs block {}",
+                cyclic.chemistry_seconds,
+                block.chemistry_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_per_node_mapping_is_a_partition() {
+        let work: Vec<f64> = (0..23).map(|i| i as f64).collect();
+        for p in [1usize, 3, 8] {
+            let per = ChemLayout::Cyclic.per_node(&work, p);
+            assert_eq!(per.len(), p);
+            let total: f64 = per.iter().sum();
+            assert!((total - work.iter().sum::<f64>()).abs() < 1e-12);
+        }
+        // Column i goes to node i % p.
+        let per = ChemLayout::Cyclic.per_node(&[1.0, 2.0, 4.0, 8.0, 16.0], 2);
+        assert_eq!(per, vec![1.0 + 4.0 + 16.0, 2.0 + 8.0]);
+    }
+
+    #[test]
+    fn science_is_invariant_across_p_and_machine() {
+        // Same numerics at a different node count (fresh 1-hour run)...
+        let mut cfg = SimConfig::test_tiny(13, 1);
+        cfg.start_hour = 10;
+        let (rb, _) = run_with_profile(&cfg);
+        let (ra, prof_a) = tiny_run();
+        assert_eq!(ra.summaries[0].max_o3, rb.summaries[0].max_o3);
+        assert_eq!(ra.summaries[0].mean_nox, rb.summaries[0].mean_nox);
+        // ...and replays on any machine carry the summaries unchanged.
+        let rc = replay(prof_a, airshed_machine::MachineProfile::paragon(), 64);
+        assert_eq!(rc.summaries.len(), ra.summaries.len());
+        assert_eq!(rc.peak_o3(), ra.peak_o3());
+    }
+
+    #[test]
+    fn daytime_run_is_photochemically_active() {
+        // 3 daylight hours over the tiny urban domain must crank out
+        // ozone above the 40 ppb background.
+        let (r, _) = tiny_run();
+        assert!(
+            r.peak_o3() > 0.045,
+            "expected photochemical O3 above background, got {}",
+            r.peak_o3()
+        );
+    }
+
+    #[test]
+    fn nitrogen_is_roughly_conserved_minus_deposition() {
+        // Total N can only decrease (deposition, aerosol uptake) or grow
+        // from emissions; it must stay within a sane band, not explode.
+        let (r, _) = tiny_run();
+        let first = r.summaries.first().unwrap().mean_total_n;
+        let last = r.summaries.last().unwrap().mean_total_n;
+        assert!(last > 0.2 * first && last < 5.0 * first,
+            "total N drifted wildly: {first} -> {last}");
+    }
+}

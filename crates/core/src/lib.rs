@@ -1,0 +1,51 @@
+//! # airshed-core — the Airshed application
+//!
+//! The paper's Figure 1, as a program:
+//!
+//! ```text
+//! DO i = 1,nhrs
+//!    CALL inputhour(A)
+//!    CALL pretrans(A)
+//!    DO j = 1,nsteps
+//!       CALL transport(A)
+//!       CALL chemistry(A)
+//!       CALL transport(A)
+//!    ENDDO
+//!    CALL outputhour(A)
+//! ENDDO
+//! ```
+//!
+//! The concentration array `A(species, layers, nodes)` cycles through
+//! three distributions (`D_Repl`, `D_Trans`, `D_Chem`); the three
+//! redistribution steps between them are the communication the paper
+//! analyses. The numerics (SUPG transport, Young–Boris chemistry,
+//! vertical diffusion, aerosol) run for real on the host; the virtual
+//! machine charges each phase from the work the kernels actually
+//! performed and each redistribution from its exact message plan.
+//!
+//! * [`config`] — run configuration (dataset, machine, node count, mode);
+//! * [`state`] — the concentration array and its science summaries;
+//! * [`phases`] — the five phases with their work accounting;
+//! * [`profile`] — captured work profiles (run once, replay across P);
+//! * [`driver`] — the data-parallel main loop;
+//! * [`taskpar`] — the pipelined task-parallel variant (§5, Figure 8);
+//! * [`predict`] — the §4 analytic performance model;
+//! * [`report`] — run reports for the figure harness.
+
+pub mod checkpoint;
+pub mod config;
+pub mod driver;
+pub mod phases;
+pub mod predict;
+pub mod profile;
+pub mod report;
+pub mod state;
+pub mod taskpar;
+pub mod testsupport;
+pub mod viz;
+
+pub use config::{DatasetChoice, SimConfig};
+pub use driver::{replay, run, run_with_profile};
+pub use predict::PerfModel;
+pub use profile::WorkProfile;
+pub use report::RunReport;

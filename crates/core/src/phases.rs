@@ -1,0 +1,523 @@
+//! The five Airshed phases, with real numerics and work accounting.
+//!
+//! Each phase does its actual computation on the host **and** reports the
+//! work units it performed, broken down the way the parallelisation
+//! partitions it (per layer for transport, per grid column for chemistry,
+//! lump sums for the sequential phases). The driver charges those units
+//! to the virtual machine nodes that own the corresponding data.
+//!
+//! Work-unit coefficients are flop-scale calibration constants
+//! ([`WorkCoeffs`]); with the default machine rates they land the
+//! absolute phase times in the ranges the paper reports for the LA data
+//! set (see `EXPERIMENTS.md`).
+
+use crate::state::{HourSummary, SimState};
+use airshed_chem::aerosol::{equilibrium_step, AerosolParams, AerosolResult};
+use airshed_chem::mechanism::Mechanism;
+use airshed_chem::species::{self as sp, N_SPECIES, SPECIES};
+use airshed_chem::vertical::{diffuse_column, ColumnGeometry};
+use airshed_chem::youngboris::{integrate_cell, YbOptions, YbWorkspace};
+use airshed_grid::datasets::Dataset;
+use airshed_met::emissions::{EmissionInventory, PointSource};
+use airshed_met::hourly::{HourlyInput, InputGenerator};
+use airshed_transport::operator::HorizontalTransport;
+
+/// Work-unit coefficients (flop-equivalents per elementary operation).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkCoeffs {
+    /// Per byte of hourly input read, decoded and interpolated
+    /// (`inputhour` — stands in for the CIT file processing).
+    pub input_per_byte: f64,
+    /// Per element×layer of SUPG assembly in `pretrans`.
+    pub pretrans_per_elem_layer: f64,
+    /// Per matrix nonzero per solver iteration (transport solves).
+    pub solve_per_nnz_iter: f64,
+    /// Per reaction per production/loss evaluation (gas chemistry).
+    pub chem_per_reaction_eval: f64,
+    /// Per (column, species) implicit vertical solve.
+    pub vertical_per_column_species: f64,
+    /// Per cell visited by the aerosol equilibrium scan.
+    pub aerosol_per_cell: f64,
+    /// Per byte written by `outputhour`.
+    pub output_per_byte: f64,
+}
+
+impl Default for WorkCoeffs {
+    fn default() -> Self {
+        WorkCoeffs {
+            input_per_byte: 3400.0,
+            pretrans_per_elem_layer: 2500.0,
+            solve_per_nnz_iter: 6.0,
+            chem_per_reaction_eval: 13.0,
+            vertical_per_column_species: 100.0,
+            aerosol_per_cell: 25.0,
+            output_per_byte: 12.0,
+        }
+    }
+}
+
+/// Everything the phases need, bundled.
+pub struct PhaseEngine {
+    pub dataset: Dataset,
+    pub inventory: EmissionInventory,
+    pub generator: InputGenerator,
+    pub mech: Mechanism,
+    pub geom: ColumnGeometry,
+    pub chem_opts: YbOptions,
+    pub kh: f64,
+    pub coeffs: WorkCoeffs,
+    background: Vec<f64>,
+    /// Point sources grouped by grid column.
+    point_by_slot: Vec<Vec<PointSource>>,
+    /// Host threads for the chemistry/transport loops (does not affect
+    /// virtual time, only wall-clock).
+    pub host_threads: usize,
+}
+
+impl PhaseEngine {
+    pub fn new(dataset: Dataset, kh: f64, chem_opts: YbOptions) -> PhaseEngine {
+        let generator = InputGenerator::default();
+        let inventory = InputGenerator::default_inventory(&dataset);
+        let geom = ColumnGeometry::from_interfaces(&dataset.spec.layer_interfaces_m);
+        let mut point_by_slot: Vec<Vec<PointSource>> = vec![Vec::new(); dataset.nodes()];
+        for ps in &inventory.points {
+            point_by_slot[ps.slot].push(ps.clone());
+        }
+        let host_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16);
+        PhaseEngine {
+            dataset,
+            inventory,
+            generator,
+            mech: Mechanism::carbon_bond(),
+            geom,
+            chem_opts,
+            kh,
+            coeffs: WorkCoeffs::default(),
+            background: sp::background_vector(),
+            point_by_slot,
+            host_threads,
+        }
+    }
+
+    /// Scale every anthropogenic emission (area and point sources) by a
+    /// factor — the policy-scenario knob.
+    pub fn scale_emissions(&mut self, factor: f64) {
+        assert!(factor >= 0.0, "emission scale must be non-negative");
+        self.inventory.area_scale *= factor;
+        for slot in &mut self.point_by_slot {
+            for ps in slot.iter_mut() {
+                ps.strength *= factor;
+            }
+        }
+    }
+
+    /// Background (boundary) concentration of a species.
+    pub fn background(&self, s: usize) -> f64 {
+        self.background[s]
+    }
+
+    /// `inputhour`: produce the hourly input bundle. Sequential work
+    /// proportional to the input data volume.
+    pub fn input_hour(&self, hour: usize) -> (HourlyInput, f64) {
+        let input = self.generator.generate(&self.dataset, hour);
+        let work = input.data_bytes() as f64 * self.coeffs.input_per_byte;
+        (input, work)
+    }
+
+    /// `pretrans`: assemble the per-layer SUPG operators for this hour's
+    /// winds. Sequential (part of I/O processing in the paper's phase
+    /// grouping).
+    pub fn pretrans(&self, input: &HourlyInput) -> (HorizontalTransport, f64) {
+        let dt_half = 0.5 * input.dt_min;
+        let (op, tw) = HorizontalTransport::assemble(
+            &self.dataset.mesh,
+            &input.winds,
+            self.kh,
+            dt_half,
+        );
+        // `assembly_elems` already counts element integrations over all
+        // layers.
+        let work = tw.assembly_elems as f64 * self.coeffs.pretrans_per_elem_layer;
+        (op, work)
+    }
+
+    /// One transport half step over all layers and species. Returns work
+    /// per *layer* (the transport distribution unit). Host-parallel
+    /// across (layer, species) planes.
+    pub fn transport_half_step(
+        &self,
+        op: &HorizontalTransport,
+        state: &mut SimState,
+    ) -> Vec<f64> {
+        let layers = state.layers;
+        let nodes = state.nodes;
+        let nnz = op.layers[0].sys.nnz() as f64;
+        // Planes are contiguous chunks of `nodes`; plane index =
+        // s * layers + l. Distribute planes over host threads.
+        let plane_iters: Vec<(usize, usize)> = {
+            let mut results: Vec<(usize, usize)> = Vec::new(); // (plane, iterations)
+            let planes: Vec<(usize, &mut [f64])> =
+                state.conc.chunks_mut(nodes).enumerate().collect();
+            let bg = &self.background;
+            let chunks = split_into(planes, self.host_threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let mut scratch = Vec::new();
+                            let mut out = Vec::with_capacity(chunk.len());
+                            for (plane, data) in chunk {
+                                let s = plane / layers;
+                                let l = plane % layers;
+                                let stats = op.half_step(l, data, bg[s], &mut scratch);
+                                out.push((plane, stats.iterations));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    results.extend(h.join().expect("transport worker panicked"));
+                }
+            });
+            results
+        };
+        let mut per_layer = vec![0.0; layers];
+        for (plane, iters) in plane_iters {
+            // +1: the RHS matvec and residual check are real work even
+            // when the warm start already satisfies the tolerance.
+            per_layer[plane % layers] +=
+                (iters + 1) as f64 * nnz * self.coeffs.solve_per_nnz_iter;
+        }
+        per_layer
+    }
+
+    /// One chemistry step (`Lcz`): gas-phase kinetics per cell, point-
+    /// source injection, then implicit vertical diffusion with surface
+    /// emission and deposition. Returns work per *grid column* (the
+    /// chemistry distribution unit). Host-parallel across columns.
+    pub fn chemistry_step(&self, state: &mut SimState, input: &HourlyInput) -> Vec<f64> {
+        let layers = state.layers;
+        let nodes = state.nodes;
+        let dt = input.dt_min;
+        let n_rx = self.mech.n_reactions() as f64;
+
+        // Extract columns into a contiguous column-major buffer so host
+        // threads mutate disjoint chunks.
+        let col_len = N_SPECIES * layers;
+        let mut cols = vec![0.0f64; nodes * col_len];
+        for n in 0..nodes {
+            state.read_column(n, &mut cols[n * col_len..(n + 1) * col_len]);
+        }
+
+        let mut per_column = vec![0.0f64; nodes];
+        {
+            let engine = self;
+            let chunks: Vec<(usize, &mut [f64])> = {
+                // Chunk columns evenly across threads.
+                let per_thread = nodes.div_ceil(engine.host_threads).max(1);
+                let mut rest = cols.as_mut_slice();
+                let mut start = 0usize;
+                let mut out = Vec::new();
+                while !rest.is_empty() {
+                    let take = (per_thread * col_len).min(rest.len());
+                    let (head, tail) = rest.split_at_mut(take);
+                    out.push((start, head));
+                    start += take / col_len;
+                    rest = tail;
+                }
+                out
+            };
+            let works: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|(first_col, buf)| {
+                        scope.spawn(move || {
+                            engine.chemistry_columns(buf, first_col, layers, dt, input, n_rx)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chemistry worker panicked"))
+                    .collect()
+            });
+            for w in works {
+                for (n, units) in w {
+                    per_column[n] = units;
+                }
+            }
+        }
+
+        for n in 0..nodes {
+            state.write_column(n, &cols[n * col_len..(n + 1) * col_len]);
+        }
+        per_column
+    }
+
+    /// Process a contiguous run of columns (buffer layout: per column,
+    /// species-major × layer, as produced by `SimState::read_column`).
+    fn chemistry_columns(
+        &self,
+        buf: &mut [f64],
+        first_col: usize,
+        layers: usize,
+        dt: f64,
+        input: &HourlyInput,
+        n_rx: f64,
+    ) -> Vec<(usize, f64)> {
+        let col_len = N_SPECIES * layers;
+        let n_cols = buf.len() / col_len;
+        let mut ws = YbWorkspace::new(N_SPECIES);
+        let mut cell = vec![0.0f64; N_SPECIES];
+        let mut column = vec![0.0f64; layers];
+        let mut out = Vec::with_capacity(n_cols);
+        for k in 0..n_cols {
+            let n = first_col + k;
+            let col = &mut buf[k * col_len..(k + 1) * col_len];
+            let mut evals = 0u64;
+
+            // Point-source injection (elevated stacks).
+            for ps in &self.point_by_slot[n] {
+                let dz = self.geom.dz[ps.layer];
+                for (s, info) in SPECIES.iter().enumerate() {
+                    col[s * layers + ps.layer] +=
+                        ps.strength * info.point_emission_weight * dt / dz;
+                }
+            }
+
+            // Gas-phase kinetics, cell by cell up the column.
+            for l in 0..layers {
+                for (s, c) in cell.iter_mut().enumerate() {
+                    *c = col[s * layers + l];
+                }
+                let stats = integrate_cell(
+                    &self.mech,
+                    &mut cell,
+                    input.temp_k,
+                    input.sun_layers[l],
+                    dt,
+                    &self.chem_opts,
+                    &mut ws,
+                );
+                evals += stats.evals;
+                for (s, c) in cell.iter().enumerate() {
+                    col[s * layers + l] = *c;
+                }
+            }
+
+            // Vertical diffusion + emission + deposition per species.
+            for (s, info) in SPECIES.iter().enumerate() {
+                for (l, c) in column.iter_mut().enumerate() {
+                    *c = col[s * layers + l];
+                }
+                let emis = self
+                    .inventory
+                    .area_flux(info.urban_emission_weight, n, input.hour_of_day);
+                diffuse_column(
+                    &self.geom,
+                    &input.kz,
+                    info.deposition_m_per_min,
+                    emis,
+                    dt,
+                    &mut column,
+                );
+                for (l, c) in column.iter().enumerate() {
+                    col[s * layers + l] = *c;
+                }
+            }
+
+            let work = evals as f64 * n_rx * self.coeffs.chem_per_reaction_eval
+                + N_SPECIES as f64 * self.coeffs.vertical_per_column_species;
+            out.push((n, work));
+        }
+        out
+    }
+
+    /// The sequential aerosol equilibrium over the replicated array.
+    /// Returns (result, work units).
+    pub fn aerosol_step(
+        &self,
+        state: &mut SimState,
+        input: &HourlyInput,
+        cell_volumes: &[f64],
+    ) -> (AerosolResult, f64) {
+        let r = equilibrium_step(
+            &mut state.conc,
+            state.layers,
+            state.nodes,
+            cell_volumes,
+            input.temp_k,
+            input.dt_min,
+            &AerosolParams::default(),
+        );
+        let work =
+            2.0 * (state.layers * state.nodes) as f64 * self.coeffs.aerosol_per_cell;
+        (r, work)
+    }
+
+    /// `outputhour`: compute the hour summary (and stand in for writing
+    /// the concentration file). Sequential.
+    pub fn output_hour(&self, state: &SimState, hour: usize) -> (HourSummary, f64) {
+        let summary = HourSummary::compute(state, &self.dataset, hour);
+        let bytes = (state.len() * 8) as f64;
+        (summary, bytes * self.coeffs.output_per_byte)
+    }
+}
+
+/// Split a vector into at most `k` nearly equal chunks.
+fn split_into<T>(mut items: Vec<T>, k: usize) -> Vec<Vec<T>> {
+    let k = k.max(1);
+    let total = items.len();
+    let per = total.div_ceil(k).max(1);
+    let mut out = Vec::new();
+    while !items.is_empty() {
+        let take = per.min(items.len());
+        let rest = items.split_off(take);
+        out.push(items);
+        items = rest;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetChoice;
+
+    fn engine() -> PhaseEngine {
+        PhaseEngine::new(DatasetChoice::Tiny(80).build(), 0.012, YbOptions::default())
+    }
+
+    #[test]
+    fn input_hour_reports_volume_work() {
+        let e = engine();
+        let (input, work) = e.input_hour(8);
+        assert!(work > 0.0);
+        assert!((work / input.data_bytes() as f64 - e.coeffs.input_per_byte).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pretrans_builds_operators_for_all_layers() {
+        let e = engine();
+        let (input, _) = e.input_hour(10);
+        let (op, work) = e.pretrans(&input);
+        assert_eq!(op.layers.len(), 5);
+        assert!(work > 0.0);
+    }
+
+    #[test]
+    fn transport_half_step_reports_per_layer_work() {
+        let e = engine();
+        let mut state = SimState::from_background(&e.dataset);
+        let (input, _) = e.input_hour(12);
+        let (op, _) = e.pretrans(&input);
+        let per_layer = e.transport_half_step(&op, &mut state);
+        assert_eq!(per_layer.len(), 5);
+        assert!(per_layer.iter().all(|&w| w > 0.0));
+        assert!(state.is_physical());
+    }
+
+    #[test]
+    fn chemistry_step_reports_per_column_work_with_imbalance() {
+        let e = engine();
+        let mut state = SimState::from_background(&e.dataset);
+        let (input, _) = e.input_hour(12); // midday: active photochemistry
+        let per_col = e.chemistry_step(&mut state, &input);
+        assert_eq!(per_col.len(), e.dataset.nodes());
+        assert!(per_col.iter().all(|&w| w > 0.0));
+        assert!(state.is_physical());
+        // Urban columns (more pollutants) should not all cost exactly the
+        // same as clean ones: the distribution of work is non-uniform.
+        let min = per_col.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_col.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > 1.05 * min, "work should be imbalanced: {min}..{max}");
+    }
+
+    #[test]
+    fn chemistry_matches_serial_reference() {
+        // The host-parallel column loop must give identical results to a
+        // serial pass (bitwise: same operations per column).
+        let mut e = engine();
+        let (input, _) = e.input_hour(13);
+        let mut s1 = SimState::from_background(&e.dataset);
+        e.host_threads = 1;
+        let w1 = e.chemistry_step(&mut s1, &input);
+        let mut s8 = SimState::from_background(&e.dataset);
+        e.host_threads = 8;
+        let w8 = e.chemistry_step(&mut s8, &input);
+        assert_eq!(s1.conc, s8.conc);
+        assert_eq!(w1, w8);
+    }
+
+    #[test]
+    fn emissions_accumulate_in_urban_surface_air() {
+        let e = engine();
+        let mut state = SimState::from_background(&e.dataset);
+        // Flatten CO so the signal is the rush-hour emission flux, not
+        // the initial urban enrichment being mixed aloft.
+        let co_bg = sp::SPECIES[sp::CO].background_ppm;
+        for l in 0..state.layers {
+            state.plane_mut(sp::CO, l).iter_mut().for_each(|c| *c = co_bg);
+        }
+        let (input, _) = e.input_hour(8); // morning rush
+        let hot = e
+            .dataset
+            .mesh
+            .nearest_free(airshed_grid::geometry::Point::new(35.0, 40.0));
+        let cold = e
+            .dataset
+            .mesh
+            .nearest_free(airshed_grid::geometry::Point::new(95.0, 95.0));
+        for _ in 0..4 {
+            e.chemistry_step(&mut state, &input);
+        }
+        let co = state.plane(sp::CO, 0);
+        assert!(
+            co[hot] > co_bg * 1.05,
+            "urban surface CO should rise above background: {}",
+            co[hot]
+        );
+        assert!(
+            co[hot] > co[cold],
+            "urban CO {} should exceed rural {}",
+            co[hot],
+            co[cold]
+        );
+    }
+
+    #[test]
+    fn aerosol_step_runs_and_charges_fixed_work() {
+        let e = engine();
+        let mut state = SimState::from_background(&e.dataset);
+        let (input, _) = e.input_hour(14);
+        let vols = SimState::cell_volumes(&e.dataset);
+        let (r, work) = e.aerosol_step(&mut state, &input, &vols);
+        assert!(work > 0.0);
+        assert!(r.neutralization >= 0.0);
+        assert!(state.is_physical());
+    }
+
+    #[test]
+    fn output_hour_summarises() {
+        let e = engine();
+        let state = SimState::from_background(&e.dataset);
+        let (summary, work) = e.output_hour(&state, 3);
+        assert_eq!(summary.hour, 3);
+        assert!(work > 0.0);
+    }
+
+    #[test]
+    fn split_into_covers_everything() {
+        let v: Vec<usize> = (0..10).collect();
+        let chunks = split_into(v, 3);
+        assert_eq!(chunks.len(), 3);
+        let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+        assert_eq!(split_into(Vec::<u8>::new(), 4).len(), 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! The §4 analytic performance model.
+//!
+//! Computation (§4.1): "the parallel compute time on a given architecture
+//! is simply the sequential execution time divided by the amount of
+//! useful parallelism", where useful parallelism is
+//! `min(available parallelism, P)` — per-node load taken with the ceil
+//! rule for uneven division.
+//!
+//! Communication (§4.2): the three redistribution equations,
+//!
+//! ```text
+//! D_Repl->D_Trans : Ct = H · ceil(layers/min(layers,P)) · species · nodes · W
+//! D_Trans->D_Chem : Ct = L·P + G · ceil(layers/min(layers,P)) · species · nodes · W
+//! D_Chem->D_Repl  : Ct = 2·L·P + G · layers · species · nodes · W
+//! ```
+//!
+//! The predictor derives its inputs (sequential phase work, per-hour step
+//! counts) from a captured [`WorkProfile`] — the paper's "measurements
+//! obtained by executing an application on a small number of nodes can be
+//! used to extrapolate the performance to larger numbers of nodes". It is
+//! an *independent* code path from the plan-driven simulation, so
+//! Figures 6/7's predicted-vs-measured comparison is a real
+//! cross-validation.
+
+use crate::profile::WorkProfile;
+use airshed_machine::MachineProfile;
+use serde::Serialize;
+
+/// Calibrated model inputs extracted from a (small-P or sequential) run.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfModel {
+    pub shape: [usize; 3],
+    /// Sequential work totals (units).
+    pub seq_io: f64,
+    pub seq_transport: f64,
+    pub seq_chemistry: f64,
+    pub seq_aerosol: f64,
+    /// Total main-loop steps and hours in the modelled run.
+    pub steps: usize,
+    pub hours: usize,
+}
+
+/// Predicted phase times (seconds) for one machine × P point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Prediction {
+    pub p: usize,
+    pub io: f64,
+    pub transport: f64,
+    pub chemistry: f64,
+    /// Per-occurrence times of the three §4.2 redistributions.
+    pub comm_repl_to_trans: f64,
+    pub comm_trans_to_chem: f64,
+    pub comm_chem_to_repl: f64,
+    /// Total communication over the run (including the hour-boundary
+    /// gathers).
+    pub communication: f64,
+    pub total: f64,
+}
+
+impl PerfModel {
+    /// Extract model inputs from a captured profile.
+    pub fn from_profile(profile: &WorkProfile) -> PerfModel {
+        let (io, transport, _chem_plus_aero) = profile.sequential_totals();
+        let mut chemistry = 0.0;
+        let mut aerosol = 0.0;
+        for h in &profile.hours {
+            for s in &h.steps {
+                chemistry += s.chemistry.iter().sum::<f64>();
+                aerosol += s.aerosol;
+            }
+        }
+        PerfModel {
+            shape: profile.shape,
+            seq_io: io,
+            seq_transport: transport,
+            seq_chemistry: chemistry,
+            seq_aerosol: aerosol,
+            steps: profile.total_steps(),
+            hours: profile.hours.len(),
+        }
+    }
+
+    /// Predict phase times on `machine` with `p` nodes.
+    pub fn predict(&self, machine: &MachineProfile, p: usize) -> Prediction {
+        let [species, layers, nodes] = self.shape;
+        let pf = p as f64;
+        let w = machine.word_size as f64;
+        let rate = machine.rate;
+
+        // --- Computation (§4.1): seq / useful parallelism, ceil rule ---
+        let io = self.seq_io / rate;
+        let tr_par = layers.min(p) as f64;
+        let tr_ceil = (layers as f64 / tr_par).ceil();
+        let transport = self.seq_transport / rate * tr_ceil / layers as f64;
+        let ch_par = nodes.min(p) as f64;
+        let ch_ceil = (nodes as f64 / ch_par).ceil();
+        let chemistry =
+            self.seq_chemistry / rate * ch_ceil / nodes as f64 + self.seq_aerosol / rate;
+
+        // --- Communication (§4.2) ---
+        let vol = (species * nodes) as f64 * w;
+        let local_layers = (layers as f64 / layers.min(p) as f64).ceil();
+        let c1 = machine.copy_cost * local_layers * vol;
+        // Message counts saturate once P exceeds the number of chem-block
+        // owners (ceil blocks leave trailing nodes empty past the column
+        // count); irrelevant for the paper's P <= 128 on 700+ columns.
+        let chem_owners = nodes.min(p) as f64;
+        let c2 = machine.latency * chem_owners + machine.byte_cost * local_layers * vol;
+        let c3 = machine.latency * (pf + chem_owners)
+            + machine.byte_cost * layers as f64 * vol;
+        // Hour-boundary D_Trans->D_Repl: the runtime lowers this
+        // few-source replication to a relayed broadcast — every node
+        // receives the array once, with ~log2(P) message startups.
+        let log2p = (p.next_power_of_two().trailing_zeros().max(1)) as f64;
+        let c4 = machine.latency * 2.0 * log2p
+            + machine.byte_cost * layers as f64 * vol;
+
+        // Occurrences: c1 happens once per step (before the second
+        // transport) plus once at each hour start; c2 and c3 once per
+        // step; c4 once per hour.
+        let communication = c1 * (self.steps + self.hours) as f64
+            + (c2 + c3) * self.steps as f64
+            + c4 * self.hours as f64;
+
+        Prediction {
+            p,
+            io,
+            transport,
+            chemistry,
+            comm_repl_to_trans: c1,
+            comm_trans_to_chem: c2,
+            comm_chem_to_repl: c3,
+            communication,
+            total: io + transport + chemistry + communication,
+        }
+    }
+
+    /// Predict across a node sweep.
+    pub fn sweep(&self, machine: &MachineProfile, ps: &[usize]) -> Vec<Prediction> {
+        ps.iter().map(|&p| self.predict(machine, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::replay;
+    use crate::testsupport::tiny_profile;
+    use airshed_machine::MachineProfile;
+
+    fn model_and_profile() -> (PerfModel, &'static WorkProfile) {
+        let prof = tiny_profile();
+        (PerfModel::from_profile(prof), prof)
+    }
+
+    #[test]
+    fn io_prediction_is_constant_in_p() {
+        let (m, _) = model_and_profile();
+        let t3e = MachineProfile::t3e();
+        let a = m.predict(&t3e, 4);
+        let b = m.predict(&t3e, 128);
+        assert!((a.io - b.io).abs() < 1e-12);
+        assert!(a.io > 0.0);
+    }
+
+    #[test]
+    fn transport_prediction_saturates_at_layers() {
+        let (m, _) = model_and_profile();
+        let t3e = MachineProfile::t3e();
+        let p4 = m.predict(&t3e, 4);
+        let p8 = m.predict(&t3e, 8);
+        let p64 = m.predict(&t3e, 64);
+        assert!(p8.transport < p4.transport);
+        assert!((p8.transport - p64.transport).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chemistry_prediction_scales() {
+        let (m, _) = model_and_profile();
+        let t3e = MachineProfile::t3e();
+        let p4 = m.predict(&t3e, 4);
+        let p16 = m.predict(&t3e, 16);
+        assert!(p16.chemistry < 0.4 * p4.chemistry);
+    }
+
+    #[test]
+    fn prediction_matches_simulation_within_tolerance() {
+        // The Figure 6/7 claim: the closed-form model tracks the
+        // (plan-driven) measurement across the node sweep.
+        let (m, prof) = model_and_profile();
+        let t3e = MachineProfile::t3e();
+        for p in [2usize, 4, 8, 16, 32] {
+            let pred = m.predict(&t3e, p);
+            let meas = replay(prof, t3e, p);
+            let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-12);
+            assert!(
+                rel(pred.io, meas.io_seconds) < 0.05,
+                "p={p} io: {} vs {}",
+                pred.io,
+                meas.io_seconds
+            );
+            // The §4.1 model divides the sequential time evenly; the
+            // measurement charges the heaviest node. On the tiny dataset
+            // blocks are only a few columns, so the urban/rural work
+            // imbalance shows up strongly at large P — a model error the
+            // paper's simple model shares. Tolerance widens with P.
+            let chem_tol = if p <= 8 { 0.25 } else { 0.45 };
+            assert!(
+                rel(pred.chemistry, meas.chemistry_seconds) < chem_tol,
+                "p={p} chem: {} vs {}",
+                pred.chemistry,
+                meas.chemistry_seconds
+            );
+            assert!(
+                rel(pred.transport, meas.transport_seconds) < 0.25,
+                "p={p} transport: {} vs {}",
+                pred.transport,
+                meas.transport_seconds
+            );
+            assert!(
+                rel(pred.communication, meas.communication_seconds) < 0.40,
+                "p={p} comm: {} vs {}",
+                pred.communication,
+                meas.communication_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn comm_step_predictions_match_plans() {
+        // Per-occurrence predicted redistribution costs vs the plan-based
+        // machine charges (Figure 6).
+        let (m, prof) = model_and_profile();
+        let t3e = MachineProfile::t3e();
+        for p in [4usize, 16, 64] {
+            let pred = m.predict(&t3e, p);
+            let meas = replay(prof, t3e, p);
+            let pairs = [
+                (pred.comm_repl_to_trans, meas.comm_per_step("D_Repl->D_Trans")),
+                (pred.comm_trans_to_chem, meas.comm_per_step("D_Trans->D_Chem")),
+                (pred.comm_chem_to_repl, meas.comm_per_step("D_Chem->D_Repl")),
+            ];
+            for (i, (a, b)) in pairs.iter().enumerate() {
+                assert!(
+                    (a - b).abs() / b.max(1e-12) < 0.4,
+                    "p={p} step {i}: predicted {a} vs measured {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_shape() {
+        let (m, _) = model_and_profile();
+        let s = m.sweep(&MachineProfile::paragon(), &[4, 8, 16]);
+        assert_eq!(s.len(), 3);
+        assert!(s[0].total > s[2].total);
+    }
+}

@@ -1,0 +1,127 @@
+//! Captured work profiles.
+//!
+//! The numerics are deterministic and independent of the machine and node
+//! count, so a run's *work* can be captured once and replayed across the
+//! whole (machine × P) sweep — exactly the paper's observation that the
+//! performance model only needs the work distribution and the machine
+//! parameters. Replay drives the same virtual-machine code path as the
+//! original run; only the kernels are skipped.
+
+use crate::state::HourSummary;
+use serde::Serialize;
+
+/// Work performed in one main-loop step.
+#[derive(Debug, Clone, Serialize)]
+pub struct StepProfile {
+    /// Per-layer work of the first transport half step.
+    pub transport1: Vec<f64>,
+    /// Per-layer work of the second transport half step.
+    pub transport2: Vec<f64>,
+    /// Per-column chemistry work (captures the urban/rural imbalance).
+    pub chemistry: Vec<f64>,
+    /// Sequential aerosol work.
+    pub aerosol: f64,
+}
+
+/// Species captured in the per-hour surface snapshot (the fields the
+/// population-exposure model consumes): O3, NO2, CO, SO2.
+pub const SURFACE_SPECIES: [usize; 4] = [
+    airshed_chem::species::O3,
+    airshed_chem::species::NO2,
+    airshed_chem::species::CO,
+    airshed_chem::species::SO2,
+];
+
+/// Work performed in one simulated hour.
+#[derive(Debug, Clone, Serialize)]
+pub struct HourProfile {
+    pub input_work: f64,
+    pub pretrans_work: f64,
+    pub output_work: f64,
+    /// Bytes of hourly input (for pipeline hand-off costs).
+    pub input_bytes: usize,
+    pub steps: Vec<StepProfile>,
+    /// End-of-hour surface concentrations of [`SURFACE_SPECIES`], laid
+    /// out species-major (`4 × nodes`) — the payload coupled into the
+    /// population-exposure module.
+    pub surface: Vec<f64>,
+}
+
+/// A full captured run.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkProfile {
+    pub dataset: &'static str,
+    /// Array shape `[species, layers, nodes]`.
+    pub shape: [usize; 3],
+    pub hours: Vec<HourProfile>,
+    /// Science summaries per hour (identical across machines / P).
+    pub summaries: Vec<HourSummary>,
+}
+
+impl WorkProfile {
+    /// Total sequential work per phase category:
+    /// `(io, transport, chemistry+aerosol)`.
+    pub fn sequential_totals(&self) -> (f64, f64, f64) {
+        let mut io = 0.0;
+        let mut transport = 0.0;
+        let mut chemistry = 0.0;
+        for h in &self.hours {
+            io += h.input_work + h.pretrans_work + h.output_work;
+            for s in &h.steps {
+                transport += s.transport1.iter().sum::<f64>()
+                    + s.transport2.iter().sum::<f64>();
+                chemistry += s.chemistry.iter().sum::<f64>() + s.aerosol;
+            }
+        }
+        (io, transport, chemistry)
+    }
+
+    /// Total number of main-loop steps.
+    pub fn total_steps(&self) -> usize {
+        self.hours.iter().map(|h| h.steps.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WorkProfile {
+        WorkProfile {
+            dataset: "TEST",
+            shape: [35, 5, 100],
+            hours: vec![HourProfile {
+                input_work: 10.0,
+                pretrans_work: 5.0,
+                output_work: 2.0,
+                input_bytes: 1000,
+                surface: vec![0.0; 400],
+                steps: vec![
+                    StepProfile {
+                        transport1: vec![1.0; 5],
+                        transport2: vec![2.0; 5],
+                        chemistry: vec![0.5; 100],
+                        aerosol: 3.0,
+                    },
+                    StepProfile {
+                        transport1: vec![1.0; 5],
+                        transport2: vec![1.0; 5],
+                        chemistry: vec![0.25; 100],
+                        aerosol: 3.0,
+                    },
+                ],
+            }],
+            summaries: vec![],
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let p = sample();
+        let (io, tr, ch) = p.sequential_totals();
+        assert_eq!(io, 17.0);
+        assert_eq!(tr, 5.0 + 10.0 + 5.0 + 5.0);
+        assert_eq!(ch, 50.0 + 25.0 + 6.0);
+        assert_eq!(p.total_steps(), 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Run reports — the rows the figure harness prints.
+
+use crate::state::HourSummary;
+use airshed_machine::accounting::{PhaseBreakdown, PhaseCategory};
+use airshed_machine::Machine;
+use serde::Serialize;
+use std::fmt;
+
+/// Per-label communication step summary (Figure 5 rows).
+#[derive(Debug, Clone, Serialize)]
+pub struct CommStepSummary {
+    pub label: String,
+    pub total_seconds: f64,
+    pub count: usize,
+}
+
+impl CommStepSummary {
+    /// Mean seconds per occurrence.
+    pub fn per_step(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_seconds / self.count as f64
+        }
+    }
+}
+
+/// The outcome of one simulated run on the virtual machine.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    pub dataset: String,
+    pub machine: String,
+    pub p: usize,
+    pub hours: usize,
+    /// Total virtual execution time (seconds).
+    pub total_seconds: f64,
+    pub io_seconds: f64,
+    pub transport_seconds: f64,
+    pub chemistry_seconds: f64,
+    pub communication_seconds: f64,
+    pub popexp_seconds: f64,
+    pub comm_steps: Vec<CommStepSummary>,
+    pub summaries: Vec<HourSummary>,
+}
+
+impl RunReport {
+    /// Assemble a report from a finished virtual machine.
+    pub fn from_machine(
+        dataset: &str,
+        machine: &Machine,
+        hours: usize,
+        summaries: Vec<HourSummary>,
+    ) -> RunReport {
+        let b: &PhaseBreakdown = &machine.breakdown;
+        RunReport {
+            dataset: dataset.to_string(),
+            machine: machine.profile.name.to_string(),
+            p: machine.p(),
+            hours,
+            total_seconds: machine.elapsed(),
+            io_seconds: b.get(PhaseCategory::IoProc),
+            transport_seconds: b.get(PhaseCategory::Transport),
+            chemistry_seconds: b.get(PhaseCategory::Chemistry),
+            communication_seconds: b.get(PhaseCategory::Communication),
+            popexp_seconds: b.get(PhaseCategory::PopExp),
+            comm_steps: machine
+                .comm_log
+                .records()
+                .iter()
+                .map(|r| CommStepSummary {
+                    label: r.label.to_string(),
+                    total_seconds: r.seconds,
+                    count: r.count,
+                })
+                .collect(),
+            summaries,
+        }
+    }
+
+    /// Speedup of this run relative to a baseline (usually the same
+    /// configuration at small P or P = 1).
+    pub fn speedup_vs(&self, baseline: &RunReport) -> f64 {
+        baseline.total_seconds / self.total_seconds
+    }
+
+    /// Seconds of one labelled communication step per occurrence.
+    pub fn comm_per_step(&self, label: &str) -> f64 {
+        self.comm_steps
+            .iter()
+            .find(|c| c.label == label)
+            .map(|c| c.per_step())
+            .unwrap_or(0.0)
+    }
+
+    /// Peak surface ozone over the whole run (ppm) — the headline science
+    /// number.
+    pub fn peak_o3(&self) -> f64 {
+        self.summaries
+            .iter()
+            .map(|s| s.max_o3)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on {} (P={}, {}h): total {:.1}s",
+            self.dataset, self.machine, self.p, self.hours, self.total_seconds
+        )?;
+        writeln!(
+            f,
+            "  chemistry {:.1}s | transport {:.1}s | I/O {:.1}s | comm {:.2}s | popexp {:.1}s",
+            self.chemistry_seconds,
+            self.transport_seconds,
+            self.io_seconds,
+            self.communication_seconds,
+            self.popexp_seconds
+        )?;
+        for c in &self.comm_steps {
+            writeln!(
+                f,
+                "  comm {}: {:.3}s total over {} steps ({:.2} ms/step)",
+                c.label,
+                c.total_seconds,
+                c.count,
+                1000.0 * c.per_step()
+            )?;
+        }
+        if let Some(last) = self.summaries.last() {
+            writeln!(
+                f,
+                "  science: peak O3 {:.1} ppb, final-hour mean NOx {:.1} ppb",
+                1000.0 * self.peak_o3(),
+                1000.0 * last.mean_nox
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airshed_machine::cost::NodeCommLoad;
+    use airshed_machine::MachineProfile;
+
+    #[test]
+    fn report_reads_machine_accounts() {
+        let mut m = Machine::new(MachineProfile::t3e(), 4);
+        m.compute(PhaseCategory::Chemistry, &[m.profile.rate; 4]);
+        m.communicate(
+            "D_Chem->D_Repl",
+            &[NodeCommLoad {
+                msgs_sent: 3,
+                bytes_sent: 1 << 20,
+                ..Default::default()
+            }; 4],
+        );
+        let r = RunReport::from_machine("LA", &m, 24, vec![]);
+        assert!((r.chemistry_seconds - 1.0).abs() < 1e-9);
+        assert!(r.communication_seconds > 0.0);
+        assert_eq!(r.comm_steps.len(), 1);
+        assert_eq!(r.comm_steps[0].count, 1);
+        assert!((r.total_seconds - r.chemistry_seconds - r.communication_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_and_display() {
+        let mut m1 = Machine::new(MachineProfile::t3e(), 1);
+        m1.compute(PhaseCategory::Chemistry, &[4.0 * m1.profile.rate]);
+        let r1 = RunReport::from_machine("LA", &m1, 1, vec![]);
+        let mut m4 = Machine::new(MachineProfile::t3e(), 4);
+        m4.compute(PhaseCategory::Chemistry, &[m4.profile.rate; 4]);
+        let r4 = RunReport::from_machine("LA", &m4, 1, vec![]);
+        assert!((r4.speedup_vs(&r1) - 4.0).abs() < 1e-9);
+        let text = format!("{r4}");
+        assert!(text.contains("chemistry"));
+    }
+}

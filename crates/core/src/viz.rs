@@ -1,0 +1,122 @@
+//! Terminal visualisation: ASCII concentration maps.
+//!
+//! `outputhour`'s human-facing counterpart — renders a surface field over
+//! the model domain as a character raster, sampling each character cell
+//! at its nearest grid column. Used by the CLI and the examples to show
+//! the ozone plume without any plotting dependencies.
+
+use airshed_grid::datasets::Dataset;
+use airshed_grid::geometry::Point;
+use airshed_grid::mesh::NodeLocator;
+
+/// Intensity ramp from clean to extreme.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Render a per-column surface field as an ASCII map.
+///
+/// * `values` — one value per grid column (free-node slot);
+/// * `cols`/`rows` — raster size in characters;
+/// * `lo`/`hi` — colour-scale endpoints (values are clamped).
+pub fn ascii_map(
+    dataset: &Dataset,
+    values: &[f64],
+    cols: usize,
+    rows: usize,
+    lo: f64,
+    hi: f64,
+) -> String {
+    assert_eq!(values.len(), dataset.nodes());
+    assert!(cols >= 2 && rows >= 2);
+    assert!(hi > lo, "degenerate colour scale");
+    let domain = dataset.spec.domain;
+    let locator = NodeLocator::new(&dataset.mesh);
+    let mut out = String::with_capacity((cols + 1) * rows);
+    // Row 0 is the top of the domain (max y).
+    for r in 0..rows {
+        let fy = 1.0 - (r as f64 + 0.5) / rows as f64;
+        let y = domain.y0 + fy * domain.height();
+        for c in 0..cols {
+            let fx = (c as f64 + 0.5) / cols as f64;
+            let x = domain.x0 + fx * domain.width();
+            let slot = locator.nearest(&dataset.mesh, Point::new(x, y));
+            let v = ((values[slot] - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let k = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[k] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render with an automatic scale (min..max of the field) and a legend
+/// line.
+pub fn ascii_map_auto(dataset: &Dataset, values: &[f64], cols: usize, rows: usize) -> String {
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let (lo, hi) = if hi > lo { (lo, hi) } else { (lo, lo + 1e-9) };
+    let map = ascii_map(dataset, values, cols, rows, lo, hi);
+    format!(
+        "{map}scale: ' ' = {:.1} ppb .. '@' = {:.1} ppb\n",
+        1000.0 * lo,
+        1000.0 * hi
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airshed_grid::datasets::Dataset;
+
+    #[test]
+    fn map_shape_and_ramp() {
+        let d = Dataset::tiny(80);
+        let vals: Vec<f64> = (0..d.nodes()).map(|i| i as f64).collect();
+        let m = ascii_map(&d, &vals, 20, 8, 0.0, d.nodes() as f64);
+        let lines: Vec<&str> = m.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert!(lines.iter().all(|l| l.len() == 20));
+        // Both ends of the ramp appear somewhere.
+        assert!(m.contains('@') || m.contains('%'));
+    }
+
+    #[test]
+    fn hotspot_shows_up_where_it_is() {
+        let d = Dataset::tiny(80);
+        // Field = urban density: the bright spot must be in the lower-left
+        // quadrant (hotspot at (35, 40) in a 100x100 domain).
+        let vals: Vec<f64> = (0..d.nodes())
+            .map(|s| d.spec.urban_density(d.mesh.free_point(s)))
+            .collect();
+        let m = ascii_map_auto(&d, &vals, 40, 16);
+        let lines: Vec<&str> = m.lines().collect();
+        let find_at = |ch: char| -> Option<(usize, usize)> {
+            for (r, l) in lines.iter().take(16).enumerate() {
+                if let Some(c) = l.find(ch) {
+                    return Some((r, c));
+                }
+            }
+            None
+        };
+        let (r, c) = find_at('@').expect("peak rendered");
+        // y=40 -> row ~ (1 - 0.4)*16 = 9-10; x=35 -> col ~ 14.
+        assert!((6..=12).contains(&r), "row {r}");
+        assert!((10..=18).contains(&c), "col {c}");
+    }
+
+    #[test]
+    fn constant_field_renders_blank() {
+        let d = Dataset::tiny(60);
+        let vals = vec![0.04; d.nodes()];
+        let m = ascii_map(&d, &vals, 10, 4, 0.0, 0.1);
+        // 0.04 in [0, 0.1] -> index 4 of 10 -> '='.
+        assert!(m.chars().filter(|&c| c != '\n').all(|c| c == '='));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_bad_scale() {
+        let d = Dataset::tiny(60);
+        let vals = vec![0.0; d.nodes()];
+        ascii_map(&d, &vals, 10, 4, 1.0, 1.0);
+    }
+}

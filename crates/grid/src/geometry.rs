@@ -1,0 +1,174 @@
+//! Basic planar geometry and bilinear quad shape functions.
+//!
+//! All mesh geometry is axis-aligned: quadtree cells are rectangles, so the
+//! element Jacobian is a constant diagonal matrix. That keeps the finite
+//! element kernels in `airshed-transport` simple and fast without losing any
+//! of the structure that matters to the parallel study.
+
+/// A point in the horizontal plane. Units are kilometres throughout the
+/// model (domain extents are basin-scale, 100s of km).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// An axis-aligned rectangle `[x0, x1] × [y0, y1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub x0: f64,
+    pub y0: f64,
+    pub x1: f64,
+    pub y1: f64,
+}
+
+impl Rect {
+    pub const fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect { x0, y0, x1, y1 }
+    }
+
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    pub fn center(&self) -> Point {
+        Point::new(0.5 * (self.x0 + self.x1), 0.5 * (self.y0 + self.y1))
+    }
+
+    /// Whether the rectangle contains a point (closed on all sides).
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.x0 && p.x <= self.x1 && p.y >= self.y0 && p.y <= self.y1
+    }
+}
+
+/// Bilinear shape functions on the reference square `[-1, 1]²`.
+///
+/// Node ordering is counter-clockwise starting at the lower-left corner:
+///
+/// ```text
+///   3 ---- 2
+///   |      |
+///   0 ---- 1
+/// ```
+pub mod quad_shape {
+    /// Evaluate the four bilinear shape functions at `(xi, eta)`.
+    #[inline]
+    pub fn n(xi: f64, eta: f64) -> [f64; 4] {
+        [
+            0.25 * (1.0 - xi) * (1.0 - eta),
+            0.25 * (1.0 + xi) * (1.0 - eta),
+            0.25 * (1.0 + xi) * (1.0 + eta),
+            0.25 * (1.0 - xi) * (1.0 + eta),
+        ]
+    }
+
+    /// Reference-space gradients `(dN/dxi, dN/deta)` at `(xi, eta)`.
+    #[inline]
+    pub fn dn(xi: f64, eta: f64) -> [(f64, f64); 4] {
+        [
+            (-0.25 * (1.0 - eta), -0.25 * (1.0 - xi)),
+            (0.25 * (1.0 - eta), -0.25 * (1.0 + xi)),
+            (0.25 * (1.0 + eta), 0.25 * (1.0 + xi)),
+            (-0.25 * (1.0 + eta), 0.25 * (1.0 - xi)),
+        ]
+    }
+
+    /// 2×2 Gauss-Legendre quadrature points and weights on `[-1,1]²`.
+    /// Exact for the bilinear products that arise in mass/advection terms
+    /// on rectangles.
+    pub const GAUSS_2X2: [(f64, f64, f64); 4] = {
+        // 1/sqrt(3) written out because const fns cannot call sqrt.
+        const G: f64 = 0.577_350_269_189_625_8;
+        [
+            (-G, -G, 1.0),
+            (G, -G, 1.0),
+            (G, G, 1.0),
+            (-G, G, 1.0),
+        ]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::quad_shape::*;
+    use super::*;
+
+    #[test]
+    fn rect_basic_properties() {
+        let r = Rect::new(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 2.0);
+        assert_eq!(r.area(), 8.0);
+        let c = r.center();
+        assert_eq!((c.x, c.y), (2.0, 1.0));
+        assert!(r.contains(&Point::new(4.0, 2.0)));
+        assert!(!r.contains(&Point::new(4.1, 2.0)));
+    }
+
+    #[test]
+    fn point_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.dist(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_functions_partition_of_unity() {
+        for &(xi, eta) in &[(0.0, 0.0), (-1.0, -1.0), (0.3, -0.7), (1.0, 1.0)] {
+            let s: f64 = n(xi, eta).iter().sum();
+            assert!((s - 1.0).abs() < 1e-14, "sum N = {s} at ({xi},{eta})");
+        }
+    }
+
+    #[test]
+    fn shape_functions_kronecker_at_corners() {
+        let corners = [(-1.0, -1.0), (1.0, -1.0), (1.0, 1.0), (-1.0, 1.0)];
+        for (i, &(xi, eta)) in corners.iter().enumerate() {
+            let vals = n(xi, eta);
+            for (j, &v) in vals.iter().enumerate() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_gradients_sum_to_zero() {
+        // Constant field has zero gradient: sum of dN must vanish.
+        for &(xi, eta) in &[(0.0, 0.0), (0.5, -0.25), (-0.9, 0.9)] {
+            let g = dn(xi, eta);
+            let sx: f64 = g.iter().map(|d| d.0).sum();
+            let sy: f64 = g.iter().map(|d| d.1).sum();
+            assert!(sx.abs() < 1e-14 && sy.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn gauss_quadrature_integrates_bilinear_exactly() {
+        // Integrate f(xi,eta) = xi*eta + 2 over [-1,1]^2 -> exact = 8.
+        let mut total = 0.0;
+        for &(xi, eta, w) in &GAUSS_2X2 {
+            total += w * (xi * eta + 2.0);
+        }
+        assert!((total - 8.0).abs() < 1e-13);
+    }
+}

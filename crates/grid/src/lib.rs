@@ -1,0 +1,36 @@
+//! # airshed-grid — multiscale grid substrate
+//!
+//! The Airshed urban regional model (URM) uses a *multiscale* grid: fine
+//! resolution over urban emission hot-spots, coarse resolution over open
+//! space. Compared to a uniform grid of the same accuracy this requires the
+//! expensive chemistry operator `Lcz` to be evaluated at far fewer points,
+//! which is the efficiency argument made in §2.1 of the paper.
+//!
+//! This crate provides:
+//!
+//! * [`geometry`] — points, rectangles and bilinear quad shape functions;
+//! * [`quadtree`] — an adaptive, 2:1-balanced quadtree refined around a
+//!   caller-supplied intensity function (the urban emission density);
+//! * [`mesh`] — a conforming finite-element view of the quadtree leaves:
+//!   deduplicated nodes, quad elements, hanging-node constraints resolved
+//!   to free nodes, boundary classification and lumped nodal areas;
+//! * [`datasets`] — the two synthetic dataset presets reproducing the
+//!   paper's array shapes: the Los Angeles basin (≈700 grid columns,
+//!   5 layers, 35 species) and the North-East United States (≈3328 grid
+//!   columns, 5 layers, 35 species).
+//!
+//! The horizontal grid nodes are exposed as a 1-D array of "grid columns"
+//! (the `nodes` dimension of the concentration array `A(species, layers,
+//! nodes)`), exactly as the paper describes.
+
+pub mod datasets;
+pub mod geometry;
+pub mod mesh;
+pub mod quadtree;
+pub mod stats;
+
+pub use datasets::{Dataset, DatasetSpec};
+pub use geometry::{Point, Rect};
+pub use mesh::{Mesh, NodeConstraint, Quad};
+pub use quadtree::{QuadTree, RefineParams};
+pub use stats::{grid_stats, GridStats};

@@ -1,0 +1,491 @@
+//! Adaptive quadtree refinement.
+//!
+//! The multiscale grid is produced by refining a coarse base grid of
+//! rectangular cells wherever an *intensity* function (the urban emission
+//! density) concentrates mass: cells with the largest contained mass are
+//! split first, so resolution follows the cities. A standard 2:1 edge
+//! balance is enforced so the resulting mesh only ever has one hanging node
+//! per coarse edge — the property the hanging-node constraint handling in
+//! [`crate::mesh`] relies on.
+//!
+//! Geometry is tracked on an integer "fine lattice": the domain is
+//! `base_nx × base_ny` level-0 cells, each of which may be bisected
+//! `max_depth` times, so the finest possible resolution is
+//! `(base_nx << max_depth) × (base_ny << max_depth)` lattice units. Using
+//! integers makes node deduplication and hanging-node detection exact.
+
+use crate::geometry::{Point, Rect};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Parameters controlling quadtree construction.
+#[derive(Debug, Clone)]
+pub struct RefineParams {
+    /// Number of level-0 cells along x.
+    pub base_nx: u32,
+    /// Number of level-0 cells along y.
+    pub base_ny: u32,
+    /// Maximum number of bisection levels below the base grid.
+    pub max_depth: u32,
+    /// Refinement stops once the tree has at least this many leaf cells.
+    pub target_leaves: usize,
+}
+
+/// One quadtree cell. Children are stored as indices into the tree's cell
+/// arena; `None` marks a leaf.
+#[derive(Debug, Clone)]
+struct Cell {
+    level: u32,
+    /// Cell coordinates at this level (level-l lattice: `base_nx << l` wide).
+    ix: u32,
+    iy: u32,
+    children: Option<[usize; 4]>,
+}
+
+/// Max-heap entry ordered by `f64` priority. `f64` is not `Ord`, so we wrap
+/// it; priorities are always finite here.
+struct HeapItem {
+    priority: f64,
+    cell: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.cell == other.cell
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority
+            .partial_cmp(&other.priority)
+            .unwrap_or(Ordering::Equal)
+            // break ties deterministically by cell id
+            .then_with(|| self.cell.cmp(&other.cell))
+    }
+}
+
+/// A 2:1-balanced adaptive quadtree over a rectangular domain.
+pub struct QuadTree {
+    domain: Rect,
+    params: RefineParams,
+    cells: Vec<Cell>,
+    /// Root cell index for each base cell, row-major (`iy * base_nx + ix`).
+    roots: Vec<usize>,
+}
+
+impl QuadTree {
+    /// Build a quadtree by greedy mass-driven refinement.
+    ///
+    /// `intensity` maps a world point to a non-negative density; cells are
+    /// split in decreasing order of contained mass (density × area, sampled
+    /// at the centre and the four quarter points) until `target_leaves` is
+    /// reached or no cell can be split further.
+    pub fn build<F: Fn(Point) -> f64>(domain: Rect, params: RefineParams, intensity: F) -> Self {
+        assert!(params.base_nx > 0 && params.base_ny > 0, "empty base grid");
+        assert!(
+            params.max_depth < 24,
+            "max_depth {} would overflow the fine lattice",
+            params.max_depth
+        );
+        let mut tree = QuadTree {
+            domain,
+            params: params.clone(),
+            cells: Vec::new(),
+            roots: Vec::new(),
+        };
+        for iy in 0..params.base_ny {
+            for ix in 0..params.base_nx {
+                let id = tree.cells.len();
+                tree.cells.push(Cell {
+                    level: 0,
+                    ix,
+                    iy,
+                    children: None,
+                });
+                tree.roots.push(id);
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        for &r in &tree.roots.clone() {
+            heap.push(HeapItem {
+                priority: tree.cell_mass(r, &intensity),
+                cell: r,
+            });
+        }
+        let mut leaves = tree.roots.len();
+        while leaves < params.target_leaves {
+            let Some(item) = heap.pop() else { break };
+            // The heap may contain stale entries for cells split during
+            // balance enforcement; skip them.
+            if tree.cells[item.cell].children.is_some() {
+                continue;
+            }
+            if tree.cells[item.cell].level >= params.max_depth {
+                continue;
+            }
+            let new_cells = tree.split_balanced(item.cell);
+            // Each split turns 1 leaf into 4: net +3 per split performed.
+            leaves += 3 * (new_cells.len() / 4);
+            for c in new_cells {
+                if tree.cells[c].level < params.max_depth {
+                    heap.push(HeapItem {
+                        priority: tree.cell_mass(c, &intensity),
+                        cell: c,
+                    });
+                }
+            }
+        }
+        tree
+    }
+
+    /// Estimated mass contained in a cell (5-point sample of the density).
+    fn cell_mass<F: Fn(Point) -> f64>(&self, id: usize, intensity: &F) -> f64 {
+        let r = self.cell_rect(id);
+        let c = r.center();
+        let (hw, hh) = (0.25 * r.width(), 0.25 * r.height());
+        let samples = [
+            c,
+            Point::new(c.x - hw, c.y - hh),
+            Point::new(c.x + hw, c.y - hh),
+            Point::new(c.x + hw, c.y + hh),
+            Point::new(c.x - hw, c.y + hh),
+        ];
+        let mean: f64 = samples.iter().map(|p| intensity(*p).max(0.0)).sum::<f64>() / 5.0;
+        mean * r.area()
+    }
+
+    /// Split `id` into four children, first splitting any coarser edge
+    /// neighbours so the 2:1 balance invariant is maintained. Returns every
+    /// newly created cell (children of `id` plus any balance splits).
+    fn split_balanced(&mut self, id: usize) -> Vec<usize> {
+        let mut created = Vec::new();
+        self.split_balanced_inner(id, &mut created, 0);
+        created
+    }
+
+    fn split_balanced_inner(&mut self, id: usize, created: &mut Vec<usize>, depth: usize) {
+        assert!(depth < 64, "runaway balance recursion");
+        if self.cells[id].children.is_some() {
+            return;
+        }
+        let level = self.cells[id].level;
+        if level >= self.params.max_depth {
+            return;
+        }
+        // Enforce balance: every edge neighbour must be at level >= level
+        // before we split to level + 1.
+        for n in self.edge_neighbor_samples(id) {
+            if let Some(leaf) = self.locate(n.0, n.1) {
+                if self.cells[leaf].level < level {
+                    self.split_balanced_inner(leaf, created, depth + 1);
+                }
+            }
+        }
+        let (ix, iy) = (self.cells[id].ix, self.cells[id].iy);
+        let mut kids = [0usize; 4];
+        for (k, kid) in kids.iter_mut().enumerate() {
+            let (dx, dy) = [(0, 0), (1, 0), (0, 1), (1, 1)][k];
+            let cid = self.cells.len();
+            self.cells.push(Cell {
+                level: level + 1,
+                ix: 2 * ix + dx,
+                iy: 2 * iy + dy,
+                children: None,
+            });
+            *kid = cid;
+            created.push(cid);
+        }
+        self.cells[id].children = Some(kids);
+    }
+
+    /// Sample points (fine-lattice, half-open convention) strictly inside
+    /// each of the four edge neighbours of a cell, used for balance checks.
+    fn edge_neighbor_samples(&self, id: usize) -> Vec<(i64, i64)> {
+        let (x0, y0, s) = self.cell_fine_origin_span(id);
+        let (x0, y0, s) = (x0 as i64, y0 as i64, s as i64);
+        let half = s / 2; // s >= 1; for s == 1, half == 0 still lands inside
+        vec![
+            (x0 - 1, y0 + half), // west
+            (x0 + s, y0 + half), // east
+            (x0 + half, y0 - 1), // south
+            (x0 + half, y0 + s), // north
+        ]
+    }
+
+    /// Fine-lattice origin and span of a cell.
+    fn cell_fine_origin_span(&self, id: usize) -> (u64, u64, u64) {
+        let c = &self.cells[id];
+        let span = 1u64 << (self.params.max_depth - c.level);
+        (c.ix as u64 * span, c.iy as u64 * span, span)
+    }
+
+    /// Locate the leaf containing the half-open fine-lattice point
+    /// `(fx, fy)`, i.e. the leaf whose `[x0, x1) × [y0, y1)` box contains
+    /// it. Returns `None` outside the domain.
+    pub fn locate(&self, fx: i64, fy: i64) -> Option<usize> {
+        let (fw, fh) = self.fine_dims();
+        if fx < 0 || fy < 0 || fx >= fw as i64 || fy >= fh as i64 {
+            return None;
+        }
+        let (fx, fy) = (fx as u64, fy as u64);
+        let base_span = 1u64 << self.params.max_depth;
+        let bx = fx / base_span;
+        let by = fy / base_span;
+        let mut cur = self.roots[(by * self.params.base_nx as u64 + bx) as usize];
+        while let Some(kids) = self.cells[cur].children {
+            let (x0, y0, s) = self.cell_fine_origin_span(cur);
+            let hx = x0 + s / 2;
+            let hy = y0 + s / 2;
+            let k = match (fx >= hx, fy >= hy) {
+                (false, false) => 0,
+                (true, false) => 1,
+                (false, true) => 2,
+                (true, true) => 3,
+            };
+            cur = kids[k];
+        }
+        Some(cur)
+    }
+
+    /// Width and height of the fine lattice.
+    pub fn fine_dims(&self) -> (u64, u64) {
+        (
+            (self.params.base_nx as u64) << self.params.max_depth,
+            (self.params.base_ny as u64) << self.params.max_depth,
+        )
+    }
+
+    /// The world-space domain covered by the tree.
+    pub fn domain(&self) -> Rect {
+        self.domain
+    }
+
+    /// Size of one fine lattice unit in world units, per axis.
+    pub fn fine_unit(&self) -> (f64, f64) {
+        let (fw, fh) = self.fine_dims();
+        (
+            self.domain.width() / fw as f64,
+            self.domain.height() / fh as f64,
+        )
+    }
+
+    /// World-space rectangle of a cell.
+    pub fn cell_rect(&self, id: usize) -> Rect {
+        let (x0, y0, s) = self.cell_fine_origin_span(id);
+        let (ux, uy) = self.fine_unit();
+        Rect::new(
+            self.domain.x0 + x0 as f64 * ux,
+            self.domain.y0 + y0 as f64 * uy,
+            self.domain.x0 + (x0 + s) as f64 * ux,
+            self.domain.y0 + (y0 + s) as f64 * uy,
+        )
+    }
+
+    /// Refinement level of a cell.
+    pub fn cell_level(&self, id: usize) -> u32 {
+        self.cells[id].level
+    }
+
+    /// Fine-lattice coordinates of a cell's four corners, CCW from
+    /// lower-left (matching the shape-function ordering).
+    pub fn cell_corners_fine(&self, id: usize) -> [(u64, u64); 4] {
+        let (x0, y0, s) = self.cell_fine_origin_span(id);
+        [
+            (x0, y0),
+            (x0 + s, y0),
+            (x0 + s, y0 + s),
+            (x0, y0 + s),
+        ]
+    }
+
+    /// Indices of all leaf cells, in deterministic arena order.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.cells.len())
+            .filter(|&i| self.cells[i].children.is_none())
+            .collect()
+    }
+
+    /// Number of leaf cells.
+    pub fn leaf_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.children.is_none()).count()
+    }
+
+    /// Verify the 2:1 edge balance invariant; returns the first violation
+    /// as `(leaf, neighbour)` if any. Used by tests.
+    pub fn check_balance(&self) -> Option<(usize, usize)> {
+        for leaf in self.leaves() {
+            let level = self.cells[leaf].level;
+            for n in self.edge_neighbor_samples(leaf) {
+                if let Some(other) = self.locate(n.0, n.1) {
+                    let ol = self.cells[other].level;
+                    if ol + 1 < level || level + 1 < ol {
+                        return Some((leaf, other));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_domain() -> Rect {
+        Rect::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn flat(_: Point) -> f64 {
+        1.0
+    }
+
+    #[test]
+    fn base_grid_without_refinement() {
+        let t = QuadTree::build(
+            unit_domain(),
+            RefineParams {
+                base_nx: 4,
+                base_ny: 3,
+                max_depth: 4,
+                target_leaves: 0,
+            },
+            flat,
+        );
+        assert_eq!(t.leaf_count(), 12);
+        assert_eq!(t.fine_dims(), (64, 48));
+    }
+
+    #[test]
+    fn refinement_reaches_target() {
+        let t = QuadTree::build(
+            unit_domain(),
+            RefineParams {
+                base_nx: 2,
+                base_ny: 2,
+                max_depth: 6,
+                target_leaves: 100,
+            },
+            flat,
+        );
+        assert!(t.leaf_count() >= 100, "got {} leaves", t.leaf_count());
+        // Splitting adds 3 leaves at a time, so we never exceed the target
+        // by more than the balance-split fan-out.
+        assert!(t.leaf_count() < 200);
+    }
+
+    #[test]
+    fn hotspot_attracts_refinement() {
+        let hot = |p: Point| {
+            // Sharp bump near (25, 25).
+            let d2 = (p.x - 25.0).powi(2) + (p.y - 25.0).powi(2);
+            (-d2 / 50.0).exp()
+        };
+        let t = QuadTree::build(
+            unit_domain(),
+            RefineParams {
+                base_nx: 4,
+                base_ny: 4,
+                max_depth: 5,
+                target_leaves: 120,
+            },
+            hot,
+        );
+        // The leaf containing the hotspot must be deeper than a far-away leaf.
+        let (fw, fh) = t.fine_dims();
+        let near = t
+            .locate((fw as i64) / 4, (fh as i64) / 4)
+            .expect("hotspot leaf");
+        let far = t
+            .locate(7 * (fw as i64) / 8, 7 * (fh as i64) / 8)
+            .expect("far leaf");
+        assert!(
+            t.cell_level(near) > t.cell_level(far),
+            "near level {} vs far level {}",
+            t.cell_level(near),
+            t.cell_level(far)
+        );
+    }
+
+    #[test]
+    fn balance_invariant_holds() {
+        let hot = |p: Point| (-((p.x - 10.0).powi(2) + (p.y - 90.0).powi(2)) / 20.0).exp();
+        let t = QuadTree::build(
+            unit_domain(),
+            RefineParams {
+                base_nx: 3,
+                base_ny: 3,
+                max_depth: 7,
+                target_leaves: 400,
+            },
+            hot,
+        );
+        assert_eq!(t.check_balance(), None);
+    }
+
+    #[test]
+    fn locate_outside_domain_is_none() {
+        let t = QuadTree::build(
+            unit_domain(),
+            RefineParams {
+                base_nx: 2,
+                base_ny: 2,
+                max_depth: 3,
+                target_leaves: 0,
+            },
+            flat,
+        );
+        assert_eq!(t.locate(-1, 0), None);
+        let (fw, fh) = t.fine_dims();
+        assert_eq!(t.locate(fw as i64, 0), None);
+        assert_eq!(t.locate(0, fh as i64), None);
+        assert!(t.locate(0, 0).is_some());
+    }
+
+    #[test]
+    fn leaves_tile_the_domain() {
+        // Total leaf area must equal the domain area regardless of the
+        // refinement pattern.
+        let hot = |p: Point| 1.0 / (1.0 + (p.x - 60.0).abs() + (p.y - 40.0).abs());
+        let t = QuadTree::build(
+            unit_domain(),
+            RefineParams {
+                base_nx: 2,
+                base_ny: 2,
+                max_depth: 6,
+                target_leaves: 250,
+            },
+            hot,
+        );
+        let area: f64 = t.leaves().iter().map(|&l| t.cell_rect(l).area()).sum();
+        assert!((area - 100.0 * 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cell_rect_respects_world_mapping() {
+        let t = QuadTree::build(
+            Rect::new(-50.0, 10.0, 50.0, 60.0),
+            RefineParams {
+                base_nx: 2,
+                base_ny: 1,
+                max_depth: 2,
+                target_leaves: 0,
+            },
+            flat,
+        );
+        let leaves = t.leaves();
+        assert_eq!(leaves.len(), 2);
+        let r0 = t.cell_rect(leaves[0]);
+        assert!((r0.x0 - -50.0).abs() < 1e-12);
+        assert!((r0.x1 - 0.0).abs() < 1e-12);
+        assert!((r0.y0 - 10.0).abs() < 1e-12);
+        assert!((r0.y1 - 60.0).abs() < 1e-12);
+    }
+}

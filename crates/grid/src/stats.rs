@@ -1,0 +1,152 @@
+//! Grid statistics — what a model release reports about its mesh.
+//!
+//! The multiscale grid's whole point is spending resolution where the
+//! problem is; these diagnostics quantify that: the refinement-level
+//! histogram, the effective uniform-grid size the mesh replaces, and how
+//! much of the resolution budget sits over the urban cores.
+
+use crate::datasets::Dataset;
+use crate::mesh::Mesh;
+use crate::quadtree::QuadTree;
+use serde::Serialize;
+
+/// Summary statistics of a multiscale grid.
+#[derive(Debug, Clone, Serialize)]
+pub struct GridStats {
+    pub columns: usize,
+    pub mesh_nodes: usize,
+    pub hanging_nodes: usize,
+    pub elements: usize,
+    /// Elements per refinement level (index = level).
+    pub elements_by_level: Vec<usize>,
+    /// Finest and coarsest element edge (km).
+    pub h_min_km: f64,
+    pub h_max_km: f64,
+    /// Cells a uniform grid at `h_min` resolution would need.
+    pub uniform_equivalent_cells: usize,
+    /// `uniform_equivalent_cells / columns` — the multiscale saving.
+    pub compression: f64,
+    /// Fraction of columns within 2·σ of the strongest hot-spot.
+    pub urban_column_fraction: f64,
+}
+
+/// Compute statistics for a built dataset.
+pub fn grid_stats(dataset: &Dataset) -> GridStats {
+    let mesh: &Mesh = &dataset.mesh;
+    let tree: &QuadTree = &dataset.tree;
+
+    let max_level = tree
+        .leaves()
+        .iter()
+        .map(|&l| tree.cell_level(l))
+        .max()
+        .unwrap_or(0) as usize;
+    let mut elements_by_level = vec![0usize; max_level + 1];
+    for &l in &tree.leaves() {
+        elements_by_level[tree.cell_level(l) as usize] += 1;
+    }
+
+    let domain = dataset.spec.domain;
+    let uniform = ((domain.width() / mesh.h_min).round()
+        * (domain.height() / mesh.h_min).round()) as usize;
+
+    let urban = dataset
+        .spec
+        .hotspots
+        .iter()
+        .max_by(|a, b| a.amplitude.partial_cmp(&b.amplitude).unwrap());
+    let urban_column_fraction = match urban {
+        Some(h) => {
+            let r = 2.0 * h.sigma_km;
+            (0..mesh.n_free())
+                .filter(|&s| mesh.free_point(s).dist(&h.center) <= r)
+                .count() as f64
+                / mesh.n_free() as f64
+        }
+        None => 0.0,
+    };
+
+    GridStats {
+        columns: mesh.n_free(),
+        mesh_nodes: mesh.n_nodes(),
+        hanging_nodes: mesh.hanging.iter().filter(|h| h.is_some()).count(),
+        elements: mesh.n_elems(),
+        elements_by_level,
+        h_min_km: mesh.h_min,
+        h_max_km: mesh.h_max,
+        uniform_equivalent_cells: uniform,
+        compression: uniform as f64 / mesh.n_free() as f64,
+        urban_column_fraction,
+    }
+}
+
+impl std::fmt::Display for GridStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "columns {} | mesh nodes {} ({} hanging) | elements {}",
+            self.columns, self.mesh_nodes, self.hanging_nodes, self.elements
+        )?;
+        writeln!(
+            f,
+            "resolution {:.2}..{:.1} km | uniform equivalent {} cells ({:.1}x compression)",
+            self.h_min_km, self.h_max_km, self.uniform_equivalent_cells, self.compression
+        )?;
+        write!(f, "elements by level:")?;
+        for (lvl, n) in self.elements_by_level.iter().enumerate() {
+            write!(f, " L{lvl}={n}")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "{:.0}% of columns sit over the primary urban core",
+            100.0 * self.urban_column_fraction
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let d = Dataset::tiny(120);
+        let s = grid_stats(&d);
+        assert_eq!(s.columns + s.hanging_nodes, s.mesh_nodes);
+        assert_eq!(
+            s.elements_by_level.iter().sum::<usize>(),
+            s.elements
+        );
+        assert!(s.h_min_km < s.h_max_km);
+        assert!(s.compression > 1.0);
+        assert!(s.urban_column_fraction > 0.0 && s.urban_column_fraction < 1.0);
+    }
+
+    #[test]
+    fn la_compression_is_order_ten() {
+        // The efficiency claim in numbers: the LA multiscale grid stands
+        // in for ~10x the uniform columns.
+        let d = Dataset::los_angeles();
+        let s = grid_stats(&d);
+        assert!(
+            s.compression > 5.0 && s.compression < 30.0,
+            "compression {}",
+            s.compression
+        );
+        // Refinement is concentrated: the finest level holds a minority
+        // of the elements.
+        let finest = *s.elements_by_level.last().unwrap();
+        assert!(finest * 2 < s.elements, "finest {finest} of {}", s.elements);
+    }
+
+    #[test]
+    fn display_renders() {
+        let d = Dataset::tiny(80);
+        let text = format!("{}", grid_stats(&d));
+        assert!(text.contains("columns"));
+        assert!(text.contains("compression"));
+        assert!(text.contains("L0="));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the multiscale grid: quadtree balance, mesh
+//! constraint consistency and spatial-index correctness under random
+//! refinement patterns.
+
+use airshed_grid::geometry::{Point, Rect};
+use airshed_grid::mesh::{Mesh, NodeLocator};
+use airshed_grid::quadtree::{QuadTree, RefineParams};
+use proptest::prelude::*;
+
+fn build(
+    hx: f64,
+    hy: f64,
+    sigma: f64,
+    target: usize,
+    depth: u32,
+) -> (QuadTree, Mesh) {
+    let tree = QuadTree::build(
+        Rect::new(0.0, 0.0, 100.0, 80.0),
+        RefineParams {
+            base_nx: 5,
+            base_ny: 4,
+            max_depth: depth,
+            target_leaves: target,
+        },
+        move |p: Point| (-((p.x - hx).powi(2) + (p.y - hy).powi(2)) / (2.0 * sigma * sigma)).exp(),
+    );
+    let mesh = Mesh::from_quadtree(&tree);
+    (tree, mesh)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any refinement pattern keeps the 2:1 balance and tiles the domain.
+    #[test]
+    fn quadtree_invariants(
+        hx in 5.0f64..95.0,
+        hy in 5.0f64..75.0,
+        sigma in 3.0f64..30.0,
+        target in 20usize..300,
+        depth in 2u32..6,
+    ) {
+        let (tree, _) = build(hx, hy, sigma, target, depth);
+        prop_assert_eq!(tree.check_balance(), None);
+        let area: f64 = tree
+            .leaves()
+            .iter()
+            .map(|&l| tree.cell_rect(l).area())
+            .sum();
+        prop_assert!((area - 8000.0).abs() < 1e-6);
+    }
+
+    /// Mesh invariants hold for any refinement: constraint weights sum to
+    /// one, nodal areas sum to the domain area, linear fields interpolate
+    /// exactly through hanging nodes.
+    #[test]
+    fn mesh_invariants(
+        hx in 5.0f64..95.0,
+        hy in 5.0f64..75.0,
+        sigma in 3.0f64..30.0,
+        target in 20usize..250,
+        a in -2.0f64..2.0,
+        b in -2.0f64..2.0,
+    ) {
+        let (_, mesh) = build(hx, hy, sigma, target, 5);
+        for h in mesh.hanging.iter().flatten() {
+            let w: f64 = h.masters.iter().map(|&(_, w)| w).sum();
+            prop_assert!((w - 1.0).abs() < 1e-12);
+        }
+        let total: f64 = mesh.nodal_area.iter().sum();
+        prop_assert!((total - 8000.0).abs() < 1e-6);
+
+        let f = |p: Point| a * p.x + b * p.y + 1.0;
+        let vals: Vec<f64> = (0..mesh.n_free()).map(|s| f(mesh.free_point(s))).collect();
+        for node in 0..mesh.n_nodes() {
+            let v = mesh.node_value(&vals, node);
+            prop_assert!((v - f(mesh.points[node])).abs() < 1e-8);
+        }
+    }
+
+    /// The bucket locator agrees with the exhaustive nearest-node scan for
+    /// arbitrary query points.
+    #[test]
+    fn locator_matches_scan(
+        hx in 5.0f64..95.0,
+        hy in 5.0f64..75.0,
+        qx in 0.0f64..100.0,
+        qy in 0.0f64..80.0,
+    ) {
+        let (_, mesh) = build(hx, hy, 10.0, 150, 4);
+        let loc = NodeLocator::new(&mesh);
+        let q = Point::new(qx, qy);
+        let fast = loc.nearest(&mesh, q);
+        let slow = mesh.nearest_free(q);
+        let df = mesh.free_point(fast).dist(&q);
+        let ds = mesh.free_point(slow).dist(&q);
+        prop_assert!((df - ds).abs() < 1e-9, "fast {df} vs slow {ds}");
+    }
+
+    /// Point location always returns the leaf whose rect contains the
+    /// query (half-open convention).
+    #[test]
+    fn locate_is_geometric(
+        hx in 5.0f64..95.0,
+        fx in 0i64..160,
+        fy in 0i64..128,
+    ) {
+        let (tree, _) = build(hx, 40.0, 8.0, 120, 5);
+        let (fw, fh) = tree.fine_dims();
+        prop_assume!(fx < fw as i64 && fy < fh as i64);
+        let leaf = tree.locate(fx, fy).expect("inside domain");
+        let r = tree.cell_rect(leaf);
+        let (ux, uy) = tree.fine_unit();
+        let (px, py) = (fx as f64 * ux, fy as f64 * uy);
+        prop_assert!(px >= r.x0 - 1e-9 && px < r.x1 + 1e-9);
+        prop_assert!(py >= r.y0 - 1e-9 && py < r.y1 + 1e-9);
+    }
+}

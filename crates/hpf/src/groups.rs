@@ -1,0 +1,96 @@
+//! Node subgroups — Fx task regions.
+//!
+//! "Task parallelism is supported in Fx by the use of mechanisms to
+//! distribute data structures onto subgroups of nodes, and a mechanism to
+//! specify execution on a subgroup of nodes" (§5). A [`NodeGroup`] is
+//! such a subgroup; disjoint groups advance their virtual clocks
+//! independently, which is what lets pipeline stages overlap.
+
+/// A named subgroup of machine nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeGroup {
+    pub name: &'static str,
+    pub ids: Vec<usize>,
+}
+
+impl NodeGroup {
+    /// A group spanning all `p` nodes.
+    pub fn all(p: usize) -> NodeGroup {
+        NodeGroup {
+            name: "all",
+            ids: (0..p).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Split `p` nodes into named contiguous subgroups of the given sizes.
+/// Panics unless the sizes sum to exactly `p` and each is positive.
+pub fn split(p: usize, spec: &[(&'static str, usize)]) -> Vec<NodeGroup> {
+    let total: usize = spec.iter().map(|&(_, s)| s).sum();
+    assert_eq!(total, p, "group sizes {total} must sum to node count {p}");
+    assert!(spec.iter().all(|&(_, s)| s > 0), "groups must be non-empty");
+    let mut next = 0;
+    spec.iter()
+        .map(|&(name, size)| {
+            let ids = (next..next + size).collect();
+            next += size;
+            NodeGroup { name, ids }
+        })
+        .collect()
+}
+
+/// The paper's pipelined split for Airshed (§5): one input node, one
+/// output node, the rest compute. Requires `p >= 3`.
+pub fn airshed_pipeline_split(p: usize) -> (NodeGroup, NodeGroup, NodeGroup) {
+    assert!(p >= 3, "pipelined Airshed needs at least 3 nodes");
+    let groups = split(p, &[("input", 1), ("compute", p - 2), ("output", 1)]);
+    let mut it = groups.into_iter();
+    (it.next().unwrap(), it.next().unwrap(), it.next().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_all_nodes_disjointly() {
+        let gs = split(10, &[("a", 2), ("b", 5), ("c", 3)]);
+        assert_eq!(gs.len(), 3);
+        let mut all: Vec<usize> = gs.iter().flat_map(|g| g.ids.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        assert_eq!(gs[1].name, "b");
+        assert_eq!(gs[1].ids, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum")]
+    fn split_rejects_bad_total() {
+        split(8, &[("a", 3), ("b", 3)]);
+    }
+
+    #[test]
+    fn airshed_split_shape() {
+        let (input, compute, output) = airshed_pipeline_split(16);
+        assert_eq!(input.len(), 1);
+        assert_eq!(compute.len(), 14);
+        assert_eq!(output.len(), 1);
+        assert_eq!(input.ids, vec![0]);
+        assert_eq!(output.ids, vec![15]);
+    }
+
+    #[test]
+    fn all_group() {
+        let g = NodeGroup::all(4);
+        assert_eq!(g.ids, vec![0, 1, 2, 3]);
+        assert!(!g.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Pipelined task-parallel scheduling — the timing model of the paper's
+//! Figure 8: "When the main computation is performed on the current data
+//! set, the input subgroup reads and preprocesses the next input data
+//! set, while the output subgroup processes and writes the previous data
+//! set."
+//!
+//! Classic pipeline recurrence: stage `s` finishes item `i` at
+//! `t[s][i] = max(t[s-1][i], t[s][i-1]) + d[s][i]` — a stage needs its
+//! input ready (the previous stage's output for the same item) and its
+//! own processor free (it just finished the previous item).
+
+/// Result of scheduling a pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineSchedule {
+    /// `completion[s][i]`: when stage `s` finishes item `i`.
+    pub completion: Vec<Vec<f64>>,
+    /// Total makespan: when the last stage finishes the last item.
+    pub makespan: f64,
+    /// Per-stage busy time (sum of durations).
+    pub busy: Vec<f64>,
+}
+
+/// Schedule `durations[s][i]` (stage-major) through a linear pipeline.
+pub fn schedule(durations: &[Vec<f64>]) -> PipelineSchedule {
+    let stages = durations.len();
+    assert!(stages > 0, "need at least one stage");
+    let items = durations[0].len();
+    assert!(
+        durations.iter().all(|d| d.len() == items),
+        "ragged duration matrix"
+    );
+    let mut completion = vec![vec![0.0f64; items]; stages];
+    for s in 0..stages {
+        for i in 0..items {
+            let input_ready = if s > 0 { completion[s - 1][i] } else { 0.0 };
+            let stage_free = if i > 0 { completion[s][i - 1] } else { 0.0 };
+            completion[s][i] = input_ready.max(stage_free) + durations[s][i];
+        }
+    }
+    let makespan = if items > 0 {
+        completion[stages - 1][items - 1]
+    } else {
+        0.0
+    };
+    let busy = durations.iter().map(|d| d.iter().sum()).collect();
+    PipelineSchedule {
+        completion,
+        makespan,
+        busy,
+    }
+}
+
+/// Makespan if the same stages ran strictly sequentially (no overlap) —
+/// the plain data-parallel program's time, for speedup comparisons.
+pub fn sequential_makespan(durations: &[Vec<f64>]) -> f64 {
+    durations
+        .iter()
+        .map(|d| d.iter().sum::<f64>())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stage_is_sum() {
+        let d = vec![vec![1.0, 2.0, 3.0]];
+        let s = schedule(&d);
+        assert_eq!(s.makespan, 6.0);
+        assert_eq!(s.completion[0], vec![1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn balanced_pipeline_overlaps() {
+        // 3 stages × 4 items, each 1s: makespan = stages + items - 1 = 6.
+        let d = vec![vec![1.0; 4]; 3];
+        let s = schedule(&d);
+        assert_eq!(s.makespan, 6.0);
+        assert_eq!(sequential_makespan(&d), 12.0);
+    }
+
+    #[test]
+    fn bottleneck_stage_dominates() {
+        // Middle stage takes 5s; makespan ≈ fill + items × bottleneck.
+        let d = vec![vec![1.0; 10], vec![5.0; 10], vec![1.0; 10]];
+        let s = schedule(&d);
+        assert_eq!(s.makespan, 1.0 + 10.0 * 5.0 + 1.0);
+    }
+
+    #[test]
+    fn airshed_shape_io_hidden_behind_compute() {
+        // The paper's case: input and output stages are cheap relative to
+        // compute, so pipelining hides them almost completely.
+        let hours = 24;
+        let d = vec![
+            vec![2.0; hours],  // inputhour + pretrans
+            vec![10.0; hours], // transport + chemistry
+            vec![2.0; hours],  // outputhour
+        ];
+        let s = schedule(&d);
+        let seq = sequential_makespan(&d);
+        assert_eq!(seq, 24.0 * 14.0);
+        // Pipelined: fill (2) + 24×10 + drain (2) = 244.
+        assert_eq!(s.makespan, 244.0);
+        assert!(s.makespan < 0.75 * seq);
+    }
+
+    #[test]
+    fn irregular_durations_respect_both_dependencies() {
+        let d = vec![vec![3.0, 1.0], vec![1.0, 4.0]];
+        let s = schedule(&d);
+        // t[0] = [3, 4]; t[1][0] = 3+1 = 4; t[1][1] = max(4,4)+4 = 8.
+        assert_eq!(s.completion[1], vec![4.0, 8.0]);
+    }
+
+    #[test]
+    fn busy_times() {
+        let d = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let s = schedule(&d);
+        assert_eq!(s.busy, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn empty_items() {
+        let s = schedule(&[vec![], vec![]][..]);
+        assert_eq!(s.makespan, 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! A PVM-like message-passing substrate.
+//!
+//! The paper's population-exposure model is "written in PVM"; its foreign-
+//! module experiment couples that PVM program to the Fx Airshed. This
+//! module provides the substrate that hosts such a module: a group of
+//! tasks (threads) with typed mailboxes, point-to-point sends, tag-
+//! selective receives, broadcast and a gather helper — the working subset
+//! of the PVM3 API a data-parallel code needs.
+//!
+//! The substrate is *real* concurrency (crossbeam channels and scoped
+//! threads); virtual-time accounting happens separately in the driver, so
+//! the foreign module's results are bit-identical however it is hosted.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A message between PVM tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    pub from: usize,
+    pub tag: u32,
+    pub data: Vec<f64>,
+}
+
+/// The per-task handle: identity, peers, mailbox.
+pub struct PvmTask {
+    pub id: usize,
+    pub n: usize,
+    txs: Vec<Sender<Message>>,
+    rx: Receiver<Message>,
+    stash: Vec<Message>,
+}
+
+impl PvmTask {
+    /// Send `data` to task `to` with a tag (like `pvm_send`).
+    pub fn send(&self, to: usize, tag: u32, data: Vec<f64>) {
+        self.txs[to]
+            .send(Message {
+                from: self.id,
+                tag,
+                data,
+            })
+            .expect("peer mailbox closed");
+    }
+
+    /// Blocking receive of the next message, any source, any tag.
+    pub fn recv(&mut self) -> Message {
+        if !self.stash.is_empty() {
+            return self.stash.remove(0);
+        }
+        self.rx.recv().expect("mailbox closed")
+    }
+
+    /// Blocking receive of the next message with a specific tag (other
+    /// messages are stashed, preserving order — like `pvm_recv(-1, tag)`).
+    pub fn recv_tag(&mut self, tag: u32) -> Message {
+        if let Some(pos) = self.stash.iter().position(|m| m.tag == tag) {
+            return self.stash.remove(pos);
+        }
+        loop {
+            let m = self.rx.recv().expect("mailbox closed");
+            if m.tag == tag {
+                return m;
+            }
+            self.stash.push(m);
+        }
+    }
+
+    /// Blocking receive from a specific source and tag.
+    pub fn recv_from_tag(&mut self, from: usize, tag: u32) -> Message {
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|m| m.tag == tag && m.from == from)
+        {
+            return self.stash.remove(pos);
+        }
+        loop {
+            let m = self.rx.recv().expect("mailbox closed");
+            if m.tag == tag && m.from == from {
+                return m;
+            }
+            self.stash.push(m);
+        }
+    }
+
+    /// Broadcast to every *other* task (like `pvm_mcast`).
+    pub fn broadcast(&self, tag: u32, data: &[f64]) {
+        for to in 0..self.n {
+            if to != self.id {
+                self.send(to, tag, data.to_vec());
+            }
+        }
+    }
+
+    /// Gather a value from every task onto task 0 (returns `Some(parts)`
+    /// on task 0, `None` elsewhere). Part `i` comes from task `i`.
+    pub fn gather_to_root(&mut self, tag: u32, part: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+        if self.id == 0 {
+            let mut parts: Vec<Vec<f64>> = vec![Vec::new(); self.n];
+            parts[0] = part;
+            for _ in 1..self.n {
+                let m = self.recv_tag(tag);
+                parts[m.from] = m.data;
+            }
+            Some(parts)
+        } else {
+            self.send(0, tag, part);
+            None
+        }
+    }
+}
+
+/// Spawn `n` PVM tasks running `f` concurrently; returns their results in
+/// task order (like `pvm_spawn` + join).
+pub fn spawn_group<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut PvmTask) -> R + Sync,
+{
+    assert!(n > 0);
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(id, rx)| {
+                let txs = txs.clone();
+                let f = &f;
+                scope.spawn(move |_| {
+                    let mut task = PvmTask {
+                        id,
+                        n,
+                        txs,
+                        rx,
+                        stash: Vec::new(),
+                    };
+                    f(&mut task)
+                })
+            })
+            .collect();
+        for (slot, h) in results.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("pvm task panicked"));
+        }
+    })
+    .expect("pvm scope failed");
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_accumulates() {
+        // Each task adds its id and passes along the ring; task 0 checks
+        // the total 0+1+..+n-1.
+        let n = 5;
+        let results = spawn_group(n, |t| {
+            if t.id == 0 {
+                t.send(1, 7, vec![0.0]);
+                let m = t.recv_tag(7);
+                m.data[0]
+            } else {
+                let m = t.recv_tag(7);
+                let next = (t.id + 1) % t.n;
+                t.send(next, 7, vec![m.data[0] + t.id as f64]);
+                -1.0
+            }
+        });
+        assert_eq!(results[0], (0..5).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let results = spawn_group(4, |t| {
+            if t.id == 0 {
+                t.broadcast(1, &[42.0, 43.0]);
+                0.0
+            } else {
+                let m = t.recv_tag(1);
+                assert_eq!(m.from, 0);
+                m.data[0] + m.data[1]
+            }
+        });
+        assert_eq!(&results[1..], &[85.0, 85.0, 85.0]);
+    }
+
+    #[test]
+    fn tag_selective_receive_stashes_other_tags() {
+        let results = spawn_group(2, |t| {
+            if t.id == 0 {
+                // Send tag 2 first, then tag 1; receiver asks for 1 first.
+                t.send(1, 2, vec![2.0]);
+                t.send(1, 1, vec![1.0]);
+                0.0
+            } else {
+                let first = t.recv_tag(1);
+                let second = t.recv_tag(2);
+                assert_eq!(first.data[0], 1.0);
+                assert_eq!(second.data[0], 2.0);
+                3.0
+            }
+        });
+        assert_eq!(results[1], 3.0);
+    }
+
+    #[test]
+    fn gather_to_root_collects_in_task_order() {
+        let results = spawn_group(4, |t| {
+            let part = vec![t.id as f64; 2];
+            match t.gather_to_root(9, part) {
+                Some(parts) => parts.iter().map(|p| p[0]).sum::<f64>(),
+                None => -1.0,
+            }
+        });
+        assert_eq!(results[0], 0.0 + 1.0 + 2.0 + 3.0);
+        assert_eq!(&results[1..], &[-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn recv_from_specific_source() {
+        let results = spawn_group(3, |t| match t.id {
+            0 => {
+                // Both peers send tag 5; ask for task 2's first.
+                let m2 = t.recv_from_tag(2, 5);
+                let m1 = t.recv_from_tag(1, 5);
+                m2.data[0] * 10.0 + m1.data[0]
+            }
+            _ => {
+                t.send(0, 5, vec![t.id as f64]);
+                0.0
+            }
+        });
+        assert_eq!(results[0], 21.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for distributions and redistribution planning.
+
+use airshed_hpf::array::DistributedArray;
+use airshed_hpf::dist::{DimDist, Distribution};
+use airshed_hpf::redist::plan;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary single-dim distribution kind.
+fn dim_kind() -> impl Strategy<Value = DimDist> {
+    prop_oneof![
+        Just(DimDist::Block),
+        Just(DimDist::Cyclic),
+        (1usize..5).prop_map(DimDist::BlockCyclic),
+    ]
+}
+
+/// Strategy: a distribution over `ndims` dims with zero or one
+/// distributed dim.
+fn distribution(ndims: usize) -> impl Strategy<Value = Distribution> {
+    prop_oneof![
+        Just(Distribution::replicated(ndims)),
+        (0..ndims, dim_kind()).prop_map(move |(dim, kind)| {
+            let mut dims = vec![DimDist::Collapsed; ndims];
+            dims[dim] = kind;
+            Distribution::new(dims)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any distributed dimension's ownership is an exact partition of
+    /// the extent: every index owned exactly once.
+    #[test]
+    fn ownership_partitions_extent(
+        n in 1usize..200,
+        p in 1usize..20,
+        kind in dim_kind(),
+    ) {
+        let d = Distribution::new(vec![kind]);
+        let mut owned = vec![0u32; n];
+        for node in 0..p {
+            for r in d.owned_dim(0, n, p, node) {
+                for i in r {
+                    owned[i] += 1;
+                }
+            }
+        }
+        prop_assert!(owned.iter().all(|&c| c == 1), "{owned:?}");
+    }
+
+    /// Owned volumes over all nodes sum to the array size for distributed
+    /// layouts (and to p × size for replicated ones).
+    #[test]
+    fn volumes_account_for_every_element(
+        s0 in 1usize..8,
+        s1 in 1usize..8,
+        s2 in 1usize..30,
+        p in 1usize..12,
+        dist in distribution(3),
+    ) {
+        let shape = [s0, s1, s2];
+        let total: usize = shape.iter().product();
+        let sum: usize = (0..p).map(|n| dist.owned_volume(&shape, p, n)).sum();
+        if dist.is_replicated() {
+            prop_assert_eq!(sum, total * p);
+        } else {
+            prop_assert_eq!(sum, total);
+        }
+    }
+
+    /// A redistribution plan conserves bytes: total sent == total
+    /// received, and per-receiver inbound + local copy covers its region.
+    #[test]
+    fn plans_conserve_data(
+        s0 in 1usize..6,
+        s1 in 1usize..6,
+        s2 in 1usize..25,
+        p in 1usize..10,
+        src in distribution(3),
+        dst in distribution(3),
+    ) {
+        let shape = [s0, s1, s2];
+        let pl = plan(&shape, &src, &dst, p, 8);
+        prop_assert_eq!(pl.total_bytes_sent(), pl.total_bytes_recv());
+        // For the flat pairwise case, check per-receiver coverage.
+        if pl.label == "dist->dist" {
+            for r in 0..p {
+                let inbound: usize = pl
+                    .transfers
+                    .iter()
+                    .filter(|t| t.to == r)
+                    .map(|t| t.elems)
+                    .sum();
+                let local = pl.loads[r].bytes_copied / 8;
+                prop_assert_eq!(inbound + local, dst.owned_volume(&shape, p, r));
+            }
+        }
+    }
+
+    /// Scatter → gather is the identity for any distribution, and a full
+    /// redistribution cycle preserves every element.
+    #[test]
+    fn array_roundtrip_preserves_data(
+        s0 in 1usize..5,
+        s1 in 1usize..5,
+        s2 in 1usize..20,
+        p in 1usize..8,
+        a in distribution(3),
+        b in distribution(3),
+        seed in 0u64..1000,
+    ) {
+        let shape = [s0, s1, s2];
+        let total: usize = shape.iter().product();
+        // Deterministic pseudo-random data from the seed.
+        let global: Vec<f64> = (0..total)
+            .map(|i| ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) % 1000) as f64)
+            .collect();
+        let mut arr = DistributedArray::scatter(&global, &shape, a, p);
+        prop_assert_eq!(arr.gather(), global.clone());
+        arr.redistribute(b, 8);
+        prop_assert_eq!(arr.gather(), global.clone());
+        arr.check_consistent().map_err(TestCaseError::fail)?;
+    }
+
+    /// The useful-parallelism formula is min(extent, p) on the
+    /// distributed dim and monotone in p.
+    #[test]
+    fn useful_parallelism_properties(
+        extent in 1usize..100,
+        p1 in 1usize..64,
+        p2 in 1usize..64,
+    ) {
+        let d = Distribution::block(1, 0);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(d.useful_parallelism(&[extent], lo) <= d.useful_parallelism(&[extent], hi));
+        prop_assert_eq!(d.useful_parallelism(&[extent], hi), extent.min(hi));
+    }
+}

@@ -1,0 +1,156 @@
+//! The communication cost model — Eq. (2) of the paper:
+//! `Ct = L·m + G·b + H·c`.
+//!
+//! A redistribution gives every node a communication load: messages sent
+//! and received, bytes sent and received, and bytes copied locally. The
+//! per-node cost charges latency for every message the node handles,
+//! byte cost for the larger of its send and receive volumes (endpoint
+//! processing overlaps the two directions), and copy cost for local
+//! moves. The phase cost is the maximum over nodes — the paper's
+//! "determined by the node that has the highest communication load".
+
+use crate::profiles::MachineProfile;
+use serde::Serialize;
+
+/// One node's communication load in a redistribution phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct NodeCommLoad {
+    pub msgs_sent: usize,
+    pub msgs_recv: usize,
+    pub bytes_sent: usize,
+    pub bytes_recv: usize,
+    pub bytes_copied: usize,
+}
+
+impl NodeCommLoad {
+    /// Merge another load into this one (e.g. several logical transfers
+    /// in one phase).
+    pub fn absorb(&mut self, o: NodeCommLoad) {
+        self.msgs_sent += o.msgs_sent;
+        self.msgs_recv += o.msgs_recv;
+        self.bytes_sent += o.bytes_sent;
+        self.bytes_recv += o.bytes_recv;
+        self.bytes_copied += o.bytes_copied;
+    }
+
+    /// True if the node neither communicates nor copies.
+    pub fn is_idle(&self) -> bool {
+        *self == NodeCommLoad::default()
+    }
+}
+
+impl MachineProfile {
+    /// Per-node cost of a communication load under this machine's
+    /// parameters (seconds).
+    pub fn comm_cost(&self, load: &NodeCommLoad) -> f64 {
+        self.latency * (load.msgs_sent + load.msgs_recv) as f64
+            + self.byte_cost * load.bytes_sent.max(load.bytes_recv) as f64
+            + self.copy_cost * load.bytes_copied as f64
+    }
+
+    /// Phase cost: the maximum per-node cost.
+    pub fn comm_phase_seconds(&self, loads: &[NodeCommLoad]) -> f64 {
+        loads
+            .iter()
+            .map(|l| self.comm_cost(l))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineProfile {
+        MachineProfile::t3e()
+    }
+
+    #[test]
+    fn pure_copy_costs_h_per_byte() {
+        let m = machine();
+        let load = NodeCommLoad {
+            bytes_copied: 1_000_000,
+            ..Default::default()
+        };
+        let c = m.comm_cost(&load);
+        assert!((c - 2.04e-8 * 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_counts_both_directions() {
+        let m = machine();
+        let load = NodeCommLoad {
+            msgs_sent: 10,
+            msgs_recv: 5,
+            ..Default::default()
+        };
+        assert!((m.comm_cost(&load) - 15.0 * 5.2e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_cost_takes_max_direction() {
+        let m = machine();
+        let load = NodeCommLoad {
+            bytes_sent: 100,
+            bytes_recv: 900,
+            ..Default::default()
+        };
+        assert!((m.comm_cost(&load) - 900.0 * 2.47e-8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn phase_takes_max_node() {
+        let m = machine();
+        let light = NodeCommLoad {
+            msgs_sent: 1,
+            bytes_sent: 8,
+            ..Default::default()
+        };
+        let heavy = NodeCommLoad {
+            msgs_sent: 64,
+            bytes_sent: 1 << 20,
+            ..Default::default()
+        };
+        let phase = m.comm_phase_seconds(&[light, heavy, light]);
+        assert_eq!(phase, m.comm_cost(&heavy));
+        assert!(phase > m.comm_cost(&light));
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = NodeCommLoad {
+            msgs_sent: 1,
+            bytes_sent: 10,
+            ..Default::default()
+        };
+        a.absorb(NodeCommLoad {
+            msgs_sent: 2,
+            msgs_recv: 3,
+            bytes_recv: 7,
+            bytes_copied: 4,
+            bytes_sent: 0,
+        });
+        assert_eq!(a.msgs_sent, 3);
+        assert_eq!(a.msgs_recv, 3);
+        assert_eq!(a.bytes_recv, 7);
+        assert_eq!(a.bytes_copied, 4);
+        assert!(!a.is_idle());
+        assert!(NodeCommLoad::default().is_idle());
+    }
+
+    #[test]
+    fn paper_equation_repl_to_trans_shape() {
+        // D_Repl -> D_Trans is a pure local copy of the node's new local
+        // block: Ct = H * ceil(layers/min(layers,P)) * species * nodes * W.
+        let m = machine();
+        let (species, layers, nodes, p) = (35usize, 5usize, 700usize, 8usize);
+        let local_layers = layers.div_ceil(layers.min(p));
+        let bytes = local_layers * species * nodes * m.word_size;
+        let load = NodeCommLoad {
+            bytes_copied: bytes,
+            ..Default::default()
+        };
+        let expect = m.copy_cost * bytes as f64;
+        assert!((m.comm_cost(&load) - expect).abs() < 1e-12);
+    }
+}

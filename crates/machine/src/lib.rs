@@ -1,0 +1,36 @@
+//! # airshed-machine — the virtual distributed-memory machine
+//!
+//! The paper measures Airshed on an Intel Paragon, a Cray T3D and a Cray
+//! T3E. We do not have those machines, so the reproduction executes the
+//! *numerics* on the host while charging *virtual time* to a simulated
+//! machine whose behaviour is the model the paper itself validated (§4):
+//!
+//! * a **computation** phase costs `work / rate` on each node, and the
+//!   phase completes when the slowest node does;
+//! * a **communication** phase costs `Ct = L·m + G·b + H·c` per node —
+//!   latency per message, per-byte processing at the endpoints, and
+//!   per-byte local copying — again settled by the most loaded node.
+//!
+//! The T3E parameter set is the one the paper reports
+//! (`L = 5.2e-5 s/msg`, `G = 2.47e-8 s/B`, `H = 2.04e-8 s/B`, 8-byte
+//! words); Paragon and T3D compute rates follow the paper's observed
+//! ratios (T3D ≈ 2× Paragon, T3E ≈ 10× Paragon).
+//!
+//! Modules: [`profiles`] (machine parameter sets), [`clock`] (per-node
+//! virtual clocks and barriers), [`cost`] (the communication cost model),
+//! [`accounting`] (per-phase time attribution), [`sim`] (the [`Machine`]
+//! façade the runtime drives).
+
+pub mod accounting;
+pub mod clock;
+pub mod cost;
+pub mod profiles;
+pub mod sim;
+pub mod trace;
+
+pub use accounting::{PhaseBreakdown, PhaseCategory};
+pub use clock::NodeClocks;
+pub use cost::NodeCommLoad;
+pub use profiles::MachineProfile;
+pub use sim::Machine;
+pub use trace::{Trace, TraceEvent};

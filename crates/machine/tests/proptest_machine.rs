@@ -1,0 +1,100 @@
+//! Property-based tests for the virtual machine: clock monotonicity,
+//! cost-model monotonicity and phase accounting consistency.
+
+use airshed_machine::accounting::PhaseCategory;
+use airshed_machine::cost::NodeCommLoad;
+use airshed_machine::{Machine, MachineProfile, NodeClocks};
+use proptest::prelude::*;
+
+fn load_strategy() -> impl Strategy<Value = NodeCommLoad> {
+    (
+        0usize..100,
+        0usize..100,
+        0usize..1_000_000,
+        0usize..1_000_000,
+        0usize..1_000_000,
+    )
+        .prop_map(|(ms, mr, bs, br, bc)| NodeCommLoad {
+            msgs_sent: ms,
+            msgs_recv: mr,
+            bytes_sent: bs,
+            bytes_recv: br,
+            bytes_copied: bc,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Clocks never run backwards under any sequence of operations, and a
+    /// barrier equalises exactly to the max.
+    #[test]
+    fn clocks_are_monotone(
+        p in 1usize..16,
+        ops in prop::collection::vec((0usize..16, 0.0f64..10.0), 1..50),
+    ) {
+        let mut c = NodeClocks::new(p);
+        let mut last_max = 0.0f64;
+        for (node, dt) in ops {
+            c.advance(node % p, dt);
+            prop_assert!(c.max() >= last_max);
+            last_max = c.max();
+        }
+        let m = c.barrier();
+        prop_assert_eq!(m, last_max);
+        for n in 0..p {
+            prop_assert_eq!(c.time(n), m);
+        }
+        prop_assert_eq!(c.imbalance(), 0.0);
+    }
+
+    /// The communication cost is monotone: adding load never makes a
+    /// phase cheaper, on any machine.
+    #[test]
+    fn comm_cost_is_monotone(base in load_strategy(), extra in load_strategy()) {
+        for m in MachineProfile::paper_machines() {
+            let c0 = m.comm_cost(&base);
+            let mut bigger = base;
+            bigger.absorb(extra);
+            prop_assert!(m.comm_cost(&bigger) >= c0 - 1e-15);
+        }
+    }
+
+    /// Faster machines are... faster: the T3E never loses to the Paragon
+    /// on the same communication load or compute work.
+    #[test]
+    fn machine_ordering_is_respected(load in load_strategy(), work in 0.0f64..1e12) {
+        let t3e = MachineProfile::t3e();
+        let paragon = MachineProfile::paragon();
+        prop_assert!(t3e.comm_cost(&load) <= paragon.comm_cost(&load) + 1e-15);
+        prop_assert!(t3e.compute_seconds(work) <= paragon.compute_seconds(work) + 1e-15);
+    }
+
+    /// Phase accounting: the breakdown total equals the elapsed time for
+    /// any sequence of whole-machine phases.
+    #[test]
+    fn accounting_adds_up(
+        p in 1usize..12,
+        phases in prop::collection::vec((0usize..3, prop::collection::vec(0.0f64..1e9, 12)), 1..20),
+    ) {
+        let mut m = Machine::new(MachineProfile::t3d(), p);
+        for (kind, work) in phases {
+            let cat = [PhaseCategory::IoProc, PhaseCategory::Transport, PhaseCategory::Chemistry][kind];
+            m.compute(cat, &work[..p]);
+        }
+        prop_assert!((m.breakdown.total() - m.elapsed()).abs() < 1e-9 * m.elapsed().max(1.0));
+    }
+
+    /// Splitting the same total work over more nodes never slows a
+    /// compute phase down (with balanced shares).
+    #[test]
+    fn balanced_scaling_is_monotone(total in 1.0f64..1e12, p1 in 1usize..64, p2 in 1usize..64) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let run = |p: usize| {
+            let mut m = Machine::new(MachineProfile::t3e(), p);
+            m.compute(PhaseCategory::Chemistry, &vec![total / p as f64; p]);
+            m.elapsed()
+        };
+        prop_assert!(run(hi) <= run(lo) + 1e-12);
+    }
+}

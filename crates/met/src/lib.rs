@@ -1,0 +1,32 @@
+//! # airshed-met — synthetic meteorology and emissions
+//!
+//! The real Airshed reads hourly meteorology and emission files ("Every
+//! hour, a new set of initial conditions are input and a preprocessing
+//! phase is executed"). We do not have the CIT input archives, so this
+//! crate synthesizes hour-by-hour inputs with the same structure and data
+//! volume:
+//!
+//! * [`wind`] — diurnal sea-breeze + synoptic wind fields per layer;
+//! * [`mixing`] — boundary-layer growth, vertical diffusivity profiles,
+//!   temperature and solar actinic factor;
+//! * [`emissions`] — an area-source inventory following the dataset's
+//!   urban density, plus elevated point sources at the strongest emission
+//!   columns;
+//! * [`hourly`] — the [`hourly::HourlyInput`] bundle that the `inputhour`
+//!   phase produces and the rest of the model consumes, including the
+//!   CFL-derived step count (`nsteps` is "determined at runtime based on
+//!   the hourly inputs", as in the paper's Figure 1).
+//!
+//! Everything is deterministic: the same hour always produces identical
+//! fields, so simulation results are bit-reproducible across node counts
+//! and machines — a property the integration tests rely on.
+
+pub mod emissions;
+pub mod hourly;
+pub mod mixing;
+pub mod wind;
+
+pub use emissions::{EmissionInventory, PointSource};
+pub use hourly::{HourlyInput, InputGenerator};
+pub use mixing::MixingModel;
+pub use wind::WindModel;

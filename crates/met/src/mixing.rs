@@ -1,0 +1,156 @@
+//! Boundary-layer state: mixing height, vertical diffusivity profile,
+//! temperature and solar actinic factor, all as smooth diurnal functions.
+
+/// Diurnal boundary-layer model.
+#[derive(Debug, Clone)]
+pub struct MixingModel {
+    /// Nocturnal (stable) mixing height (m).
+    pub h_night_m: f64,
+    /// Afternoon (convective) mixing height (m).
+    pub h_day_m: f64,
+    /// Minimum temperature, just before dawn (K).
+    pub t_min_k: f64,
+    /// Maximum temperature, mid-afternoon (K).
+    pub t_max_k: f64,
+    /// Peak in-boundary-layer diffusivity (m²/min).
+    pub kz_peak: f64,
+    /// Residual free-troposphere diffusivity (m²/min).
+    pub kz_background: f64,
+}
+
+impl Default for MixingModel {
+    fn default() -> Self {
+        MixingModel {
+            h_night_m: 250.0,
+            h_day_m: 1200.0,
+            t_min_k: 287.0,
+            t_max_k: 303.0,
+            kz_peak: 3000.0,    // ~50 m^2/s convective
+            kz_background: 6.0, // ~0.1 m^2/s
+        }
+    }
+}
+
+impl MixingModel {
+    /// Solar actinic factor in [0, 1]: 0 at night, 1 at local noon.
+    pub fn sun_factor(hour_of_day: f64) -> f64 {
+        let h = hour_of_day.rem_euclid(24.0);
+        if !(6.0..=18.0).contains(&h) {
+            0.0
+        } else {
+            ((h - 6.0) / 12.0 * std::f64::consts::PI).sin().max(0.0)
+        }
+    }
+
+    /// Mixing height (m) with growth through the morning and collapse
+    /// after sunset.
+    pub fn mixing_height(&self, hour_of_day: f64) -> f64 {
+        let h = hour_of_day.rem_euclid(24.0);
+        let growth = if (7.0..=19.0).contains(&h) {
+            ((h - 7.0) / 12.0 * std::f64::consts::PI).sin().max(0.0)
+        } else {
+            0.0
+        };
+        self.h_night_m + (self.h_day_m - self.h_night_m) * growth
+    }
+
+    /// Temperature (K), minimum at 05:00, maximum at 15:00.
+    pub fn temperature(&self, hour_of_day: f64) -> f64 {
+        let h = hour_of_day.rem_euclid(24.0);
+        let phase = ((h - 5.0) / 20.0 * std::f64::consts::PI).sin().max(0.0);
+        self.t_min_k + (self.t_max_k - self.t_min_k) * phase
+    }
+
+    /// Vertical diffusivity (m²/min) at interface height `z` (m) for the
+    /// given hour: an O'Brien-style `K ∝ z (1 − z/h)²` profile inside the
+    /// mixed layer, residual background above.
+    pub fn kz_at(&self, z_m: f64, hour_of_day: f64) -> f64 {
+        let hmix = self.mixing_height(hour_of_day);
+        if z_m >= hmix || z_m <= 0.0 {
+            return self.kz_background;
+        }
+        let s = z_m / hmix;
+        let profile = 6.75 * s * (1.0 - s) * (1.0 - s); // peaks at 1.0 (s = 1/3)
+        self.kz_background + (self.kz_peak - self.kz_background) * profile * Self::intensity(hour_of_day)
+    }
+
+    /// Interior interface diffusivities for a layer stack described by its
+    /// interface heights (the first and last interface are boundaries and
+    /// carry no interior flux).
+    pub fn kz_profile(&self, interfaces_m: &[f64], hour_of_day: f64) -> Vec<f64> {
+        interfaces_m[1..interfaces_m.len() - 1]
+            .iter()
+            .map(|&z| self.kz_at(z, hour_of_day))
+            .collect()
+    }
+
+    /// Turbulence intensity factor: convection follows the sun with a lag.
+    fn intensity(hour_of_day: f64) -> f64 {
+        let h = hour_of_day.rem_euclid(24.0);
+        if (7.0..=19.0).contains(&h) {
+            0.15 + 0.85 * ((h - 7.0) / 12.0 * std::f64::consts::PI).sin().max(0.0)
+        } else {
+            0.15
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sun_factor_shape() {
+        assert_eq!(MixingModel::sun_factor(0.0), 0.0);
+        assert_eq!(MixingModel::sun_factor(5.9), 0.0);
+        assert!((MixingModel::sun_factor(12.0) - 1.0).abs() < 1e-12);
+        assert!(MixingModel::sun_factor(9.0) > 0.5);
+        assert_eq!(MixingModel::sun_factor(22.0), 0.0);
+        // Periodic.
+        assert_eq!(MixingModel::sun_factor(36.0), MixingModel::sun_factor(12.0));
+    }
+
+    #[test]
+    fn mixing_height_grows_by_day() {
+        let m = MixingModel::default();
+        assert!((m.mixing_height(3.0) - 250.0).abs() < 1e-9);
+        assert!(m.mixing_height(13.0) > 1100.0);
+        assert!(m.mixing_height(23.0) < 300.0);
+    }
+
+    #[test]
+    fn temperature_diurnal_range() {
+        let m = MixingModel::default();
+        assert!((m.temperature(5.0) - 287.0).abs() < 0.5);
+        let t15 = m.temperature(15.0);
+        assert!(t15 > 301.0 && t15 <= 303.0, "T(15) = {t15}");
+    }
+
+    #[test]
+    fn kz_profile_peaks_in_lower_mixed_layer() {
+        let m = MixingModel::default();
+        let hmix = m.mixing_height(14.0);
+        let k_low = m.kz_at(hmix / 3.0, 14.0);
+        let k_top = m.kz_at(0.95 * hmix, 14.0);
+        let k_above = m.kz_at(1.2 * hmix, 14.0);
+        assert!(k_low > 10.0 * k_top.max(1e-12) || k_low > 100.0);
+        assert_eq!(k_above, m.kz_background);
+        assert!(k_low > k_top && k_top > k_above);
+    }
+
+    #[test]
+    fn night_kz_is_weak() {
+        let m = MixingModel::default();
+        let k = m.kz_at(100.0, 2.0);
+        assert!(k < 0.2 * m.kz_peak, "nocturnal kz {k}");
+    }
+
+    #[test]
+    fn kz_profile_length() {
+        let m = MixingModel::default();
+        let ifc = [0.0, 75.0, 200.0, 450.0, 900.0, 1600.0];
+        let prof = m.kz_profile(&ifc, 12.0);
+        assert_eq!(prof.len(), 4);
+        assert!(prof.iter().all(|&k| k > 0.0));
+    }
+}

@@ -1,0 +1,196 @@
+//! Diurnal wind field generator.
+//!
+//! A basin like Los Angeles is dominated by a daytime onshore sea breeze
+//! and a weak nocturnal offshore drainage flow, superposed on a synoptic
+//! flow that strengthens with height. We model exactly that: the resulting
+//! field has strong cross-flow components — the condition under which the
+//! paper says the 2-D horizontal transport operator earns its keep
+//! ("in conditions where significant cross-flow components exist ... a
+//! 2-dimensional method can also use a larger time step").
+//!
+//! Units: positions in km, wind in km/min (1 m/s = 0.06 km/min).
+
+use airshed_grid::geometry::{Point, Rect};
+
+/// Parameters of the analytic wind model.
+#[derive(Debug, Clone)]
+pub struct WindModel {
+    /// Synoptic wind at the lowest layer (km/min), west-to-east.
+    pub synoptic_u: f64,
+    /// Synoptic wind, south-to-north component (km/min).
+    pub synoptic_v: f64,
+    /// Extra synoptic speed per layer index (wind shear with height).
+    pub shear_per_layer: f64,
+    /// Peak sea-breeze speed at the coast (km/min).
+    pub sea_breeze_amp: f64,
+    /// E-folding distance of the sea-breeze inland decay (km).
+    pub penetration_km: f64,
+    /// Amplitude of the terrain-induced swirl (km/min).
+    pub swirl_amp: f64,
+}
+
+impl Default for WindModel {
+    fn default() -> Self {
+        WindModel {
+            synoptic_u: 0.18,       // 3 m/s
+            synoptic_v: 0.06,       // 1 m/s
+            shear_per_layer: 0.045, // +0.75 m/s per layer
+            sea_breeze_amp: 0.30,   // 5 m/s peak breeze
+            penetration_km: 120.0,
+            swirl_amp: 0.10,
+        }
+    }
+}
+
+impl WindModel {
+    /// Diurnal sea-breeze modulation: +1 at mid-afternoon (15:00), small
+    /// negative (offshore drainage) at night.
+    pub fn breeze_phase(hour_of_day: f64) -> f64 {
+        let h = hour_of_day.rem_euclid(24.0);
+        let day = ((h - 9.0) / 12.0 * std::f64::consts::PI).sin();
+        if (9.0..21.0).contains(&h) {
+            day.max(0.0)
+        } else {
+            -0.25 // weak offshore drainage at night
+        }
+    }
+
+    /// Wind vector at a point, layer and hour. The "coast" is the western
+    /// (x = x0) edge of the domain; the sea breeze blows +x and decays
+    /// inland.
+    pub fn wind_at(&self, domain: &Rect, p: Point, layer: usize, hour_of_day: f64) -> (f64, f64) {
+        let phase = Self::breeze_phase(hour_of_day);
+        let inland = (p.x - domain.x0) / self.penetration_km;
+        // Sea breeze is a surface phenomenon: it weakens with layer and
+        // reverses weakly aloft (return flow).
+        let layer_factor = match layer {
+            0 => 1.0,
+            1 => 0.7,
+            2 => 0.3,
+            3 => -0.15,
+            _ => -0.25,
+        };
+        let breeze_u = self.sea_breeze_amp * phase * (-inland).exp() * layer_factor;
+
+        // Terrain swirl: a stationary weak rotation about the domain
+        // centre, stronger aloft, providing cross-flow everywhere.
+        let c = domain.center();
+        let rx = (p.x - c.x) / (0.5 * domain.width());
+        let ry = (p.y - c.y) / (0.5 * domain.height());
+        let swirl = self.swirl_amp * (0.5 + 0.25 * layer as f64);
+        let swirl_u = -swirl * ry;
+        let swirl_v = swirl * rx;
+
+        let syn = 1.0 + self.shear_per_layer * layer as f64 / self.synoptic_u.max(1e-9);
+        let u = self.synoptic_u * syn + breeze_u + swirl_u;
+        let v = self.synoptic_v + swirl_v;
+        (u, v)
+    }
+
+    /// Evaluate the wind at every supplied point for one layer/hour.
+    pub fn field(
+        &self,
+        domain: &Rect,
+        points: &[Point],
+        layer: usize,
+        hour_of_day: f64,
+    ) -> Vec<(f64, f64)> {
+        points
+            .iter()
+            .map(|&p| self.wind_at(domain, p, layer, hour_of_day))
+            .collect()
+    }
+
+    /// Maximum wind speed over a set of points and all layers — drives
+    /// the CFL step-count calculation in `pretrans`.
+    pub fn max_speed(
+        &self,
+        domain: &Rect,
+        points: &[Point],
+        layers: usize,
+        hour_of_day: f64,
+    ) -> f64 {
+        let mut vmax = 0.0f64;
+        for layer in 0..layers {
+            for &p in points {
+                let (u, v) = self.wind_at(domain, p, layer, hour_of_day);
+                vmax = vmax.max((u * u + v * v).sqrt());
+            }
+        }
+        vmax
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom() -> Rect {
+        Rect::new(0.0, 0.0, 320.0, 160.0)
+    }
+
+    #[test]
+    fn breeze_peaks_in_afternoon_and_reverses_at_night() {
+        assert!(WindModel::breeze_phase(15.0) > 0.9);
+        assert!(WindModel::breeze_phase(3.0) < 0.0);
+        assert!(WindModel::breeze_phase(12.0) > 0.5);
+    }
+
+    #[test]
+    fn sea_breeze_is_onshore_and_decays_inland() {
+        let m = WindModel::default();
+        let coast = m.wind_at(&dom(), Point::new(5.0, 80.0), 0, 15.0);
+        let inland = m.wind_at(&dom(), Point::new(300.0, 80.0), 0, 15.0);
+        assert!(coast.0 > inland.0, "coast u {} vs inland u {}", coast.0, inland.0);
+        // Onshore (+x) daytime breeze should exceed the synoptic flow
+        // alone at the coast.
+        assert!(coast.0 > m.synoptic_u + 0.1);
+    }
+
+    #[test]
+    fn wind_strengthens_with_height() {
+        let m = WindModel::default();
+        let p = Point::new(160.0, 80.0);
+        // Compare at night so the sea-breeze layer structure does not
+        // dominate.
+        let low = m.wind_at(&dom(), p, 0, 2.0);
+        let high = m.wind_at(&dom(), p, 4, 2.0);
+        let s = |w: (f64, f64)| (w.0 * w.0 + w.1 * w.1).sqrt();
+        assert!(s(high) > s(low), "aloft {} vs surface {}", s(high), s(low));
+    }
+
+    #[test]
+    fn cross_flow_exists() {
+        // The paper's justification for the 2-D operator: significant
+        // cross-flow. Check the v component is non-negligible somewhere.
+        let m = WindModel::default();
+        let w = m.wind_at(&dom(), Point::new(160.0, 20.0), 2, 12.0);
+        assert!(w.1.abs() > 0.01);
+    }
+
+    #[test]
+    fn field_matches_pointwise_evaluation() {
+        let m = WindModel::default();
+        let pts = vec![Point::new(10.0, 10.0), Point::new(200.0, 100.0)];
+        let f = m.field(&dom(), &pts, 1, 14.0);
+        assert_eq!(f[0], m.wind_at(&dom(), pts[0], 1, 14.0));
+        assert_eq!(f[1], m.wind_at(&dom(), pts[1], 1, 14.0));
+    }
+
+    #[test]
+    fn max_speed_bounds_field() {
+        let m = WindModel::default();
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new(6.4 * i as f64, 3.2 * i as f64 % 160.0))
+            .collect();
+        let vmax = m.max_speed(&dom(), &pts, 5, 15.0);
+        for layer in 0..5 {
+            for &p in &pts {
+                let (u, v) = m.wind_at(&dom(), p, layer, 15.0);
+                assert!((u * u + v * v).sqrt() <= vmax + 1e-12);
+            }
+        }
+        // Plausible range: 1-15 m/s.
+        assert!(vmax > 0.06 && vmax < 0.9, "vmax {vmax} km/min");
+    }
+}

@@ -1,0 +1,139 @@
+//! Demographic stratification of the exposure model.
+//!
+//! Health impacts are not uniform: children and the elderly respond more
+//! strongly to the same ozone dose. This module splits the population
+//! grid into age groups with group-specific concentration-response
+//! multipliers and produces per-group outcomes — the numbers a real
+//! exposure assessment reports.
+
+use crate::exposure::{ExposureResult, PopExpModel};
+use serde::Serialize;
+
+/// An age (or sensitivity) group.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Demographic {
+    pub name: &'static str,
+    /// Share of the total population in this group (shares sum to 1).
+    pub share: f64,
+    /// Concentration-response multiplier relative to the adult baseline.
+    pub response_multiplier: f64,
+}
+
+/// A standard three-group split: children / adults / elderly.
+pub const STANDARD_GROUPS: [Demographic; 3] = [
+    Demographic {
+        name: "children",
+        share: 0.24,
+        response_multiplier: 1.6,
+    },
+    Demographic {
+        name: "adults",
+        share: 0.61,
+        response_multiplier: 1.0,
+    },
+    Demographic {
+        name: "elderly",
+        share: 0.15,
+        response_multiplier: 2.1,
+    },
+];
+
+/// Per-group outcome for one hour.
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupOutcome {
+    pub group: &'static str,
+    pub person_dose: f64,
+    pub excess_events: f64,
+}
+
+/// Stratify an aggregate hourly exposure result into group outcomes.
+///
+/// Dose is proportional to headcount (everyone breathes the same air in
+/// this bulk treatment); events scale by the group's response multiplier,
+/// normalised so the group totals reproduce a population-weighted
+/// whole-population response.
+pub fn stratify(total: &ExposureResult, groups: &[Demographic]) -> Vec<GroupOutcome> {
+    let share_sum: f64 = groups.iter().map(|g| g.share).sum();
+    assert!(
+        (share_sum - 1.0).abs() < 1e-9,
+        "group shares must sum to 1 (got {share_sum})"
+    );
+    let weighted_response: f64 = groups
+        .iter()
+        .map(|g| g.share * g.response_multiplier)
+        .sum();
+    groups
+        .iter()
+        .map(|g| GroupOutcome {
+            group: g.name,
+            person_dose: total.person_dose * g.share,
+            excess_events: total.excess_events * g.share * g.response_multiplier
+                / weighted_response,
+        })
+        .collect()
+}
+
+/// Evaluate one hour and stratify in one call.
+pub fn exposure_by_group(
+    model: &PopExpModel,
+    hour: usize,
+    surface: &[f64],
+    groups: &[Demographic],
+) -> (ExposureResult, Vec<GroupOutcome>) {
+    let total = model.exposure_hour(hour, surface);
+    let by_group = stratify(&total, groups);
+    (total, by_group)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total() -> ExposureResult {
+        ExposureResult {
+            hour: 14,
+            person_dose: 1.0e6,
+            people_above_o3_threshold: 2.0e5,
+            excess_events: 120.0,
+        }
+    }
+
+    #[test]
+    fn standard_groups_are_a_partition() {
+        let s: f64 = STANDARD_GROUPS.iter().map(|g| g.share).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stratification_conserves_dose_and_events() {
+        let by = stratify(&total(), &STANDARD_GROUPS);
+        let dose: f64 = by.iter().map(|g| g.person_dose).sum();
+        let events: f64 = by.iter().map(|g| g.excess_events).sum();
+        assert!((dose - 1.0e6).abs() < 1e-6);
+        assert!((events - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitive_groups_bear_disproportionate_burden() {
+        let by = stratify(&total(), &STANDARD_GROUPS);
+        let per_capita = |g: &GroupOutcome, share: f64| g.excess_events / share;
+        let children = per_capita(&by[0], STANDARD_GROUPS[0].share);
+        let adults = per_capita(&by[1], STANDARD_GROUPS[1].share);
+        let elderly = per_capita(&by[2], STANDARD_GROUPS[2].share);
+        assert!(elderly > children && children > adults);
+        assert!((elderly / adults - 2.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "shares must sum")]
+    fn rejects_non_partition() {
+        stratify(
+            &total(),
+            &[Demographic {
+                name: "half",
+                share: 0.5,
+                response_multiplier: 1.0,
+            }],
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # airshed-popexp — the population exposure model (PopExp)
+//!
+//! "Airshed is often coupled with a population exposure model (PopExp), a
+//! computation that uses the concentration data for chemicals generated
+//! by Airshed to calculate the impact on health" (§6). The paper
+//! integrates a PVM-parallel PopExp with the Fx Airshed as a *foreign
+//! module* and compares it against an all-Fx (native task) version —
+//! Figure 13.
+//!
+//! * [`population`] — a synthetic population grid consistent with the
+//!   dataset's urban density;
+//! * [`exposure`] — the hourly exposure/dose computation (the model
+//!   itself), parallelised over population cells;
+//! * [`hosting`] — the two hostings: native Fx task vs PVM foreign
+//!   module (really executed on the [`airshed_hpf::pvm`] substrate), and
+//!   the Figure 13 sweep;
+//! * [`gems`] — the GEMS problem-solving environment of Figure 10:
+//!   emission-control scenario evaluation and constrained strategy
+//!   selection.
+
+pub mod demographics;
+pub mod exposure;
+pub mod gems;
+pub mod hosting;
+pub mod population;
+
+pub use demographics::{exposure_by_group, Demographic, GroupOutcome, STANDARD_GROUPS};
+pub use exposure::{ExposureResult, PopExpModel};
+pub use gems::{Gems, Scenario, ScenarioOutcome};
+pub use hosting::{fig13_sweep, replay_with_popexp, Hosting, PopExpRunReport};
+pub use population::PopulationGrid;

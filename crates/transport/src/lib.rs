@@ -1,0 +1,36 @@
+// Numerical kernels index several parallel arrays in lockstep; the
+// indexed form is the clearer idiom there, and `Vec<Range>` is the
+// intended ownership-list type even when it holds one range.
+#![allow(clippy::needless_range_loop, clippy::single_range_in_vec_init)]
+
+//! # airshed-transport — the `Lxy` horizontal transport operator
+//!
+//! Horizontal advection–diffusion on the multiscale grid, solved with the
+//! Streamline-Upwind Petrov–Galerkin (SUPG) finite element method the
+//! paper cites (Odman & Russell's multiscale pollutant transport scheme).
+//! The 2-D operator is the source of the paper's central parallelism
+//! constraint: it couples the whole horizontal plane, so the transport
+//! phase parallelises only across vertical *layers*.
+//!
+//! Modules:
+//!
+//! * [`csr`] — compressed-sparse-row matrices with a triplet builder;
+//! * [`solver`] — BiCGSTAB (nonsymmetric SUPG systems) and CG, both with
+//!   Jacobi preconditioning;
+//! * [`supg`] — element integration and global assembly (hanging-node
+//!   constraints folded in through the mesh scatter map);
+//! * [`operator`] — the Crank–Nicolson half-step operator `Lxy(Δt/2)`
+//!   applied per layer and species;
+//! * [`onedim`] — the uniform-grid 1-D operator-split baseline
+//!   (Dabdub–Seinfeld style) used in the paper's efficiency-vs-
+//!   parallelism discussion.
+
+pub mod csr;
+pub mod onedim;
+pub mod operator;
+pub mod solver;
+pub mod supg;
+
+pub use csr::{Csr, CsrBuilder};
+pub use operator::{HorizontalTransport, LayerOperator, TransportWork};
+pub use solver::{bicgstab, conjugate_gradient, SolveStats};

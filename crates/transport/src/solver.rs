@@ -1,0 +1,324 @@
+//! Iterative linear solvers: Jacobi-preconditioned BiCGSTAB for the
+//! nonsymmetric SUPG systems and conjugate gradient for SPD systems
+//! (mass-matrix solves and tests).
+//!
+//! Iteration counts are returned to the caller because they are the
+//! transport phase's *work units*: the machine model charges virtual time
+//! proportional to `iterations × nnz`.
+
+use crate::csr::Csr;
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    pub iterations: usize,
+    pub residual: f64,
+    pub converged: bool,
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Jacobi (diagonal) preconditioner: `z = D⁻¹ r`.
+struct Jacobi {
+    inv_diag: Vec<f64>,
+}
+
+impl Jacobi {
+    fn new(a: &Csr) -> Jacobi {
+        let inv_diag = a
+            .diagonal()
+            .iter()
+            .map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 1.0 })
+            .collect();
+        Jacobi { inv_diag }
+    }
+
+    #[inline]
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        for i in 0..r.len() {
+            z[i] = r[i] * self.inv_diag[i];
+        }
+    }
+}
+
+/// Solve `A x = b` with preconditioned BiCGSTAB, starting from the value
+/// of `x` on entry (warm starts matter: successive transport steps change
+/// the field slowly).
+pub fn bicgstab(a: &Csr, b: &[f64], x: &mut [f64], rtol: f64, max_iter: usize) -> SolveStats {
+    let n = a.n();
+    debug_assert_eq!(b.len(), n);
+    debug_assert_eq!(x.len(), n);
+    let pre = Jacobi::new(a);
+
+    let mut r = vec![0.0; n];
+    a.matvec(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let bnorm = norm(b).max(1e-300);
+    let mut rnorm = norm(&r);
+    if rnorm / bnorm <= rtol {
+        return SolveStats {
+            iterations: 0,
+            residual: rnorm / bnorm,
+            converged: true,
+        };
+    }
+
+    let r0 = r.clone();
+    let mut rho = 1.0;
+    let mut alpha = 1.0;
+    let mut omega = 1.0;
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut phat = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    let mut shat = vec![0.0; n];
+    let mut t = vec![0.0; n];
+
+    for it in 1..=max_iter {
+        let rho_new = dot(&r0, &r);
+        if rho_new.abs() < 1e-300 {
+            // Breakdown: restart with the current residual.
+            return SolveStats {
+                iterations: it,
+                residual: rnorm / bnorm,
+                converged: rnorm / bnorm <= rtol,
+            };
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        pre.apply(&p, &mut phat);
+        a.matvec(&phat, &mut v);
+        let r0v = dot(&r0, &v);
+        if r0v.abs() < 1e-300 {
+            return SolveStats {
+                iterations: it,
+                residual: rnorm / bnorm,
+                converged: false,
+            };
+        }
+        alpha = rho / r0v;
+        for i in 0..n {
+            s[i] = r[i] - alpha * v[i];
+        }
+        if norm(&s) / bnorm <= rtol {
+            for i in 0..n {
+                x[i] += alpha * phat[i];
+            }
+            return SolveStats {
+                iterations: it,
+                residual: norm(&s) / bnorm,
+                converged: true,
+            };
+        }
+        pre.apply(&s, &mut shat);
+        a.matvec(&shat, &mut t);
+        let tt = dot(&t, &t);
+        omega = if tt > 1e-300 { dot(&t, &s) / tt } else { 0.0 };
+        for i in 0..n {
+            x[i] += alpha * phat[i] + omega * shat[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        rnorm = norm(&r);
+        if rnorm / bnorm <= rtol {
+            return SolveStats {
+                iterations: it,
+                residual: rnorm / bnorm,
+                converged: true,
+            };
+        }
+        if omega.abs() < 1e-300 {
+            return SolveStats {
+                iterations: it,
+                residual: rnorm / bnorm,
+                converged: false,
+            };
+        }
+    }
+    SolveStats {
+        iterations: max_iter,
+        residual: rnorm / bnorm,
+        converged: false,
+    }
+}
+
+/// Jacobi-preconditioned conjugate gradient for SPD matrices.
+pub fn conjugate_gradient(
+    a: &Csr,
+    b: &[f64],
+    x: &mut [f64],
+    rtol: f64,
+    max_iter: usize,
+) -> SolveStats {
+    let n = a.n();
+    let pre = Jacobi::new(a);
+    let mut r = vec![0.0; n];
+    a.matvec(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let bnorm = norm(b).max(1e-300);
+    let mut z = vec![0.0; n];
+    pre.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+    for it in 0..max_iter {
+        if norm(&r) / bnorm <= rtol {
+            return SolveStats {
+                iterations: it,
+                residual: norm(&r) / bnorm,
+                converged: true,
+            };
+        }
+        a.matvec(&p, &mut ap);
+        let alpha = rz / dot(&p, &ap).max(1e-300);
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        pre.apply(&r, &mut z);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz.max(1e-300);
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    SolveStats {
+        iterations: max_iter,
+        residual: norm(&r) / bnorm,
+        converged: norm(&r) / bnorm <= rtol,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrBuilder;
+
+    /// 1-D Poisson matrix (SPD, tridiagonal).
+    fn poisson(n: usize) -> Csr {
+        let mut b = CsrBuilder::new(n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    /// Nonsymmetric advection-diffusion-like matrix.
+    fn advdiff(n: usize) -> Csr {
+        let mut b = CsrBuilder::new(n);
+        for i in 0..n {
+            b.add(i, i, 3.0);
+            if i > 0 {
+                b.add(i, i - 1, -1.8); // upwind bias
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -0.6);
+            }
+        }
+        b.build()
+    }
+
+    fn check_solution(a: &Csr, x: &[f64], b: &[f64], tol: f64) {
+        let mut ax = vec![0.0; x.len()];
+        a.matvec(x, &mut ax);
+        let res: f64 = ax
+            .iter()
+            .zip(b)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
+        let bn: f64 = b.iter().map(|q| q * q).sum::<f64>().sqrt();
+        assert!(res / bn < tol, "relative residual {}", res / bn);
+    }
+
+    #[test]
+    fn cg_solves_poisson() {
+        let n = 64;
+        let a = poisson(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut x = vec![0.0; n];
+        let st = conjugate_gradient(&a, &b, &mut x, 1e-10, 500);
+        assert!(st.converged, "{st:?}");
+        check_solution(&a, &x, &b, 1e-8);
+    }
+
+    #[test]
+    fn bicgstab_solves_nonsymmetric() {
+        let n = 80;
+        let a = advdiff(n);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.3).cos()).collect();
+        let mut x = vec![0.0; n];
+        let st = bicgstab(&a, &b, &mut x, 1e-10, 500);
+        assert!(st.converged, "{st:?}");
+        check_solution(&a, &x, &b, 1e-8);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let n = 128;
+        let a = advdiff(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin() + 2.0).collect();
+        let mut x_cold = vec![0.0; n];
+        let cold = bicgstab(&a, &b, &mut x_cold, 1e-10, 500);
+        // Warm start from the exact solution: 0 iterations.
+        let mut x_warm = x_cold.clone();
+        let warm = bicgstab(&a, &b, &mut x_warm, 1e-10, 500);
+        assert!(warm.iterations < cold.iterations);
+        assert_eq!(warm.iterations, 0);
+    }
+
+    #[test]
+    fn identity_converges_immediately() {
+        let a = Csr::identity(10);
+        let b = vec![7.0; 10];
+        let mut x = vec![0.0; 10];
+        let st = bicgstab(&a, &b, &mut x, 1e-12, 10);
+        assert!(st.converged);
+        assert!(st.iterations <= 1);
+        check_solution(&a, &x, &b, 1e-12);
+    }
+
+    #[test]
+    fn solver_reports_non_convergence() {
+        // One iteration allowed on a hard system: must say not converged.
+        let a = poisson(200);
+        let b = vec![1.0; 200];
+        let mut x = vec![0.0; 200];
+        let st = conjugate_gradient(&a, &b, &mut x, 1e-14, 1);
+        assert!(!st.converged);
+        assert_eq!(st.iterations, 1);
+    }
+
+    #[test]
+    fn bicgstab_matches_cg_on_spd() {
+        let n = 50;
+        let a = poisson(n);
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut x1 = vec![0.0; n];
+        let mut x2 = vec![0.0; n];
+        conjugate_gradient(&a, &b, &mut x1, 1e-12, 1000);
+        bicgstab(&a, &b, &mut x2, 1e-12, 1000);
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-6, "{p} vs {q}");
+        }
+    }
+}

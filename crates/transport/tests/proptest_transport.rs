@@ -1,0 +1,122 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Property-based tests for sparse algebra, solvers and transport
+//! kernels.
+
+use airshed_grid::datasets::Dataset;
+use airshed_transport::csr::CsrBuilder;
+use airshed_transport::onedim::{OneDimTransport, UniformGrid};
+use airshed_transport::operator::HorizontalTransport;
+use airshed_transport::solver::{bicgstab, conjugate_gradient};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CSR matvec agrees with a dense reference built from the same
+    /// (possibly duplicated) triplets.
+    #[test]
+    fn csr_matvec_matches_dense(
+        n in 1usize..12,
+        triplets in prop::collection::vec((0usize..12, 0usize..12, -5.0f64..5.0), 0..60),
+        x in prop::collection::vec(-3.0f64..3.0, 12),
+    ) {
+        let mut dense = vec![vec![0.0f64; n]; n];
+        let mut b = CsrBuilder::new(n);
+        for &(i, j, v) in &triplets {
+            if i < n && j < n {
+                dense[i][j] += v;
+                b.add(i, j, v);
+            }
+        }
+        let a = b.build();
+        let xs = &x[..n];
+        let mut y = vec![0.0; n];
+        a.matvec(xs, &mut y);
+        for i in 0..n {
+            let want: f64 = (0..n).map(|j| dense[i][j] * xs[j]).sum();
+            prop_assert!((y[i] - want).abs() < 1e-10, "row {i}: {} vs {want}", y[i]);
+        }
+    }
+
+    /// BiCGSTAB and CG both solve random diagonally dominant SPD systems
+    /// to the requested tolerance.
+    #[test]
+    fn solvers_reach_tolerance(
+        n in 2usize..30,
+        off in prop::collection::vec(-0.45f64..0.45, 30),
+        rhs in prop::collection::vec(-5.0f64..5.0, 30),
+    ) {
+        let mut b = CsrBuilder::new(n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+            if i + 1 < n {
+                // Symmetric off-diagonals keep it SPD; |off| < 0.5 keeps
+                // it strictly diagonally dominant.
+                b.add(i, i + 1, off[i]);
+                b.add(i + 1, i, off[i]);
+            }
+        }
+        let a = b.build();
+        let rhs = &rhs[..n];
+        let check = |x: &[f64]| {
+            let mut ax = vec![0.0; n];
+            a.matvec(x, &mut ax);
+            let r: f64 = ax.iter().zip(rhs).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+            let bn: f64 = rhs.iter().map(|q| q * q).sum::<f64>().sqrt().max(1e-12);
+            r / bn
+        };
+        let mut x1 = vec![0.0; n];
+        let s1 = conjugate_gradient(&a, rhs, &mut x1, 1e-9, 500);
+        prop_assert!(s1.converged && check(&x1) < 1e-7);
+        let mut x2 = vec![0.0; n];
+        let s2 = bicgstab(&a, rhs, &mut x2, 1e-9, 500);
+        prop_assert!(s2.converged && check(&x2) < 1e-7);
+    }
+
+    /// The assembled SUPG half-step keeps a uniform field fixed for any
+    /// constant wind — the transport operator never invents mass from a
+    /// constant state.
+    #[test]
+    fn uniform_state_is_invariant_under_any_wind(
+        u in -0.5f64..0.5,
+        v in -0.5f64..0.5,
+        bg in 0.01f64..0.1,
+    ) {
+        let d = Dataset::tiny(80);
+        let winds = vec![vec![(u, v); d.mesh.n_nodes()]];
+        let (op, _) = HorizontalTransport::assemble(&d.mesh, &winds, 0.01, 5.0);
+        let mut c = vec![bg; d.mesh.n_free()];
+        let mut scratch = Vec::new();
+        let st = op.half_step(0, &mut c, bg, &mut scratch);
+        prop_assert!(st.converged);
+        for (i, &x) in c.iter().enumerate() {
+            prop_assert!((x - bg).abs() < 1e-6, "slot {i}: {x} vs {bg}");
+        }
+    }
+
+    /// The limited 1-D sweep is TVD-ish: it never exceeds the input range
+    /// (no new extrema) and conserves mass with periodic-like interior.
+    #[test]
+    fn onedim_sweep_bounded_by_input_range(
+        profile in prop::collection::vec(0.0f64..2.0, 16..40),
+        u in -0.9f64..0.9,
+    ) {
+        let g = UniformGrid::with_resolution(40.0, 10.0, 1.0);
+        let op = OneDimTransport::new(g, 0.0);
+        let dt = op.max_dt(u.abs().max(0.05));
+        let bg = profile[0];
+        let lo = profile.iter().cloned().fold(bg, f64::min);
+        let hi = profile.iter().cloned().fold(bg, f64::max);
+        // One x-sweep via the public step on a 1-row field.
+        let nx = op.grid.nx;
+        let mut field = vec![bg; nx * op.grid.ny];
+        for (i, v) in profile.iter().take(nx).enumerate() {
+            field[i] = *v;
+        }
+        op.step(&mut field, u, 0.0, dt, bg);
+        for &x in &field[..nx] {
+            prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9, "{x} outside [{lo},{hi}]");
+        }
+    }
+}

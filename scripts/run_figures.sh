@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure/table and ablation into docs/figures/.
+#
+# The first run executes the LA and NE 24-hour numerics once (minutes of
+# host time) and caches the work profiles under target/airshed-profiles/;
+# subsequent runs replay in seconds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIGURES=(fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig13 table1 timeline
+         ablation_1d2d ablation_coupling ablation_cyclic
+         ablation_pipeline_split ablation_ybform)
+
+cargo build --release -p airshed-bench 1>&2
+
+mkdir -p docs/figures
+for f in "${FIGURES[@]}"; do
+    echo "== $f =="
+    ./target/release/"$f" | tee "docs/figures/$f.txt"
+done
+echo "done: outputs in docs/figures/"

@@ -1,0 +1,389 @@
+//! The `airshed` command-line interface.
+//!
+//! ```text
+//! airshed run     --dataset tiny:120 --machine t3e --nodes 16 --hours 6
+//! airshed sweep   --dataset la --nodes 4,8,16,32,64,128
+//! airshed predict --dataset tiny:120 --machine t3e
+//! airshed popexp  --dataset tiny:120 --nodes 16 --hours 5
+//! airshed help
+//! ```
+//!
+//! Everything the figure harness can do for the paper's datasets, on any
+//! configuration, from one binary — the "downstream user" entry point.
+
+use airshed::core::config::{DatasetChoice, SimConfig, Weather};
+use airshed::core::driver::{replay_with_layout, run_with_profile, ChemLayout};
+use airshed::core::predict::PerfModel;
+use airshed::core::taskpar::{optimize_split, replay_taskparallel};
+use airshed::core::viz;
+use airshed::machine::MachineProfile;
+use airshed::popexp::{replay_with_popexp, Hosting};
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Options {
+    dataset: DatasetChoice,
+    machine: MachineProfile,
+    nodes: Vec<usize>,
+    hours: usize,
+    start_hour: usize,
+    emission_scale: f64,
+    weather: Weather,
+    cyclic: bool,
+    taskpar: bool,
+    map: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            dataset: DatasetChoice::Tiny(120),
+            machine: MachineProfile::t3e(),
+            nodes: vec![16],
+            hours: 6,
+            start_hour: 8,
+            emission_scale: 1.0,
+            weather: Weather::Ventilated,
+            cyclic: false,
+            taskpar: false,
+            map: true,
+        }
+    }
+}
+
+fn usage() {
+    println!(
+        "airshed — the Airshed pollution model in an HPF-style environment
+
+USAGE:
+    airshed <command> [options]
+
+COMMANDS:
+    run       simulate and report phase timings + surface ozone map
+    sweep     replay one run across machines and node counts (Figure 2 style)
+    predict   calibrate the analytic model and extrapolate (Figure 6/7 style)
+    popexp    integrated Airshed + population exposure (Figure 13 style)
+    gridinfo  multiscale-grid statistics for a dataset
+    help      this text
+
+OPTIONS:
+    --dataset la | ne | tiny:<columns>     (default tiny:120)
+    --machine t3e | t3d | paragon          (default t3e)
+    --nodes   N[,N...]                     (default 16)
+    --hours   N                            (default 6)
+    --start   hour-of-day 0..23            (default 8)
+    --emis    emission scale factor        (default 1.0)
+    --stagnation  simulate a stagnant high-pressure smog episode
+    --cyclic  use CYCLIC chemistry distribution
+    --taskpar use the pipelined task-parallel driver
+    --no-map  skip the ASCII ozone map
+
+EXAMPLES:
+    airshed run --dataset tiny:150 --nodes 32 --hours 8
+    airshed sweep --dataset la --nodes 4,8,16,32,64,128
+    airshed run --dataset tiny:120 --emis 0.5 --hours 6   # policy scenario"
+    );
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--dataset" => {
+                let v = val("--dataset")?;
+                o.dataset = match v.as_str() {
+                    "la" | "LA" => DatasetChoice::LosAngeles,
+                    "ne" | "NE" => DatasetChoice::NorthEast,
+                    other => {
+                        let n = other
+                            .strip_prefix("tiny:")
+                            .ok_or_else(|| format!("unknown dataset '{other}'"))?
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad tiny size: {e}"))?;
+                        DatasetChoice::Tiny(n)
+                    }
+                };
+            }
+            "--machine" => {
+                let v = val("--machine")?;
+                o.machine = MachineProfile::by_name(&v)
+                    .ok_or_else(|| format!("unknown machine '{v}' (t3e|t3d|paragon)"))?;
+            }
+            "--nodes" => {
+                let v = val("--nodes")?;
+                o.nodes = v
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("bad node list: {e}"))?;
+                if o.nodes.is_empty() || o.nodes.contains(&0) {
+                    return Err("node counts must be positive".into());
+                }
+            }
+            "--hours" => o.hours = val("--hours")?.parse().map_err(|e| format!("{e}"))?,
+            "--start" => {
+                o.start_hour = val("--start")?.parse().map_err(|e| format!("{e}"))?;
+                if o.start_hour > 23 {
+                    return Err("--start must be 0..23".into());
+                }
+            }
+            "--emis" => {
+                o.emission_scale = val("--emis")?.parse().map_err(|e| format!("{e}"))?;
+                if o.emission_scale < 0.0 {
+                    return Err("--emis must be non-negative".into());
+                }
+            }
+            "--stagnation" => o.weather = Weather::Stagnation,
+            "--cyclic" => o.cyclic = true,
+            "--taskpar" => o.taskpar = true,
+            "--no-map" => o.map = false,
+            other => return Err(format!("unknown option '{other}' (try: airshed help)")),
+        }
+    }
+    Ok(o)
+}
+
+fn config(o: &Options, p: usize) -> SimConfig {
+    SimConfig {
+        dataset: o.dataset,
+        machine: o.machine,
+        p,
+        hours: o.hours,
+        start_hour: o.start_hour,
+        kh: 0.012,
+        chem_opts: Default::default(),
+        weather: o.weather,
+        emission_scale: o.emission_scale,
+    }
+}
+
+fn layout(o: &Options) -> ChemLayout {
+    if o.cyclic {
+        ChemLayout::Cyclic
+    } else {
+        ChemLayout::Block
+    }
+}
+
+fn cmd_run(o: &Options) {
+    let p = o.nodes[0];
+    eprintln!(
+        "simulating {} for {} hours on {} x{} nodes...",
+        o.dataset.name(),
+        o.hours,
+        o.machine.name,
+        p
+    );
+    let (report, profile) = run_with_profile(&config(o, p));
+    let report = if o.cyclic {
+        replay_with_layout(&profile, o.machine, p, ChemLayout::Cyclic)
+    } else {
+        report
+    };
+    print!("{report}");
+    if o.taskpar && p >= 3 {
+        let tp = replay_taskparallel(&profile, o.machine, p);
+        println!(
+            "task-parallel pipeline (1 in / {} compute / 1 out): {:.1}s ({:+.1}% vs data-parallel)",
+            p - 2,
+            tp.total_seconds,
+            100.0 * (report.total_seconds / tp.total_seconds - 1.0)
+        );
+        let (pi, po, best) = optimize_split(&profile, o.machine, p);
+        println!(
+            "optimal split in={pi}/out={po}: {:.1}s",
+            best.total_seconds
+        );
+    }
+    if o.map {
+        let dataset = o.dataset.build();
+        let n = dataset.nodes();
+        if let Some(last) = profile.hours.last() {
+            println!("\nsurface ozone, final hour:");
+            print!("{}", viz::ascii_map_auto(&dataset, &last.surface[..n], 64, 20));
+        }
+    }
+}
+
+fn cmd_gridinfo(o: &Options) {
+    let dataset = o.dataset.build();
+    println!("dataset {} over {:.0} x {:.0} km", dataset.spec.name,
+        dataset.spec.domain.width(), dataset.spec.domain.height());
+    print!("{}", airshed::grid::grid_stats(&dataset));
+    if o.map {
+        let density: Vec<f64> = (0..dataset.nodes())
+            .map(|s| dataset.spec.urban_density(dataset.mesh.free_point(s)))
+            .collect();
+        println!("\nurban density (drives the refinement):");
+        print!("{}", viz::ascii_map_auto(&dataset, &density, 64, 20));
+    }
+}
+
+fn cmd_sweep(o: &Options) {
+    let (_, profile) = run_with_profile(&config(o, o.nodes[0]));
+    println!(
+        "{:>6} {:>12} {:>12} {:>14}",
+        "P", "T3E (s)", "T3D (s)", "Paragon (s)"
+    );
+    for &p in &o.nodes {
+        let row: Vec<f64> = MachineProfile::paper_machines()
+            .iter()
+            .map(|m| replay_with_layout(&profile, *m, p, layout(o)).total_seconds)
+            .collect();
+        println!(
+            "{:>6} {:>12.2} {:>12.2} {:>14.2}",
+            p, row[0], row[1], row[2]
+        );
+    }
+}
+
+fn cmd_predict(o: &Options) {
+    let (_, profile) = run_with_profile(&config(o, o.nodes[0]));
+    let model = PerfModel::from_profile(&profile);
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "P", "predicted (s)", "simulated (s)", "error"
+    );
+    let sweep = if o.nodes.len() > 1 {
+        o.nodes.clone()
+    } else {
+        vec![4, 8, 16, 32, 64, 128]
+    };
+    for &p in &sweep {
+        let pred = model.predict(&o.machine, p);
+        let meas = replay_with_layout(&profile, o.machine, p, layout(o));
+        println!(
+            "{:>6} {:>14.2} {:>14.2} {:>7.1}%",
+            p,
+            pred.total,
+            meas.total_seconds,
+            100.0 * (pred.total - meas.total_seconds).abs() / meas.total_seconds
+        );
+    }
+}
+
+fn cmd_popexp(o: &Options) {
+    let (_, profile) = run_with_profile(&config(o, o.nodes[0]));
+    println!(
+        "{:>6} {:>14} {:>16} {:>10}",
+        "P", "native (s)", "foreign (s)", "overhead"
+    );
+    for &p in &o.nodes {
+        if p < 4 {
+            eprintln!("skipping P={p}: integrated app needs >= 4 nodes");
+            continue;
+        }
+        let native = replay_with_popexp(&profile, o.machine, p, Hosting::NativeTask);
+        let foreign = replay_with_popexp(&profile, o.machine, p, Hosting::ForeignModule);
+        println!(
+            "{:>6} {:>14.1} {:>16.1} {:>9.3}%",
+            p,
+            native.total_seconds,
+            foreign.total_seconds,
+            100.0 * (foreign.total_seconds / native.total_seconds - 1.0)
+        );
+    }
+    let p = o.nodes[0].max(4);
+    let r = replay_with_popexp(&profile, o.machine, p, Hosting::ForeignModule);
+    println!("\nhourly exposure (PVM-hosted PopExp):");
+    for e in &r.exposures {
+        println!(
+            "  hour {:>2}: person-dose {:>12.4e}  people over O3 standard {:>12.0}",
+            e.hour, e.person_dose, e.people_above_o3_threshold
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "run" => cmd_run(&opts),
+        "gridinfo" => cmd_gridinfo(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "predict" => cmd_predict(&opts),
+        "popexp" => cmd_popexp(&opts),
+        other => {
+            eprintln!("error: unknown command '{other}'");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.nodes, vec![16]);
+        assert_eq!(o.hours, 6);
+        assert!(!o.cyclic);
+    }
+
+    #[test]
+    fn parse_full_option_set() {
+        let o = parse(&args(
+            "--dataset tiny:99 --machine paragon --nodes 4,8,16 --hours 12 --start 5 --emis 0.5 --stagnation --cyclic --taskpar --no-map",
+        ))
+        .unwrap();
+        assert_eq!(o.weather, Weather::Stagnation);
+        assert_eq!(o.dataset, DatasetChoice::Tiny(99));
+        assert_eq!(o.machine.name, "Intel Paragon");
+        assert_eq!(o.nodes, vec![4, 8, 16]);
+        assert_eq!(o.hours, 12);
+        assert_eq!(o.start_hour, 5);
+        assert_eq!(o.emission_scale, 0.5);
+        assert!(o.cyclic && o.taskpar && !o.map);
+    }
+
+    #[test]
+    fn parse_dataset_names() {
+        assert_eq!(
+            parse(&args("--dataset la")).unwrap().dataset,
+            DatasetChoice::LosAngeles
+        );
+        assert_eq!(
+            parse(&args("--dataset ne")).unwrap().dataset,
+            DatasetChoice::NorthEast
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse(&args("--dataset venus")).is_err());
+        assert!(parse(&args("--machine sp2")).is_err());
+        assert!(parse(&args("--nodes 0")).is_err());
+        assert!(parse(&args("--nodes")).is_err());
+        assert!(parse(&args("--start 99")).is_err());
+        assert!(parse(&args("--emis -1")).is_err());
+        assert!(parse(&args("--frobnicate")).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Checkpoint/restart integration: a run split at an hour boundary must
+//! be bit-identical to an uninterrupted one — the proof that no hidden
+//! state crosses the hour loop.
+
+use airshed::core::checkpoint::Checkpoint;
+use airshed::core::config::SimConfig;
+use airshed::core::driver::{run_resumable, run_with_profile};
+
+fn config(hours: usize) -> SimConfig {
+    let mut c = SimConfig::test_tiny(4, hours);
+    c.start_hour = 9;
+    c
+}
+
+#[test]
+fn split_run_is_bit_identical_to_straight_run() {
+    // Straight 4-hour run.
+    let (straight_report, straight_profile, straight_end) =
+        run_resumable(&config(4), None);
+
+    // 2 hours, checkpoint through a (serialised!) file, 2 more hours.
+    let (_, first_profile, ckpt) = run_resumable(&config(2), None);
+    let path = std::env::temp_dir().join(format!(
+        "airshed_restart_test_{}.bin",
+        std::process::id()
+    ));
+    ckpt.save(&path).unwrap();
+    let restored = Checkpoint::load(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(restored.next_hour, 11);
+    let (_, second_profile, resumed_end) = run_resumable(&config(2), Some(restored));
+
+    // Final states identical to the bit.
+    assert_eq!(straight_end.state.conc, resumed_end.state.conc);
+    assert_eq!(straight_end.next_hour, resumed_end.next_hour);
+
+    // Hour-by-hour science identical.
+    let joined: Vec<_> = first_profile
+        .summaries
+        .iter()
+        .chain(second_profile.summaries.iter())
+        .collect();
+    assert_eq!(joined.len(), straight_profile.summaries.len());
+    for (a, b) in joined.iter().zip(&straight_profile.summaries) {
+        assert_eq!(a.hour, b.hour);
+        assert_eq!(a.max_o3, b.max_o3);
+        assert_eq!(a.mean_nox, b.mean_nox);
+    }
+
+    // And the captured work matches, hour for hour.
+    let straight_work: Vec<f64> = straight_profile
+        .hours
+        .iter()
+        .flat_map(|h| h.steps.iter().map(|s| s.chemistry.iter().sum::<f64>()))
+        .collect();
+    let split_work: Vec<f64> = first_profile
+        .hours
+        .iter()
+        .chain(second_profile.hours.iter())
+        .flat_map(|h| h.steps.iter().map(|s| s.chemistry.iter().sum::<f64>()))
+        .collect();
+    assert_eq!(straight_work, split_work);
+    let _ = straight_report;
+}
+
+#[test]
+fn checkpoint_shape_mismatch_is_rejected() {
+    let (_, _, ckpt) = run_resumable(&config(1), None);
+    let mut other = SimConfig::test_tiny(4, 1);
+    other.dataset = airshed::core::config::DatasetChoice::Tiny(200);
+    let result = std::panic::catch_unwind(|| run_resumable(&other, Some(ckpt)));
+    assert!(result.is_err(), "shape mismatch must panic loudly");
+}
+
+#[test]
+fn plain_run_matches_resumable_fresh_run() {
+    let (a, pa) = run_with_profile(&config(2));
+    let (b, pb, _) = run_resumable(&config(2), None);
+    assert_eq!(a.total_seconds, b.total_seconds);
+    assert_eq!(pa.summaries.len(), pb.summaries.len());
+    assert_eq!(pa.hours[0].surface, pb.hours[0].surface);
+}

@@ -1,0 +1,40 @@
+//! North-East dataset integration (slow — run with `--ignored`).
+//!
+//! The NE grid (≈3328 columns over a 1000×800 km domain) is 4.75× the LA
+//! grid; these tests confirm the full pipeline carries the larger data
+//! set, matching the paper's Figure 3 experiment. A 2-hour slice keeps
+//! the runtime tolerable; `cargo test -- --ignored` opts in.
+
+use airshed::core::config::{DatasetChoice, SimConfig};
+use airshed::core::driver::{replay, run_with_profile};
+use airshed::machine::MachineProfile;
+
+#[test]
+#[ignore = "runs the NE numerics (~1 minute)"]
+fn ne_two_hour_slice_runs_and_scales() {
+    let config = SimConfig {
+        dataset: DatasetChoice::NorthEast,
+        machine: MachineProfile::t3e(),
+        p: 16,
+        hours: 2,
+        start_hour: 11,
+        kh: 0.012,
+        chem_opts: Default::default(),
+        weather: Default::default(),
+        emission_scale: 1.0,
+    };
+    let (r, prof) = run_with_profile(&config);
+    assert_eq!(prof.shape[0], 35);
+    assert_eq!(prof.shape[1], 5);
+    assert!(
+        prof.shape[2].abs_diff(3328) * 50 <= 3328,
+        "NE columns {} not within 2% of 3328",
+        prof.shape[2]
+    );
+    assert!(r.peak_o3() > 0.0 && r.peak_o3() < 0.5);
+    // Chemistry dominates and scales; transport saturates at 5 layers.
+    let t16 = replay(&prof, MachineProfile::t3e(), 16);
+    let t128 = replay(&prof, MachineProfile::t3e(), 128);
+    assert!(t128.chemistry_seconds < 0.2 * t16.chemistry_seconds);
+    assert!((t128.transport_seconds - t16.transport_seconds).abs() < 1e-9);
+}
