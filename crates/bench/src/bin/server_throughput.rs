@@ -1,0 +1,114 @@
+//! Scenario-service throughput harness.
+//!
+//! Two experiments over the `airshed-server` worker pool:
+//!
+//! 1. **worker scaling** — a batch of distinct scenarios (every job a
+//!    profile-cache miss) against fresh servers with 1/2/4/8 workers;
+//!    jobs/sec should scale with the pool until the machine runs out of
+//!    cores;
+//! 2. **cache-hit speedup** — the same batch submitted twice to one
+//!    server; the warm pass is served from the result cache (the paper's
+//!    run-once/replay-everywhere economics, measured end to end).
+
+use airshed_bench::table::Table;
+use airshed_core::config::SimConfig;
+use airshed_server::{ScenarioRequest, ScenarioServer, ServerConfig};
+use std::time::Instant;
+
+/// Batch size; distinct emission-control policies make every scenario a
+/// distinct numerics key, so cold runs cannot share work.
+const JOBS: usize = 16;
+
+fn batch() -> Vec<SimConfig> {
+    (0..JOBS)
+        .map(|i| {
+            let mut config = SimConfig::test_tiny(4, 1);
+            config.start_hour = 12;
+            config.emission_scale = 1.0 - 0.03 * i as f64;
+            config
+        })
+        .collect()
+}
+
+/// Submit the whole batch, wait for every job, return the wall time.
+fn run_batch(server: &ScenarioServer, configs: &[SimConfig]) -> f64 {
+    let started = Instant::now();
+    let handles: Vec<_> = configs
+        .iter()
+        .map(|config| {
+            server
+                .submit(ScenarioRequest::new(config.clone()))
+                .into_handle()
+                .expect("batch fits in the queue")
+        })
+        .collect();
+    for handle in &handles {
+        handle.wait().expect("job completes");
+    }
+    started.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let configs = batch();
+
+    let mut scaling = Table::new(vec!["workers", "jobs", "wall (s)", "jobs/s", "vs 1 worker"]);
+    let mut rate_at_one = None;
+    for workers in [1usize, 2, 4, 8] {
+        let server = ScenarioServer::start(ServerConfig {
+            workers,
+            ..Default::default()
+        });
+        let wall = run_batch(&server, &configs);
+        let metrics = server.shutdown();
+        assert!(metrics.reconciles(), "metrics must reconcile:\n{metrics}");
+        assert_eq!(metrics.completed as usize, JOBS);
+        assert_eq!(metrics.profile_cache_hits, 0, "cold run must not share work");
+        let rate = JOBS as f64 / wall;
+        let base = *rate_at_one.get_or_insert(rate);
+        scaling.row(vec![
+            workers.to_string(),
+            JOBS.to_string(),
+            format!("{wall:.2}"),
+            format!("{rate:.1}"),
+            format!("{:.2}x", rate / base),
+        ]);
+    }
+    scaling.print(
+        "Scenario-service throughput: distinct scenarios, cold caches",
+        "server_scaling",
+    );
+
+    let server = ScenarioServer::start(ServerConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    let cold = run_batch(&server, &configs);
+    let warm = run_batch(&server, &configs);
+    let metrics = server.shutdown();
+    assert!(metrics.reconciles(), "metrics must reconcile:\n{metrics}");
+    assert!(
+        metrics.result_cache_hits >= JOBS as u64,
+        "warm pass must be served from the result cache:\n{metrics}"
+    );
+
+    let mut reuse = Table::new(vec!["pass", "wall (s)", "jobs/s"]);
+    reuse.row(vec![
+        "cold".to_string(),
+        format!("{cold:.3}"),
+        format!("{:.1}", JOBS as f64 / cold),
+    ]);
+    reuse.row(vec![
+        "warm".to_string(),
+        format!("{warm:.3}"),
+        format!("{:.1}", JOBS as f64 / warm),
+    ]);
+    reuse.print(
+        "Cache-hit speedup: the same batch resubmitted to a warm server",
+        "server_cache",
+    );
+    println!(
+        "warm resubmit speedup: {:.0}x ({} result-cache hits)",
+        cold / warm.max(1e-9),
+        metrics.result_cache_hits
+    );
+}

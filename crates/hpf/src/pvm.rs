@@ -12,6 +12,8 @@
 //! the foreign module's results are bit-identical however it is hosted.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::fmt;
 
 /// A message between PVM tasks.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,65 +23,130 @@ pub struct Message {
     pub data: Vec<f64>,
 }
 
+/// Why a PVM operation could not complete: the peer (or the whole
+/// group) has exited and its mailbox is gone. Surfacing this as an
+/// error lets a host report a dead foreign module instead of taking the
+/// whole worker thread down with a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PvmError {
+    /// The destination task's mailbox has been dropped.
+    PeerClosed { to: usize },
+    /// The destination rank does not exist in this group.
+    NoSuchTask { to: usize, n: usize },
+    /// Every sender to this task's mailbox has been dropped and the
+    /// mailbox is empty.
+    MailboxClosed,
+}
+
+impl fmt::Display for PvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PvmError::PeerClosed { to } => write!(f, "pvm peer {to} has exited"),
+            PvmError::NoSuchTask { to, n } => {
+                write!(f, "pvm task {to} does not exist (group size {n})")
+            }
+            PvmError::MailboxClosed => write!(f, "pvm mailbox closed (all peers exited)"),
+        }
+    }
+}
+
+impl std::error::Error for PvmError {}
+
 /// The per-task handle: identity, peers, mailbox.
+///
+/// Messages deferred by a tag-selective receive are stashed and handed
+/// out before fresh mailbox messages. **Ordering guarantee:** messages
+/// with the same tag (and, for `recv_from_tag`, the same source) are
+/// always delivered in the order they arrived — the stash is a FIFO and
+/// selective receives scan it front to back.
 pub struct PvmTask {
     pub id: usize,
     pub n: usize,
     txs: Vec<Sender<Message>>,
     rx: Receiver<Message>,
-    stash: Vec<Message>,
+    stash: VecDeque<Message>,
 }
 
 impl PvmTask {
-    /// Send `data` to task `to` with a tag (like `pvm_send`).
+    /// Send `data` to task `to` with a tag (like `pvm_send`). Panics if
+    /// the peer has exited; use [`PvmTask::try_send`] to handle that.
     pub fn send(&self, to: usize, tag: u32, data: Vec<f64>) {
-        self.txs[to]
-            .send(Message {
-                from: self.id,
-                tag,
-                data,
-            })
-            .expect("peer mailbox closed");
+        self.try_send(to, tag, data).expect("peer mailbox closed");
+    }
+
+    /// Fallible send: a dead or unknown peer is an error, not a panic.
+    pub fn try_send(&self, to: usize, tag: u32, data: Vec<f64>) -> Result<(), PvmError> {
+        let tx = self
+            .txs
+            .get(to)
+            .ok_or(PvmError::NoSuchTask { to, n: self.n })?;
+        tx.send(Message {
+            from: self.id,
+            tag,
+            data,
+        })
+        .map_err(|_| PvmError::PeerClosed { to })
     }
 
     /// Blocking receive of the next message, any source, any tag.
+    /// Panics if the mailbox is closed; see [`PvmTask::try_recv`].
     pub fn recv(&mut self) -> Message {
-        if !self.stash.is_empty() {
-            return self.stash.remove(0);
+        self.try_recv().expect("mailbox closed")
+    }
+
+    /// Fallible blocking receive: stashed messages first (FIFO), then
+    /// the mailbox. `Err` once every sender has exited and both are
+    /// empty. ("try" refers to fallibility, not non-blocking.)
+    pub fn try_recv(&mut self) -> Result<Message, PvmError> {
+        if let Some(m) = self.stash.pop_front() {
+            return Ok(m);
         }
-        self.rx.recv().expect("mailbox closed")
+        self.rx.recv().map_err(|_| PvmError::MailboxClosed)
     }
 
     /// Blocking receive of the next message with a specific tag (other
     /// messages are stashed, preserving order — like `pvm_recv(-1, tag)`).
+    /// Panics if the mailbox is closed; see [`PvmTask::try_recv_tag`].
     pub fn recv_tag(&mut self, tag: u32) -> Message {
+        self.try_recv_tag(tag).expect("mailbox closed")
+    }
+
+    /// Fallible tag-selective receive (FIFO within the tag).
+    pub fn try_recv_tag(&mut self, tag: u32) -> Result<Message, PvmError> {
         if let Some(pos) = self.stash.iter().position(|m| m.tag == tag) {
-            return self.stash.remove(pos);
+            return Ok(self.stash.remove(pos).expect("position just found"));
         }
         loop {
-            let m = self.rx.recv().expect("mailbox closed");
+            let m = self.rx.recv().map_err(|_| PvmError::MailboxClosed)?;
             if m.tag == tag {
-                return m;
+                return Ok(m);
             }
-            self.stash.push(m);
+            self.stash.push_back(m);
         }
     }
 
-    /// Blocking receive from a specific source and tag.
+    /// Blocking receive from a specific source and tag. Panics if the
+    /// mailbox is closed; see [`PvmTask::try_recv_from_tag`].
     pub fn recv_from_tag(&mut self, from: usize, tag: u32) -> Message {
+        self.try_recv_from_tag(from, tag).expect("mailbox closed")
+    }
+
+    /// Fallible source- and tag-selective receive (FIFO within the
+    /// source/tag pair).
+    pub fn try_recv_from_tag(&mut self, from: usize, tag: u32) -> Result<Message, PvmError> {
         if let Some(pos) = self
             .stash
             .iter()
             .position(|m| m.tag == tag && m.from == from)
         {
-            return self.stash.remove(pos);
+            return Ok(self.stash.remove(pos).expect("position just found"));
         }
         loop {
-            let m = self.rx.recv().expect("mailbox closed");
+            let m = self.rx.recv().map_err(|_| PvmError::MailboxClosed)?;
             if m.tag == tag && m.from == from {
-                return m;
+                return Ok(m);
             }
-            self.stash.push(m);
+            self.stash.push_back(m);
         }
     }
 
@@ -139,7 +206,7 @@ where
                         n,
                         txs,
                         rx,
-                        stash: Vec::new(),
+                        stash: VecDeque::new(),
                     };
                     f(&mut task)
                 })
@@ -222,6 +289,89 @@ mod tests {
         });
         assert_eq!(results[0], 0.0 + 1.0 + 2.0 + 3.0);
         assert_eq!(&results[1..], &[-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn same_tag_messages_arrive_in_send_order() {
+        // FIFO-within-tag: interleave two tags, drain tag 8 first (stashing
+        // every tag-9 message), then drain tag 9 — both must come out in
+        // the order they were sent.
+        let results = spawn_group(2, |t| {
+            if t.id == 0 {
+                for i in 0..4 {
+                    t.send(1, 9, vec![i as f64]);
+                    t.send(1, 8, vec![10.0 + i as f64]);
+                }
+                0.0
+            } else {
+                for i in 0..4 {
+                    assert_eq!(t.recv_tag(8).data[0], 10.0 + i as f64);
+                }
+                for i in 0..4 {
+                    assert_eq!(t.recv_tag(9).data[0], i as f64);
+                }
+                1.0
+            }
+        });
+        assert_eq!(results[1], 1.0);
+    }
+
+    #[test]
+    fn try_send_reports_dead_or_unknown_peers() {
+        let results = spawn_group(2, |t| {
+            if t.id == 0 {
+                assert_eq!(
+                    t.try_send(5, 1, vec![]),
+                    Err(PvmError::NoSuchTask { to: 5, n: 2 })
+                );
+                t.send(1, 1, vec![1.0]);
+                // Wait for the peer to confirm and exit, then its mailbox
+                // is gone.
+                t.recv_tag(2);
+                loop {
+                    match t.try_send(1, 1, vec![]) {
+                        Err(PvmError::PeerClosed { to: 1 }) => return 1.0,
+                        Ok(()) => std::thread::yield_now(),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            } else {
+                t.recv_tag(1);
+                t.send(0, 2, vec![]);
+                0.0
+            }
+        });
+        assert_eq!(results[0], 1.0);
+    }
+
+    #[test]
+    fn try_recv_reports_closed_mailbox() {
+        // Inside spawn_group a task keeps a sender to itself, so its
+        // mailbox can't close while it runs; build a detached task whose
+        // senders are all gone to exercise the closed path.
+        let (tx, rx) = unbounded();
+        tx.send(Message {
+            from: 0,
+            tag: 3,
+            data: vec![7.0],
+        })
+        .unwrap();
+        drop(tx);
+        let mut t = PvmTask {
+            id: 1,
+            n: 2,
+            txs: Vec::new(),
+            rx,
+            stash: VecDeque::new(),
+        };
+        assert_eq!(t.try_recv().unwrap().data[0], 7.0);
+        assert_eq!(t.try_recv(), Err(PvmError::MailboxClosed));
+        assert_eq!(t.try_recv_tag(3), Err(PvmError::MailboxClosed));
+        assert_eq!(t.try_recv_from_tag(0, 3), Err(PvmError::MailboxClosed));
+        assert_eq!(
+            t.try_send(0, 1, vec![]),
+            Err(PvmError::NoSuchTask { to: 0, n: 2 })
+        );
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Admission control: the paper's §4 performance model put to
+//! operational use.
+//!
+//! Before a scenario is queued, the controller *predicts* its cost with
+//! [`airshed_core::PerfModel`] — the closed-form model the paper
+//! validates against measurements in Figures 6/7 — and rejects jobs whose
+//! predicted virtual run time on the target machine exceeds a configured
+//! budget. Models are calibrated per scenario *family* (dataset, mode)
+//! from the first captured profile of that family and extrapolated across
+//! machines, node counts and episode lengths — the paper's "measurements
+//! obtained on a small number of nodes can be used to extrapolate".
+//!
+//! Predicted time is **virtual** (simulated-machine) seconds: the budget
+//! expresses "don't accept scenarios that would have tied up the target
+//! machine longer than X", which is the operational-forecasting admission
+//! question.
+
+use crate::cache::NumericsKey;
+use airshed_core::config::SimConfig;
+use airshed_core::{PerfModel, WorkProfile};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The controller's verdict on one scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionDecision {
+    /// Admitted; the predicted virtual seconds when a model was
+    /// available (`None` for a first-of-its-family scenario, which is
+    /// admitted optimistically to bootstrap calibration).
+    Admit { predicted_seconds: Option<f64> },
+    /// Rejected: predicted cost exceeds the budget.
+    Reject {
+        predicted_seconds: f64,
+        budget_seconds: f64,
+    },
+}
+
+/// Predicts job cost per scenario family and enforces a budget.
+pub struct AdmissionController {
+    budget_seconds: Option<f64>,
+    models: Mutex<HashMap<NumericsKey, PerfModel>>,
+}
+
+impl AdmissionController {
+    /// `budget_seconds = None` disables admission control (everything is
+    /// admitted, but models are still calibrated for observability).
+    pub fn new(budget_seconds: Option<f64>) -> AdmissionController {
+        AdmissionController {
+            budget_seconds,
+            models: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn budget_seconds(&self) -> Option<f64> {
+        self.budget_seconds
+    }
+
+    /// Predict the virtual run time of `config`, if this family has been
+    /// calibrated. Episode length is scaled linearly from the calibrated
+    /// run — diurnal variation makes this approximate, which is fine for
+    /// an admission estimate.
+    pub fn predict_seconds(&self, config: &SimConfig) -> Option<f64> {
+        let family = NumericsKey::of(config).family();
+        let models = self.models.lock().unwrap();
+        let model = models.get(&family)?;
+        let prediction = model.predict(&config.machine, config.p);
+        let scale = config.hours as f64 / model.hours.max(1) as f64;
+        Some(prediction.total * scale)
+    }
+
+    /// Decide whether to admit `config`.
+    pub fn decide(&self, config: &SimConfig) -> AdmissionDecision {
+        let Some(budget) = self.budget_seconds else {
+            return AdmissionDecision::Admit {
+                predicted_seconds: self.predict_seconds(config),
+            };
+        };
+        match self.predict_seconds(config) {
+            None => AdmissionDecision::Admit {
+                predicted_seconds: None,
+            },
+            Some(predicted) if predicted > budget => AdmissionDecision::Reject {
+                predicted_seconds: predicted,
+                budget_seconds: budget,
+            },
+            Some(predicted) => AdmissionDecision::Admit {
+                predicted_seconds: Some(predicted),
+            },
+        }
+    }
+
+    /// Calibrate the family of `config` from a captured profile (first
+    /// profile wins; the model is deterministic per family).
+    pub fn calibrate(&self, config: &SimConfig, profile: &WorkProfile) {
+        let family = NumericsKey::of(config).family();
+        let mut models = self.models.lock().unwrap();
+        models
+            .entry(family)
+            .or_insert_with(|| PerfModel::from_profile(profile));
+    }
+
+    /// Number of calibrated scenario families.
+    pub fn calibrated_families(&self) -> usize {
+        self.models.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airshed_core::driver::run_with_profile;
+    use airshed_machine::MachineProfile;
+
+    fn calibrated_controller(budget: Option<f64>) -> (AdmissionController, SimConfig) {
+        let mut config = SimConfig::test_tiny(4, 1);
+        config.start_hour = 12;
+        let (_, profile) = run_with_profile(&config);
+        let ctl = AdmissionController::new(budget);
+        ctl.calibrate(&config, &profile);
+        (ctl, config)
+    }
+
+    #[test]
+    fn unknown_family_is_admitted_optimistically() {
+        let ctl = AdmissionController::new(Some(1.0));
+        let config = SimConfig::test_tiny(4, 1);
+        assert_eq!(
+            ctl.decide(&config),
+            AdmissionDecision::Admit {
+                predicted_seconds: None
+            }
+        );
+    }
+
+    #[test]
+    fn over_budget_scenarios_are_rejected_after_calibration() {
+        let (ctl, config) = calibrated_controller(None);
+        // Find the calibrated cost, then set a budget just under a
+        // 100-hour episode of the same family.
+        let mut monster = config.clone();
+        monster.hours = 100;
+        monster.p = 1;
+        monster.machine = MachineProfile::paragon();
+        let predicted = ctl.predict_seconds(&monster).unwrap();
+        assert!(predicted > 0.0);
+
+        let ctl = {
+            let (c, base) = calibrated_controller(Some(predicted * 0.5));
+            assert_eq!(NumericsKey::of(&base).family(), NumericsKey::of(&config).family());
+            c
+        };
+        match ctl.decide(&monster) {
+            AdmissionDecision::Reject {
+                predicted_seconds,
+                budget_seconds,
+            } => {
+                assert!(predicted_seconds > budget_seconds);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // The calibrated scenario itself still fits if the budget covers it.
+        let ctl2 = calibrated_controller(Some(predicted * 2.0)).0;
+        assert!(matches!(
+            ctl2.decide(&monster),
+            AdmissionDecision::Admit { .. }
+        ));
+    }
+
+    #[test]
+    fn prediction_scales_with_hours_and_machine() {
+        let (ctl, config) = calibrated_controller(None);
+        let one = ctl.predict_seconds(&config).unwrap();
+        let mut long = config.clone();
+        long.hours = 10;
+        let ten = ctl.predict_seconds(&long).unwrap();
+        assert!((ten / one - 10.0).abs() < 1e-9);
+
+        let mut slow = config.clone();
+        slow.machine = MachineProfile::paragon();
+        assert!(ctl.predict_seconds(&slow).unwrap() > one);
+    }
+}

@@ -1,0 +1,283 @@
+//! Sharded LRU caching for captured work profiles and finished reports.
+//!
+//! The paper's central observation — the numerics are deterministic and
+//! independent of the machine and node count — is what makes the profile
+//! cache correct: a [`airshed_core::WorkProfile`] captured for one
+//! scenario can be replayed for *any* `(machine, P, layout)` variant of
+//! the same numerics. The profile cache is therefore keyed by
+//! [`NumericsKey`] (dataset, mode, hours — everything that determines the
+//! physics) while the result cache is keyed by the full [`ResultKey`]
+//! (numerics + machine profile + node count), so a repeat of the exact
+//! same scenario skips even the replay.
+
+use airshed_chem::youngboris::{AsymptoticForm, YbOptions};
+use airshed_core::config::{DatasetChoice, SimConfig, Weather};
+use airshed_core::driver::ChemLayout;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// Everything that determines the *numerics* of a scenario — two configs
+/// with equal keys produce bit-identical work profiles and science.
+/// Machine and node count are deliberately excluded (the profile is
+/// machine- and P-independent).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NumericsKey {
+    pub dataset: DatasetKey,
+    pub hours: usize,
+    pub start_hour: usize,
+    pub weather_stagnation: bool,
+    pub emission_scale_bits: u64,
+    pub kh_bits: u64,
+    pub chem: ChemKey,
+}
+
+/// Hashable form of [`DatasetChoice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKey {
+    LosAngeles,
+    NorthEast,
+    Tiny(usize),
+}
+
+impl From<DatasetChoice> for DatasetKey {
+    fn from(d: DatasetChoice) -> DatasetKey {
+        match d {
+            DatasetChoice::LosAngeles => DatasetKey::LosAngeles,
+            DatasetChoice::NorthEast => DatasetKey::NorthEast,
+            DatasetChoice::Tiny(n) => DatasetKey::Tiny(n),
+        }
+    }
+}
+
+/// Hashable form of the chemistry solver options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChemKey {
+    eps_bits: u64,
+    atol_bits: u64,
+    h_min_bits: u64,
+    h_max_bits: u64,
+    stiff_ratio_bits: u64,
+    exponential_form: bool,
+}
+
+impl From<&YbOptions> for ChemKey {
+    fn from(o: &YbOptions) -> ChemKey {
+        ChemKey {
+            eps_bits: o.eps.to_bits(),
+            atol_bits: o.atol.to_bits(),
+            h_min_bits: o.h_min.to_bits(),
+            h_max_bits: o.h_max.to_bits(),
+            stiff_ratio_bits: o.stiff_ratio.to_bits(),
+            exponential_form: o.form == AsymptoticForm::Exponential,
+        }
+    }
+}
+
+impl NumericsKey {
+    pub fn of(config: &SimConfig) -> NumericsKey {
+        NumericsKey {
+            dataset: config.dataset.into(),
+            hours: config.hours,
+            start_hour: config.start_hour,
+            weather_stagnation: config.weather == Weather::Stagnation,
+            emission_scale_bits: config.emission_scale.to_bits(),
+            kh_bits: config.kh.to_bits(),
+            chem: ChemKey::from(&config.chem_opts),
+        }
+    }
+
+    /// The scenario *family*: the numerics key with the episode length
+    /// and start hour erased. A performance model calibrated on a short
+    /// run of a family extrapolates to longer episodes of the same
+    /// family (the paper's "measure small, predict large").
+    pub fn family(&self) -> NumericsKey {
+        NumericsKey {
+            hours: 0,
+            start_hour: 0,
+            ..self.clone()
+        }
+    }
+}
+
+/// Full scenario identity: numerics plus the virtual machine placement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResultKey {
+    pub numerics: NumericsKey,
+    pub machine: &'static str,
+    pub p: usize,
+    pub cyclic_chem: bool,
+}
+
+impl ResultKey {
+    pub fn of(config: &SimConfig, layout: ChemLayout) -> ResultKey {
+        ResultKey {
+            numerics: NumericsKey::of(config),
+            machine: config.machine.name,
+            p: config.p,
+            cyclic_chem: layout == ChemLayout::Cyclic,
+        }
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    stamp: u64,
+}
+
+/// A sharded LRU map. Shard count fixes lock granularity; each shard
+/// holds at most `ceil(capacity / shards)` entries and evicts its least
+/// recently used entry when full. Values are cloned out (use `Arc<V>`
+/// for large values).
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<LruShard<K, V>>>,
+    per_shard: usize,
+}
+
+struct LruShard<K, V> {
+    map: HashMap<K, Entry<V>>,
+    tick: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    /// `capacity` is the total entry budget spread over `shards` locks.
+    pub fn new(shards: usize, capacity: usize) -> ShardedLru<K, V> {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(LruShard {
+                        map: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard,
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<LruShard<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up a key, refreshing its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut shard = self.shard_of(key).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.get_mut(key).map(|e| {
+            e.stamp = tick;
+            e.value.clone()
+        })
+    }
+
+    /// Insert (or refresh) a key, evicting the shard's least recently
+    /// used entry if the shard is at capacity.
+    pub fn insert(&self, key: K, value: V) {
+        let mut shard = self.shard_of(&key).lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+            }
+        }
+        shard.map.insert(key, Entry { value, stamp: tick });
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_returns_inserted_values() {
+        let c: ShardedLru<u32, String> = ShardedLru::new(4, 16);
+        assert!(c.get(&1).is_none());
+        c.insert(1, "one".into());
+        c.insert(2, "two".into());
+        assert_eq!(c.get(&1).as_deref(), Some("one"));
+        assert_eq!(c.get(&2).as_deref(), Some("two"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_a_shard() {
+        // One shard so eviction order is fully observable.
+        let c: ShardedLru<u32, u32> = ShardedLru::new(1, 3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(c.get(&1), Some(10));
+        c.insert(4, 40);
+        assert_eq!(c.len(), 3);
+        assert!(c.get(&2).is_none(), "2 was least recently used");
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&4), Some(40));
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(1, 2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.get(&2), Some(20));
+    }
+
+    #[test]
+    fn numerics_key_separates_scenarios_and_erases_placement() {
+        let a = SimConfig::test_tiny(4, 2);
+        let mut b = SimConfig::test_tiny(32, 2); // different P
+        b.machine = airshed_machine::MachineProfile::paragon();
+        assert_eq!(NumericsKey::of(&a), NumericsKey::of(&b));
+
+        let mut c = a.clone();
+        c.emission_scale = 0.5;
+        assert_ne!(NumericsKey::of(&a), NumericsKey::of(&c));
+        let mut d = a.clone();
+        d.hours = 3;
+        assert_ne!(NumericsKey::of(&a), NumericsKey::of(&d));
+        assert_eq!(NumericsKey::of(&a).family(), NumericsKey::of(&d).family());
+    }
+
+    #[test]
+    fn result_key_includes_placement() {
+        let a = SimConfig::test_tiny(4, 2);
+        let mut b = a.clone();
+        b.p = 8;
+        assert_ne!(
+            ResultKey::of(&a, ChemLayout::Block),
+            ResultKey::of(&b, ChemLayout::Block)
+        );
+        assert_ne!(
+            ResultKey::of(&a, ChemLayout::Block),
+            ResultKey::of(&a, ChemLayout::Cyclic)
+        );
+        assert_eq!(
+            ResultKey::of(&a, ChemLayout::Block),
+            ResultKey::of(&a, ChemLayout::Block)
+        );
+    }
+}

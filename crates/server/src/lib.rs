@@ -1,0 +1,592 @@
+//! # airshed-server — a concurrent scenario service over `airshed-core`
+//!
+//! The paper turns the Airshed model into a system with *predictable*
+//! performance; this crate turns the model into a *service*: many
+//! scenario requests, run concurrently, reusing work across requests.
+//! The pieces, in request order:
+//!
+//! ```text
+//!            submit                    pop
+//! clients ──────────► [admission] ──► [bounded queue] ──► [worker pool]
+//!                         │                  │                  │
+//!                     PerfModel          QueueFull       profile/result
+//!                     budget (§4)      backpressure       LRU caches
+//!                         │                                     │
+//!                         └────────── [metrics registry] ◄──────┘
+//! ```
+//!
+//! * [`queue`] — bounded MPMC queue; producers get [`SubmitOutcome::QueueFull`]
+//!   instead of blocking (explicit backpressure);
+//! * [`worker`] — N OS threads running jobs hour-by-hour through
+//!   `core::run_resumable`, so cancellation and deadlines take effect at
+//!   hour boundaries and interrupted jobs hand back a [`ResumePoint`];
+//! * [`cache`] — sharded LRU caches: captured [`WorkProfile`]s keyed by
+//!   the numerics (machine/P-independent, the paper's key observation)
+//!   and finished [`RunReport`]s keyed by the full scenario;
+//! * [`admission`] — `core::PerfModel` predicts a job's virtual cost
+//!   before it is accepted; over-budget scenarios are rejected up front;
+//! * [`metrics`] — counters and latency histograms for every stage, with
+//!   a reconciliation invariant (`submitted = completed + rejected +
+//!   cancelled`) checked in tests and printed in the report.
+
+pub mod admission;
+pub mod cache;
+pub mod metrics;
+pub mod queue;
+pub mod worker;
+
+use crate::admission::{AdmissionController, AdmissionDecision};
+use crate::cache::{NumericsKey, ResultKey, ShardedLru};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::{BoundedQueue, PushError};
+use airshed_core::checkpoint::Checkpoint;
+use airshed_core::config::SimConfig;
+use airshed_core::driver::ChemLayout;
+use airshed_core::{RunReport, WorkProfile};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Unique identity of one accepted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Where an interrupted multi-hour scenario can pick up again: the
+/// checkpoint for the next hour plus the work already captured. Feeding
+/// it back via [`ScenarioRequest::resume`] produces a final report
+/// bit-identical to an uninterrupted run (the checkpoint guarantee).
+#[derive(Debug, Clone)]
+pub struct ResumePoint {
+    pub checkpoint: Checkpoint,
+    /// Hours captured so far (dataset/shape/summaries included).
+    pub partial: WorkProfile,
+}
+
+/// One scenario to run.
+#[derive(Debug, Clone)]
+pub struct ScenarioRequest {
+    pub config: SimConfig,
+    /// Chemistry column layout for the replay (does not affect science).
+    pub layout: ChemLayout,
+    /// Wall-clock budget for the job once it starts running; checked at
+    /// hour boundaries. `None` falls back to the server default.
+    pub deadline: Option<Duration>,
+    /// Resume an interrupted scenario instead of starting from hour one.
+    pub resume: Option<Box<ResumePoint>>,
+}
+
+impl ScenarioRequest {
+    pub fn new(config: SimConfig) -> ScenarioRequest {
+        ScenarioRequest {
+            config,
+            layout: ChemLayout::Block,
+            deadline: None,
+            resume: None,
+        }
+    }
+
+    pub fn with_deadline(mut self, deadline: Duration) -> ScenarioRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    pub fn resuming(mut self, resume: ResumePoint) -> ScenarioRequest {
+        self.resume = Some(Box::new(resume));
+        self
+    }
+}
+
+/// Why a job did not produce a report.
+#[derive(Debug, Clone)]
+pub enum JobError {
+    /// Cancelled via [`JobHandle::cancel`]; carries a resume point if
+    /// any hours had completed.
+    Cancelled { resume: Option<Box<ResumePoint>> },
+    /// The wall-clock deadline expired at an hour boundary.
+    DeadlineExpired { resume: Option<Box<ResumePoint>> },
+    /// The job panicked inside the numerics (kept from killing the
+    /// worker thread).
+    Failed { message: String },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Cancelled { resume } => write!(
+                f,
+                "cancelled ({} hours resumable)",
+                resume.as_ref().map_or(0, |r| r.partial.hours.len())
+            ),
+            JobError::DeadlineExpired { resume } => write!(
+                f,
+                "deadline expired ({} hours resumable)",
+                resume.as_ref().map_or(0, |r| r.partial.hours.len())
+            ),
+            JobError::Failed { message } => write!(f, "failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// The terminal state of one job.
+pub type JobResult = Result<Arc<RunReport>, JobError>;
+
+/// Completion cell shared between the submitting client and the worker.
+struct JobCell {
+    done: Mutex<Option<JobResult>>,
+    completed: Condvar,
+    cancel: AtomicBool,
+}
+
+impl JobCell {
+    fn new() -> JobCell {
+        JobCell {
+            done: Mutex::new(None),
+            completed: Condvar::new(),
+            cancel: AtomicBool::new(false),
+        }
+    }
+
+    fn finish(&self, result: JobResult) {
+        let mut done = self.done.lock().unwrap();
+        *done = Some(result);
+        drop(done);
+        self.completed.notify_all();
+    }
+}
+
+/// Client-side handle to an accepted job.
+#[derive(Clone)]
+pub struct JobHandle {
+    id: JobId,
+    cell: Arc<JobCell>,
+}
+
+impl JobHandle {
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Request cancellation. Takes effect before the job starts or at
+    /// the next hour boundary; a job that already finished is unaffected.
+    pub fn cancel(&self) {
+        self.cell.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Block until the job reaches a terminal state.
+    pub fn wait(&self) -> JobResult {
+        let mut done = self.cell.done.lock().unwrap();
+        loop {
+            if let Some(result) = done.as_ref() {
+                return result.clone();
+            }
+            done = self.cell.completed.wait(done).unwrap();
+        }
+    }
+
+    /// Non-blocking probe for the result.
+    pub fn try_result(&self) -> Option<JobResult> {
+        self.cell.done.lock().unwrap().clone()
+    }
+}
+
+/// The outcome of a submit attempt.
+pub enum SubmitOutcome {
+    /// Accepted; await the handle for the result.
+    Submitted(JobHandle),
+    /// Backpressure: the bounded queue is at capacity. Retry later or
+    /// shed the request.
+    QueueFull,
+    /// The admission controller predicts this scenario exceeds the
+    /// configured budget.
+    Rejected {
+        predicted_seconds: f64,
+        budget_seconds: f64,
+    },
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl SubmitOutcome {
+    /// The handle, if the job was accepted.
+    pub fn handle(&self) -> Option<&JobHandle> {
+        match self {
+            SubmitOutcome::Submitted(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    pub fn into_handle(self) -> Option<JobHandle> {
+        match self {
+            SubmitOutcome::Submitted(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker pool size (OS threads running the numerics).
+    pub workers: usize,
+    /// Bounded submission queue capacity.
+    pub queue_capacity: usize,
+    /// Admission budget in *virtual* (target-machine) seconds; `None`
+    /// admits everything.
+    pub budget_seconds: Option<f64>,
+    /// Total entries across the work-profile cache.
+    pub profile_cache_capacity: usize,
+    /// Total entries across the run-report cache.
+    pub result_cache_capacity: usize,
+    /// Lock shards per cache.
+    pub cache_shards: usize,
+    /// Default per-job wall-clock deadline.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            budget_seconds: None,
+            profile_cache_capacity: 64,
+            result_cache_capacity: 256,
+            cache_shards: 8,
+            default_deadline: None,
+        }
+    }
+}
+
+/// State shared by clients and workers.
+pub(crate) struct Shared {
+    pub(crate) queue: BoundedQueue<worker::QueuedJob>,
+    pub(crate) metrics: Metrics,
+    pub(crate) profiles: ShardedLru<NumericsKey, Arc<WorkProfile>>,
+    pub(crate) results: ShardedLru<ResultKey, Arc<RunReport>>,
+    pub(crate) admission: AdmissionController,
+}
+
+/// The concurrent scenario service.
+///
+/// ```
+/// use airshed_server::{ScenarioServer, ScenarioRequest, ServerConfig};
+/// use airshed_core::config::SimConfig;
+///
+/// let server = ScenarioServer::start(ServerConfig { workers: 2, ..Default::default() });
+/// let mut config = SimConfig::test_tiny(4, 1);
+/// config.start_hour = 12;
+/// let handle = server
+///     .submit(ScenarioRequest::new(config))
+///     .into_handle()
+///     .expect("accepted");
+/// let report = handle.wait().expect("completed");
+/// assert!(report.total_seconds > 0.0);
+/// let metrics = server.shutdown();
+/// assert_eq!(metrics.completed, 1);
+/// assert!(metrics.reconciles());
+/// ```
+pub struct ScenarioServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl ScenarioServer {
+    /// Start the worker pool.
+    pub fn start(config: ServerConfig) -> ScenarioServer {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            metrics: Metrics::new(),
+            profiles: ShardedLru::new(config.cache_shards, config.profile_cache_capacity),
+            results: ShardedLru::new(config.cache_shards, config.result_cache_capacity),
+            admission: AdmissionController::new(config.budget_seconds),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let default_deadline = config.default_deadline;
+                std::thread::Builder::new()
+                    .name(format!("airshed-worker-{i}"))
+                    .spawn(move || worker::worker_loop(&shared, default_deadline))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ScenarioServer {
+            shared,
+            workers,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Submit one scenario. Never blocks: the outcome is immediate
+    /// (accepted, queue-full, or rejected by admission control).
+    pub fn submit(&self, request: ScenarioRequest) -> SubmitOutcome {
+        let metrics = &self.shared.metrics;
+        metrics.submitted.fetch_add(1, Ordering::Relaxed);
+
+        // Resumed jobs were already admitted once; re-deciding would
+        // double-charge them against the budget.
+        if request.resume.is_none() {
+            if let AdmissionDecision::Reject {
+                predicted_seconds,
+                budget_seconds,
+            } = self.shared.admission.decide(&request.config)
+            {
+                metrics.rejected_admission.fetch_add(1, Ordering::Relaxed);
+                return SubmitOutcome::Rejected {
+                    predicted_seconds,
+                    budget_seconds,
+                };
+            }
+        }
+
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let cell = Arc::new(JobCell::new());
+        let job = worker::QueuedJob {
+            id,
+            request,
+            cell: Arc::clone(&cell),
+            enqueued_at: Instant::now(),
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(()) => {
+                metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Submitted(JobHandle { id, cell })
+            }
+            Err((_, PushError::Full)) => {
+                metrics.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::QueueFull
+            }
+            Err((_, PushError::Closed)) => {
+                metrics.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::ShuttingDown
+            }
+        }
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Current submission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Number of calibrated scenario families available to admission.
+    pub fn calibrated_families(&self) -> usize {
+        self.shared.admission.calibrated_families()
+    }
+
+    /// Predicted virtual cost of a scenario, if its family is calibrated.
+    pub fn predict_seconds(&self, config: &SimConfig) -> Option<f64> {
+        self.shared.admission.predict_seconds(config)
+    }
+
+    /// Graceful shutdown: stop accepting work, drain the queue, join the
+    /// workers, and return the final metrics snapshot.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.shared.metrics.snapshot()
+    }
+}
+
+impl Drop for ScenarioServer {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_request(p: usize, hours: usize) -> ScenarioRequest {
+        let mut config = SimConfig::test_tiny(p, hours);
+        config.start_hour = 12;
+        ScenarioRequest::new(config)
+    }
+
+    fn small_server(workers: usize) -> ScenarioServer {
+        ScenarioServer::start(ServerConfig {
+            workers,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn submit_wait_complete() {
+        let server = small_server(2);
+        let handle = server.submit(tiny_request(4, 1)).into_handle().unwrap();
+        let report = handle.wait().expect("job completes");
+        assert_eq!(report.p, 4);
+        assert!(report.total_seconds > 0.0);
+        let metrics = server.shutdown();
+        assert_eq!(metrics.submitted, 1);
+        assert_eq!(metrics.completed, 1);
+        assert_eq!(metrics.in_flight, 0);
+        assert!(metrics.reconciles());
+    }
+
+    #[test]
+    fn duplicate_scenarios_hit_the_caches() {
+        let server = small_server(1);
+        let a = server.submit(tiny_request(4, 1)).into_handle().unwrap();
+        let ra = a.wait().unwrap();
+        // Same numerics, same placement: result-cache hit.
+        let b = server.submit(tiny_request(4, 1)).into_handle().unwrap();
+        let rb = b.wait().unwrap();
+        assert!(Arc::ptr_eq(&ra, &rb), "result cache must return the same report");
+        // Same numerics, different placement: profile-cache hit, replayed.
+        let c = server.submit(tiny_request(16, 1)).into_handle().unwrap();
+        let rc = c.wait().unwrap();
+        assert_eq!(rc.p, 16);
+        assert_eq!(rc.peak_o3(), ra.peak_o3(), "science is placement-invariant");
+        let m = server.shutdown();
+        assert_eq!(m.result_cache_hits, 1);
+        assert_eq!(m.profile_cache_hits, 1);
+        assert_eq!(m.profile_cache_misses, 1);
+        assert!(m.reconciles());
+    }
+
+    #[test]
+    fn cancelled_before_running_is_reported() {
+        // Server with zero live capacity: one worker blocked by a real
+        // job, so a queued job can be cancelled before it starts.
+        let server = small_server(1);
+        let first = server.submit(tiny_request(4, 2)).into_handle().unwrap();
+        let victim = server.submit(tiny_request(4, 3)).into_handle().unwrap();
+        victim.cancel();
+        let result = victim.wait();
+        assert!(
+            matches!(result, Err(JobError::Cancelled { .. })),
+            "expected cancellation"
+        );
+        first.wait().unwrap();
+        let m = server.shutdown();
+        assert_eq!(m.cancelled, 1);
+        assert_eq!(m.completed, 1);
+        assert!(m.reconciles());
+    }
+
+    #[test]
+    fn zero_deadline_expires_at_first_hour_boundary() {
+        let server = small_server(1);
+        let handle = server
+            .submit(tiny_request(4, 2).with_deadline(Duration::ZERO))
+            .into_handle()
+            .unwrap();
+        match handle.wait() {
+            Err(JobError::DeadlineExpired { resume }) => {
+                assert!(resume.is_none(), "no hours finished before the check");
+            }
+            other => panic!("expected deadline expiry, got {other:?}"),
+        }
+        let m = server.shutdown();
+        assert_eq!(m.deadline_expired, 1);
+        assert!(m.reconciles());
+    }
+
+    #[test]
+    fn queue_full_is_surfaced_as_backpressure() {
+        let server = ScenarioServer::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..Default::default()
+        });
+        // Worker busy with the first job; capacity-1 queue holds the
+        // second; the third must see QueueFull.
+        let h1 = server.submit(tiny_request(4, 2)).into_handle().unwrap();
+        let mut handles = vec![h1];
+        let mut saw_full = false;
+        for _ in 0..8 {
+            match server.submit(tiny_request(4, 3)) {
+                SubmitOutcome::Submitted(h) => handles.push(h),
+                SubmitOutcome::QueueFull => {
+                    saw_full = true;
+                    break;
+                }
+                other => panic!(
+                    "unexpected outcome: {:?}",
+                    match other {
+                        SubmitOutcome::Rejected { .. } => "rejected",
+                        SubmitOutcome::ShuttingDown => "shutting down",
+                        _ => "?",
+                    }
+                ),
+            }
+        }
+        assert!(saw_full, "bounded queue must push back");
+        for h in &handles {
+            let _ = h.wait();
+        }
+        let m = server.shutdown();
+        assert!(m.rejected_queue_full >= 1);
+        assert!(m.reconciles());
+    }
+
+    #[test]
+    fn admission_rejects_over_budget_scenarios() {
+        // Calibrate on a cheap 1-hour run, then submit a monster episode
+        // of the same family on the slowest machine at P=1.
+        let server = ScenarioServer::start(ServerConfig {
+            workers: 1,
+            budget_seconds: Some(1.0e4),
+            ..Default::default()
+        });
+        let probe = tiny_request(4, 1);
+        server
+            .submit(probe.clone())
+            .into_handle()
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(server.calibrated_families(), 1);
+
+        let mut monster = probe.config.clone();
+        monster.hours = 100_000;
+        monster.p = 1;
+        monster.machine = airshed_machine::MachineProfile::paragon();
+        match server.submit(ScenarioRequest::new(monster)) {
+            SubmitOutcome::Rejected {
+                predicted_seconds,
+                budget_seconds,
+            } => {
+                assert!(predicted_seconds > budget_seconds);
+            }
+            _ => panic!("expected admission rejection"),
+        }
+        let m = server.shutdown();
+        assert_eq!(m.rejected_admission, 1);
+        assert!(m.reconciles());
+    }
+
+    #[test]
+    fn job_ids_are_unique_and_displayable() {
+        let server = small_server(2);
+        let a = server.submit(tiny_request(4, 1)).into_handle().unwrap();
+        let b = server.submit(tiny_request(4, 1)).into_handle().unwrap();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(format!("{}", a.id()), format!("job-{}", a.id().0));
+        a.wait().unwrap();
+        b.wait().unwrap();
+        drop(server); // Drop also joins cleanly.
+    }
+}

@@ -1,0 +1,299 @@
+//! Metrics registry: lock-free counters plus latency histograms,
+//! snapshot-able as a plain struct and printable as a text report.
+//!
+//! The registry is the observability contract of the scenario service:
+//! every job submitted to the server is accounted for in exactly one of
+//! the terminal counters, so a drained server must satisfy
+//!
+//! ```text
+//! submitted = completed + rejected + cancelled (+ failed)
+//! ```
+//!
+//! which [`MetricsSnapshot::reconciles`] checks (a non-drained snapshot
+//! carries the remainder in `in_flight`).
+
+use serde::Serialize;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two microsecond buckets in a histogram. Bucket `i`
+/// covers `[2^i, 2^{i+1})` µs; bucket 0 also absorbs sub-microsecond
+/// samples, the last bucket absorbs everything above ~35 minutes.
+const BUCKETS: usize = 32;
+
+/// A concurrent latency histogram with power-of-two microsecond buckets.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, sample: Duration) {
+        let micros = sample.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; BUCKETS],
+    pub count: u64,
+    pub total_micros: u64,
+    pub max_micros: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample in microseconds.
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (µs) of the bucket holding the `q`-quantile sample
+    /// (`q` in `[0, 1]`). Bucket resolution, so at most 2x off.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max_micros
+    }
+}
+
+/// The scenario service's metrics registry.
+#[derive(Default)]
+pub struct Metrics {
+    // Flow counters. `submitted` counts every submit attempt; each
+    // attempt ends in exactly one of the other flow counters.
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub rejected_admission: AtomicU64,
+    pub rejected_queue_full: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub deadline_expired: AtomicU64,
+    pub failed: AtomicU64,
+    /// Jobs accepted into the queue but not yet finished (gauge).
+    pub in_flight: AtomicI64,
+
+    // Cache observability.
+    pub profile_cache_hits: AtomicU64,
+    pub profile_cache_misses: AtomicU64,
+    pub result_cache_hits: AtomicU64,
+    pub result_cache_misses: AtomicU64,
+
+    // Latency histograms per job phase.
+    pub queue_wait: Histogram,
+    pub service: Histogram,
+    pub latency: Histogram,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let r = Ordering::Relaxed;
+        MetricsSnapshot {
+            submitted: self.submitted.load(r),
+            completed: self.completed.load(r),
+            rejected_admission: self.rejected_admission.load(r),
+            rejected_queue_full: self.rejected_queue_full.load(r),
+            cancelled: self.cancelled.load(r),
+            deadline_expired: self.deadline_expired.load(r),
+            failed: self.failed.load(r),
+            in_flight: self.in_flight.load(r),
+            profile_cache_hits: self.profile_cache_hits.load(r),
+            profile_cache_misses: self.profile_cache_misses.load(r),
+            result_cache_hits: self.result_cache_hits.load(r),
+            result_cache_misses: self.result_cache_misses.load(r),
+            queue_wait: self.queue_wait.snapshot(),
+            service: self.service.snapshot(),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of the whole registry — a plain struct, so it can
+/// be asserted on in tests and serialised by harnesses.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSnapshot {
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected_admission: u64,
+    pub rejected_queue_full: u64,
+    pub cancelled: u64,
+    pub deadline_expired: u64,
+    pub failed: u64,
+    pub in_flight: i64,
+    pub profile_cache_hits: u64,
+    pub profile_cache_misses: u64,
+    pub result_cache_hits: u64,
+    pub result_cache_misses: u64,
+    pub queue_wait: HistogramSnapshot,
+    pub service: HistogramSnapshot,
+    pub latency: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Total rejections (admission + backpressure).
+    pub fn rejected(&self) -> u64 {
+        self.rejected_admission + self.rejected_queue_full
+    }
+
+    /// Total jobs that were accepted but did not complete (user
+    /// cancellation + deadline expiry).
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled + self.deadline_expired
+    }
+
+    /// The accounting invariant: every submitted job is completed,
+    /// rejected, cancelled, failed, or still in flight.
+    pub fn reconciles(&self) -> bool {
+        self.submitted as i64
+            == (self.completed + self.rejected() + self.cancelled_total() + self.failed) as i64
+                + self.in_flight
+    }
+}
+
+fn fmt_hist(f: &mut fmt::Formatter<'_>, name: &str, h: &HistogramSnapshot) -> fmt::Result {
+    writeln!(
+        f,
+        "  {name:<12} n={:<6} mean={:>9.1}us p50<{:>8}us p99<{:>8}us max={:>8}us",
+        h.count,
+        h.mean_micros(),
+        h.quantile_micros(0.50),
+        h.quantile_micros(0.99),
+        h.max_micros
+    )
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario-service metrics")?;
+        writeln!(
+            f,
+            "  submitted {} = completed {} + rejected {} (admission {}, queue-full {}) \
+             + cancelled {} (deadline {}) + failed {} + in-flight {}  [{}]",
+            self.submitted,
+            self.completed,
+            self.rejected(),
+            self.rejected_admission,
+            self.rejected_queue_full,
+            self.cancelled_total(),
+            self.deadline_expired,
+            self.failed,
+            self.in_flight,
+            if self.reconciles() {
+                "reconciled"
+            } else {
+                "NOT RECONCILED"
+            }
+        )?;
+        writeln!(
+            f,
+            "  profile cache: {} hits / {} misses; result cache: {} hits / {} misses",
+            self.profile_cache_hits,
+            self.profile_cache_misses,
+            self.result_cache_hits,
+            self.result_cache_misses
+        )?;
+        fmt_hist(f, "queue-wait", &self.queue_wait)?;
+        fmt_hist(f, "service", &self.service)?;
+        fmt_hist(f, "latency", &self.latency)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        for micros in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max_micros, 100_000);
+        assert_eq!(s.total_micros, 101_106);
+        // p50 of {1,2,3,100,1000,100000}: third sample, bucket of 3 µs
+        // is [2,4) so the reported upper bound is 4.
+        assert_eq!(s.quantile_micros(0.5), 4);
+        assert!(s.quantile_micros(1.0) >= 100_000);
+        assert_eq!(s.quantile_micros(0.0), s.quantile_micros(1e-9));
+    }
+
+    #[test]
+    fn zero_duration_lands_in_first_bucket() {
+        let h = Histogram::new();
+        h.record(Duration::ZERO);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.mean_micros(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_reconciles() {
+        let m = Metrics::new();
+        m.submitted.fetch_add(10, Ordering::Relaxed);
+        m.completed.fetch_add(6, Ordering::Relaxed);
+        m.rejected_admission.fetch_add(1, Ordering::Relaxed);
+        m.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+        m.cancelled.fetch_add(1, Ordering::Relaxed);
+        m.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert!(s.reconciles(), "{s}");
+        m.submitted.fetch_add(1, Ordering::Relaxed);
+        assert!(!m.snapshot().reconciles());
+        m.in_flight.fetch_add(1, Ordering::Relaxed);
+        assert!(m.snapshot().reconciles());
+    }
+
+    #[test]
+    fn report_mentions_the_reconciliation() {
+        let m = Metrics::new();
+        m.submitted.fetch_add(2, Ordering::Relaxed);
+        m.completed.fetch_add(2, Ordering::Relaxed);
+        m.result_cache_hits.fetch_add(1, Ordering::Relaxed);
+        let text = format!("{}", m.snapshot());
+        assert!(text.contains("reconciled"));
+        assert!(text.contains("result cache: 1 hits"));
+    }
+}

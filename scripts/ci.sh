@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# CI gate: release build, full test suite, and a warning-free clippy pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> CI passed"

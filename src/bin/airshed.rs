@@ -18,7 +18,9 @@ use airshed::core::taskpar::{optimize_split, replay_taskparallel};
 use airshed::core::viz;
 use airshed::machine::MachineProfile;
 use airshed::popexp::{replay_with_popexp, Hosting};
+use airshed::server::{ScenarioRequest, ScenarioServer, ServerConfig, SubmitOutcome};
 use std::process::ExitCode;
+use std::time::Duration;
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -32,6 +34,12 @@ struct Options {
     cyclic: bool,
     taskpar: bool,
     map: bool,
+    // serve-batch knobs
+    workers: usize,
+    clients: usize,
+    queue_cap: usize,
+    budget: Option<f64>,
+    scenarios: Option<String>,
 }
 
 impl Default for Options {
@@ -47,6 +55,11 @@ impl Default for Options {
             cyclic: false,
             taskpar: false,
             map: true,
+            workers: 4,
+            clients: 4,
+            queue_cap: 64,
+            budget: None,
+            scenarios: None,
         }
     }
 }
@@ -59,12 +72,13 @@ USAGE:
     airshed <command> [options]
 
 COMMANDS:
-    run       simulate and report phase timings + surface ozone map
-    sweep     replay one run across machines and node counts (Figure 2 style)
-    predict   calibrate the analytic model and extrapolate (Figure 6/7 style)
-    popexp    integrated Airshed + population exposure (Figure 13 style)
-    gridinfo  multiscale-grid statistics for a dataset
-    help      this text
+    run         simulate and report phase timings + surface ozone map
+    sweep       replay one run across machines and node counts (Figure 2 style)
+    predict     calibrate the analytic model and extrapolate (Figure 6/7 style)
+    popexp      integrated Airshed + population exposure (Figure 13 style)
+    serve-batch run a scenario batch through the concurrent scenario service
+    gridinfo    multiscale-grid statistics for a dataset
+    help        this text
 
 OPTIONS:
     --dataset la | ne | tiny:<columns>     (default tiny:120)
@@ -78,10 +92,20 @@ OPTIONS:
     --taskpar use the pipelined task-parallel driver
     --no-map  skip the ASCII ozone map
 
+SERVE-BATCH OPTIONS:
+    --workers N     worker pool size                    (default 4)
+    --clients M     concurrent submitting clients       (default 4)
+    --queue-cap N   bounded queue capacity              (default 64)
+    --budget S      admission budget, virtual seconds   (default: admit all)
+    --scenarios F   scenario list file, one run-style option line per
+                    scenario ('#' comments and blank lines skipped);
+                    without it a 32-scenario demo batch is generated
+
 EXAMPLES:
     airshed run --dataset tiny:150 --nodes 32 --hours 8
     airshed sweep --dataset la --nodes 4,8,16,32,64,128
-    airshed run --dataset tiny:120 --emis 0.5 --hours 6   # policy scenario"
+    airshed run --dataset tiny:120 --emis 0.5 --hours 6   # policy scenario
+    airshed serve-batch --dataset tiny:60 --workers 4 --clients 8 --budget 2e4"
     );
 }
 
@@ -143,6 +167,32 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--cyclic" => o.cyclic = true,
             "--taskpar" => o.taskpar = true,
             "--no-map" => o.map = false,
+            "--workers" => {
+                o.workers = val("--workers")?.parse().map_err(|e| format!("{e}"))?;
+                if o.workers == 0 {
+                    return Err("--workers must be positive".into());
+                }
+            }
+            "--clients" => {
+                o.clients = val("--clients")?.parse().map_err(|e| format!("{e}"))?;
+                if o.clients == 0 {
+                    return Err("--clients must be positive".into());
+                }
+            }
+            "--queue-cap" => {
+                o.queue_cap = val("--queue-cap")?.parse().map_err(|e| format!("{e}"))?;
+                if o.queue_cap == 0 {
+                    return Err("--queue-cap must be positive".into());
+                }
+            }
+            "--budget" => {
+                let b: f64 = val("--budget")?.parse().map_err(|e| format!("{e}"))?;
+                if b.is_nan() || b <= 0.0 {
+                    return Err("--budget must be positive".into());
+                }
+                o.budget = Some(b);
+            }
+            "--scenarios" => o.scenarios = Some(val("--scenarios")?),
             other => return Err(format!("unknown option '{other}' (try: airshed help)")),
         }
     }
@@ -300,6 +350,197 @@ fn cmd_popexp(o: &Options) {
     }
 }
 
+/// One entry of a serve-batch workload.
+#[derive(Clone)]
+struct Scenario {
+    config: SimConfig,
+    layout: ChemLayout,
+}
+
+impl Scenario {
+    fn describe(&self) -> String {
+        format!(
+            "{} p={} hours={} emis={:.2} [{}]",
+            self.config.dataset.name(),
+            self.config.p,
+            self.config.hours,
+            self.config.emission_scale,
+            self.config.machine.name
+        )
+    }
+}
+
+/// Parse a scenario list file: one scenario per line, written with the
+/// same options as `airshed run` (blank lines and `#` comments skipped).
+fn load_scenarios(path: &str) -> Result<Vec<Scenario>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut scenarios = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let words: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let o = parse(&words).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        scenarios.push(Scenario {
+            config: config(&o, o.nodes[0]),
+            layout: layout(&o),
+        });
+    }
+    if scenarios.is_empty() {
+        return Err(format!("{path}: no scenarios"));
+    }
+    Ok(scenarios)
+}
+
+/// The built-in demo batch: 32 scenarios over four emission-control
+/// policies and four node counts, so every (policy, placement) pair
+/// appears twice — plenty of duplicate work for the caches to reuse.
+/// With an admission budget, a deliberately monstrous episode of the
+/// calibrated family is appended to demonstrate rejection.
+fn demo_scenarios(o: &Options) -> Vec<Scenario> {
+    let emission_scales = [1.0, 0.8, 0.6, 0.4];
+    let node_counts = [4, 8, 16, 32];
+    let mut scenarios = Vec::new();
+    for i in 0..32 {
+        let mut c = config(o, node_counts[i % node_counts.len()]);
+        c.hours = o.hours.clamp(1, 2);
+        c.emission_scale = emission_scales[(i / node_counts.len()) % emission_scales.len()];
+        scenarios.push(Scenario {
+            config: c,
+            layout: layout(o),
+        });
+    }
+    if o.budget.is_some() {
+        // Same numerics family as scenario 0 (which calibrates the
+        // admission model), but a 10 000-hour episode on one Paragon
+        // node: predictably over any sane budget.
+        let mut monster = config(o, 1);
+        monster.hours = 10_000;
+        monster.machine = MachineProfile::paragon();
+        scenarios.push(Scenario {
+            config: monster,
+            layout: layout(o),
+        });
+    }
+    scenarios
+}
+
+fn cmd_serve_batch(o: &Options) -> Result<(), String> {
+    let scenarios = match &o.scenarios {
+        Some(path) => load_scenarios(path)?,
+        None => demo_scenarios(o),
+    };
+    eprintln!(
+        "serving {} scenarios: {} workers, {} clients, queue capacity {}, budget {}",
+        scenarios.len(),
+        o.workers,
+        o.clients,
+        o.queue_cap,
+        o.budget
+            .map_or("unlimited".to_string(), |b| format!("{b:.0} virtual s")),
+    );
+
+    let server = ScenarioServer::start(ServerConfig {
+        workers: o.workers,
+        queue_capacity: o.queue_cap,
+        budget_seconds: o.budget,
+        ..Default::default()
+    });
+
+    // Run the first scenario synchronously: it calibrates the admission
+    // model for its family, so budget decisions on the rest are informed.
+    let (first, rest) = scenarios.split_first().expect("non-empty batch");
+    match server.submit(ScenarioRequest {
+        config: first.config.clone(),
+        layout: first.layout,
+        deadline: None,
+        resume: None,
+    }) {
+        SubmitOutcome::Submitted(handle) => match handle.wait() {
+            Ok(report) => println!(
+                "{}  {}  {:>8.1}s virtual  peak O3 {:.1}  (calibration run)",
+                handle.id(),
+                first.describe(),
+                report.total_seconds,
+                report.peak_o3()
+            ),
+            Err(e) => println!("{}  {}  {e}", handle.id(), first.describe()),
+        },
+        _ => return Err("calibration scenario was not accepted".into()),
+    }
+
+    // Fan the rest out across M client threads, striped round-robin.
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..o.clients {
+            let server = &server;
+            scope.spawn(move || {
+                let mut handles = Vec::new();
+                for scenario in rest.iter().skip(client).step_by(o.clients) {
+                    let request = ScenarioRequest {
+                        config: scenario.config.clone(),
+                        layout: scenario.layout,
+                        deadline: None,
+                        resume: None,
+                    };
+                    loop {
+                        match server.submit(request.clone()) {
+                            SubmitOutcome::Submitted(h) => {
+                                handles.push((h, scenario));
+                                break;
+                            }
+                            SubmitOutcome::QueueFull => {
+                                // Backpressure: ease off and retry.
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            SubmitOutcome::Rejected {
+                                predicted_seconds,
+                                budget_seconds,
+                            } => {
+                                println!(
+                                    "rejected  {}  predicted {predicted_seconds:.0}s > budget {budget_seconds:.0}s",
+                                    scenario.describe()
+                                );
+                                break;
+                            }
+                            SubmitOutcome::ShuttingDown => break,
+                        }
+                    }
+                }
+                for (handle, scenario) in handles {
+                    match handle.wait() {
+                        Ok(report) => println!(
+                            "{}  {}  {:>8.1}s virtual  peak O3 {:.1}",
+                            handle.id(),
+                            scenario.describe(),
+                            report.total_seconds,
+                            report.peak_o3()
+                        ),
+                        Err(e) => println!("{}  {}  {e}", handle.id(), scenario.describe()),
+                    }
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+
+    let families = server.calibrated_families();
+    let metrics = server.shutdown();
+    println!();
+    print!("{metrics}");
+    println!(
+        "  {} calibrated scenario families; batch wall time {:.2}s ({:.1} jobs/s)",
+        families,
+        wall.as_secs_f64(),
+        metrics.completed as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    if !metrics.reconciles() {
+        return Err("metrics do not reconcile".into());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -323,6 +564,12 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&opts),
         "predict" => cmd_predict(&opts),
         "popexp" => cmd_popexp(&opts),
+        "serve-batch" => {
+            if let Err(e) = cmd_serve_batch(&opts) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         other => {
             eprintln!("error: unknown command '{other}'");
             usage();
@@ -374,6 +621,36 @@ mod tests {
             parse(&args("--dataset ne")).unwrap().dataset,
             DatasetChoice::NorthEast
         );
+    }
+
+    #[test]
+    fn parse_serve_batch_options() {
+        let o = parse(&args(
+            "--workers 8 --clients 16 --queue-cap 4 --budget 2e4 --scenarios batch.txt",
+        ))
+        .unwrap();
+        assert_eq!(o.workers, 8);
+        assert_eq!(o.clients, 16);
+        assert_eq!(o.queue_cap, 4);
+        assert_eq!(o.budget, Some(2e4));
+        assert_eq!(o.scenarios.as_deref(), Some("batch.txt"));
+        assert!(parse(&args("--workers 0")).is_err());
+        assert!(parse(&args("--clients 0")).is_err());
+        assert!(parse(&args("--queue-cap 0")).is_err());
+        assert!(parse(&args("--budget -3")).is_err());
+    }
+
+    #[test]
+    fn demo_batch_has_duplicates_and_a_monster_under_budget() {
+        let o = parse(&args("--budget 100")).unwrap();
+        let scenarios = demo_scenarios(&o);
+        assert_eq!(scenarios.len(), 33);
+        assert_eq!(scenarios.last().unwrap().config.hours, 10_000);
+        // Duplicate (policy, placement) pairs so caches have work to reuse.
+        assert_eq!(scenarios[0].config.emission_scale, scenarios[16].config.emission_scale);
+        assert_eq!(scenarios[0].config.p, scenarios[16].config.p);
+        let no_budget = demo_scenarios(&parse(&[]).unwrap());
+        assert_eq!(no_budget.len(), 32);
     }
 
     #[test]

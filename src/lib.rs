@@ -33,4 +33,5 @@ pub use airshed_hpf as hpf;
 pub use airshed_machine as machine;
 pub use airshed_met as met;
 pub use airshed_popexp as popexp;
+pub use airshed_server as server;
 pub use airshed_transport as transport;

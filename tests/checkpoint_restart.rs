@@ -4,7 +4,11 @@
 
 use airshed::core::checkpoint::Checkpoint;
 use airshed::core::config::SimConfig;
-use airshed::core::driver::{run_resumable, run_with_profile};
+use airshed::core::driver::{replay, run_resumable, run_with_profile};
+use airshed::server::{
+    JobError, ResumePoint, ScenarioRequest, ScenarioServer, ServerConfig,
+};
+use std::time::Duration;
 
 fn config(hours: usize) -> SimConfig {
     let mut c = SimConfig::test_tiny(4, hours);
@@ -70,6 +74,88 @@ fn checkpoint_shape_mismatch_is_rejected() {
     other.dataset = airshed::core::config::DatasetChoice::Tiny(200);
     let result = std::panic::catch_unwind(|| run_resumable(&other, Some(ckpt)));
     assert!(result.is_err(), "shape mismatch must panic loudly");
+}
+
+#[test]
+fn server_resumes_an_interrupted_scenario_bit_identically() {
+    // The uninterrupted reference for a 4-hour episode.
+    let cfg = config(4);
+    let (_, straight_profile) = run_with_profile(&cfg);
+    let reference = replay(&straight_profile, cfg.machine, cfg.p);
+
+    // A 2-hour prefix, as if the server had been stopped mid-scenario;
+    // its checkpoint plus captured work form the resume point.
+    let mut half = cfg.clone();
+    half.hours = 2;
+    let (_, partial, checkpoint) = run_resumable(&half, None);
+
+    let server = ScenarioServer::start(ServerConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let handle = server
+        .submit(ScenarioRequest::new(cfg.clone()).resuming(ResumePoint {
+            checkpoint,
+            partial,
+        }))
+        .into_handle()
+        .expect("resumed job accepted");
+    let report = handle.wait().expect("resumed job completes");
+
+    // Bit-identical to never having been interrupted.
+    assert_eq!(report.total_seconds, reference.total_seconds);
+    assert_eq!(report.peak_o3(), reference.peak_o3());
+    assert_eq!(report.summaries.len(), reference.summaries.len());
+    for (a, b) in report.summaries.iter().zip(&reference.summaries) {
+        assert_eq!(a.hour, b.hour);
+        assert_eq!(a.max_o3, b.max_o3);
+        assert_eq!(a.mean_nox, b.mean_nox);
+    }
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.completed, 1);
+    assert!(metrics.reconciles());
+}
+
+#[test]
+fn deadline_interrupted_job_resumes_with_no_work_lost() {
+    // End-to-end interruption: the server itself expires the deadline at
+    // an hour boundary and hands back the resume point, which a second
+    // request finishes. On a fast machine the first attempt may complete
+    // outright — both paths must yield the reference report.
+    let cfg = config(3);
+    let (_, straight_profile) = run_with_profile(&cfg);
+    let reference = replay(&straight_profile, cfg.machine, cfg.p);
+
+    let server = ScenarioServer::start(ServerConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let first = server
+        .submit(ScenarioRequest::new(cfg.clone()).with_deadline(Duration::from_millis(200)))
+        .into_handle()
+        .expect("accepted");
+    let report = match first.wait() {
+        Ok(report) => report,
+        Err(JobError::DeadlineExpired { resume }) => {
+            let mut request = ScenarioRequest::new(cfg.clone());
+            if let Some(r) = resume {
+                assert!(!r.partial.hours.is_empty(), "resume point carries work");
+                request = request.resuming(*r);
+            }
+            server
+                .submit(request)
+                .into_handle()
+                .expect("resume accepted")
+                .wait()
+                .expect("resumed job completes")
+        }
+        Err(other) => panic!("unexpected job error: {other}"),
+    };
+    assert_eq!(report.total_seconds, reference.total_seconds);
+    assert_eq!(report.peak_o3(), reference.peak_o3());
+    let metrics = server.shutdown();
+    assert!(metrics.reconciles());
 }
 
 #[test]
