@@ -30,12 +30,7 @@ fn bench_grid(c: &mut Criterion) {
     c.bench_function("grid/node_locator_1k_queries", |b| {
         let loc = airshed_grid::mesh::NodeLocator::new(&d.mesh);
         let pts: Vec<airshed_grid::geometry::Point> = (0..1000)
-            .map(|i| {
-                airshed_grid::geometry::Point::new(
-                    (i % 317) as f64,
-                    (i % 157) as f64,
-                )
-            })
+            .map(|i| airshed_grid::geometry::Point::new((i % 317) as f64, (i % 157) as f64))
             .collect();
         b.iter(|| {
             let mut acc = 0usize;
@@ -65,7 +60,9 @@ fn bench_solver(c: &mut Criterion) {
     let wind: Vec<(f64, f64)> = vec![(0.25, 0.08); d.mesh.n_nodes()];
     let m = assemble_layer(&d.mesh, &wind, 0.012);
     let sys = m.mass.add_scaled_same_pattern(2.0, &m.stiff);
-    let rhs: Vec<f64> = (0..sys.n()).map(|i| 0.04 + 1e-4 * (i % 17) as f64).collect();
+    let rhs: Vec<f64> = (0..sys.n())
+        .map(|i| 0.04 + 1e-4 * (i % 17) as f64)
+        .collect();
     c.bench_function("solver/bicgstab_la_layer", |b| {
         b.iter_batched(
             || vec![0.0; sys.n()],
@@ -132,11 +129,8 @@ fn bench_exec(c: &mut Criterion) {
     );
     c.bench_function("exec/message_passing_redistribution_p8", |b| {
         b.iter(|| {
-            let (out, stats) = airshed_hpf::exec::execute_redistribution(
-                &src,
-                &Distribution::block(3, 2),
-                8,
-            );
+            let (out, stats) =
+                airshed_hpf::exec::execute_redistribution(&src, &Distribution::block(3, 2), 8);
             black_box((out.tile(0).len(), stats.per_node[0].bytes_sent))
         })
     });

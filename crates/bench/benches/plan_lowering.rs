@@ -1,0 +1,49 @@
+//! Criterion benchmark for the plan layer: building one hour's
+//! `PhaseGraph` and lowering it through its three consumers — the
+//! data-parallel executor, the pipeline stage folding, and a full-hour
+//! build+execute round trip — for the LA data set at P = 64.
+//!
+//! The refactor's cost story: `charge_hour` used to charge phases
+//! directly; now it materialises the graph first. These benches bound
+//! that overhead (the graph is a few hundred nodes and four edges per
+//! hour, rebuilt per hour).
+
+use airshed_bench::la_profile;
+use airshed_core::driver::HourPlans;
+use airshed_core::plan::PhaseGraph;
+use airshed_machine::{Machine, MachineProfile};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_plan_lowering(c: &mut Criterion) {
+    let profile = la_profile();
+    let p = 64usize;
+    let plans = HourPlans::new(&profile.shape, p);
+    let hp = &profile.hours[profile.hours.len() / 2];
+
+    c.bench_function("plan/build_graph_la_p64", |b| {
+        b.iter(|| black_box(PhaseGraph::for_hour(hp, &plans, p).nodes.len()))
+    });
+
+    let graph = PhaseGraph::for_hour(hp, &plans, p);
+    c.bench_function("plan/execute_graph_la_p64", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineProfile::t3e(), p);
+            black_box(graph.execute(&mut m))
+        })
+    });
+
+    c.bench_function("plan/build_and_execute_la_p64", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineProfile::t3e(), p);
+            black_box(PhaseGraph::for_hour(hp, &plans, p).execute(&mut m))
+        })
+    });
+
+    c.bench_function("plan/stage_durations_la_p64", |b| {
+        b.iter(|| black_box(graph.stage_durations(MachineProfile::t3e(), 1, 1)))
+    });
+}
+
+criterion_group!(benches, bench_plan_lowering);
+criterion_main!(benches);

@@ -29,9 +29,7 @@ fn bench_replay(c: &mut Criterion) {
         b.iter(|| black_box(replay(prof, MachineProfile::t3e(), 64).total_seconds))
     });
     c.bench_function("runtime/replay_taskparallel_p64", |b| {
-        b.iter(|| {
-            black_box(replay_taskparallel(prof, MachineProfile::paragon(), 64).total_seconds)
-        })
+        b.iter(|| black_box(replay_taskparallel(prof, MachineProfile::paragon(), 64).total_seconds))
     });
 }
 

@@ -56,9 +56,7 @@ fn main() {
         grid.n_cells(),
         cell_ratio
     );
-    println!(
-        "1-D sweeps need {steps_ratio:.1}x more steps/hour (explicit CFL on fine cells)"
-    );
+    println!("1-D sweeps need {steps_ratio:.1}x more steps/hour (explicit CFL on fine cells)");
 
     // Sequential seconds on the T3E, from the measured profile.
     let seq_chem = model.seq_chemistry / t3e.rate;

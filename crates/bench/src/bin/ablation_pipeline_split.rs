@@ -3,7 +3,7 @@
 //! The paper's pipelined Airshed places one node each on input and
 //! output. Its authors separately studied the general problem ("Optimal
 //! mapping of sequences of data parallel tasks", PPoPP'95, cited as
-//! [26]): how many nodes should each pipeline stage get? This bench
+//! \[26\]): how many nodes should each pipeline stage get? This bench
 //! enumerates splits for the LA episode on the Paragon and compares the
 //! paper's 1/1 default against the optimum.
 

@@ -29,10 +29,16 @@ fn run(form: AsymptoticForm, eps: f64) -> (Vec<f64>, YbStats) {
     let m = Mechanism::carbon_bond();
     let mut ws = YbWorkspace::new(sp::N_SPECIES);
     let mut c = polluted();
-    let opts = YbOptions { eps, form, ..Default::default() };
+    let opts = YbOptions {
+        eps,
+        form,
+        ..Default::default()
+    };
     let mut stats = YbStats::default();
     for _ in 0..18 {
-        stats.absorb(integrate_cell(&m, &mut c, 300.0, 0.85, 10.0, &opts, &mut ws));
+        stats.absorb(integrate_cell(
+            &m, &mut c, 300.0, 0.85, 10.0, &opts, &mut ws,
+        ));
     }
     (c, stats)
 }
@@ -42,13 +48,7 @@ fn main() {
     let (reference, _) = run(AsymptoticForm::Exponential, 2e-4);
 
     let mut t = Table::new(vec![
-        "form",
-        "eps",
-        "substeps",
-        "rejected",
-        "O3 (ppb)",
-        "O3 err",
-        "NOx err",
+        "form", "eps", "substeps", "rejected", "O3 (ppb)", "O3 err", "NOx err",
     ]);
     for form in [AsymptoticForm::Exponential, AsymptoticForm::Rational] {
         for eps in [0.01, 0.002, 0.0005] {

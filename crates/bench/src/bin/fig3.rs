@@ -30,10 +30,7 @@ fn main() {
             format!("{:.2}", rne / rla),
         ]);
     }
-    t.print(
-        "Figure 3: T3E execution times, LA vs NE data sets",
-        "fig3",
-    );
+    t.print("Figure 3: T3E execution times, LA vs NE data sets", "fig3");
 
     // Qualitative-similarity check: normalised speedup curves.
     let mut s = Table::new(vec!["P", "LA speedup vs P=4", "NE speedup vs P=4"]);

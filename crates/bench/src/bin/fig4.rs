@@ -7,7 +7,8 @@
 
 use airshed_bench::table::{secs, Table};
 use airshed_bench::{la_profile, PAPER_NODES};
-use airshed_core::driver::replay;
+use airshed_core::driver::ChemLayout;
+use airshed_core::plan::replay_profile;
 use airshed_machine::MachineProfile;
 
 fn main() {
@@ -24,7 +25,7 @@ fn main() {
         "Comm share",
     ]);
     for &p in &PAPER_NODES {
-        let r = replay(&profile, t3e, p);
+        let r = replay_profile(&profile, t3e, p, ChemLayout::Block);
         t.row(vec![
             p.to_string(),
             secs(r.chemistry_seconds),

@@ -8,7 +8,8 @@
 
 use airshed_bench::table::Table;
 use airshed_bench::{la_profile, PAPER_NODES};
-use airshed_core::driver::replay;
+use airshed_core::driver::ChemLayout;
+use airshed_core::plan::replay_profile;
 use airshed_machine::MachineProfile;
 
 fn main() {
@@ -22,7 +23,7 @@ fn main() {
         "D_Chem->D_Repl (ms)",
     ]);
     for &p in &PAPER_NODES {
-        let r = replay(&profile, t3e, p);
+        let r = replay_profile(&profile, t3e, p, ChemLayout::Block);
         let ms = |label: &str| format!("{:.3}", 1000.0 * r.comm_per_step(label));
         t.row(vec![
             p.to_string(),
@@ -31,8 +32,5 @@ fn main() {
             ms("D_Chem->D_Repl"),
         ]);
     }
-    t.print(
-        "Figure 5: per-step redistribution times, LA on T3E",
-        "fig5",
-    );
+    t.print("Figure 5: per-step redistribution times, LA on T3E", "fig5");
 }

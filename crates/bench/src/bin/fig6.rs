@@ -6,7 +6,8 @@
 
 use airshed_bench::table::Table;
 use airshed_bench::{la_profile, PAPER_NODES};
-use airshed_core::driver::replay;
+use airshed_core::driver::ChemLayout;
+use airshed_core::plan::replay_profile;
 use airshed_core::predict::PerfModel;
 use airshed_machine::MachineProfile;
 
@@ -26,11 +27,17 @@ fn main() {
     ]);
     let mut worst: f64 = 0.0;
     for &p in &PAPER_NODES {
-        let meas = replay(&profile, t3e, p);
+        let meas = replay_profile(&profile, t3e, p, ChemLayout::Block);
         let pred = model.predict(&t3e, p);
         let pairs = [
-            (meas.comm_per_step("D_Repl->D_Trans"), pred.comm_repl_to_trans),
-            (meas.comm_per_step("D_Trans->D_Chem"), pred.comm_trans_to_chem),
+            (
+                meas.comm_per_step("D_Repl->D_Trans"),
+                pred.comm_repl_to_trans,
+            ),
+            (
+                meas.comm_per_step("D_Trans->D_Chem"),
+                pred.comm_trans_to_chem,
+            ),
             (meas.comm_per_step("D_Chem->D_Repl"), pred.comm_chem_to_repl),
         ];
         for (m, pr) in &pairs {

@@ -7,7 +7,8 @@
 
 use airshed_bench::table::{secs, Table};
 use airshed_bench::{la_profile, PAPER_NODES};
-use airshed_core::driver::replay;
+use airshed_core::driver::ChemLayout;
+use airshed_core::plan::replay_profile;
 use airshed_core::predict::PerfModel;
 use airshed_machine::MachineProfile;
 
@@ -26,7 +27,7 @@ fn main() {
         "Total (s)",
     ]);
     for &p in &PAPER_NODES {
-        let m = replay(&profile, t3e, p);
+        let m = replay_profile(&profile, t3e, p, ChemLayout::Block);
         t.row(vec![
             format!("{p}"),
             "measured".to_string(),

@@ -62,7 +62,10 @@ fn main() {
         let metrics = server.shutdown();
         assert!(metrics.reconciles(), "metrics must reconcile:\n{metrics}");
         assert_eq!(metrics.completed as usize, JOBS);
-        assert_eq!(metrics.profile_cache_hits, 0, "cold run must not share work");
+        assert_eq!(
+            metrics.profile_cache_hits, 0,
+            "cold run must not share work"
+        );
         let rate = JOBS as f64 / wall;
         let base = *rate_at_one.get_or_insert(rate);
         scaling.row(vec![

@@ -1,9 +1,12 @@
 //! Execution timeline: a Gantt view of one simulated hour on the virtual
-//! machine — what the main loop's phase/redistribution sequence actually
-//! looks like in time, and why transport and I/O dominate at scale.
+//! machine — what the plan graph's phase/redistribution sequence actually
+//! looks like in time, and why transport and I/O dominate at scale. Rows
+//! are labelled from the IR `PhaseKind` (compute phases) and the plan
+//! edge names (redistributions).
 
 use airshed_bench::la_profile;
-use airshed_core::driver::{charge_hour, HourPlans};
+use airshed_core::driver::HourPlans;
+use airshed_core::plan::PhaseGraph;
 use airshed_machine::{Machine, MachineProfile};
 
 fn main() {
@@ -14,7 +17,7 @@ fn main() {
         let mut m = Machine::new(MachineProfile::t3e(), p);
         m.trace.enable();
         let plans = HourPlans::new(&profile.shape, p);
-        charge_hour(&mut m, &profile.hours[noon], &plans);
+        PhaseGraph::for_hour(&profile.hours[noon], &plans, p).execute(&mut m);
         println!(
             "\n=== one simulated hour (hour index {noon}) on the T3E, P = {p} — {:.2}s ===",
             m.elapsed()
@@ -22,10 +25,8 @@ fn main() {
         print!("{}", m.trace.gantt(0.0, m.elapsed(), 100));
         println!(
             "trace totals: chem {:.2}s, transport {:.2}s, io {:.2}s, comm {:.2}s",
-            m.trace
-                .total_for(airshed_machine::PhaseCategory::Chemistry),
-            m.trace
-                .total_for(airshed_machine::PhaseCategory::Transport),
+            m.trace.total_for(airshed_machine::PhaseCategory::Chemistry),
+            m.trace.total_for(airshed_machine::PhaseCategory::Transport),
             m.trace.total_for(airshed_machine::PhaseCategory::IoProc),
             m.trace
                 .total_for(airshed_machine::PhaseCategory::Communication),

@@ -175,7 +175,15 @@ mod tests {
         let (mut conc, vol) = setup(2, 4);
         set(&mut conc, 2, 4, sp::SULF, 0.01);
         set(&mut conc, 2, 4, sp::NH3, 0.05);
-        let r = equilibrium_step(&mut conc, 2, 4, &vol, 295.0, 10.0, &AerosolParams::default());
+        let r = equilibrium_step(
+            &mut conc,
+            2,
+            4,
+            &vol,
+            295.0,
+            10.0,
+            &AerosolParams::default(),
+        );
         assert!(r.sulfate_transferred > 0.0);
         assert!(conc[(sp::SULF * 2) * 4] < 0.01);
         assert!(conc.iter().all(|&x| x >= 0.0));
@@ -185,7 +193,15 @@ mod tests {
     fn no_ammonia_means_no_nitrate_uptake() {
         let (mut conc, vol) = setup(1, 3);
         set(&mut conc, 1, 3, sp::HNO3, 0.02);
-        let r = equilibrium_step(&mut conc, 1, 3, &vol, 290.0, 10.0, &AerosolParams::default());
+        let r = equilibrium_step(
+            &mut conc,
+            1,
+            3,
+            &vol,
+            290.0,
+            10.0,
+            &AerosolParams::default(),
+        );
         assert_eq!(r.nitrate_transferred, 0.0);
         assert!((conc[sp::HNO3 * 3] - 0.02).abs() < 1e-15);
     }
@@ -261,7 +277,15 @@ mod tests {
     #[test]
     fn empty_domain_is_a_noop() {
         let (mut conc, vol) = setup(2, 2);
-        let r = equilibrium_step(&mut conc, 2, 2, &vol, 295.0, 10.0, &AerosolParams::default());
+        let r = equilibrium_step(
+            &mut conc,
+            2,
+            2,
+            &vol,
+            295.0,
+            10.0,
+            &AerosolParams::default(),
+        );
         assert_eq!(r.sulfate_transferred, 0.0);
         assert!(conc.iter().all(|&x| x == 0.0));
     }

@@ -81,10 +81,7 @@ mod tests {
     #[test]
     fn carbon_bond_conserves_nitrogen_reaction_by_reaction() {
         let leaks = audit_nitrogen(&Mechanism::carbon_bond());
-        assert!(
-            leaks.is_empty(),
-            "nitrogen-leaking reactions: {leaks:?}"
-        );
+        assert!(leaks.is_empty(), "nitrogen-leaking reactions: {leaks:?}");
     }
 
     #[test]
@@ -100,7 +97,11 @@ mod tests {
         let mut mech = Mechanism::carbon_bond();
         mech.reactions.push(Reaction {
             label: "ISOP+NO3->XO2 (leak!)",
-            rate_law: RateLaw::Arrhenius { a: 1.0, t_exp: 0.0, ea_over_r: 0.0 },
+            rate_law: RateLaw::Arrhenius {
+                a: 1.0,
+                t_exp: 0.0,
+                ea_over_r: 0.0,
+            },
             rate_order: vec![sp::ISOP, sp::NO3],
             consume: vec![(sp::ISOP, 1.0), (sp::NO3, 1.0)],
             produce: vec![(sp::XO2, 1.0)],

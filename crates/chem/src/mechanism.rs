@@ -29,9 +29,11 @@ impl RateLaw {
     #[inline]
     pub fn eval(&self, t: f64, sun: f64) -> f64 {
         match *self {
-            RateLaw::Arrhenius { a, t_exp, ea_over_r } => {
-                a * (t / 300.0).powf(t_exp) * (-ea_over_r / t).exp()
-            }
+            RateLaw::Arrhenius {
+                a,
+                t_exp,
+                ea_over_r,
+            } => a * (t / 300.0).powf(t_exp) * (-ea_over_r / t).exp(),
             RateLaw::Photolysis { j_max, power } => {
                 if sun <= 0.0 {
                     0.0
@@ -85,7 +87,11 @@ impl Mechanism {
     /// Evaluate all rate constants into `k` (length `n_reactions`).
     pub fn rate_constants(&self, t_kelvin: f64, sun: f64, k: &mut Vec<f64>) {
         k.clear();
-        k.extend(self.reactions.iter().map(|r| r.rate_law.eval(t_kelvin, sun)));
+        k.extend(
+            self.reactions
+                .iter()
+                .map(|r| r.rate_law.eval(t_kelvin, sun)),
+        );
     }
 
     /// Accumulate production rates `p` (ppm/min) and loss *frequencies*
@@ -153,8 +159,16 @@ impl Mechanism {
         let mut rx: Vec<Reaction> = Vec::with_capacity(80);
 
         // Helper closures to keep the table readable.
-        let arr = |a: f64, ea_over_r: f64| RateLaw::Arrhenius { a, t_exp: 0.0, ea_over_r };
-        let k0 = |a: f64| RateLaw::Arrhenius { a, t_exp: 0.0, ea_over_r: 0.0 };
+        let arr = |a: f64, ea_over_r: f64| RateLaw::Arrhenius {
+            a,
+            t_exp: 0.0,
+            ea_over_r,
+        };
+        let k0 = |a: f64| RateLaw::Arrhenius {
+            a,
+            t_exp: 0.0,
+            ea_over_r: 0.0,
+        };
         let phot = |j_max: f64, power: f64| RateLaw::Photolysis { j_max, power };
 
         let mut add = |label: &'static str,
@@ -172,18 +186,78 @@ impl Mechanism {
         };
 
         // ---- Inorganic photochemistry --------------------------------
-        add("NO2+hv->NO+O", phot(0.533, 1.0), &[NO2], &[(NO2, 1.0)], &[(NO, 1.0), (O, 1.0)]);
+        add(
+            "NO2+hv->NO+O",
+            phot(0.533, 1.0),
+            &[NO2],
+            &[(NO2, 1.0)],
+            &[(NO, 1.0), (O, 1.0)],
+        );
         add("O->O3", k0(4.2e6), &[O], &[(O, 1.0)], &[(O3, 1.0)]);
-        add("O3+NO->NO2", arr(4428.0, 1500.0), &[O3, NO], &[(O3, 1.0), (NO, 1.0)], &[(NO2, 1.0)]);
-        add("O+NO2->NO", k0(1.375e4), &[O, NO2], &[(O, 1.0), (NO2, 1.0)], &[(NO, 1.0)]);
-        add("O+NO2->NO3", k0(2.3e3), &[O, NO2], &[(O, 1.0), (NO2, 1.0)], &[(NO3, 1.0)]);
-        add("NO2+O3->NO3", arr(176.0, 2450.0), &[NO2, O3], &[(NO2, 1.0), (O3, 1.0)], &[(NO3, 1.0)]);
-        add("O3+hv->O", phot(0.028, 1.0), &[O3], &[(O3, 1.0)], &[(O, 1.0)]);
-        add("O3+hv->O1D", phot(3.0e-3, 2.0), &[O3], &[(O3, 1.0)], &[(O1D, 1.0)]);
+        add(
+            "O3+NO->NO2",
+            arr(4428.0, 1500.0),
+            &[O3, NO],
+            &[(O3, 1.0), (NO, 1.0)],
+            &[(NO2, 1.0)],
+        );
+        add(
+            "O+NO2->NO",
+            k0(1.375e4),
+            &[O, NO2],
+            &[(O, 1.0), (NO2, 1.0)],
+            &[(NO, 1.0)],
+        );
+        add(
+            "O+NO2->NO3",
+            k0(2.3e3),
+            &[O, NO2],
+            &[(O, 1.0), (NO2, 1.0)],
+            &[(NO3, 1.0)],
+        );
+        add(
+            "NO2+O3->NO3",
+            arr(176.0, 2450.0),
+            &[NO2, O3],
+            &[(NO2, 1.0), (O3, 1.0)],
+            &[(NO3, 1.0)],
+        );
+        add(
+            "O3+hv->O",
+            phot(0.028, 1.0),
+            &[O3],
+            &[(O3, 1.0)],
+            &[(O, 1.0)],
+        );
+        add(
+            "O3+hv->O1D",
+            phot(3.0e-3, 2.0),
+            &[O3],
+            &[(O3, 1.0)],
+            &[(O1D, 1.0)],
+        );
         add("O1D->O", k0(4.3e10), &[O1D], &[(O1D, 1.0)], &[(O, 1.0)]);
-        add("O1D(+H2O)->2OH", k0(6.5e9), &[O1D], &[(O1D, 1.0)], &[(OH, 2.0)]);
-        add("O3+OH->HO2", arr(2336.0, 940.0), &[O3, OH], &[(O3, 1.0), (OH, 1.0)], &[(HO2, 1.0)]);
-        add("O3+HO2->OH", arr(21.2, 580.0), &[O3, HO2], &[(O3, 1.0), (HO2, 1.0)], &[(OH, 1.0)]);
+        add(
+            "O1D(+H2O)->2OH",
+            k0(6.5e9),
+            &[O1D],
+            &[(O1D, 1.0)],
+            &[(OH, 2.0)],
+        );
+        add(
+            "O3+OH->HO2",
+            arr(2336.0, 940.0),
+            &[O3, OH],
+            &[(O3, 1.0), (OH, 1.0)],
+            &[(HO2, 1.0)],
+        );
+        add(
+            "O3+HO2->OH",
+            arr(21.2, 580.0),
+            &[O3, HO2],
+            &[(O3, 1.0), (HO2, 1.0)],
+            &[(OH, 1.0)],
+        );
         // ---- NO3 / N2O5 night chemistry ------------------------------
         add(
             "NO3+hv->.89NO2+.89O+.11NO",
@@ -192,35 +266,197 @@ impl Mechanism {
             &[(NO3, 1.0)],
             &[(NO2, 0.89), (O, 0.89), (NO, 0.11)],
         );
-        add("NO3+NO->2NO2", k0(4.42e4), &[NO3, NO], &[(NO3, 1.0), (NO, 1.0)], &[(NO2, 2.0)]);
-        add("NO3+NO2->N2O5", k0(1.8e3), &[NO3, NO2], &[(NO3, 1.0), (NO2, 1.0)], &[(N2O5, 1.0)]);
-        add("N2O5->NO3+NO2", arr(2.5e16, 10897.0), &[N2O5], &[(N2O5, 1.0)], &[(NO3, 1.0), (NO2, 1.0)]);
-        add("N2O5(+H2O)->2HNO3", k0(1.9e-3), &[N2O5], &[(N2O5, 1.0)], &[(HNO3, 2.0)]);
+        add(
+            "NO3+NO->2NO2",
+            k0(4.42e4),
+            &[NO3, NO],
+            &[(NO3, 1.0), (NO, 1.0)],
+            &[(NO2, 2.0)],
+        );
+        add(
+            "NO3+NO2->N2O5",
+            k0(1.8e3),
+            &[NO3, NO2],
+            &[(NO3, 1.0), (NO2, 1.0)],
+            &[(N2O5, 1.0)],
+        );
+        add(
+            "N2O5->NO3+NO2",
+            arr(2.5e16, 10897.0),
+            &[N2O5],
+            &[(N2O5, 1.0)],
+            &[(NO3, 1.0), (NO2, 1.0)],
+        );
+        add(
+            "N2O5(+H2O)->2HNO3",
+            k0(1.9e-3),
+            &[N2O5],
+            &[(N2O5, 1.0)],
+            &[(HNO3, 2.0)],
+        );
         // ---- HOx / NOy ------------------------------------------------
-        add("HONO+hv->NO+OH", phot(0.0977, 1.0), &[HONO], &[(HONO, 1.0)], &[(NO, 1.0), (OH, 1.0)]);
-        add("NO+OH->HONO", k0(9.8e3), &[NO, OH], &[(NO, 1.0), (OH, 1.0)], &[(HONO, 1.0)]);
-        add("HONO+OH->NO2", k0(9.77e3), &[HONO, OH], &[(HONO, 1.0), (OH, 1.0)], &[(NO2, 1.0)]);
-        add("NO2+OH->HNO3", k0(1.682e4), &[NO2, OH], &[(NO2, 1.0), (OH, 1.0)], &[(HNO3, 1.0)]);
-        add("HNO3+OH->NO3", k0(192.0), &[HNO3, OH], &[(HNO3, 1.0), (OH, 1.0)], &[(NO3, 1.0)]);
-        add("NO+HO2->NO2+OH", arr(5482.0, -240.0), &[NO, HO2], &[(NO, 1.0), (HO2, 1.0)], &[(NO2, 1.0), (OH, 1.0)]);
-        add("HO2+HO2->H2O2", k0(4.14e3), &[HO2, HO2], &[(HO2, 2.0)], &[(H2O2, 1.0)]);
-        add("H2O2+hv->2OH", phot(1.3e-3, 1.0), &[H2O2], &[(H2O2, 1.0)], &[(OH, 2.0)]);
-        add("H2O2+OH->HO2", k0(2.52e3), &[H2O2, OH], &[(H2O2, 1.0), (OH, 1.0)], &[(HO2, 1.0)]);
-        add("OH+HO2->", k0(1.6e5), &[OH, HO2], &[(OH, 1.0), (HO2, 1.0)], &[]);
-        add("CO+OH->HO2", k0(322.0), &[CO, OH], &[(CO, 1.0), (OH, 1.0)], &[(HO2, 1.0)]);
-        add("SO2+OH->SULF+HO2", k0(1.5e3), &[SO2, OH], &[(SO2, 1.0), (OH, 1.0)], &[(SULF, 1.0), (HO2, 1.0)]);
-        add("HO2+NO2->PNA", k0(2.0e3), &[HO2, NO2], &[(HO2, 1.0), (NO2, 1.0)], &[(PNA, 1.0)]);
-        add("PNA->HO2+NO2", arr(4.8e15, 10121.0), &[PNA], &[(PNA, 1.0)], &[(HO2, 1.0), (NO2, 1.0)]);
-        add("PNA+OH->NO2", k0(6.9e3), &[PNA, OH], &[(PNA, 1.0), (OH, 1.0)], &[(NO2, 1.0)]);
+        add(
+            "HONO+hv->NO+OH",
+            phot(0.0977, 1.0),
+            &[HONO],
+            &[(HONO, 1.0)],
+            &[(NO, 1.0), (OH, 1.0)],
+        );
+        add(
+            "NO+OH->HONO",
+            k0(9.8e3),
+            &[NO, OH],
+            &[(NO, 1.0), (OH, 1.0)],
+            &[(HONO, 1.0)],
+        );
+        add(
+            "HONO+OH->NO2",
+            k0(9.77e3),
+            &[HONO, OH],
+            &[(HONO, 1.0), (OH, 1.0)],
+            &[(NO2, 1.0)],
+        );
+        add(
+            "NO2+OH->HNO3",
+            k0(1.682e4),
+            &[NO2, OH],
+            &[(NO2, 1.0), (OH, 1.0)],
+            &[(HNO3, 1.0)],
+        );
+        add(
+            "HNO3+OH->NO3",
+            k0(192.0),
+            &[HNO3, OH],
+            &[(HNO3, 1.0), (OH, 1.0)],
+            &[(NO3, 1.0)],
+        );
+        add(
+            "NO+HO2->NO2+OH",
+            arr(5482.0, -240.0),
+            &[NO, HO2],
+            &[(NO, 1.0), (HO2, 1.0)],
+            &[(NO2, 1.0), (OH, 1.0)],
+        );
+        add(
+            "HO2+HO2->H2O2",
+            k0(4.14e3),
+            &[HO2, HO2],
+            &[(HO2, 2.0)],
+            &[(H2O2, 1.0)],
+        );
+        add(
+            "H2O2+hv->2OH",
+            phot(1.3e-3, 1.0),
+            &[H2O2],
+            &[(H2O2, 1.0)],
+            &[(OH, 2.0)],
+        );
+        add(
+            "H2O2+OH->HO2",
+            k0(2.52e3),
+            &[H2O2, OH],
+            &[(H2O2, 1.0), (OH, 1.0)],
+            &[(HO2, 1.0)],
+        );
+        add(
+            "OH+HO2->",
+            k0(1.6e5),
+            &[OH, HO2],
+            &[(OH, 1.0), (HO2, 1.0)],
+            &[],
+        );
+        add(
+            "CO+OH->HO2",
+            k0(322.0),
+            &[CO, OH],
+            &[(CO, 1.0), (OH, 1.0)],
+            &[(HO2, 1.0)],
+        );
+        add(
+            "SO2+OH->SULF+HO2",
+            k0(1.5e3),
+            &[SO2, OH],
+            &[(SO2, 1.0), (OH, 1.0)],
+            &[(SULF, 1.0), (HO2, 1.0)],
+        );
+        add(
+            "HO2+NO2->PNA",
+            k0(2.0e3),
+            &[HO2, NO2],
+            &[(HO2, 1.0), (NO2, 1.0)],
+            &[(PNA, 1.0)],
+        );
+        add(
+            "PNA->HO2+NO2",
+            arr(4.8e15, 10121.0),
+            &[PNA],
+            &[(PNA, 1.0)],
+            &[(HO2, 1.0), (NO2, 1.0)],
+        );
+        add(
+            "PNA+OH->NO2",
+            k0(6.9e3),
+            &[PNA, OH],
+            &[(PNA, 1.0), (OH, 1.0)],
+            &[(NO2, 1.0)],
+        );
         // ---- Formaldehyde / aldehydes --------------------------------
-        add("FORM+OH->HO2+CO", k0(1.5e4), &[FORM, OH], &[(FORM, 1.0), (OH, 1.0)], &[(HO2, 1.0), (CO, 1.0)]);
-        add("FORM+hv->2HO2+CO", phot(4.0e-3, 1.2), &[FORM], &[(FORM, 1.0)], &[(HO2, 2.0), (CO, 1.0)]);
-        add("FORM+hv->CO", phot(6.5e-3, 1.0), &[FORM], &[(FORM, 1.0)], &[(CO, 1.0)]);
-        add("FORM+O->OH+HO2+CO", k0(237.0), &[FORM, O], &[(FORM, 1.0), (O, 1.0)], &[(OH, 1.0), (HO2, 1.0), (CO, 1.0)]);
-        add("FORM+NO3->HNO3+HO2+CO", k0(0.93), &[FORM, NO3], &[(FORM, 1.0), (NO3, 1.0)], &[(HNO3, 1.0), (HO2, 1.0), (CO, 1.0)]);
-        add("ALD2+O->C2O3+OH", k0(636.0), &[ALD2, O], &[(ALD2, 1.0), (O, 1.0)], &[(C2O3, 1.0), (OH, 1.0)]);
-        add("ALD2+OH->C2O3", k0(2.4e4), &[ALD2, OH], &[(ALD2, 1.0), (OH, 1.0)], &[(C2O3, 1.0)]);
-        add("ALD2+NO3->C2O3+HNO3", k0(3.7), &[ALD2, NO3], &[(ALD2, 1.0), (NO3, 1.0)], &[(C2O3, 1.0), (HNO3, 1.0)]);
+        add(
+            "FORM+OH->HO2+CO",
+            k0(1.5e4),
+            &[FORM, OH],
+            &[(FORM, 1.0), (OH, 1.0)],
+            &[(HO2, 1.0), (CO, 1.0)],
+        );
+        add(
+            "FORM+hv->2HO2+CO",
+            phot(4.0e-3, 1.2),
+            &[FORM],
+            &[(FORM, 1.0)],
+            &[(HO2, 2.0), (CO, 1.0)],
+        );
+        add(
+            "FORM+hv->CO",
+            phot(6.5e-3, 1.0),
+            &[FORM],
+            &[(FORM, 1.0)],
+            &[(CO, 1.0)],
+        );
+        add(
+            "FORM+O->OH+HO2+CO",
+            k0(237.0),
+            &[FORM, O],
+            &[(FORM, 1.0), (O, 1.0)],
+            &[(OH, 1.0), (HO2, 1.0), (CO, 1.0)],
+        );
+        add(
+            "FORM+NO3->HNO3+HO2+CO",
+            k0(0.93),
+            &[FORM, NO3],
+            &[(FORM, 1.0), (NO3, 1.0)],
+            &[(HNO3, 1.0), (HO2, 1.0), (CO, 1.0)],
+        );
+        add(
+            "ALD2+O->C2O3+OH",
+            k0(636.0),
+            &[ALD2, O],
+            &[(ALD2, 1.0), (O, 1.0)],
+            &[(C2O3, 1.0), (OH, 1.0)],
+        );
+        add(
+            "ALD2+OH->C2O3",
+            k0(2.4e4),
+            &[ALD2, OH],
+            &[(ALD2, 1.0), (OH, 1.0)],
+            &[(C2O3, 1.0)],
+        );
+        add(
+            "ALD2+NO3->C2O3+HNO3",
+            k0(3.7),
+            &[ALD2, NO3],
+            &[(ALD2, 1.0), (NO3, 1.0)],
+            &[(C2O3, 1.0), (HNO3, 1.0)],
+        );
         add(
             "ALD2+hv->FORM+XO2+CO+2HO2",
             phot(6.0e-4, 1.3),
@@ -236,8 +472,20 @@ impl Mechanism {
             &[(C2O3, 1.0), (NO, 1.0)],
             &[(NO2, 1.0), (XO2, 1.0), (FORM, 1.0), (HO2, 1.0)],
         );
-        add("C2O3+NO2->PAN", k0(1.0e4), &[C2O3, NO2], &[(C2O3, 1.0), (NO2, 1.0)], &[(PAN, 1.0)]);
-        add("PAN->C2O3+NO2", arr(1.2e18, 13543.0), &[PAN], &[(PAN, 1.0)], &[(C2O3, 1.0), (NO2, 1.0)]);
+        add(
+            "C2O3+NO2->PAN",
+            k0(1.0e4),
+            &[C2O3, NO2],
+            &[(C2O3, 1.0), (NO2, 1.0)],
+            &[(PAN, 1.0)],
+        );
+        add(
+            "PAN->C2O3+NO2",
+            arr(1.2e18, 13543.0),
+            &[PAN],
+            &[(PAN, 1.0)],
+            &[(C2O3, 1.0), (NO2, 1.0)],
+        );
         add(
             "C2O3+C2O3->2FORM+2XO2+2HO2",
             k0(3.7e3),
@@ -259,7 +507,13 @@ impl Mechanism {
             k0(1.2e3),
             &[PAR, OH],
             &[(PAR, 1.11), (OH, 1.0)], // 1 + 0.11 negative product
-            &[(XO2, 0.87), (XO2N, 0.13), (HO2, 0.11), (ALD2, 0.11), (ROR, 0.76)],
+            &[
+                (XO2, 0.87),
+                (XO2N, 0.13),
+                (HO2, 0.11),
+                (ALD2, 0.11),
+                (ROR, 0.76),
+            ],
         );
         add(
             "ROR->.96XO2+1.1ALD2+.94HO2+.04XO2N (-2.1PAR)",
@@ -269,7 +523,13 @@ impl Mechanism {
             &[(XO2, 0.96), (ALD2, 1.1), (HO2, 0.94), (XO2N, 0.04)],
         );
         add("ROR->HO2", k0(95.0), &[ROR], &[(ROR, 1.0)], &[(HO2, 1.0)]);
-        add("ROR+NO2->NTR", k0(2.2e4), &[ROR, NO2], &[(ROR, 1.0), (NO2, 1.0)], &[(NTR, 1.0)]);
+        add(
+            "ROR+NO2->NTR",
+            k0(2.2e4),
+            &[ROR, NO2],
+            &[(ROR, 1.0), (NO2, 1.0)],
+            &[(NTR, 1.0)],
+        );
         // ---- Olefins --------------------------------------------------
         add(
             "OLE+O->.63ALD2+.38HO2+.28XO2+.3CO+.2FORM+.02XO2N+.2OH",
@@ -313,7 +573,13 @@ impl Mechanism {
             k0(11.35),
             &[OLE, NO3],
             &[(OLE, 1.0), (NO3, 1.0), (PAR, 1.0)],
-            &[(XO2, 0.91), (FORM, 1.0), (ALD2, 1.0), (XO2N, 0.09), (NO2, 1.0)],
+            &[
+                (XO2, 0.91),
+                (FORM, 1.0),
+                (ALD2, 1.0),
+                (XO2N, 0.09),
+                (NO2, 1.0),
+            ],
         );
         // ---- Ethene ---------------------------------------------------
         add(
@@ -345,7 +611,13 @@ impl Mechanism {
             &[(CRES, 1.0), (OH, 1.0)],
             &[(MGLY, 0.4), (XO2, 0.6), (HO2, 0.6)],
         );
-        add("CRES+NO3->NTR", k0(3.25e4), &[CRES, NO3], &[(CRES, 1.0), (NO3, 1.0)], &[(NTR, 1.0)]);
+        add(
+            "CRES+NO3->NTR",
+            k0(3.25e4),
+            &[CRES, NO3],
+            &[(CRES, 1.0), (NO3, 1.0)],
+            &[(NTR, 1.0)],
+        );
         add(
             "XYL+OH->.7HO2+.5XO2+.8MGLY+.2CRES",
             k0(3.62e4),
@@ -353,22 +625,46 @@ impl Mechanism {
             &[(XYL, 1.0), (OH, 1.0)],
             &[(HO2, 0.7), (XO2, 0.5), (MGLY, 0.8), (CRES, 0.2)],
         );
-        add("MGLY+hv->C2O3+HO2+CO", phot(0.02, 1.0), &[MGLY], &[(MGLY, 1.0)], &[(C2O3, 1.0), (HO2, 1.0), (CO, 1.0)]);
-        add("MGLY+OH->XO2+C2O3", k0(2.6e4), &[MGLY, OH], &[(MGLY, 1.0), (OH, 1.0)], &[(XO2, 1.0), (C2O3, 1.0)]);
+        add(
+            "MGLY+hv->C2O3+HO2+CO",
+            phot(0.02, 1.0),
+            &[MGLY],
+            &[(MGLY, 1.0)],
+            &[(C2O3, 1.0), (HO2, 1.0), (CO, 1.0)],
+        );
+        add(
+            "MGLY+OH->XO2+C2O3",
+            k0(2.6e4),
+            &[MGLY, OH],
+            &[(MGLY, 1.0), (OH, 1.0)],
+            &[(XO2, 1.0), (C2O3, 1.0)],
+        );
         // ---- Isoprene --------------------------------------------------
         add(
             "ISOP+OH->XO2+FORM+.67HO2+.4MGLY+.2C2O3",
             k0(1.42e5),
             &[ISOP, OH],
             &[(ISOP, 1.0), (OH, 1.0)],
-            &[(XO2, 1.0), (FORM, 1.0), (HO2, 0.67), (MGLY, 0.4), (C2O3, 0.2)],
+            &[
+                (XO2, 1.0),
+                (FORM, 1.0),
+                (HO2, 0.67),
+                (MGLY, 0.4),
+                (C2O3, 0.2),
+            ],
         );
         add(
             "ISOP+O3->FORM+.4ALD2+.55XO2+.25HO2+.2MGLY",
             k0(0.018),
             &[ISOP, O3],
             &[(ISOP, 1.0), (O3, 1.0)],
-            &[(FORM, 1.0), (ALD2, 0.4), (XO2, 0.55), (HO2, 0.25), (MGLY, 0.2)],
+            &[
+                (FORM, 1.0),
+                (ALD2, 0.4),
+                (XO2, 0.55),
+                (HO2, 0.25),
+                (MGLY, 0.2),
+            ],
         );
         add(
             "ISOP+NO3->NTR+XO2",
@@ -378,12 +674,36 @@ impl Mechanism {
             &[(NTR, 1.0), (XO2, 1.0)],
         );
         // ---- Operator radicals ----------------------------------------
-        add("XO2+NO->NO2", k0(1.2e4), &[XO2, NO], &[(XO2, 1.0), (NO, 1.0)], &[(NO2, 1.0)]);
+        add(
+            "XO2+NO->NO2",
+            k0(1.2e4),
+            &[XO2, NO],
+            &[(XO2, 1.0), (NO, 1.0)],
+            &[(NO2, 1.0)],
+        );
         add("XO2+XO2->", k0(2.4e3), &[XO2, XO2], &[(XO2, 2.0)], &[]);
-        add("XO2N+NO->NTR", k0(1.0e3), &[XO2N, NO], &[(XO2N, 1.0), (NO, 1.0)], &[(NTR, 1.0)]);
-        add("XO2+HO2->", k0(1.2e4), &[XO2, HO2], &[(XO2, 1.0), (HO2, 1.0)], &[]);
+        add(
+            "XO2N+NO->NTR",
+            k0(1.0e3),
+            &[XO2N, NO],
+            &[(XO2N, 1.0), (NO, 1.0)],
+            &[(NTR, 1.0)],
+        );
+        add(
+            "XO2+HO2->",
+            k0(1.2e4),
+            &[XO2, HO2],
+            &[(XO2, 1.0), (HO2, 1.0)],
+            &[],
+        );
         // ---- Methane ---------------------------------------------------
-        add("CH4+OH->MEO2", arr(1180.0, 1710.0), &[CH4, OH], &[(CH4, 1.0), (OH, 1.0)], &[(MEO2, 1.0)]);
+        add(
+            "CH4+OH->MEO2",
+            arr(1180.0, 1710.0),
+            &[CH4, OH],
+            &[(CH4, 1.0), (OH, 1.0)],
+            &[(MEO2, 1.0)],
+        );
         add(
             "MEO2+NO->FORM+HO2+NO2",
             k0(1.1e4),
@@ -391,7 +711,13 @@ impl Mechanism {
             &[(MEO2, 1.0), (NO, 1.0)],
             &[(FORM, 1.0), (HO2, 1.0), (NO2, 1.0)],
         );
-        add("MEO2+HO2->", k0(1.3e4), &[MEO2, HO2], &[(MEO2, 1.0), (HO2, 1.0)], &[]);
+        add(
+            "MEO2+HO2->",
+            k0(1.3e4),
+            &[MEO2, HO2],
+            &[(MEO2, 1.0), (HO2, 1.0)],
+            &[],
+        );
 
         // NH3 has no gas-phase reactions here; it is consumed by the
         // aerosol equilibrium module.

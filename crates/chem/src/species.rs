@@ -30,13 +30,13 @@ pub const PNA: SpeciesId = 12; // peroxynitric acid, HNO4
 pub const CO: SpeciesId = 13;
 pub const SO2: SpeciesId = 14;
 pub const SULF: SpeciesId = 15; // sulfuric acid vapour / sulfate precursor
-// Carbonyls and organic intermediates.
+                                // Carbonyls and organic intermediates.
 pub const FORM: SpeciesId = 16; // formaldehyde
 pub const ALD2: SpeciesId = 17; // higher aldehydes
 pub const C2O3: SpeciesId = 18; // peroxyacyl radical
 pub const PAN: SpeciesId = 19;
 pub const MGLY: SpeciesId = 20; // methylglyoxal
-// Lumped primary organics.
+                                // Lumped primary organics.
 pub const PAR: SpeciesId = 21; // paraffin carbon bond
 pub const OLE: SpeciesId = 22; // olefin carbon bond
 pub const ETH: SpeciesId = 23; // ethene
@@ -44,7 +44,7 @@ pub const TOL: SpeciesId = 24; // toluene
 pub const XYL: SpeciesId = 25; // xylene
 pub const CRES: SpeciesId = 26; // cresol
 pub const ISOP: SpeciesId = 27; // isoprene (biogenic)
-// Operator radicals.
+                                // Operator radicals.
 pub const ROR: SpeciesId = 28; // secondary alkoxy radical
 pub const XO2: SpeciesId = 29; // NO-to-NO2 conversion operator
 pub const XO2N: SpeciesId = 30; // NO-to-nitrate operator
@@ -70,41 +70,251 @@ pub struct SpeciesInfo {
 
 /// The full species table, indexed by [`SpeciesId`].
 pub const SPECIES: [SpeciesInfo; N_SPECIES] = [
-    SpeciesInfo { name: "NO", background_ppm: 1e-5, deposition_m_per_min: 0.0, urban_emission_weight: 0.36, point_emission_weight: 0.45 },
-    SpeciesInfo { name: "NO2", background_ppm: 1e-4, deposition_m_per_min: 0.18, urban_emission_weight: 0.04, point_emission_weight: 0.05 },
-    SpeciesInfo { name: "O3", background_ppm: 0.04, deposition_m_per_min: 0.24, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "O", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "O1D", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "OH", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "HO2", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "H2O2", background_ppm: 1e-3, deposition_m_per_min: 0.3, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "NO3", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "N2O5", background_ppm: 0.0, deposition_m_per_min: 0.24, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "HONO", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.006, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "HNO3", background_ppm: 1e-4, deposition_m_per_min: 0.6, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "PNA", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "CO", background_ppm: 0.12, deposition_m_per_min: 0.0, urban_emission_weight: 3.2, point_emission_weight: 0.3 },
-    SpeciesInfo { name: "SO2", background_ppm: 1e-4, deposition_m_per_min: 0.3, urban_emission_weight: 0.05, point_emission_weight: 0.9 },
-    SpeciesInfo { name: "SULF", background_ppm: 0.0, deposition_m_per_min: 0.12, urban_emission_weight: 0.0, point_emission_weight: 0.01 },
-    SpeciesInfo { name: "FORM", background_ppm: 1e-3, deposition_m_per_min: 0.3, urban_emission_weight: 0.04, point_emission_weight: 0.01 },
-    SpeciesInfo { name: "ALD2", background_ppm: 5e-4, deposition_m_per_min: 0.3, urban_emission_weight: 0.03, point_emission_weight: 0.005 },
-    SpeciesInfo { name: "C2O3", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "PAN", background_ppm: 1e-4, deposition_m_per_min: 0.12, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "MGLY", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "PAR", background_ppm: 0.01, deposition_m_per_min: 0.0, urban_emission_weight: 1.6, point_emission_weight: 0.1 },
-    SpeciesInfo { name: "OLE", background_ppm: 5e-4, deposition_m_per_min: 0.0, urban_emission_weight: 0.12, point_emission_weight: 0.01 },
-    SpeciesInfo { name: "ETH", background_ppm: 1e-3, deposition_m_per_min: 0.0, urban_emission_weight: 0.10, point_emission_weight: 0.01 },
-    SpeciesInfo { name: "TOL", background_ppm: 5e-4, deposition_m_per_min: 0.0, urban_emission_weight: 0.12, point_emission_weight: 0.01 },
-    SpeciesInfo { name: "XYL", background_ppm: 2e-4, deposition_m_per_min: 0.0, urban_emission_weight: 0.08, point_emission_weight: 0.005 },
-    SpeciesInfo { name: "CRES", background_ppm: 0.0, deposition_m_per_min: 0.3, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "ISOP", background_ppm: 2e-4, deposition_m_per_min: 0.0, urban_emission_weight: 0.02, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "ROR", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "XO2", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "XO2N", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "NTR", background_ppm: 0.0, deposition_m_per_min: 0.12, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "MEO2", background_ppm: 0.0, deposition_m_per_min: 0.0, urban_emission_weight: 0.0, point_emission_weight: 0.0 },
-    SpeciesInfo { name: "CH4", background_ppm: 1.8, deposition_m_per_min: 0.0, urban_emission_weight: 0.1, point_emission_weight: 0.05 },
-    SpeciesInfo { name: "NH3", background_ppm: 1e-3, deposition_m_per_min: 0.3, urban_emission_weight: 0.03, point_emission_weight: 0.0 },
+    SpeciesInfo {
+        name: "NO",
+        background_ppm: 1e-5,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.36,
+        point_emission_weight: 0.45,
+    },
+    SpeciesInfo {
+        name: "NO2",
+        background_ppm: 1e-4,
+        deposition_m_per_min: 0.18,
+        urban_emission_weight: 0.04,
+        point_emission_weight: 0.05,
+    },
+    SpeciesInfo {
+        name: "O3",
+        background_ppm: 0.04,
+        deposition_m_per_min: 0.24,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "O",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "O1D",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "OH",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "HO2",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "H2O2",
+        background_ppm: 1e-3,
+        deposition_m_per_min: 0.3,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "NO3",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "N2O5",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.24,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "HONO",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.006,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "HNO3",
+        background_ppm: 1e-4,
+        deposition_m_per_min: 0.6,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "PNA",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "CO",
+        background_ppm: 0.12,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 3.2,
+        point_emission_weight: 0.3,
+    },
+    SpeciesInfo {
+        name: "SO2",
+        background_ppm: 1e-4,
+        deposition_m_per_min: 0.3,
+        urban_emission_weight: 0.05,
+        point_emission_weight: 0.9,
+    },
+    SpeciesInfo {
+        name: "SULF",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.12,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.01,
+    },
+    SpeciesInfo {
+        name: "FORM",
+        background_ppm: 1e-3,
+        deposition_m_per_min: 0.3,
+        urban_emission_weight: 0.04,
+        point_emission_weight: 0.01,
+    },
+    SpeciesInfo {
+        name: "ALD2",
+        background_ppm: 5e-4,
+        deposition_m_per_min: 0.3,
+        urban_emission_weight: 0.03,
+        point_emission_weight: 0.005,
+    },
+    SpeciesInfo {
+        name: "C2O3",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "PAN",
+        background_ppm: 1e-4,
+        deposition_m_per_min: 0.12,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "MGLY",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "PAR",
+        background_ppm: 0.01,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 1.6,
+        point_emission_weight: 0.1,
+    },
+    SpeciesInfo {
+        name: "OLE",
+        background_ppm: 5e-4,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.12,
+        point_emission_weight: 0.01,
+    },
+    SpeciesInfo {
+        name: "ETH",
+        background_ppm: 1e-3,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.10,
+        point_emission_weight: 0.01,
+    },
+    SpeciesInfo {
+        name: "TOL",
+        background_ppm: 5e-4,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.12,
+        point_emission_weight: 0.01,
+    },
+    SpeciesInfo {
+        name: "XYL",
+        background_ppm: 2e-4,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.08,
+        point_emission_weight: 0.005,
+    },
+    SpeciesInfo {
+        name: "CRES",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.3,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "ISOP",
+        background_ppm: 2e-4,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.02,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "ROR",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "XO2",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "XO2N",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "NTR",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.12,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "MEO2",
+        background_ppm: 0.0,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.0,
+        point_emission_weight: 0.0,
+    },
+    SpeciesInfo {
+        name: "CH4",
+        background_ppm: 1.8,
+        deposition_m_per_min: 0.0,
+        urban_emission_weight: 0.1,
+        point_emission_weight: 0.05,
+    },
+    SpeciesInfo {
+        name: "NH3",
+        background_ppm: 1e-3,
+        deposition_m_per_min: 0.3,
+        urban_emission_weight: 0.03,
+        point_emission_weight: 0.0,
+    },
 ];
 
 /// Background (clean-air) concentration vector, used for initial and

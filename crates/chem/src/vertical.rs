@@ -27,10 +27,7 @@ impl ColumnGeometry {
             "interfaces must increase"
         );
         let dz: Vec<f64> = interfaces.windows(2).map(|w| w[1] - w[0]).collect();
-        let zm: Vec<f64> = interfaces
-            .windows(2)
-            .map(|w| 0.5 * (w[0] + w[1]))
-            .collect();
+        let zm: Vec<f64> = interfaces.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect();
         ColumnGeometry { dz, zm }
     }
 
@@ -165,10 +162,7 @@ mod tests {
             diffuse_column(&g, &kz, 0.0, 0.0, 10.0, &mut c);
         }
         let m1 = g.column_mass(&c);
-        assert!(
-            (m1 - m0).abs() / m0 < 1e-10,
-            "mass drift {m0} -> {m1}"
-        );
+        assert!((m1 - m0).abs() / m0 < 1e-10, "mass drift {m0} -> {m1}");
     }
 
     #[test]

@@ -266,7 +266,11 @@ mod tests {
         Mechanism {
             reactions: vec![Reaction {
                 label: "A->",
-                rate_law: RateLaw::Arrhenius { a: k, t_exp: 0.0, ea_over_r: 0.0 },
+                rate_law: RateLaw::Arrhenius {
+                    a: k,
+                    t_exp: 0.0,
+                    ea_over_r: 0.0,
+                },
                 rate_order: vec![0],
                 consume: vec![(0, 1.0)],
                 produce: vec![],
@@ -283,14 +287,22 @@ mod tests {
             reactions: vec![
                 Reaction {
                     label: "B->A",
-                    rate_law: RateLaw::Arrhenius { a: 1e-3, t_exp: 0.0, ea_over_r: 0.0 },
+                    rate_law: RateLaw::Arrhenius {
+                        a: 1e-3,
+                        t_exp: 0.0,
+                        ea_over_r: 0.0,
+                    },
                     rate_order: vec![1],
                     consume: vec![(1, 1.0)],
                     produce: vec![(0, 1.0)],
                 },
                 Reaction {
                     label: "A->",
-                    rate_law: RateLaw::Arrhenius { a: l, t_exp: 0.0, ea_over_r: 0.0 },
+                    rate_law: RateLaw::Arrhenius {
+                        a: l,
+                        t_exp: 0.0,
+                        ea_over_r: 0.0,
+                    },
                     rate_order: vec![0],
                     consume: vec![(0, 1.0)],
                     produce: vec![],
@@ -305,7 +317,10 @@ mod tests {
         let m = decay_mech(0.3);
         let mut ws = YbWorkspace::new(1);
         let mut c = vec![2.0];
-        let opts = YbOptions { eps: 1e-4, ..Default::default() };
+        let opts = YbOptions {
+            eps: 1e-4,
+            ..Default::default()
+        };
         integrate_cell(&m, &mut c, 298.0, 0.0, 10.0, &opts, &mut ws);
         let exact = 2.0 * (-0.3f64 * 10.0).exp();
         assert!(
@@ -325,12 +340,7 @@ mod tests {
         let opts = YbOptions::default();
         let stats = integrate_cell(&m, &mut c, 298.0, 0.0, 1.0, &opts, &mut ws);
         let eq = 1e-3 * c[1] / 1e6;
-        assert!(
-            (c[0] - eq).abs() / eq < 2e-3,
-            "A = {} vs eq {}",
-            c[0],
-            eq
-        );
+        assert!((c[0] - eq).abs() / eq < 2e-3, "A = {} vs eq {}", c[0], eq);
         // The asymptotic branch means this must NOT need ~l·dt substeps.
         assert!(stats.substeps < 1000, "took {} substeps", stats.substeps);
     }
@@ -340,8 +350,14 @@ mod tests {
         // From c0 = 0 with constant P, L and a step h >> tau, the rational
         // form overshoots equilibrium (to ~2 P/L); the exponential form
         // lands on it from below.
-        let opts_exp = YbOptions { form: AsymptoticForm::Exponential, ..Default::default() };
-        let opts_rat = YbOptions { form: AsymptoticForm::Rational, ..Default::default() };
+        let opts_exp = YbOptions {
+            form: AsymptoticForm::Exponential,
+            ..Default::default()
+        };
+        let opts_rat = YbOptions {
+            form: AsymptoticForm::Rational,
+            ..Default::default()
+        };
         let (p, l, h) = (1.0, 1e4, 1.0);
         let ce = super::advance(0.0, p, l, h, &opts_exp);
         let cr = super::advance(0.0, p, l, h, &opts_rat);
@@ -363,7 +379,10 @@ mod tests {
         let run = |eps: f64| {
             let mut ws = YbWorkspace::new(N_SPECIES);
             let mut c = polluted.clone();
-            let opts = YbOptions { eps, ..Default::default() };
+            let opts = YbOptions {
+                eps,
+                ..Default::default()
+            };
             integrate_cell(&m, &mut c, 298.0, 0.9, 30.0, &opts, &mut ws)
         };
         let loose = run(0.05);
@@ -398,7 +417,9 @@ mod tests {
         let opts = YbOptions::default();
         let mut stats = YbStats::default();
         for _ in 0..18 {
-            stats.absorb(integrate_cell(&m, &mut c, 300.0, 0.85, 10.0, &opts, &mut ws));
+            stats.absorb(integrate_cell(
+                &m, &mut c, 300.0, 0.85, 10.0, &opts, &mut ws,
+            ));
         }
         assert!(c.iter().all(|&x| x.is_finite() && x >= 0.0));
         assert!(

@@ -11,7 +11,11 @@ fn decay(k: f64) -> Mechanism {
     Mechanism {
         reactions: vec![Reaction {
             label: "A->",
-            rate_law: RateLaw::Arrhenius { a: k, t_exp: 0.0, ea_over_r: 0.0 },
+            rate_law: RateLaw::Arrhenius {
+                a: k,
+                t_exp: 0.0,
+                ea_over_r: 0.0,
+            },
             rate_order: vec![0],
             consume: vec![(0, 1.0)],
             produce: vec![],

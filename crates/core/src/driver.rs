@@ -14,9 +14,7 @@ use crate::profile::{HourProfile, StepProfile, WorkProfile};
 use crate::report::RunReport;
 use crate::state::SimState;
 use airshed_hpf::dist::Distribution;
-use airshed_hpf::loops::block_ranges;
-use airshed_hpf::redist::{airshed_redists, plan, AirshedRedists, RedistPlan};
-use airshed_machine::accounting::PhaseCategory;
+use airshed_hpf::redist::{airshed_redists, labels, plan, AirshedRedists, RedistPlan};
 use airshed_machine::{Machine, MachineProfile};
 
 /// Machine word size — 8 bytes on all three paper machines.
@@ -44,23 +42,18 @@ impl ChemLayout {
         }
     }
 
-    /// Reduce per-column work to per-node work under this layout.
+    /// Reduce per-column work to per-node work under this layout. The
+    /// partition math lives on the plan IR's [`crate::plan::ItemLayout`];
+    /// this is a convenience alias.
     pub fn per_node(&self, per_item: &[f64], p: usize) -> Vec<f64> {
-        match self {
-            ChemLayout::Block => per_node_block(per_item, p),
-            ChemLayout::Cyclic => {
-                let mut out = vec![0.0; p];
-                for (i, &w) in per_item.iter().enumerate() {
-                    out[i % p] += w;
-                }
-                out
-            }
-        }
+        crate::plan::ItemLayout::from(*self).per_node(per_item, p)
     }
 }
 
 /// All redistribution plans one run needs, planned once per (shape, P).
 pub struct HourPlans {
+    /// Array shape `[species, layers, nodes]` the plans were built for.
+    pub shape: [usize; 3],
     pub main: AirshedRedists,
     /// `D_Trans -> D_Repl` at the hour boundary (before `outputhour`).
     pub trans_to_repl: RedistPlan,
@@ -80,9 +73,9 @@ impl HourPlans {
         if chem_layout != ChemLayout::Block {
             let d_chem = chem_layout.distribution();
             let mut t2c = plan(shape, &Distribution::block(3, 1), &d_chem, p, WORD);
-            t2c.label = "D_Trans->D_Chem";
+            t2c.label = labels::TRANS_TO_CHEM;
             let mut c2r = plan(shape, &d_chem, &Distribution::replicated(3), p, WORD);
-            c2r.label = "D_Chem->D_Repl";
+            c2r.label = labels::CHEM_TO_REPL;
             main.trans_to_chem = t2c;
             main.chem_to_repl = c2r;
         }
@@ -93,8 +86,9 @@ impl HourPlans {
             p,
             WORD,
         );
-        trans_to_repl.label = "D_Trans->D_Repl";
+        trans_to_repl.label = labels::TRANS_TO_REPL;
         HourPlans {
+            shape: *shape,
             main,
             trans_to_repl,
             chem_layout,
@@ -102,49 +96,13 @@ impl HourPlans {
     }
 }
 
-/// Reduce per-item work (per layer or per column) to per-node work under
-/// a BLOCK distribution.
-pub fn per_node_block(per_item: &[f64], p: usize) -> Vec<f64> {
-    block_ranges(per_item.len(), p)
-        .into_iter()
-        .map(|r| per_item[r].iter().sum())
-        .collect()
-}
-
-/// Charge one hour's captured work to the machine, walking the exact
-/// phase/redistribution sequence of the main loop.
+/// Charge one hour's captured work to the machine: build the hour's
+/// [`crate::plan::PhaseGraph`] and execute it. The graph's program order
+/// is exactly the phase/redistribution sequence of the main loop, so the
+/// virtual times are bit-identical to charging the phases by hand (the
+/// `plan_equivalence` golden test pins this).
 pub fn charge_hour(machine: &mut Machine, hp: &HourProfile, plans: &HourPlans) {
-    let p = machine.p();
-    machine.sequential(PhaseCategory::IoProc, hp.input_work);
-    machine.sequential(PhaseCategory::IoProc, hp.pretrans_work);
-
-    for (k, step) in hp.steps.iter().enumerate() {
-        if k == 0 {
-            // Entering the first step from the replicated (I/O) state.
-            machine.communicate("D_Repl->D_Trans", &plans.main.repl_to_trans.loads);
-        }
-        machine.compute(
-            PhaseCategory::Transport,
-            &per_node_block(&step.transport1, p),
-        );
-        machine.communicate("D_Trans->D_Chem", &plans.main.trans_to_chem.loads);
-        machine.compute(
-            PhaseCategory::Chemistry,
-            &plans.chem_layout.per_node(&step.chemistry, p),
-        );
-        machine.communicate("D_Chem->D_Repl", &plans.main.chem_to_repl.loads);
-        // Aerosol: sequential over the replicated array; grouped with
-        // chemistry in the paper's phase accounting.
-        machine.sequential(PhaseCategory::Chemistry, step.aerosol);
-        machine.communicate("D_Repl->D_Trans", &plans.main.repl_to_trans.loads);
-        machine.compute(
-            PhaseCategory::Transport,
-            &per_node_block(&step.transport2, p),
-        );
-    }
-    // Hour boundary: back to replicated for outputhour/inputhour.
-    machine.communicate("D_Trans->D_Repl", &plans.trans_to_repl.loads);
-    machine.sequential(PhaseCategory::IoProc, hp.output_work);
+    crate::plan::PhaseGraph::for_hour(hp, plans, machine.p()).execute(machine);
 }
 
 /// Execute a configured run: real numerics once, virtual time for
@@ -185,7 +143,10 @@ pub fn run_resumable(
             );
             (c.state, c.next_hour)
         }
-        None => (SimState::from_background(&engine.dataset), config.start_hour),
+        None => (
+            SimState::from_background(&engine.dataset),
+            config.start_hour,
+        ),
     };
     let cell_volumes = SimState::cell_volumes(&engine.dataset);
     let shape = state.shape();
@@ -217,8 +178,7 @@ pub fn run_resumable(
         debug_assert!(state.is_physical(), "state went unphysical at hour {hour}");
 
         let (summary, output_work) = engine.output_hour(&state, hour);
-        let mut surface =
-            Vec::with_capacity(crate::profile::SURFACE_SPECIES.len() * state.nodes);
+        let mut surface = Vec::with_capacity(crate::profile::SURFACE_SPECIES.len() * state.nodes);
         for &s in &crate::profile::SURFACE_SPECIES {
             surface.extend_from_slice(state.plane(s, 0));
         }
@@ -241,12 +201,8 @@ pub fn run_resumable(
         hours,
         summaries: summaries.clone(),
     };
-    let report = RunReport::from_machine(
-        engine.dataset.spec.name,
-        &machine,
-        config.hours,
-        summaries,
-    );
+    let report =
+        RunReport::from_machine(engine.dataset.spec.name, &machine, config.hours, summaries);
     let checkpoint = crate::checkpoint::Checkpoint {
         next_hour: first_hour + config.hours,
         state,
@@ -267,23 +223,15 @@ pub fn replay(profile: &WorkProfile, machine_profile: MachineProfile, p: usize) 
 }
 
 /// Replay with an explicit chemistry column layout (block vs cyclic).
+/// Delegates to the plan layer — the same graph execution the server
+/// and figure binaries use.
 pub fn replay_with_layout(
     profile: &WorkProfile,
     machine_profile: MachineProfile,
     p: usize,
     layout: ChemLayout,
 ) -> RunReport {
-    let mut machine = Machine::new(machine_profile, p);
-    let plans = HourPlans::with_layout(&profile.shape, p, layout);
-    for hp in &profile.hours {
-        charge_hour(&mut machine, hp, &plans);
-    }
-    RunReport::from_machine(
-        profile.dataset,
-        &machine,
-        profile.hours.len(),
-        profile.summaries.clone(),
-    )
+    crate::plan::replay_profile(profile, machine_profile, p, layout)
 }
 
 #[cfg(test)]
@@ -300,8 +248,8 @@ mod tests {
         assert!(r.total_seconds > 0.0);
         // Attributed phases must add up to the elapsed time (no group
         // overlap in the data-parallel driver).
-        let sum = r.io_seconds + r.transport_seconds + r.chemistry_seconds
-            + r.communication_seconds;
+        let sum =
+            r.io_seconds + r.transport_seconds + r.chemistry_seconds + r.communication_seconds;
         assert!(
             (sum - r.total_seconds).abs() < 1e-6 * r.total_seconds,
             "sum {sum} vs total {}",
@@ -452,7 +400,9 @@ mod tests {
         let (r, _) = tiny_run();
         let first = r.summaries.first().unwrap().mean_total_n;
         let last = r.summaries.last().unwrap().mean_total_n;
-        assert!(last > 0.2 * first && last < 5.0 * first,
-            "total N drifted wildly: {first} -> {last}");
+        assert!(
+            last > 0.2 * first && last < 5.0 * first,
+            "total N drifted wildly: {first} -> {last}"
+        );
     }
 }

@@ -27,15 +27,20 @@
 //! * [`state`] — the concentration array and its science summaries;
 //! * [`phases`] — the five phases with their work accounting;
 //! * [`profile`] — captured work profiles (run once, replay across P);
-//! * [`driver`] — the data-parallel main loop;
-//! * [`taskpar`] — the pipelined task-parallel variant (§5, Figure 8);
-//! * [`predict`] — the §4 analytic performance model;
+//! * [`plan`] — the [`plan::PhaseGraph`] execution-plan IR every backend
+//!   lowers from;
+//! * [`driver`] — the data-parallel main loop (executes the plan graph);
+//! * [`taskpar`] — the pipelined task-parallel variant (§5, Figure 8),
+//!   scheduled from the graph's stage annotations;
+//! * [`predict`] — the §4 analytic performance model, folded over the
+//!   same graph;
 //! * [`report`] — run reports for the figure harness.
 
 pub mod checkpoint;
 pub mod config;
 pub mod driver;
 pub mod phases;
+pub mod plan;
 pub mod predict;
 pub mod profile;
 pub mod report;
@@ -46,6 +51,7 @@ pub mod viz;
 
 pub use config::{DatasetChoice, SimConfig};
 pub use driver::{replay, run, run_with_profile};
+pub use plan::PhaseGraph;
 pub use predict::PerfModel;
 pub use profile::WorkProfile;
 pub use report::RunReport;

@@ -132,12 +132,8 @@ impl PhaseEngine {
     /// grouping).
     pub fn pretrans(&self, input: &HourlyInput) -> (HorizontalTransport, f64) {
         let dt_half = 0.5 * input.dt_min;
-        let (op, tw) = HorizontalTransport::assemble(
-            &self.dataset.mesh,
-            &input.winds,
-            self.kh,
-            dt_half,
-        );
+        let (op, tw) =
+            HorizontalTransport::assemble(&self.dataset.mesh, &input.winds, self.kh, dt_half);
         // `assembly_elems` already counts element integrations over all
         // layers.
         let work = tw.assembly_elems as f64 * self.coeffs.pretrans_per_elem_layer;
@@ -147,11 +143,7 @@ impl PhaseEngine {
     /// One transport half step over all layers and species. Returns work
     /// per *layer* (the transport distribution unit). Host-parallel
     /// across (layer, species) planes.
-    pub fn transport_half_step(
-        &self,
-        op: &HorizontalTransport,
-        state: &mut SimState,
-    ) -> Vec<f64> {
+    pub fn transport_half_step(&self, op: &HorizontalTransport, state: &mut SimState) -> Vec<f64> {
         let layers = state.layers;
         let nodes = state.nodes;
         let nnz = op.layers[0].sys.nnz() as f64;
@@ -190,8 +182,7 @@ impl PhaseEngine {
         for (plane, iters) in plane_iters {
             // +1: the RHS matvec and residual check are real work even
             // when the warm start already satisfies the tolerance.
-            per_layer[plane % layers] +=
-                (iters + 1) as f64 * nnz * self.coeffs.solve_per_nnz_iter;
+            per_layer[plane % layers] += (iters + 1) as f64 * nnz * self.coeffs.solve_per_nnz_iter;
         }
         per_layer
     }
@@ -315,9 +306,9 @@ impl PhaseEngine {
                 for (l, c) in column.iter_mut().enumerate() {
                     *c = col[s * layers + l];
                 }
-                let emis = self
-                    .inventory
-                    .area_flux(info.urban_emission_weight, n, input.hour_of_day);
+                let emis =
+                    self.inventory
+                        .area_flux(info.urban_emission_weight, n, input.hour_of_day);
                 diffuse_column(
                     &self.geom,
                     &input.kz,
@@ -355,8 +346,7 @@ impl PhaseEngine {
             input.dt_min,
             &AerosolParams::default(),
         );
-        let work =
-            2.0 * (state.layers * state.nodes) as f64 * self.coeffs.aerosol_per_cell;
+        let work = 2.0 * (state.layers * state.nodes) as f64 * self.coeffs.aerosol_per_cell;
         (r, work)
     }
 
@@ -462,7 +452,10 @@ mod tests {
         // the initial urban enrichment being mixed aloft.
         let co_bg = sp::SPECIES[sp::CO].background_ppm;
         for l in 0..state.layers {
-            state.plane_mut(sp::CO, l).iter_mut().for_each(|c| *c = co_bg);
+            state
+                .plane_mut(sp::CO, l)
+                .iter_mut()
+                .for_each(|c| *c = co_bg);
         }
         let (input, _) = e.input_hour(8); // morning rush
         let hot = e

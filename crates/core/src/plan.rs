@@ -1,0 +1,520 @@
+//! The execution-plan IR — one declarative description of an hour's work
+//! that every backend lowers from.
+//!
+//! The paper's central economy is that *one* description of an hour —
+//! phase work shares plus the redistribution message sets — explains the
+//! simulated run (Figure 4), the pipelined run (Figure 9) and the
+//! analytic prediction (Figures 6/7) alike. Before this module that
+//! description lived implicitly in four hand-kept-in-sync code paths
+//! (`driver::charge_hour`, `taskpar::replay_taskparallel_split`,
+//! `predict::PerfModel::from_profile`, and the server's replay). The
+//! [`PhaseGraph`] makes it explicit:
+//!
+//! * **Nodes** ([`PhaseNode`]) are compute phases, each identified by its
+//!   IR [`PhaseKind`] and carrying its work as either replicated
+//!   (sequential) or distributed-per-item with an [`ItemLayout`], plus a
+//!   pipeline [`Stage`] annotation; or references to comm edges.
+//! * **Edges** ([`PlanEdge`]) carry the per-node `(m, b, c)` loads of the
+//!   planned redistributions, extracted from the `hpf::redist` plans.
+//!
+//! Four lowerings consume the graph:
+//!
+//! 1. [`PhaseGraph::execute`] charges it to a [`Machine`] — this *is*
+//!    `driver::charge_hour`, bit-identical (golden-tested in
+//!    `tests/plan_equivalence.rs`);
+//! 2. [`PhaseGraph::stage_durations`] folds the stage annotations into
+//!    the three pipeline stage durations `taskpar` schedules;
+//! 3. `predict::PerfModel::from_profile` folds node work totals and edge
+//!    occurrence counts into the §4 closed-form model inputs;
+//! 4. `airshed-server` prices and executes scenarios through
+//!    [`replay_profile`], so a cached profile and a fresh run charge
+//!    identical virtual cost.
+
+use crate::driver::{ChemLayout, HourPlans};
+use crate::profile::{HourProfile, WorkProfile};
+use crate::report::RunReport;
+use airshed_hpf::loops::block_ranges;
+use airshed_hpf::redist::PlanEdge;
+use airshed_machine::{Machine, MachineProfile, PhaseKind, PlanStep};
+
+/// Pipeline stage a phase node belongs to (§5's three-stage split). The
+/// data-parallel lowering ignores the annotation; the task-parallel
+/// lowering assigns each stage to its node subgroup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// `inputhour` + `pretrans` — runs ahead on the input subgroup.
+    Input,
+    /// The main step loop, including every redistribution.
+    Main,
+    /// `outputhour` — runs behind on the output subgroup.
+    Output,
+}
+
+/// How distributed per-item work maps onto nodes — the plan-level view
+/// of an HPF distribution's work partition. This is the *single* place
+/// that owns the per-item → per-node reduction; `ChemLayout::per_node`
+/// and the driver both delegate here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemLayout {
+    /// Contiguous blocks (HPF `BLOCK`), ceil-sized with trailing nodes
+    /// possibly empty.
+    Block,
+    /// Round-robin striping (HPF `CYCLIC`): item `i` goes to node
+    /// `i mod p`.
+    Cyclic,
+}
+
+impl ItemLayout {
+    /// Reduce per-item work (per layer or per column) to per-node work
+    /// under this layout.
+    pub fn per_node(&self, per_item: &[f64], p: usize) -> Vec<f64> {
+        match self {
+            ItemLayout::Block => block_ranges(per_item.len(), p)
+                .into_iter()
+                .map(|r| per_item[r].iter().sum())
+                .collect(),
+            ItemLayout::Cyclic => {
+                let mut out = vec![0.0; p];
+                for (i, &w) in per_item.iter().enumerate() {
+                    out[i % p] += w;
+                }
+                out
+            }
+        }
+    }
+}
+
+impl From<ChemLayout> for ItemLayout {
+    fn from(layout: ChemLayout) -> ItemLayout {
+        match layout {
+            ChemLayout::Block => ItemLayout::Block,
+            ChemLayout::Cyclic => ItemLayout::Cyclic,
+        }
+    }
+}
+
+/// The work a compute node carries.
+#[derive(Debug, Clone)]
+pub enum Work {
+    /// Replicated (sequential) work: every node performs `work` units, so
+    /// the phase cost is P-independent. `parallelism` is the useful
+    /// parallelism a subgroup lowering may divide the work by (1 for the
+    /// truly sequential I/O phases; `pretrans` parallelises across
+    /// layers within the input subgroup).
+    Replicated { work: f64, parallelism: usize },
+    /// Work distributed along the phase's parallel axis: item `i` costs
+    /// `per_item[i]` units and `layout` maps items to nodes.
+    Distributed {
+        per_item: Vec<f64>,
+        layout: ItemLayout,
+    },
+}
+
+impl Work {
+    /// Total (sequential-equivalent) work units.
+    pub fn total(&self) -> f64 {
+        match self {
+            Work::Replicated { work, .. } => *work,
+            Work::Distributed { per_item, .. } => per_item.iter().sum(),
+        }
+    }
+}
+
+/// What a graph node does: compute, or a redistribution over one of the
+/// graph's comm edges.
+#[derive(Debug, Clone)]
+pub enum Op {
+    Compute {
+        kind: PhaseKind,
+        work: Work,
+    },
+    /// Index into [`PhaseGraph::edges`].
+    Comm {
+        edge: usize,
+    },
+}
+
+/// One node of the execution plan.
+#[derive(Debug, Clone)]
+pub struct PhaseNode {
+    pub stage: Stage,
+    pub op: Op,
+}
+
+/// The execution plan for one simulated hour on `p` nodes: a linear
+/// graph of compute phases and redistribution edges, annotated with
+/// pipeline stages. Built once per hour from the captured profile and
+/// the pre-planned redistributions; every backend lowers from it.
+#[derive(Debug, Clone)]
+pub struct PhaseGraph {
+    /// Array shape `[species, layers, nodes]`.
+    pub shape: [usize; 3],
+    /// Node count the comm edges were planned for.
+    pub p: usize,
+    /// The four distinct redistribution edges (deduplicated; nodes refer
+    /// to them by index). Order: `D_Repl->D_Trans`, `D_Trans->D_Chem`,
+    /// `D_Chem->D_Repl`, `D_Trans->D_Repl`.
+    pub edges: Vec<PlanEdge>,
+    /// Phase nodes in program order.
+    pub nodes: Vec<PhaseNode>,
+    /// Bytes handed from the input stage to the compute stage (decoded
+    /// inputs + assembled operators, ~3× the raw hourly input).
+    pub input_handoff_bytes: usize,
+    /// Elements handed from the compute stage to the output stage (the
+    /// full concentration array).
+    pub output_handoff_elems: usize,
+}
+
+impl PhaseGraph {
+    pub const EDGE_REPL_TO_TRANS: usize = 0;
+    pub const EDGE_TRANS_TO_CHEM: usize = 1;
+    pub const EDGE_CHEM_TO_REPL: usize = 2;
+    pub const EDGE_TRANS_TO_REPL: usize = 3;
+
+    /// Build the plan graph for one captured hour, mirroring Figure 1's
+    /// loop: `inputhour`, `pretrans`, then per step Transport →
+    /// `D_Trans->D_Chem` → Chemistry → `D_Chem->D_Repl` → Aerosol →
+    /// `D_Repl->D_Trans` → Transport, with the entry `D_Repl->D_Trans`
+    /// before the first step and the hour-boundary `D_Trans->D_Repl`
+    /// before `outputhour`.
+    pub fn for_hour(hp: &HourProfile, plans: &HourPlans, p: usize) -> PhaseGraph {
+        let edges = vec![
+            plans.main.repl_to_trans.edge(),
+            plans.main.trans_to_chem.edge(),
+            plans.main.chem_to_repl.edge(),
+            plans.trans_to_repl.edge(),
+        ];
+        for e in &edges {
+            assert_eq!(e.loads.len(), p, "plans were built for a different P");
+        }
+        let layers = plans.shape[1];
+        let chem_layout = ItemLayout::from(plans.chem_layout);
+
+        let compute = |stage, kind, work| PhaseNode {
+            stage,
+            op: Op::Compute { kind, work },
+        };
+        let comm = |edge| PhaseNode {
+            stage: Stage::Main,
+            op: Op::Comm { edge },
+        };
+
+        let mut nodes = Vec::with_capacity(4 + 7 * hp.steps.len());
+        nodes.push(compute(
+            Stage::Input,
+            PhaseKind::InputHour,
+            Work::Replicated {
+                work: hp.input_work,
+                parallelism: 1,
+            },
+        ));
+        nodes.push(compute(
+            Stage::Input,
+            PhaseKind::PreTrans,
+            Work::Replicated {
+                work: hp.pretrans_work,
+                parallelism: layers.max(1),
+            },
+        ));
+        for (k, step) in hp.steps.iter().enumerate() {
+            if k == 0 {
+                // Entering the first step from the replicated (I/O) state.
+                nodes.push(comm(Self::EDGE_REPL_TO_TRANS));
+            }
+            nodes.push(compute(
+                Stage::Main,
+                PhaseKind::Transport,
+                Work::Distributed {
+                    per_item: step.transport1.clone(),
+                    layout: ItemLayout::Block,
+                },
+            ));
+            nodes.push(comm(Self::EDGE_TRANS_TO_CHEM));
+            nodes.push(compute(
+                Stage::Main,
+                PhaseKind::Chemistry,
+                Work::Distributed {
+                    per_item: step.chemistry.clone(),
+                    layout: chem_layout,
+                },
+            ));
+            nodes.push(comm(Self::EDGE_CHEM_TO_REPL));
+            // Aerosol: sequential over the replicated array; grouped with
+            // chemistry in the paper's phase accounting (via its kind).
+            nodes.push(compute(
+                Stage::Main,
+                PhaseKind::Aerosol,
+                Work::Replicated {
+                    work: step.aerosol,
+                    parallelism: 1,
+                },
+            ));
+            nodes.push(comm(Self::EDGE_REPL_TO_TRANS));
+            nodes.push(compute(
+                Stage::Main,
+                PhaseKind::Transport,
+                Work::Distributed {
+                    per_item: step.transport2.clone(),
+                    layout: ItemLayout::Block,
+                },
+            ));
+        }
+        // Hour boundary: back to replicated for outputhour/inputhour.
+        nodes.push(comm(Self::EDGE_TRANS_TO_REPL));
+        nodes.push(compute(
+            Stage::Output,
+            PhaseKind::OutputHour,
+            Work::Replicated {
+                work: hp.output_work,
+                parallelism: 1,
+            },
+        ));
+
+        PhaseGraph {
+            shape: plans.shape,
+            p,
+            edges,
+            nodes,
+            input_handoff_bytes: 3 * hp.input_bytes,
+            output_handoff_elems: plans.shape.iter().product(),
+        }
+    }
+
+    /// Lower one node to the machine's plan-step instruction set.
+    fn lower(&self, node: &PhaseNode) -> PlanStep<'_> {
+        match &node.op {
+            Op::Compute { kind, work } => match work {
+                Work::Replicated { work, .. } => PlanStep::Sequential {
+                    kind: *kind,
+                    work: *work,
+                },
+                Work::Distributed { per_item, layout } => PlanStep::Compute {
+                    kind: *kind,
+                    per_node: layout.per_node(per_item, self.p),
+                },
+            },
+            Op::Comm { edge } => {
+                let e = &self.edges[*edge];
+                PlanStep::Comm {
+                    label: e.label,
+                    loads: &e.loads,
+                }
+            }
+        }
+    }
+
+    /// Data-parallel lowering: charge every node of the graph to the
+    /// machine in program order. Returns the elapsed virtual time.
+    pub fn execute(&self, machine: &mut Machine) -> f64 {
+        assert_eq!(machine.p(), self.p, "graph was planned for a different P");
+        let start = machine.elapsed();
+        for node in &self.nodes {
+            machine.execute_step(&self.lower(node));
+        }
+        machine.elapsed() - start
+    }
+
+    /// Charge only the nodes of one pipeline stage (the task-parallel
+    /// compute subgroup executes `Stage::Main` this way).
+    pub fn execute_stage(&self, machine: &mut Machine, stage: Stage) -> f64 {
+        assert_eq!(machine.p(), self.p, "graph was planned for a different P");
+        let start = machine.elapsed();
+        for node in self.nodes.iter().filter(|n| n.stage == stage) {
+            machine.execute_step(&self.lower(node));
+        }
+        machine.elapsed() - start
+    }
+
+    /// Time one node takes on an I/O subgroup of `p_stage` nodes:
+    /// replicated work divides by its useful parallelism (capped by the
+    /// subgroup size), distributed work by its layout over the subgroup.
+    fn io_node_seconds(&self, node: &PhaseNode, mp: &MachineProfile, p_stage: usize) -> f64 {
+        match &node.op {
+            Op::Compute { work, .. } => match work {
+                Work::Replicated { work, parallelism } => {
+                    let par = (*parallelism).min(p_stage) as f64;
+                    work / (mp.rate * par)
+                }
+                Work::Distributed { per_item, layout } => {
+                    let per = layout.per_node(per_item, p_stage);
+                    per.iter().fold(0.0f64, |a, &b| a.max(b)) / mp.rate
+                }
+            },
+            Op::Comm { edge } => mp.comm_phase_seconds(&self.edges[*edge].loads),
+        }
+    }
+
+    /// Task-parallel lowering: the three §5 pipeline stage durations
+    /// `[input, compute, output]` for this hour, with `p_in` input nodes,
+    /// `self.p` compute nodes and `p_out` output nodes.
+    ///
+    /// The input stage runs its nodes on the input subgroup then hands
+    /// the decoded inputs ([`PhaseGraph::input_handoff_bytes`]) to the
+    /// compute subgroup; the compute stage executes `Stage::Main` on a
+    /// scratch machine; the output stage receives the concentration
+    /// array ([`PhaseGraph::output_handoff_elems`]) and runs its nodes.
+    pub fn stage_durations(&self, mp: MachineProfile, p_in: usize, p_out: usize) -> [f64; 3] {
+        let mut input = 0.0;
+        for node in self.nodes.iter().filter(|n| n.stage == Stage::Input) {
+            input += self.io_node_seconds(node, &mp, p_in);
+        }
+        input += mp.latency + mp.byte_cost * self.input_handoff_bytes as f64;
+
+        let mut m = Machine::new(mp, self.p);
+        let compute = self.execute_stage(&mut m, Stage::Main);
+
+        let mut output =
+            mp.latency + mp.byte_cost * (self.output_handoff_elems * mp.word_size) as f64;
+        for node in self.nodes.iter().filter(|n| n.stage == Stage::Output) {
+            output += self.io_node_seconds(node, &mp, p_out);
+        }
+        [input, compute, output]
+    }
+}
+
+/// Replay a captured profile through the plan layer: build each hour's
+/// [`PhaseGraph`] and execute it on a fresh machine. This is the single
+/// replay implementation behind `driver::replay`, the figure binaries
+/// and the server's pricing/execution path.
+pub fn replay_profile(
+    profile: &WorkProfile,
+    machine_profile: MachineProfile,
+    p: usize,
+    layout: ChemLayout,
+) -> RunReport {
+    let mut machine = Machine::new(machine_profile, p);
+    let plans = HourPlans::with_layout(&profile.shape, p, layout);
+    for hp in &profile.hours {
+        PhaseGraph::for_hour(hp, &plans, p).execute(&mut machine);
+    }
+    RunReport::from_machine(
+        profile.dataset,
+        &machine,
+        profile.hours.len(),
+        profile.summaries.clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::tiny_profile;
+    use airshed_machine::MachineProfile;
+
+    fn graph_for(p: usize) -> PhaseGraph {
+        let prof = tiny_profile();
+        let plans = HourPlans::new(&prof.shape, p);
+        PhaseGraph::for_hour(&prof.hours[0], &plans, p)
+    }
+
+    #[test]
+    fn graph_structure_mirrors_figure1() {
+        let prof = tiny_profile();
+        let g = graph_for(4);
+        let steps = prof.hours[0].steps.len();
+        // 2 input nodes + entry comm + 7 per step + exit comm + 1 output.
+        assert_eq!(g.nodes.len(), 5 + 7 * steps);
+        assert_eq!(g.edges.len(), 4);
+        let count = |s: Stage| g.nodes.iter().filter(|n| n.stage == s).count();
+        assert_eq!(count(Stage::Input), 2);
+        assert_eq!(count(Stage::Output), 1);
+        assert_eq!(count(Stage::Main), 2 + 7 * steps);
+        // Per-step comm pattern: 3 comm references per step + entry + exit.
+        let comms = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, Op::Comm { .. }))
+            .count();
+        assert_eq!(comms, 2 + 3 * steps);
+    }
+
+    #[test]
+    fn edges_conserve_bytes() {
+        for p in [2usize, 4, 16, 64] {
+            let g = graph_for(p);
+            for e in &g.edges {
+                assert!(e.conserves_bytes(), "{} at p={p}", e.label);
+            }
+        }
+    }
+
+    #[test]
+    fn block_layout_partitions_work() {
+        let work: Vec<f64> = (0..17).map(|i| i as f64).collect();
+        for p in [1usize, 4, 5, 17, 32] {
+            let per = ItemLayout::Block.per_node(&work, p);
+            assert_eq!(per.len(), p);
+            let total: f64 = per.iter().sum();
+            assert!((total - work.iter().sum::<f64>()).abs() < 1e-12, "p={p}");
+        }
+        // Ceil-sized blocks: 17 items over 4 nodes = 5,5,5,2.
+        let per = ItemLayout::Block.per_node(&vec![1.0; 17], 4);
+        assert_eq!(per, vec![5.0, 5.0, 5.0, 2.0]);
+    }
+
+    #[test]
+    fn execute_matches_driver_charge_hour() {
+        let prof = tiny_profile();
+        for p in [2usize, 4, 16] {
+            let plans = HourPlans::new(&prof.shape, p);
+            let mut direct = Machine::new(MachineProfile::t3e(), p);
+            for hp in &prof.hours {
+                crate::driver::charge_hour(&mut direct, hp, &plans);
+            }
+            let mut via_graph = Machine::new(MachineProfile::t3e(), p);
+            for hp in &prof.hours {
+                PhaseGraph::for_hour(hp, &plans, p).execute(&mut via_graph);
+            }
+            assert_eq!(direct.elapsed(), via_graph.elapsed(), "p={p}");
+        }
+    }
+
+    #[test]
+    fn stage_totals_cover_all_work() {
+        let g = graph_for(4);
+        let all: f64 = g
+            .nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                Op::Compute { work, .. } => Some(work.total()),
+                Op::Comm { .. } => None,
+            })
+            .sum();
+        assert!(all > 0.0);
+        // Executing the three stages separately charges the same compute
+        // work as executing the whole graph.
+        let mut whole = Machine::new(MachineProfile::t3e(), 4);
+        g.execute(&mut whole);
+        let mut staged = Machine::new(MachineProfile::t3e(), 4);
+        for s in [Stage::Input, Stage::Main, Stage::Output] {
+            g.execute_stage(&mut staged, s);
+        }
+        assert_eq!(whole.elapsed(), staged.elapsed());
+    }
+
+    #[test]
+    fn stage_durations_put_io_in_io_stages() {
+        let prof = tiny_profile();
+        let plans = HourPlans::new(&prof.shape, 6);
+        let g = PhaseGraph::for_hour(&prof.hours[0], &plans, 6);
+        let [input, compute, output] = g.stage_durations(MachineProfile::t3e(), 1, 1);
+        assert!(input > 0.0 && compute > 0.0 && output > 0.0);
+        // A larger input subgroup parallelises pretrans (5 layers).
+        let [input5, _, _] = g.stage_durations(MachineProfile::t3e(), 5, 1);
+        assert!(input5 < input);
+        // Output is sequential: extra output nodes change nothing.
+        let [_, _, output4] = g.stage_durations(MachineProfile::t3e(), 1, 4);
+        assert_eq!(output, output4);
+    }
+
+    #[test]
+    fn replay_profile_matches_driver_replay() {
+        let prof = tiny_profile();
+        for p in [2usize, 8] {
+            let a = replay_profile(prof, MachineProfile::paragon(), p, ChemLayout::Block);
+            let b = crate::driver::replay(prof, MachineProfile::paragon(), p);
+            assert_eq!(a.total_seconds, b.total_seconds, "p={p}");
+            assert_eq!(a.communication_seconds, b.communication_seconds);
+        }
+    }
+}

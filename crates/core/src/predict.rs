@@ -14,17 +14,33 @@
 //! D_Chem->D_Repl  : Ct = 2·L·P + G · layers · species · nodes · W
 //! ```
 //!
-//! The predictor derives its inputs (sequential phase work, per-hour step
-//! counts) from a captured [`WorkProfile`] — the paper's "measurements
-//! obtained by executing an application on a small number of nodes can be
-//! used to extrapolate the performance to larger numbers of nodes". It is
-//! an *independent* code path from the plan-driven simulation, so
-//! Figures 6/7's predicted-vs-measured comparison is a real
-//! cross-validation.
+//! The predictor derives its inputs by an analytic fold over the same
+//! [`crate::plan::PhaseGraph`] the simulator executes: per-kind work
+//! totals from the compute nodes, redistribution occurrence counts from
+//! the comm edges — the paper's "measurements obtained by executing an
+//! application on a small number of nodes can be used to extrapolate the
+//! performance to larger numbers of nodes". The *costs* stay closed-form
+//! (§4's equations, not the planned loads), so Figures 6/7's
+//! predicted-vs-measured comparison remains a real cross-validation: the
+//! graph supplies what happens and how often, the model prices it
+//! independently.
 
+use crate::driver::HourPlans;
+use crate::plan::{Op, PhaseGraph};
 use crate::profile::WorkProfile;
-use airshed_machine::MachineProfile;
+use airshed_hpf::redist::labels;
+use airshed_machine::{MachineProfile, PhaseKind};
 use serde::Serialize;
+
+/// How many times each redistribution edge occurs in the modelled run,
+/// counted off the plan graphs' comm nodes.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct CommOccurrences {
+    pub repl_to_trans: usize,
+    pub trans_to_chem: usize,
+    pub chem_to_repl: usize,
+    pub trans_to_repl: usize,
+}
 
 /// Calibrated model inputs extracted from a (small-P or sequential) run.
 #[derive(Debug, Clone, Serialize)]
@@ -38,6 +54,8 @@ pub struct PerfModel {
     /// Total main-loop steps and hours in the modelled run.
     pub steps: usize,
     pub hours: usize,
+    /// Redistribution occurrence counts from the plan graphs.
+    pub occurrences: CommOccurrences,
 }
 
 /// Predicted phase times (seconds) for one machine × P point.
@@ -58,15 +76,44 @@ pub struct Prediction {
 }
 
 impl PerfModel {
-    /// Extract model inputs from a captured profile.
+    /// Extract model inputs by folding over the run's plan graphs: build
+    /// each hour's [`PhaseGraph`] at P = 1 (work totals and edge
+    /// occurrences are P-independent) and accumulate per-kind compute
+    /// work and per-label comm occurrence counts.
     pub fn from_profile(profile: &WorkProfile) -> PerfModel {
-        let (io, transport, _chem_plus_aero) = profile.sequential_totals();
+        let plans = HourPlans::new(&profile.shape, 1);
+        let mut io = 0.0;
+        let mut transport = 0.0;
         let mut chemistry = 0.0;
         let mut aerosol = 0.0;
-        for h in &profile.hours {
-            for s in &h.steps {
-                chemistry += s.chemistry.iter().sum::<f64>();
-                aerosol += s.aerosol;
+        let mut steps = 0usize;
+        let mut occ = CommOccurrences::default();
+        for hp in &profile.hours {
+            let graph = PhaseGraph::for_hour(hp, &plans, 1);
+            for node in &graph.nodes {
+                match &node.op {
+                    Op::Compute { kind, work } => {
+                        let w = work.total();
+                        match kind {
+                            PhaseKind::InputHour | PhaseKind::PreTrans | PhaseKind::OutputHour => {
+                                io += w
+                            }
+                            PhaseKind::Transport => transport += w,
+                            PhaseKind::Chemistry => {
+                                chemistry += w;
+                                steps += 1;
+                            }
+                            PhaseKind::Aerosol => aerosol += w,
+                        }
+                    }
+                    Op::Comm { edge } => match graph.edges[*edge].label {
+                        labels::REPL_TO_TRANS => occ.repl_to_trans += 1,
+                        labels::TRANS_TO_CHEM => occ.trans_to_chem += 1,
+                        labels::CHEM_TO_REPL => occ.chem_to_repl += 1,
+                        labels::TRANS_TO_REPL => occ.trans_to_repl += 1,
+                        other => unreachable!("unknown plan edge {other}"),
+                    },
+                }
             }
         }
         PerfModel {
@@ -75,8 +122,9 @@ impl PerfModel {
             seq_transport: transport,
             seq_chemistry: chemistry,
             seq_aerosol: aerosol,
-            steps: profile.total_steps(),
+            steps,
             hours: profile.hours.len(),
+            occurrences: occ,
         }
     }
 
@@ -106,21 +154,22 @@ impl PerfModel {
         // count); irrelevant for the paper's P <= 128 on 700+ columns.
         let chem_owners = nodes.min(p) as f64;
         let c2 = machine.latency * chem_owners + machine.byte_cost * local_layers * vol;
-        let c3 = machine.latency * (pf + chem_owners)
-            + machine.byte_cost * layers as f64 * vol;
+        let c3 = machine.latency * (pf + chem_owners) + machine.byte_cost * layers as f64 * vol;
         // Hour-boundary D_Trans->D_Repl: the runtime lowers this
         // few-source replication to a relayed broadcast — every node
         // receives the array once, with ~log2(P) message startups.
         let log2p = (p.next_power_of_two().trailing_zeros().max(1)) as f64;
-        let c4 = machine.latency * 2.0 * log2p
-            + machine.byte_cost * layers as f64 * vol;
+        let c4 = machine.latency * 2.0 * log2p + machine.byte_cost * layers as f64 * vol;
 
-        // Occurrences: c1 happens once per step (before the second
-        // transport) plus once at each hour start; c2 and c3 once per
-        // step; c4 once per hour.
-        let communication = c1 * (self.steps + self.hours) as f64
-            + (c2 + c3) * self.steps as f64
-            + c4 * self.hours as f64;
+        // Occurrences come straight off the plan graphs' comm nodes:
+        // D_Repl->D_Trans once per step plus once at each hour start,
+        // D_Trans->D_Chem and D_Chem->D_Repl once per step,
+        // D_Trans->D_Repl once per hour.
+        let occ = self.occurrences;
+        let communication = c1 * occ.repl_to_trans as f64
+            + c2 * occ.trans_to_chem as f64
+            + c3 * occ.chem_to_repl as f64
+            + c4 * occ.trans_to_repl as f64;
 
         Prediction {
             p,
@@ -236,8 +285,14 @@ mod tests {
             let pred = m.predict(&t3e, p);
             let meas = replay(prof, t3e, p);
             let pairs = [
-                (pred.comm_repl_to_trans, meas.comm_per_step("D_Repl->D_Trans")),
-                (pred.comm_trans_to_chem, meas.comm_per_step("D_Trans->D_Chem")),
+                (
+                    pred.comm_repl_to_trans,
+                    meas.comm_per_step("D_Repl->D_Trans"),
+                ),
+                (
+                    pred.comm_trans_to_chem,
+                    meas.comm_per_step("D_Trans->D_Chem"),
+                ),
                 (pred.comm_chem_to_repl, meas.comm_per_step("D_Chem->D_Repl")),
             ];
             for (i, (a, b)) in pairs.iter().enumerate() {
@@ -247,6 +302,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn graph_fold_matches_profile_totals() {
+        // The graph fold must agree with the raw profile sums: per-kind
+        // work and the per-label occurrence structure of Figure 1's loop.
+        let (m, prof) = model_and_profile();
+        let (io, transport, chem_plus_aero) = prof.sequential_totals();
+        assert!((m.seq_io - io).abs() < 1e-9);
+        assert!((m.seq_transport - transport).abs() < 1e-9);
+        assert!((m.seq_chemistry + m.seq_aerosol - chem_plus_aero).abs() < 1e-9);
+        assert_eq!(m.steps, prof.total_steps());
+        assert_eq!(m.hours, prof.hours.len());
+        let occ = m.occurrences;
+        assert_eq!(occ.repl_to_trans, m.steps + m.hours);
+        assert_eq!(occ.trans_to_chem, m.steps);
+        assert_eq!(occ.chem_to_repl, m.steps);
+        assert_eq!(occ.trans_to_repl, m.hours);
     }
 
     #[test]

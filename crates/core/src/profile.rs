@@ -68,8 +68,7 @@ impl WorkProfile {
         for h in &self.hours {
             io += h.input_work + h.pretrans_work + h.output_work;
             for s in &h.steps {
-                transport += s.transport1.iter().sum::<f64>()
-                    + s.transport2.iter().sum::<f64>();
+                transport += s.transport1.iter().sum::<f64>() + s.transport2.iter().sum::<f64>();
                 chemistry += s.chemistry.iter().sum::<f64>() + s.aerosol;
             }
         }

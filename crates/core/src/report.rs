@@ -95,10 +95,7 @@ impl RunReport {
     /// Peak surface ozone over the whole run (ppm) — the headline science
     /// number.
     pub fn peak_o3(&self) -> f64 {
-        self.summaries
-            .iter()
-            .map(|s| s.max_o3)
-            .fold(0.0, f64::max)
+        self.summaries.iter().map(|s| s.max_o3).fold(0.0, f64::max)
     }
 }
 

@@ -41,8 +41,7 @@ impl SimState {
         // Surface urban enrichment of NO, NO2, CO, PAR proportional to
         // the urban density (aged overnight emissions).
         for n in 0..nodes {
-            let urban =
-                dataset.spec.urban_density(dataset.mesh.free_point(n)) / peak;
+            let urban = dataset.spec.urban_density(dataset.mesh.free_point(n)) / peak;
             for (s, boost) in [
                 (sp::NO, 0.015),
                 (sp::NO2, 0.02),
@@ -218,7 +217,12 @@ mod tests {
             .mesh
             .nearest_free(airshed_grid::geometry::Point::new(95.0, 95.0));
         let no = s.plane(sp::NO, 0);
-        assert!(no[hot] > no[cold], "urban NO {} vs rural {}", no[hot], no[cold]);
+        assert!(
+            no[hot] > no[cold],
+            "urban NO {} vs rural {}",
+            no[hot],
+            no[cold]
+        );
         // Enrichment only at the surface.
         let no_aloft = s.plane(sp::NO, 4);
         assert!(no_aloft[hot] < no[hot]);

@@ -6,11 +6,14 @@
 //! compute subgroup works on hour *i*, the input subgroup reads and
 //! preprocesses hour *i+1* and the output subgroup writes hour *i−1*.
 //!
-//! Stage durations come from the same captured work profile the
-//! data-parallel driver uses, with the main loop replayed on the compute
-//! subgroup (P − io nodes); the pipeline recurrence combines them.
+//! Stage durations come from the same per-hour [`PhaseGraph`] the
+//! data-parallel driver executes: each graph node carries a pipeline
+//! stage annotation, [`PhaseGraph::stage_durations`] lowers the three
+//! stages (main loop replayed on the P − io compute subgroup), and the
+//! pipeline recurrence combines them.
 
-use crate::driver::{charge_hour, HourPlans};
+use crate::driver::HourPlans;
+use crate::plan::PhaseGraph;
 use crate::profile::WorkProfile;
 use crate::report::RunReport;
 use airshed_hpf::pipeline::{schedule, sequential_makespan};
@@ -65,45 +68,23 @@ pub fn replay_taskparallel_split(
         p_in + p_out
     );
     let p_compute = p - p_in - p_out;
-    let rate = machine_profile.rate;
-    let [species, layers, nodes] = profile.shape;
-    let array_bytes = species * layers * nodes * machine_profile.word_size;
 
     let mut input_durs = Vec::with_capacity(profile.hours.len());
     let mut compute_durs = Vec::with_capacity(profile.hours.len());
     let mut output_durs = Vec::with_capacity(profile.hours.len());
 
-    // A scratch machine for the compute subgroup; reset per hour so each
-    // hour's elapsed time is its stage duration.
+    // Each hour's plan graph, lowered to the three stage durations: the
+    // Input stage nodes run on the input subgroup (pretrans parallelises
+    // across layers there) and hand off the decoded inputs; the Main
+    // stage replays on a scratch compute-subgroup machine; the Output
+    // stage receives the concentration array and writes it out.
     let plans = HourPlans::new(&profile.shape, p_compute);
-    let pretrans_par = layers.min(p_in) as f64;
     for hp in &profile.hours {
-        // Input stage: inputhour (sequential read) + pretrans (parallel
-        // across layers within the input group), then hand the decoded
-        // inputs (and assembled operators, ~3x raw volume) to the compute
-        // subgroup.
-        let handoff_bytes = 3 * hp.input_bytes;
-        let input_comm = machine_profile.latency
-            + machine_profile.byte_cost * handoff_bytes as f64;
-        input_durs.push(
-            hp.input_work / rate + hp.pretrans_work / (rate * pretrans_par) + input_comm,
-        );
-
-        // Compute stage: the main loop on p_compute nodes. Strip the I/O
-        // work (it lives in the other stages).
-        let mut m = Machine::new(machine_profile, p_compute);
-        let mut hp_inner = hp.clone();
-        hp_inner.input_work = 0.0;
-        hp_inner.pretrans_work = 0.0;
-        hp_inner.output_work = 0.0;
-        charge_hour(&mut m, &hp_inner, &plans);
-        compute_durs.push(m.elapsed());
-
-        // Output stage: ship the concentration array to the output node,
-        // then outputhour there.
-        let output_comm = machine_profile.latency
-            + machine_profile.byte_cost * array_bytes as f64;
-        output_durs.push(output_comm + hp.output_work / rate);
+        let graph = PhaseGraph::for_hour(hp, &plans, p_compute);
+        let [input, compute, output] = graph.stage_durations(machine_profile, p_in, p_out);
+        input_durs.push(input);
+        compute_durs.push(compute);
+        output_durs.push(output);
     }
 
     let durations = vec![input_durs, compute_durs, output_durs];
@@ -120,8 +101,9 @@ pub fn replay_taskparallel_split(
 /// Search over subgroup splits for the makespan-optimal allocation — the
 /// optimisation problem of Subhlok & Vondran's "optimal mapping of
 /// sequences of data parallel tasks" that the paper cites, solved here by
-/// enumeration (the space is tiny). Returns the best `(p_in, p_out)` and
-/// its report.
+/// enumeration over the graph's stage lowerings (the space is tiny: the
+/// same per-hour `PhaseGraph`s are re-lowered with each candidate
+/// `(p_in, p_out)`). Returns the best `(p_in, p_out)` and its report.
 pub fn optimize_split(
     profile: &WorkProfile,
     machine_profile: MachineProfile,
@@ -195,7 +177,8 @@ pub fn as_run_report(
     let mut m = Machine::new(machine_profile, tp.p);
     // Attribute the pipeline's stage busy time to categories for display;
     // elapsed is the makespan.
-    m.breakdown.add(PhaseCategory::IoProc, tp.stage_busy[0] + tp.stage_busy[2]);
+    m.breakdown
+        .add(PhaseCategory::IoProc, tp.stage_busy[0] + tp.stage_busy[2]);
     m.breakdown.add(PhaseCategory::Chemistry, tp.stage_busy[1]);
     RunReport {
         total_seconds: tp.total_seconds,
@@ -236,10 +219,7 @@ mod tests {
         let m = MachineProfile::paragon();
         let dp64 = replay(&prof, m, 64).total_seconds;
         let tp64 = replay_taskparallel(&prof, m, 64).total_seconds;
-        assert!(
-            tp64 < dp64,
-            "at P=64 pipelining must win: {tp64} vs {dp64}"
-        );
+        assert!(tp64 < dp64, "at P=64 pipelining must win: {tp64} vs {dp64}");
         let dp4 = replay(&prof, m, 4).total_seconds;
         let tp4 = replay_taskparallel(&prof, m, 4).total_seconds;
         // At P=4 the pipeline surrenders half the compute nodes — it

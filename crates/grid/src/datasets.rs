@@ -104,9 +104,7 @@ impl Dataset {
             let mesh = Mesh::from_quadtree(&tree);
             let got = mesh.n_free();
             let err = got.abs_diff(spec.target_nodes);
-            let better = best
-                .as_ref()
-                .is_none_or(|(e, _, _)| err < *e);
+            let better = best.as_ref().is_none_or(|(e, _, _)| err < *e);
             if better {
                 best = Some((err, tree, mesh));
             }
@@ -311,9 +309,6 @@ mod tests {
         let far = (0..d.nodes())
             .filter(|&s| d.mesh.free_point(s).dist(&Point::new(300.0, 20.0)) < 40.0)
             .count();
-        assert!(
-            near > 3 * far.max(1),
-            "near {near} columns vs far {far}"
-        );
+        assert!(near > 3 * far.max(1), "near {near} columns vs far {far}");
     }
 }

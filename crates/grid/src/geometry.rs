@@ -98,12 +98,7 @@ pub mod quad_shape {
     pub const GAUSS_2X2: [(f64, f64, f64); 4] = {
         // 1/sqrt(3) written out because const fns cannot call sqrt.
         const G: f64 = 0.577_350_269_189_625_8;
-        [
-            (-G, -G, 1.0),
-            (G, -G, 1.0),
-            (G, G, 1.0),
-            (-G, G, 1.0),
-        ]
+        [(-G, -G, 1.0), (G, -G, 1.0), (G, G, 1.0), (-G, G, 1.0)]
     };
 }
 

@@ -406,10 +406,7 @@ mod tests {
         for node in 0..m.n_nodes() {
             let v = m.node_value(&free_vals, node);
             let expect = f(m.points[node]);
-            assert!(
-                (v - expect).abs() < 1e-9,
-                "node {node}: {v} vs {expect}"
-            );
+            assert!((v - expect).abs() < 1e-9, "node {node}: {v} vs {expect}");
         }
     }
 

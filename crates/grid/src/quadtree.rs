@@ -297,12 +297,7 @@ impl QuadTree {
     /// lower-left (matching the shape-function ordering).
     pub fn cell_corners_fine(&self, id: usize) -> [(u64, u64); 4] {
         let (x0, y0, s) = self.cell_fine_origin_span(id);
-        [
-            (x0, y0),
-            (x0 + s, y0),
-            (x0 + s, y0 + s),
-            (x0, y0 + s),
-        ]
+        [(x0, y0), (x0 + s, y0), (x0 + s, y0 + s), (x0, y0 + s)]
     }
 
     /// Indices of all leaf cells, in deterministic arena order.

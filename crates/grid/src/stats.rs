@@ -47,8 +47,8 @@ pub fn grid_stats(dataset: &Dataset) -> GridStats {
     }
 
     let domain = dataset.spec.domain;
-    let uniform = ((domain.width() / mesh.h_min).round()
-        * (domain.height() / mesh.h_min).round()) as usize;
+    let uniform =
+        ((domain.width() / mesh.h_min).round() * (domain.height() / mesh.h_min).round()) as usize;
 
     let urban = dataset
         .spec
@@ -115,10 +115,7 @@ mod tests {
         let d = Dataset::tiny(120);
         let s = grid_stats(&d);
         assert_eq!(s.columns + s.hanging_nodes, s.mesh_nodes);
-        assert_eq!(
-            s.elements_by_level.iter().sum::<usize>(),
-            s.elements
-        );
+        assert_eq!(s.elements_by_level.iter().sum::<usize>(), s.elements);
         assert!(s.h_min_km < s.h_max_km);
         assert!(s.compression > 1.0);
         assert!(s.urban_column_fraction > 0.0 && s.urban_column_fraction < 1.0);

@@ -7,13 +7,7 @@ use airshed_grid::mesh::{Mesh, NodeLocator};
 use airshed_grid::quadtree::{QuadTree, RefineParams};
 use proptest::prelude::*;
 
-fn build(
-    hx: f64,
-    hy: f64,
-    sigma: f64,
-    target: usize,
-    depth: u32,
-) -> (QuadTree, Mesh) {
+fn build(hx: f64, hy: f64, sigma: f64, target: usize, depth: u32) -> (QuadTree, Mesh) {
     let tree = QuadTree::build(
         Rect::new(0.0, 0.0, 100.0, 80.0),
         RefineParams {

@@ -25,12 +25,7 @@ pub fn for_each_index(region: &OwnedRegion, mut f: impl FnMut(&[usize])) {
     let mut idx = vec![0usize; ndims];
     visit(region, 0, &mut idx, &mut f);
 
-    fn visit(
-        region: &OwnedRegion,
-        dim: usize,
-        idx: &mut Vec<usize>,
-        f: &mut impl FnMut(&[usize]),
-    ) {
+    fn visit(region: &OwnedRegion, dim: usize, idx: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
         if dim == region.per_dim.len() {
             f(idx);
             return;
@@ -257,10 +252,7 @@ mod tests {
         let region = d.owned(&[2, 3], 1, 0);
         let mut seen = Vec::new();
         for_each_index(&region, |idx| seen.push((idx[0], idx[1])));
-        assert_eq!(
-            seen,
-            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
-        );
+        assert_eq!(seen, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
     }
 
     #[test]

@@ -58,9 +58,8 @@ impl Distribution {
             distributed <= 1,
             "at most one distributed dimension is supported (got {distributed})"
         );
-        if let Some(DimDist::BlockCyclic(b)) = dims
-            .iter()
-            .find(|d| matches!(d, DimDist::BlockCyclic(_)))
+        if let Some(DimDist::BlockCyclic(b)) =
+            dims.iter().find(|d| matches!(d, DimDist::BlockCyclic(_)))
         {
             assert!(*b > 0, "block-cyclic block size must be positive");
         }
@@ -129,11 +128,7 @@ impl Distribution {
                     vec![]
                 }
             }
-            DimDist::Cyclic => (0..n)
-                .skip(node)
-                .step_by(p)
-                .map(|i| i..i + 1)
-                .collect(),
+            DimDist::Cyclic => (0..n).skip(node).step_by(p).map(|i| i..i + 1).collect(),
             DimDist::BlockCyclic(b) => {
                 let mut out = Vec::new();
                 let mut start = node * b;
@@ -378,7 +373,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(Distribution::replicated(3).owner_of(&shape, 4, &[0, 0, 0]), None);
+        assert_eq!(
+            Distribution::replicated(3).owner_of(&shape, 4, &[0, 0, 0]),
+            None
+        );
     }
 
     #[test]

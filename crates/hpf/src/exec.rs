@@ -141,7 +141,10 @@ mod tests {
             (Distribution::block(3, 1), Distribution::block(3, 2)),
             (Distribution::block(3, 2), Distribution::cyclic(3, 2)),
             (Distribution::cyclic(3, 2), Distribution::block(3, 1)),
-            (Distribution::block_cyclic(3, 2, 2), Distribution::block(3, 2)),
+            (
+                Distribution::block_cyclic(3, 2, 2),
+                Distribution::block(3, 2),
+            ),
         ] {
             let arr = DistributedArray::scatter(&g, &shape, src, 6);
             let (out, _) = execute_redistribution(&arr, &dst, 8);

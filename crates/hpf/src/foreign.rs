@@ -225,22 +225,13 @@ mod tests {
             let sent: usize = loads.iter().map(|(_, l)| l.bytes_sent).sum();
             let recv: usize = loads.iter().map(|(_, l)| l.bytes_recv).sum();
             // Ceil-division shares may pad either side slightly.
-            assert!(
-                recv.abs_diff(sent) <= 64,
-                "{scenario:?}: {sent} vs {recv}"
-            );
+            assert!(recv.abs_diff(sent) <= 64, "{scenario:?}: {sent} vs {recv}");
         }
     }
 
     #[test]
     fn single_node_module_degenerates() {
-        let loads = coupling_loads(
-            CouplingScenario::InterfaceNode,
-            3,
-            &native(),
-            &[9],
-            1000,
-        );
+        let loads = coupling_loads(CouplingScenario::InterfaceNode, 3, &native(), &[9], 1000);
         let interface = loads.iter().find(|(n, _)| *n == 9).unwrap();
         assert_eq!(interface.1.msgs_sent, 0);
         assert_eq!(interface.1.bytes_recv, 1000);

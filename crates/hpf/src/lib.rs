@@ -19,7 +19,7 @@
 //! `Ct = L·m + G·b + H·c` model for them.
 //!
 //! * [`dist`] — distribution descriptors and ownership maps;
-//! * [`array`] — distributed arrays with per-node local tiles;
+//! * [`mod@array`] — distributed arrays with per-node local tiles;
 //! * [`redist`] — redistribution planning;
 //! * [`exec`] — message-passing execution of a plan over the PVM
 //!   substrate, with observed-traffic accounting (the plan-vs-reality

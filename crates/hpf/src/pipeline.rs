@@ -53,10 +53,7 @@ pub fn schedule(durations: &[Vec<f64>]) -> PipelineSchedule {
 /// Makespan if the same stages ran strictly sequentially (no overlap) —
 /// the plain data-parallel program's time, for speedup comparisons.
 pub fn sequential_makespan(durations: &[Vec<f64>]) -> f64 {
-    durations
-        .iter()
-        .map(|d| d.iter().sum::<f64>())
-        .sum()
+    durations.iter().map(|d| d.iter().sum::<f64>()).sum()
 }
 
 #[cfg(test)]

@@ -14,6 +14,20 @@
 use crate::dist::Distribution;
 use airshed_machine::cost::NodeCommLoad;
 
+/// Canonical labels of the Airshed redistribution edges. The driver, the
+/// plan graph and the predictor all match on these, so they live in one
+/// place.
+pub mod labels {
+    /// Replicated (I/O) state to the transport layer distribution.
+    pub const REPL_TO_TRANS: &str = "D_Repl->D_Trans";
+    /// Transport layer distribution to the chemistry column distribution.
+    pub const TRANS_TO_CHEM: &str = "D_Trans->D_Chem";
+    /// Chemistry column distribution back to the replicated state.
+    pub const CHEM_TO_REPL: &str = "D_Chem->D_Repl";
+    /// Transport distribution to replicated at the hour boundary.
+    pub const TRANS_TO_REPL: &str = "D_Trans->D_Repl";
+}
+
 /// One pairwise transfer, for diagnostics and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Transfer {
@@ -47,6 +61,46 @@ impl RedistPlan {
     /// Total messages.
     pub fn total_messages(&self) -> usize {
         self.loads.iter().map(|l| l.msgs_sent).sum()
+    }
+
+    /// Extract the comm edge this plan contributes to an execution
+    /// graph: its label plus the per-node `(m, b, c)` loads, detached
+    /// from the pairwise transfer detail. `airshed-core`'s
+    /// `plan::PhaseGraph` attaches these to its communication edges.
+    pub fn edge(&self) -> PlanEdge {
+        PlanEdge {
+            label: self.label,
+            loads: self.loads.clone(),
+        }
+    }
+}
+
+/// The execution-plan view of a redistribution: what a plan-graph comm
+/// edge carries. Unlike [`RedistPlan`] it has no pairwise transfer list —
+/// only the per-node message/byte/copy loads the cost model consumes.
+#[derive(Debug, Clone)]
+pub struct PlanEdge {
+    /// Redistribution label, e.g. `"D_Trans->D_Chem"`.
+    pub label: &'static str,
+    /// Per-node communication loads (index = node id).
+    pub loads: Vec<NodeCommLoad>,
+}
+
+impl PlanEdge {
+    /// Total bytes leaving any node over this edge.
+    pub fn total_bytes_sent(&self) -> usize {
+        self.loads.iter().map(|l| l.bytes_sent).sum()
+    }
+
+    /// Total bytes arriving at any node over this edge.
+    pub fn total_bytes_recv(&self) -> usize {
+        self.loads.iter().map(|l| l.bytes_recv).sum()
+    }
+
+    /// Byte conservation: everything sent is received. Holds for every
+    /// planner lowering (flat pairwise, pure-copy, relayed broadcast).
+    pub fn conserves_bytes(&self) -> bool {
+        self.total_bytes_sent() == self.total_bytes_recv()
     }
 }
 
@@ -168,11 +222,11 @@ pub fn airshed_redists(shape: &[usize; 3], p: usize, word_size: usize) -> Airshe
     let d_trans = Distribution::block(3, 1);
     let d_chem = Distribution::block(3, 2);
     let mut repl_to_trans = plan(shape, &d_repl, &d_trans, p, word_size);
-    repl_to_trans.label = "D_Repl->D_Trans";
+    repl_to_trans.label = labels::REPL_TO_TRANS;
     let mut trans_to_chem = plan(shape, &d_trans, &d_chem, p, word_size);
-    trans_to_chem.label = "D_Trans->D_Chem";
+    trans_to_chem.label = labels::TRANS_TO_CHEM;
     let mut chem_to_repl = plan(shape, &d_chem, &d_repl, p, word_size);
-    chem_to_repl.label = "D_Chem->D_Repl";
+    chem_to_repl.label = labels::CHEM_TO_REPL;
     AirshedRedists {
         repl_to_trans,
         trans_to_chem,
@@ -235,12 +289,7 @@ mod tests {
             assert_eq!(plan.total_bytes_sent(), 0);
             let local_layers = SHAPE[1].div_ceil(SHAPE[1].min(p));
             let expect = local_layers * SHAPE[0] * SHAPE[2] * W;
-            let max_copy = plan
-                .loads
-                .iter()
-                .map(|l| l.bytes_copied)
-                .max()
-                .unwrap();
+            let max_copy = plan.loads.iter().map(|l| l.bytes_copied).max().unwrap();
             assert_eq!(max_copy, expect, "p={p}");
         }
     }
@@ -317,8 +366,7 @@ mod tests {
             // D_Trans -> D_Chem: L*P + G*ceil*species*nodes*W (model uses
             // the full layer volume; the plan subtracts the locally-kept
             // part, so allow the small difference).
-            let c2_model = m.latency * pf
-                + m.byte_cost * local_layers * species * nodes * W as f64;
+            let c2_model = m.latency * pf + m.byte_cost * local_layers * species * nodes * W as f64;
             let c2_plan = m.comm_phase_seconds(&r.trans_to_chem.loads);
             assert!(
                 (c2_plan - c2_model).abs() / c2_model < 0.35,
@@ -326,8 +374,7 @@ mod tests {
             );
 
             // D_Chem -> D_Repl: 2LP + G*layers*species*nodes*W.
-            let c3_model =
-                2.0 * m.latency * pf + m.byte_cost * layers * species * nodes * W as f64;
+            let c3_model = 2.0 * m.latency * pf + m.byte_cost * layers * species * nodes * W as f64;
             let c3_plan = m.comm_phase_seconds(&r.chem_to_repl.loads);
             assert!(
                 (c3_plan - c3_model).abs() / c3_model < 0.35,

@@ -51,6 +51,64 @@ impl PhaseCategory {
     }
 }
 
+/// The concrete program phases of one Airshed hour — the vocabulary of
+/// the execution-plan IR (`airshed-core`'s `plan::PhaseGraph`). Every
+/// kind maps to exactly one accounting [`PhaseCategory`] and one stable
+/// trace label, so Gantt rows, Figure 4 columns, and plan nodes cannot
+/// drift apart: a phase is *named* here once and every layer derives its
+/// label and its accounting bucket from the same enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum PhaseKind {
+    /// `inputhour`: read and decode one hour of meteorology/emissions.
+    InputHour,
+    /// `pretrans`: assemble the hour's transport operators.
+    PreTrans,
+    /// A horizontal-transport half step (both halves of the split).
+    Transport,
+    /// Chemical kinetics + vertical transport over grid columns.
+    Chemistry,
+    /// The sequential bulk aerosol step (replicated data).
+    Aerosol,
+    /// `outputhour`: write the hour's concentration fields.
+    OutputHour,
+}
+
+impl PhaseKind {
+    pub const ALL: [PhaseKind; 6] = [
+        PhaseKind::InputHour,
+        PhaseKind::PreTrans,
+        PhaseKind::Transport,
+        PhaseKind::Chemistry,
+        PhaseKind::Aerosol,
+        PhaseKind::OutputHour,
+    ];
+
+    /// The accounting category this phase's time is attributed to —
+    /// `IoProc` groups inputhour + pretrans + outputhour and `Chemistry`
+    /// groups kinetics + aerosol, exactly as in the paper's §2.2.
+    pub const fn category(self) -> PhaseCategory {
+        match self {
+            PhaseKind::InputHour | PhaseKind::PreTrans | PhaseKind::OutputHour => {
+                PhaseCategory::IoProc
+            }
+            PhaseKind::Transport => PhaseCategory::Transport,
+            PhaseKind::Chemistry | PhaseKind::Aerosol => PhaseCategory::Chemistry,
+        }
+    }
+
+    /// The stable trace/Gantt row label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PhaseKind::InputHour => "inputhour",
+            PhaseKind::PreTrans => "pretrans",
+            PhaseKind::Transport => "transport",
+            PhaseKind::Chemistry => "chemistry",
+            PhaseKind::Aerosol => "aerosol",
+            PhaseKind::OutputHour => "outputhour",
+        }
+    }
+}
+
 /// Accumulated seconds per phase category.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct PhaseBreakdown {

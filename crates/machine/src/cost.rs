@@ -50,10 +50,7 @@ impl MachineProfile {
 
     /// Phase cost: the maximum per-node cost.
     pub fn comm_phase_seconds(&self, loads: &[NodeCommLoad]) -> f64 {
-        loads
-            .iter()
-            .map(|l| self.comm_cost(l))
-            .fold(0.0, f64::max)
+        loads.iter().map(|l| self.comm_cost(l)).fold(0.0, f64::max)
     }
 }
 

@@ -28,9 +28,9 @@ pub mod profiles;
 pub mod sim;
 pub mod trace;
 
-pub use accounting::{PhaseBreakdown, PhaseCategory};
+pub use accounting::{PhaseBreakdown, PhaseCategory, PhaseKind};
 pub use clock::NodeClocks;
 pub use cost::NodeCommLoad;
 pub use profiles::MachineProfile;
-pub use sim::Machine;
+pub use sim::{Machine, PlanStep};
 pub use trace::{Trace, TraceEvent};

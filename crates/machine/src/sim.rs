@@ -2,11 +2,31 @@
 //! runtime drives. Computation and communication phases advance per-node
 //! virtual clocks and attribute their cost to phase categories.
 
-use crate::accounting::{CommLog, PhaseBreakdown, PhaseCategory};
+use crate::accounting::{CommLog, PhaseBreakdown, PhaseCategory, PhaseKind};
 use crate::clock::NodeClocks;
 use crate::cost::NodeCommLoad;
 use crate::profiles::MachineProfile;
 use crate::trace::Trace;
+
+/// One pre-lowered step of an execution plan — the instruction set the
+/// machine exposes to plan lowerings (`airshed-core`'s `plan` module
+/// compiles a `PhaseGraph` down to a sequence of these).
+///
+/// Compute steps are identified by their IR [`PhaseKind`], from which
+/// both the accounting category and the trace label derive; comm steps
+/// carry the per-node loads of a planned redistribution edge.
+#[derive(Debug, Clone)]
+pub enum PlanStep<'a> {
+    /// Distributed computation: node `i` performs `per_node[i]` units.
+    Compute { kind: PhaseKind, per_node: Vec<f64> },
+    /// Replicated (sequential) computation: every node does `work` units.
+    Sequential { kind: PhaseKind, work: f64 },
+    /// A redistribution with per-node `(m, b, c)` loads.
+    Comm {
+        label: &'static str,
+        loads: &'a [NodeCommLoad],
+    },
+}
 
 /// A virtual distributed-memory machine with `p` nodes.
 #[derive(Debug, Clone)]
@@ -53,6 +73,53 @@ impl Machine {
         group: &[usize],
         per_node_work: &[f64],
     ) -> f64 {
+        self.compute_labeled(cat.label(), cat, group, per_node_work)
+    }
+
+    /// Computation phase identified by its IR [`PhaseKind`]: the
+    /// accounting category and the trace label both derive from the
+    /// kind, so the Gantt timeline cannot drift from the Figure 4
+    /// breakdown. This is the entry point the plan executor uses.
+    pub fn compute_phase(&mut self, kind: PhaseKind, per_node_work: &[f64]) -> f64 {
+        let group: Vec<usize> = (0..self.p()).collect();
+        self.compute_labeled(kind.label(), kind.category(), &group, per_node_work)
+    }
+
+    /// Replicated computation identified by its IR [`PhaseKind`].
+    pub fn sequential_phase(&mut self, kind: PhaseKind, work: f64) -> f64 {
+        let per_node = vec![work; self.p()];
+        self.compute_phase(kind, &per_node)
+    }
+
+    /// Execute one pre-lowered plan step.
+    pub fn execute_step(&mut self, step: &PlanStep<'_>) -> f64 {
+        match step {
+            PlanStep::Compute { kind, per_node } => self.compute_phase(*kind, per_node),
+            PlanStep::Sequential { kind, work } => self.sequential_phase(*kind, *work),
+            PlanStep::Comm { label, loads } => self.communicate(label, loads),
+        }
+    }
+
+    /// Execute a pre-lowered plan: each step in order, with the usual
+    /// phase barriers. Returns the elapsed time of the whole sequence.
+    pub fn execute_plan<'a, I>(&mut self, steps: I) -> f64
+    where
+        I: IntoIterator<Item = PlanStep<'a>>,
+    {
+        let start = self.elapsed();
+        for step in steps {
+            self.execute_step(&step);
+        }
+        self.elapsed() - start
+    }
+
+    fn compute_labeled(
+        &mut self,
+        label: &'static str,
+        cat: PhaseCategory,
+        group: &[usize],
+        per_node_work: &[f64],
+    ) -> f64 {
         assert_eq!(per_node_work.len(), group.len());
         let start = self
             .clocks_group_max(group)
@@ -66,7 +133,7 @@ impl Machine {
         let end = self.clocks.barrier_group(group);
         let dt = end - start;
         self.breakdown.add(cat, dt);
-        self.trace.record(cat.label(), cat, start, end);
+        self.trace.record(label, cat, start, end);
         dt
     }
 
@@ -145,7 +212,10 @@ mod tests {
     fn compute_phase_costs_slowest_node() {
         let mut m = machine(4);
         let rate = m.profile.rate;
-        let dt = m.compute(PhaseCategory::Chemistry, &[rate, 2.0 * rate, rate, 0.5 * rate]);
+        let dt = m.compute(
+            PhaseCategory::Chemistry,
+            &[rate, 2.0 * rate, rate, 0.5 * rate],
+        );
         assert!((dt - 2.0).abs() < 1e-12);
         assert!((m.elapsed() - 2.0).abs() < 1e-12);
         assert!((m.breakdown.get(PhaseCategory::Chemistry) - 2.0).abs() < 1e-12);
@@ -158,7 +228,10 @@ mod tests {
         let mut m64 = machine(64);
         let t4 = m4.sequential(PhaseCategory::IoProc, w);
         let t64 = m64.sequential(PhaseCategory::IoProc, w);
-        assert!((t4 - t64).abs() < 1e-12, "I/O time must not scale: {t4} vs {t64}");
+        assert!(
+            (t4 - t64).abs() < 1e-12,
+            "I/O time must not scale: {t4} vs {t64}"
+        );
     }
 
     #[test]

@@ -145,7 +145,9 @@ impl InputGenerator {
             temp_k: self.mixing.temperature(hod),
             sun,
             sun_layers,
-            kz: self.mixing.kz_profile(&dataset.spec.layer_interfaces_m, hod),
+            kz: self
+                .mixing
+                .kz_profile(&dataset.spec.layer_interfaces_m, hod),
             mixing_height_m: self.mixing.mixing_height(hod),
             nsteps,
             dt_min: 60.0 / nsteps as f64,
@@ -257,7 +259,10 @@ mod tests {
         let mut g = InputGenerator::default();
         // Default: flat profile.
         let flat = g.generate(&d, 12);
-        assert!(flat.sun_layers.iter().all(|&s| (s - flat.sun).abs() < 1e-12));
+        assert!(flat
+            .sun_layers
+            .iter()
+            .all(|&s| (s - flat.sun).abs() < 1e-12));
         // With haze: surface darker than aloft, monotone with height.
         g.haze_attenuation = 0.12;
         let hazy = g.generate(&d, 12);

@@ -71,7 +71,8 @@ impl MixingModel {
         }
         let s = z_m / hmix;
         let profile = 6.75 * s * (1.0 - s) * (1.0 - s); // peaks at 1.0 (s = 1/3)
-        self.kz_background + (self.kz_peak - self.kz_background) * profile * Self::intensity(hour_of_day)
+        self.kz_background
+            + (self.kz_peak - self.kz_background) * profile * Self::intensity(hour_of_day)
     }
 
     /// Interior interface diffusivities for a layer stack described by its

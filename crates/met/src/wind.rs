@@ -141,7 +141,12 @@ mod tests {
         let m = WindModel::default();
         let coast = m.wind_at(&dom(), Point::new(5.0, 80.0), 0, 15.0);
         let inland = m.wind_at(&dom(), Point::new(300.0, 80.0), 0, 15.0);
-        assert!(coast.0 > inland.0, "coast u {} vs inland u {}", coast.0, inland.0);
+        assert!(
+            coast.0 > inland.0,
+            "coast u {} vs inland u {}",
+            coast.0,
+            inland.0
+        );
         // Onshore (+x) daytime breeze should exceed the synoptic flow
         // alone at the coast.
         assert!(coast.0 > m.synoptic_u + 0.1);

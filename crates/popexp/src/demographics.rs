@@ -58,10 +58,7 @@ pub fn stratify(total: &ExposureResult, groups: &[Demographic]) -> Vec<GroupOutc
         (share_sum - 1.0).abs() < 1e-9,
         "group shares must sum to 1 (got {share_sum})"
     );
-    let weighted_response: f64 = groups
-        .iter()
-        .map(|g| g.share * g.response_multiplier)
-        .sum();
+    let weighted_response: f64 = groups.iter().map(|g| g.share * g.response_multiplier).sum();
     groups
         .iter()
         .map(|g| GroupOutcome {

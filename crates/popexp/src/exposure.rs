@@ -190,10 +190,7 @@ mod tests {
         for parts in [2usize, 3, 7, 16] {
             let par = m.exposure_hour_split(10, &surface, parts);
             assert!((par.person_dose - seq.person_dose).abs() < 1e-6);
-            assert_eq!(
-                par.people_above_o3_threshold,
-                seq.people_above_o3_threshold
-            );
+            assert_eq!(par.people_above_o3_threshold, seq.people_above_o3_threshold);
         }
     }
 

@@ -110,10 +110,7 @@ pub fn cheapest_meeting_o3_target(
 }
 
 /// The largest health benefit attainable within a control budget.
-pub fn best_within_budget(
-    outcomes: &[ScenarioOutcome],
-    budget: f64,
-) -> Option<&ScenarioOutcome> {
+pub fn best_within_budget(outcomes: &[ScenarioOutcome], budget: f64) -> Option<&ScenarioOutcome> {
     outcomes
         .iter()
         .filter(|o| o.control_cost <= budget)
@@ -144,8 +141,13 @@ mod tests {
     #[test]
     fn controls_reduce_ozone_and_health_burden_monotonically() {
         let o = outcomes();
-        assert!(o[0].peak_o3 > o[1].peak_o3 && o[1].peak_o3 > o[2].peak_o3,
-            "peaks: {} {} {}", o[0].peak_o3, o[1].peak_o3, o[2].peak_o3);
+        assert!(
+            o[0].peak_o3 > o[1].peak_o3 && o[1].peak_o3 > o[2].peak_o3,
+            "peaks: {} {} {}",
+            o[0].peak_o3,
+            o[1].peak_o3,
+            o[2].peak_o3
+        );
         assert!(o[0].excess_events > o[2].excess_events);
     }
 

@@ -137,8 +137,8 @@ pub fn replay_with_popexp(
 
     let plans = HourPlans::new(&profile.shape, p_compute);
     for (h, hp) in profile.hours.iter().enumerate() {
-        let input_comm = machine_profile.latency
-            + machine_profile.byte_cost * (3 * hp.input_bytes) as f64;
+        let input_comm =
+            machine_profile.latency + machine_profile.byte_cost * (3 * hp.input_bytes) as f64;
         input_durs.push((hp.input_work + hp.pretrans_work) / rate + input_comm);
 
         let mut m = Machine::new(machine_profile, p_compute);
@@ -149,8 +149,7 @@ pub fn replay_with_popexp(
         charge_hour(&mut m, &inner, &plans);
         compute_durs.push(m.elapsed());
 
-        let output_comm = machine_profile.latency
-            + machine_profile.byte_cost * array_bytes as f64;
+        let output_comm = machine_profile.latency + machine_profile.byte_cost * array_bytes as f64;
         output_durs.push(output_comm + hp.output_work / rate);
 
         // --- PopExp stage ---
@@ -187,9 +186,7 @@ pub fn replay_with_popexp(
         let hour = profile.summaries.get(h).map(|s| s.hour).unwrap_or(h);
         let result = match hosting {
             Hosting::NativeTask => model.exposure_hour_split(hour, &hp.surface, p_pop),
-            Hosting::ForeignModule => {
-                foreign_exposure_hour(&model, hour, &hp.surface, p_pop)
-            }
+            Hosting::ForeignModule => foreign_exposure_hour(&model, hour, &hp.surface, p_pop),
         };
         exposures.push(result);
     }
@@ -223,8 +220,7 @@ pub fn fig13_sweep(
     ps.iter()
         .map(|&p| {
             let native = replay_with_popexp(profile, machine_profile, p, Hosting::NativeTask);
-            let foreign =
-                replay_with_popexp(profile, machine_profile, p, Hosting::ForeignModule);
+            let foreign = replay_with_popexp(profile, machine_profile, p, Hosting::ForeignModule);
             Fig13Row {
                 p,
                 native_seconds: native.total_seconds,
@@ -305,8 +301,7 @@ mod tests {
         let prof = profile();
         let m = MachineProfile::paragon();
         let with = replay_with_popexp(&prof, m, 16, Hosting::NativeTask).total_seconds;
-        let without =
-            airshed_core::taskpar::replay_taskparallel(&prof, m, 16).total_seconds;
+        let without = airshed_core::taskpar::replay_taskparallel(&prof, m, 16).total_seconds;
         // The integrated version has fewer compute nodes (popexp takes
         // some), so allow some slack — but it must be nowhere near
         // doubling.

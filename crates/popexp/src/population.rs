@@ -42,10 +42,7 @@ impl PopulationGrid {
             }
         }
         let sum: f64 = raw.iter().sum();
-        let population: Vec<f64> = raw
-            .iter()
-            .map(|d| d / sum * total_population)
-            .collect();
+        let population: Vec<f64> = raw.iter().map(|d| d / sum * total_population).collect();
         PopulationGrid {
             nx,
             ny,

@@ -3,9 +3,10 @@
 //!
 //! Before a scenario is queued, the controller *predicts* its cost with
 //! [`airshed_core::PerfModel`] — the closed-form model the paper
-//! validates against measurements in Figures 6/7 — and rejects jobs whose
-//! predicted virtual run time on the target machine exceeds a configured
-//! budget. Models are calibrated per scenario *family* (dataset, mode)
+//! validates against measurements in Figures 6/7, calibrated by folding
+//! over the same `airshed_core::plan::PhaseGraph` the workers execute —
+//! and rejects jobs whose predicted virtual run time on the target
+//! machine exceeds a configured budget. Models are calibrated per scenario *family* (dataset, mode)
 //! from the first captured profile of that family and extrapolated across
 //! machines, node counts and episode lengths — the paper's "measurements
 //! obtained on a small number of nodes can be used to extrapolate".
@@ -146,7 +147,10 @@ mod tests {
 
         let ctl = {
             let (c, base) = calibrated_controller(Some(predicted * 0.5));
-            assert_eq!(NumericsKey::of(&base).family(), NumericsKey::of(&config).family());
+            assert_eq!(
+                NumericsKey::of(&base).family(),
+                NumericsKey::of(&config).family()
+            );
             c
         };
         match ctl.decide(&monster) {

@@ -196,7 +196,10 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
 
     /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {

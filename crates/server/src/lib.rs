@@ -453,7 +453,10 @@ mod tests {
         // Same numerics, same placement: result-cache hit.
         let b = server.submit(tiny_request(4, 1)).into_handle().unwrap();
         let rb = b.wait().unwrap();
-        assert!(Arc::ptr_eq(&ra, &rb), "result cache must return the same report");
+        assert!(
+            Arc::ptr_eq(&ra, &rb),
+            "result cache must return the same report"
+        );
         // Same numerics, different placement: profile-cache hit, replayed.
         let c = server.submit(tiny_request(16, 1)).into_handle().unwrap();
         let rc = c.wait().unwrap();

@@ -3,10 +3,11 @@
 //! A job executes in up to three ways, fastest first:
 //!
 //! 1. **result-cache hit** — the exact scenario (numerics + machine + P)
-//!    ran before; return the cached [`RunReport`];
+//!    ran before; return the cached [`RunReport`](airshed_core::report::RunReport);
 //! 2. **profile-cache hit** — the numerics ran before on *some*
-//!    placement; `replay` the captured [`WorkProfile`] on this one
-//!    (no kernels re-run, the paper's run-once/replay-everywhere path);
+//!    placement; replay the captured [`WorkProfile`] on this one through
+//!    the plan layer (`airshed_core::plan::replay_profile` — no kernels
+//!    re-run, the paper's run-once/replay-everywhere path);
 //! 3. **miss** — run the real numerics, hour by hour through
 //!    `run_resumable`, checking cancellation and the wall-clock deadline
 //!    at every hour boundary. An interrupted job hands back a
@@ -19,7 +20,8 @@
 use crate::cache::{NumericsKey, ResultKey};
 use crate::{JobCell, JobError, JobResult, ResumePoint, ScenarioRequest, Shared};
 use airshed_core::config::SimConfig;
-use airshed_core::driver::{replay_with_layout, run_resumable};
+use airshed_core::driver::run_resumable;
+use airshed_core::plan::replay_profile;
 use airshed_core::profile::HourProfile;
 use airshed_core::state::HourSummary;
 use airshed_core::WorkProfile;
@@ -107,19 +109,17 @@ fn execute(shared: &Shared, job: &QueuedJob, deadline_at: Option<Instant>) -> Jo
         None => {
             metrics.profile_cache_misses.fetch_add(1, Ordering::Relaxed);
             let resume = request.resume.as_deref().cloned();
-            let profile = Arc::new(run_hourly(
-                config,
-                resume,
-                &job.cell.cancel,
-                deadline_at,
-            )?);
+            let profile = Arc::new(run_hourly(config, resume, &job.cell.cancel, deadline_at)?);
             shared.profiles.insert(numerics_key, Arc::clone(&profile));
             shared.admission.calibrate(config, &profile);
             profile
         }
     };
 
-    let report = Arc::new(replay_with_layout(
+    // Whether the profile came from the cache or was just captured, the
+    // report is charged through the same plan-graph execution — a cached
+    // profile and a fresh run price identically.
+    let report = Arc::new(replay_profile(
         &profile,
         config.machine,
         config.p,
@@ -286,6 +286,26 @@ mod tests {
         let ra = replay(&full, cfg.machine, cfg.p);
         let rb = replay(&straight, cfg.machine, cfg.p);
         assert_eq!(ra.total_seconds, rb.total_seconds);
+    }
+
+    #[test]
+    fn cached_profile_and_fresh_run_charge_identical_cost() {
+        // The graph path guarantees the server's price invariant: a
+        // result computed from a cached profile (plan replay) carries
+        // exactly the virtual cost a fresh run would have charged.
+        let cfg = config(2);
+        let (fresh, profile) = run_with_profile(&cfg);
+        let cached = replay_profile(
+            &profile,
+            cfg.machine,
+            cfg.p,
+            airshed_core::driver::ChemLayout::Block,
+        );
+        assert_eq!(fresh.total_seconds, cached.total_seconds);
+        assert_eq!(fresh.communication_seconds, cached.communication_seconds);
+        assert_eq!(fresh.io_seconds, cached.io_seconds);
+        assert_eq!(fresh.transport_seconds, cached.transport_seconds);
+        assert_eq!(fresh.chemistry_seconds, cached.chemistry_seconds);
     }
 
     #[test]

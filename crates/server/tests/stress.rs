@@ -84,7 +84,11 @@ fn stress_unique_job_ids_and_reconciled_metrics() {
         cancelled += x;
     }
     let accepted = (CLIENTS * JOBS_PER_CLIENT) as u64;
-    assert_eq!(all_ids.len() as u64, accepted, "every job was accepted once");
+    assert_eq!(
+        all_ids.len() as u64,
+        accepted,
+        "every job was accepted once"
+    );
     let unique: HashSet<u64> = all_ids.iter().copied().collect();
     assert_eq!(
         unique.len(),
@@ -95,7 +99,10 @@ fn stress_unique_job_ids_and_reconciled_metrics() {
     let metrics = server.shutdown();
     assert!(metrics.reconciles(), "metrics must reconcile:\n{metrics}");
     assert_eq!(metrics.in_flight, 0, "drained server has nothing in flight");
-    assert_eq!(metrics.completed, completed, "server and client books agree");
+    assert_eq!(
+        metrics.completed, completed,
+        "server and client books agree"
+    );
     assert_eq!(metrics.cancelled, cancelled);
     assert_eq!(metrics.deadline_expired, 0);
     assert_eq!(metrics.failed, 0);

@@ -54,8 +54,7 @@ impl CsrBuilder {
 
     /// Sort, merge duplicates, and produce the CSR matrix.
     pub fn build(mut self) -> Csr {
-        self.triplets
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.triplets.sort_unstable_by_key(|a| (a.0, a.1));
         let mut row_ptr = vec![0usize; self.n + 1];
         let mut col: Vec<u32> = Vec::with_capacity(self.triplets.len());
         let mut val: Vec<f64> = Vec::with_capacity(self.triplets.len());

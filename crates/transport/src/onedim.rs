@@ -1,7 +1,7 @@
 //! Uniform-grid 1-D operator-split transport baseline.
 //!
 //! The paper contrasts Airshed's 2-D multiscale operator with "models
-//! based on a uniform grid and 1-dimensional operators [which] will offer
+//! based on a uniform grid and 1-dimensional operators \[which\] will offer
 //! better speedups, but because of their lower efficiency, they may not
 //! necessarily have better absolute performance" (§3, citing Dabdub &
 //! Seinfeld). This module implements that baseline for the ablation

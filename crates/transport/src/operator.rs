@@ -133,9 +133,7 @@ mod tests {
 
     fn setup(u: f64, v: f64) -> (Dataset, HorizontalTransport) {
         let d = Dataset::tiny(120);
-        let winds: Vec<Vec<(f64, f64)>> = (0..2)
-            .map(|_| vec![(u, v); d.mesh.n_nodes()])
-            .collect();
+        let winds: Vec<Vec<(f64, f64)>> = (0..2).map(|_| vec![(u, v); d.mesh.n_nodes()]).collect();
         let (op, work) = HorizontalTransport::assemble(&d.mesh, &winds, 0.01, 2.0);
         assert!(work.assembly_elems > 0 && work.nnz > 0);
         (d, op)

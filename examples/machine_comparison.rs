@@ -17,7 +17,10 @@ fn main() {
     let (_, profile) = run_with_profile(&config);
 
     let machines = MachineProfile::paper_machines();
-    println!("\n{:>5} {:>12} {:>12} {:>14}", "P", "T3E (s)", "T3D (s)", "Paragon (s)");
+    println!(
+        "\n{:>5} {:>12} {:>12} {:>14}",
+        "P", "T3E (s)", "T3D (s)", "Paragon (s)"
+    );
     for p in [4usize, 8, 16, 32, 64, 128] {
         let ts: Vec<f64> = machines
             .iter()

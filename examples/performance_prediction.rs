@@ -48,7 +48,10 @@ fn main() {
     let p64 = model.predict(&t3e, 64);
     println!("\nwhere does the time go at P = 64 (predicted)?");
     println!("  chemistry     {:>8.2}s (scales ~1/P)", p64.chemistry);
-    println!("  transport     {:>8.2}s (stops at the layer count)", p64.transport);
+    println!(
+        "  transport     {:>8.2}s (stops at the layer count)",
+        p64.transport
+    );
     println!("  I/O processing{:>8.2}s (sequential, constant)", p64.io);
     println!("  communication {:>8.2}s", p64.communication);
 }

@@ -24,7 +24,11 @@ fn main() {
         emission_scale: 1.0,
     };
 
-    println!("running {} hours over the {} dataset...", config.hours, config.dataset.name());
+    println!(
+        "running {} hours over the {} dataset...",
+        config.hours,
+        config.dataset.name()
+    );
     let (report, profile) = run_with_profile(&config);
 
     println!("\n--- science ---");

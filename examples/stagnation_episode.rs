@@ -45,8 +45,8 @@ fn main() {
         ("ventilated", &vent, &vent_prof),
         ("stagnant", &stag, &stag_prof),
     ] {
-        let mean_nox = r.summaries.iter().map(|s| s.mean_nox).sum::<f64>()
-            / r.summaries.len() as f64;
+        let mean_nox =
+            r.summaries.iter().map(|s| s.mean_nox).sum::<f64>() / r.summaries.len() as f64;
         println!(
             "{:<12} {:>7.1}ppb {:>7.1}ppb {:>12}",
             name,

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# CI gate: release build, full test suite, and a warning-free clippy pass.
+# CI gate: formatting, release build, full test suite, a warning-free
+# clippy pass, and warning-free rustdoc.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
 
 echo "==> cargo build --release"
 cargo build --release
@@ -11,5 +15,8 @@ cargo test -q
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+echo "==> cargo doc --workspace --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "==> CI passed"

@@ -246,25 +246,29 @@ fn cmd_run(o: &Options) {
             100.0 * (report.total_seconds / tp.total_seconds - 1.0)
         );
         let (pi, po, best) = optimize_split(&profile, o.machine, p);
-        println!(
-            "optimal split in={pi}/out={po}: {:.1}s",
-            best.total_seconds
-        );
+        println!("optimal split in={pi}/out={po}: {:.1}s", best.total_seconds);
     }
     if o.map {
         let dataset = o.dataset.build();
         let n = dataset.nodes();
         if let Some(last) = profile.hours.last() {
             println!("\nsurface ozone, final hour:");
-            print!("{}", viz::ascii_map_auto(&dataset, &last.surface[..n], 64, 20));
+            print!(
+                "{}",
+                viz::ascii_map_auto(&dataset, &last.surface[..n], 64, 20)
+            );
         }
     }
 }
 
 fn cmd_gridinfo(o: &Options) {
     let dataset = o.dataset.build();
-    println!("dataset {} over {:.0} x {:.0} km", dataset.spec.name,
-        dataset.spec.domain.width(), dataset.spec.domain.height());
+    println!(
+        "dataset {} over {:.0} x {:.0} km",
+        dataset.spec.name,
+        dataset.spec.domain.width(),
+        dataset.spec.domain.height()
+    );
     print!("{}", airshed::grid::grid_stats(&dataset));
     if o.map {
         let density: Vec<f64> = (0..dataset.nodes())
@@ -647,7 +651,10 @@ mod tests {
         assert_eq!(scenarios.len(), 33);
         assert_eq!(scenarios.last().unwrap().config.hours, 10_000);
         // Duplicate (policy, placement) pairs so caches have work to reuse.
-        assert_eq!(scenarios[0].config.emission_scale, scenarios[16].config.emission_scale);
+        assert_eq!(
+            scenarios[0].config.emission_scale,
+            scenarios[16].config.emission_scale
+        );
         assert_eq!(scenarios[0].config.p, scenarios[16].config.p);
         let no_budget = demo_scenarios(&parse(&[]).unwrap());
         assert_eq!(no_budget.len(), 32);

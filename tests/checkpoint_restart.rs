@@ -5,9 +5,7 @@
 use airshed::core::checkpoint::Checkpoint;
 use airshed::core::config::SimConfig;
 use airshed::core::driver::{replay, run_resumable, run_with_profile};
-use airshed::server::{
-    JobError, ResumePoint, ScenarioRequest, ScenarioServer, ServerConfig,
-};
+use airshed::server::{JobError, ResumePoint, ScenarioRequest, ScenarioServer, ServerConfig};
 use std::time::Duration;
 
 fn config(hours: usize) -> SimConfig {
@@ -19,15 +17,12 @@ fn config(hours: usize) -> SimConfig {
 #[test]
 fn split_run_is_bit_identical_to_straight_run() {
     // Straight 4-hour run.
-    let (straight_report, straight_profile, straight_end) =
-        run_resumable(&config(4), None);
+    let (straight_report, straight_profile, straight_end) = run_resumable(&config(4), None);
 
     // 2 hours, checkpoint through a (serialised!) file, 2 more hours.
     let (_, first_profile, ckpt) = run_resumable(&config(2), None);
-    let path = std::env::temp_dir().join(format!(
-        "airshed_restart_test_{}.bin",
-        std::process::id()
-    ));
+    let path =
+        std::env::temp_dir().join(format!("airshed_restart_test_{}.bin", std::process::id()));
     ckpt.save(&path).unwrap();
     let restored = Checkpoint::load(&path).unwrap();
     let _ = std::fs::remove_file(&path);

@@ -10,8 +10,7 @@ use airshed::machine::MachineProfile;
 use std::sync::OnceLock;
 
 fn episode() -> &'static (airshed::core::RunReport, airshed::core::WorkProfile) {
-    static CELL: OnceLock<(airshed::core::RunReport, airshed::core::WorkProfile)> =
-        OnceLock::new();
+    static CELL: OnceLock<(airshed::core::RunReport, airshed::core::WorkProfile)> = OnceLock::new();
     CELL.get_or_init(|| {
         let config = SimConfig {
             dataset: DatasetChoice::Tiny(100),
@@ -96,10 +95,7 @@ fn work_profile_is_replayable_across_the_full_machine_grid() {
         // On a fixed machine, more nodes never makes the run slower by
         // more than the growing communication (allow 5% slack).
         let t = replay(prof, MachineProfile::t3e(), p).total_seconds;
-        assert!(
-            t < last_total * 1.05,
-            "P={p}: {t} vs previous {last_total}"
-        );
+        assert!(t < last_total * 1.05, "P={p}: {t} vs previous {last_total}");
         last_total = t;
     }
 }

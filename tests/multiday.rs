@@ -8,8 +8,7 @@ use airshed::machine::MachineProfile;
 use std::sync::OnceLock;
 
 fn two_days() -> &'static (airshed::core::RunReport, airshed::core::WorkProfile) {
-    static CELL: OnceLock<(airshed::core::RunReport, airshed::core::WorkProfile)> =
-        OnceLock::new();
+    static CELL: OnceLock<(airshed::core::RunReport, airshed::core::WorkProfile)> = OnceLock::new();
     CELL.get_or_init(|| {
         let config = SimConfig {
             dataset: DatasetChoice::Tiny(80),

@@ -1,0 +1,313 @@
+//! Golden equivalence for the plan layer.
+//!
+//! The `PhaseGraph` refactor must not move a single bit of virtual time:
+//! these tests hand-roll the *legacy* charging code (the pre-plan
+//! `charge_hour` phase sequence and the pre-plan task-parallel stage
+//! formulas, copied verbatim) and assert that the graph lowering
+//! reproduces them **bit-identically** across LA/NE-shaped profiles ×
+//! {Paragon, T3D, T3E} × P ∈ {4, 16, 64}.
+//!
+//! Profiles are synthesized with a deterministic LCG (no `rand`), so the
+//! test is fast, self-contained, and exercises the real LA/NE array
+//! shapes without running the numerics.
+
+use airshed::core::driver::{ChemLayout, HourPlans, WORD};
+use airshed::core::plan::PhaseGraph;
+use airshed::core::profile::{HourProfile, StepProfile, WorkProfile};
+use airshed::core::report::RunReport;
+use airshed::core::taskpar::replay_taskparallel_split;
+use airshed::hpf::loops::block_ranges;
+use airshed::hpf::pipeline::{schedule, sequential_makespan};
+use airshed::machine::accounting::PhaseCategory;
+use airshed::machine::{Machine, MachineProfile};
+
+/// Deterministic pseudo-random stream (64-bit LCG, MMIX constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Uniform in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Synthesize a work profile for the given array shape: a couple of
+/// hours with uneven per-layer transport and per-column chemistry work
+/// (the urban/rural imbalance matters for BLOCK vs the slowest node).
+fn synthetic_profile(name: &'static str, shape: [usize; 3], seed: u64) -> WorkProfile {
+    let mut rng = Lcg(seed);
+    let [species, layers, nodes] = shape;
+    let mut hours = Vec::new();
+    for _ in 0..2 {
+        let mut steps = Vec::new();
+        for _ in 0..3 {
+            let transport1: Vec<f64> = (0..layers)
+                .map(|_| 1.0e7 * (0.5 + rng.next_f64()))
+                .collect();
+            let transport2: Vec<f64> = (0..layers)
+                .map(|_| 1.0e7 * (0.5 + rng.next_f64()))
+                .collect();
+            // A few "urban" columns are ~10x the rural baseline.
+            let chemistry: Vec<f64> = (0..nodes)
+                .map(|i| {
+                    let base = 1.0e5 * (0.5 + rng.next_f64());
+                    if i % 97 == 0 {
+                        base * 10.0
+                    } else {
+                        base
+                    }
+                })
+                .collect();
+            steps.push(StepProfile {
+                transport1,
+                transport2,
+                chemistry,
+                aerosol: 5.0e6 * (0.5 + rng.next_f64()),
+            });
+        }
+        hours.push(HourProfile {
+            input_work: 2.0e8 * (0.5 + rng.next_f64()),
+            pretrans_work: 1.0e8 * (0.5 + rng.next_f64()),
+            output_work: 1.5e8 * (0.5 + rng.next_f64()),
+            input_bytes: species * layers * nodes * WORD / 4,
+            steps,
+            surface: Vec::new(),
+        });
+    }
+    WorkProfile {
+        dataset: name,
+        shape,
+        hours,
+        summaries: Vec::new(),
+    }
+}
+
+/// The LA and NE array shapes (species, layers, grid columns).
+fn paper_profiles() -> [WorkProfile; 2] {
+    [
+        synthetic_profile("LA", [35, 5, 700], 0x1a),
+        synthetic_profile("NE", [35, 5, 3328], 0x2e),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Legacy reference implementations (pre-PhaseGraph, copied verbatim).
+// ---------------------------------------------------------------------
+
+fn per_node_block_legacy(per_item: &[f64], p: usize) -> Vec<f64> {
+    block_ranges(per_item.len(), p)
+        .into_iter()
+        .map(|r| per_item[r].iter().sum())
+        .collect()
+}
+
+/// The original `driver::charge_hour` body.
+fn charge_hour_legacy(machine: &mut Machine, hp: &HourProfile, plans: &HourPlans) {
+    let p = machine.p();
+    machine.sequential(PhaseCategory::IoProc, hp.input_work);
+    machine.sequential(PhaseCategory::IoProc, hp.pretrans_work);
+
+    for (k, step) in hp.steps.iter().enumerate() {
+        if k == 0 {
+            machine.communicate("D_Repl->D_Trans", &plans.main.repl_to_trans.loads);
+        }
+        machine.compute(
+            PhaseCategory::Transport,
+            &per_node_block_legacy(&step.transport1, p),
+        );
+        machine.communicate("D_Trans->D_Chem", &plans.main.trans_to_chem.loads);
+        machine.compute(
+            PhaseCategory::Chemistry,
+            &plans.chem_layout.per_node(&step.chemistry, p),
+        );
+        machine.communicate("D_Chem->D_Repl", &plans.main.chem_to_repl.loads);
+        machine.sequential(PhaseCategory::Chemistry, step.aerosol);
+        machine.communicate("D_Repl->D_Trans", &plans.main.repl_to_trans.loads);
+        machine.compute(
+            PhaseCategory::Transport,
+            &per_node_block_legacy(&step.transport2, p),
+        );
+    }
+    machine.communicate("D_Trans->D_Repl", &plans.trans_to_repl.loads);
+    machine.sequential(PhaseCategory::IoProc, hp.output_work);
+}
+
+fn replay_legacy(profile: &WorkProfile, mp: MachineProfile, p: usize) -> RunReport {
+    let mut machine = Machine::new(mp, p);
+    let plans = HourPlans::new(&profile.shape, p);
+    for hp in &profile.hours {
+        charge_hour_legacy(&mut machine, hp, &plans);
+    }
+    RunReport::from_machine(
+        profile.dataset,
+        &machine,
+        profile.hours.len(),
+        profile.summaries.clone(),
+    )
+}
+
+/// The original `taskpar::replay_taskparallel_split` stage math.
+fn taskpar_legacy(
+    profile: &WorkProfile,
+    mp: MachineProfile,
+    p: usize,
+    p_in: usize,
+    p_out: usize,
+) -> (f64, f64, [f64; 3]) {
+    let p_compute = p - p_in - p_out;
+    let rate = mp.rate;
+    let [species, layers, nodes] = profile.shape;
+    let array_bytes = species * layers * nodes * mp.word_size;
+
+    let mut input_durs = Vec::new();
+    let mut compute_durs = Vec::new();
+    let mut output_durs = Vec::new();
+
+    let plans = HourPlans::new(&profile.shape, p_compute);
+    let pretrans_par = layers.min(p_in) as f64;
+    for hp in &profile.hours {
+        let handoff_bytes = 3 * hp.input_bytes;
+        let input_comm = mp.latency + mp.byte_cost * handoff_bytes as f64;
+        input_durs
+            .push(hp.input_work / rate + hp.pretrans_work / (rate * pretrans_par) + input_comm);
+
+        let mut m = Machine::new(mp, p_compute);
+        let mut hp_inner = hp.clone();
+        hp_inner.input_work = 0.0;
+        hp_inner.pretrans_work = 0.0;
+        hp_inner.output_work = 0.0;
+        charge_hour_legacy(&mut m, &hp_inner, &plans);
+        compute_durs.push(m.elapsed());
+
+        let output_comm = mp.latency + mp.byte_cost * array_bytes as f64;
+        output_durs.push(output_comm + hp.output_work / rate);
+    }
+
+    let durations = vec![input_durs, compute_durs, output_durs];
+    let sched = schedule(&durations);
+    (
+        sched.makespan,
+        sequential_makespan(&durations),
+        [sched.busy[0], sched.busy[1], sched.busy[2]],
+    )
+}
+
+// ---------------------------------------------------------------------
+// Golden assertions.
+// ---------------------------------------------------------------------
+
+const SWEEP_P: [usize; 3] = [4, 16, 64];
+
+#[test]
+fn data_parallel_replay_is_bit_identical_to_legacy() {
+    for profile in &paper_profiles() {
+        for mp in MachineProfile::paper_machines() {
+            for p in SWEEP_P {
+                let legacy = replay_legacy(profile, mp, p);
+                let graph = airshed::core::plan::replay_profile(profile, mp, p, ChemLayout::Block);
+                let tag = format!("{} p={p}", profile.dataset);
+                assert_eq!(legacy.total_seconds, graph.total_seconds, "{tag}");
+                assert_eq!(legacy.io_seconds, graph.io_seconds, "{tag}");
+                assert_eq!(legacy.transport_seconds, graph.transport_seconds, "{tag}");
+                assert_eq!(legacy.chemistry_seconds, graph.chemistry_seconds, "{tag}");
+                assert_eq!(
+                    legacy.communication_seconds, graph.communication_seconds,
+                    "{tag}"
+                );
+                assert_eq!(legacy.comm_steps.len(), graph.comm_steps.len(), "{tag}");
+                for (a, b) in legacy.comm_steps.iter().zip(&graph.comm_steps) {
+                    assert_eq!(a.label, b.label, "{tag}");
+                    assert_eq!(a.count, b.count, "{tag}");
+                    assert_eq!(a.total_seconds, b.total_seconds, "{tag}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cyclic_layout_replay_is_bit_identical_to_legacy() {
+    // Same golden check through the CYCLIC chemistry layout.
+    let profile = &paper_profiles()[0];
+    let mp = MachineProfile::t3e();
+    for p in SWEEP_P {
+        let mut machine = Machine::new(mp, p);
+        let plans = HourPlans::with_layout(&profile.shape, p, ChemLayout::Cyclic);
+        for hp in &profile.hours {
+            charge_hour_legacy(&mut machine, hp, &plans);
+        }
+        let graph = airshed::core::plan::replay_profile(profile, mp, p, ChemLayout::Cyclic);
+        assert_eq!(machine.elapsed(), graph.total_seconds, "p={p}");
+    }
+}
+
+#[test]
+fn taskparallel_stages_are_bit_identical_to_legacy() {
+    for profile in &paper_profiles() {
+        for mp in MachineProfile::paper_machines() {
+            for p in SWEEP_P {
+                for (p_in, p_out) in [(1, 1), (2, 1)] {
+                    if p_in + p_out >= p {
+                        continue;
+                    }
+                    let (makespan, unpipelined, busy) = taskpar_legacy(profile, mp, p, p_in, p_out);
+                    let tp = replay_taskparallel_split(profile, mp, p, p_in, p_out);
+                    let tag = format!("{} p={p} split=({p_in},{p_out})", profile.dataset);
+                    assert_eq!(makespan, tp.total_seconds, "{tag}");
+                    assert_eq!(unpipelined, tp.unpipelined_seconds, "{tag}");
+                    assert_eq!(busy, tp.stage_busy, "{tag}");
+                }
+            }
+        }
+    }
+    // A multi-node input group (pretrans parallelism capped at layers).
+    let profile = &paper_profiles()[0];
+    let mp = MachineProfile::paragon();
+    let (makespan, _, busy) = taskpar_legacy(profile, mp, 16, 5, 2);
+    let tp = replay_taskparallel_split(profile, mp, 16, 5, 2);
+    assert_eq!(makespan, tp.total_seconds);
+    assert_eq!(busy, tp.stage_busy);
+}
+
+#[test]
+fn graph_edges_conserve_bytes_for_lcg_shapes_and_layouts() {
+    // Deterministic sweep over irregular shapes, node counts and both
+    // chemistry layouts: every comm edge of every graph must conserve
+    // bytes (Σ sent = Σ received). The `proptest` version of this lives
+    // in `crates/core/tests/proptest_plan.rs`; this one keeps the
+    // invariant pinned without a `rand` dependency.
+    let mut rng = Lcg(0xc0de5eed);
+    for _ in 0..40 {
+        let shape = [
+            2 + (rng.next_u64() % 40) as usize,
+            1 + (rng.next_u64() % 8) as usize,
+            10 + (rng.next_u64() % 900) as usize,
+        ];
+        let p = 1 + (rng.next_u64() % 80) as usize;
+        let layout = if rng.next_u64() % 2 == 0 {
+            ChemLayout::Block
+        } else {
+            ChemLayout::Cyclic
+        };
+        let profile = synthetic_profile("FUZZ", shape, rng.next_u64());
+        let plans = HourPlans::with_layout(&shape, p, layout);
+        let graph = PhaseGraph::for_hour(&profile.hours[0], &plans, p);
+        for edge in &graph.edges {
+            assert!(
+                edge.conserves_bytes(),
+                "{} shape={shape:?} p={p} layout={layout:?}: sent {} != recv {}",
+                edge.label,
+                edge.total_bytes_sent(),
+                edge.total_bytes_recv()
+            );
+        }
+    }
+}

@@ -46,7 +46,10 @@ fn zero_emission_scenario_relaxes_to_background() {
     // Without emissions or sun, NOx can only decay.
     let first = r.summaries.first().unwrap().mean_nox;
     let last = r.summaries.last().unwrap().mean_nox;
-    assert!(last <= first * 1.01, "NOx grew without sources: {first} -> {last}");
+    assert!(
+        last <= first * 1.01,
+        "NOx grew without sources: {first} -> {last}"
+    );
 }
 
 #[test]
@@ -55,15 +58,39 @@ fn chemistry_survives_extreme_states() {
     let mut ws = YbWorkspace::new(airshed::chem::N_SPECIES);
     // All-zero state.
     let mut zero = vec![0.0; airshed::chem::N_SPECIES];
-    integrate_cell(&m, &mut zero, 298.0, 1.0, 30.0, &YbOptions::default(), &mut ws);
+    integrate_cell(
+        &m,
+        &mut zero,
+        298.0,
+        1.0,
+        30.0,
+        &YbOptions::default(),
+        &mut ws,
+    );
     assert!(zero.iter().all(|&c| c.is_finite() && c >= 0.0));
     // Grossly polluted state.
     let mut extreme = vec![1.0; airshed::chem::N_SPECIES];
-    integrate_cell(&m, &mut extreme, 310.0, 1.0, 30.0, &YbOptions::default(), &mut ws);
+    integrate_cell(
+        &m,
+        &mut extreme,
+        310.0,
+        1.0,
+        30.0,
+        &YbOptions::default(),
+        &mut ws,
+    );
     assert!(extreme.iter().all(|&c| c.is_finite() && c >= 0.0));
     // Freezing, dark, trace-level state.
     let mut cold = vec![1e-12; airshed::chem::N_SPECIES];
-    integrate_cell(&m, &mut cold, 250.0, 0.0, 60.0, &YbOptions::default(), &mut ws);
+    integrate_cell(
+        &m,
+        &mut cold,
+        250.0,
+        0.0,
+        60.0,
+        &YbOptions::default(),
+        &mut ws,
+    );
     assert!(cold.iter().all(|&c| c.is_finite() && c >= 0.0));
 }
 
@@ -79,7 +106,11 @@ fn planner_handles_degenerate_shapes() {
                 p,
                 8,
             );
-            assert_eq!(pl.total_bytes_sent(), pl.total_bytes_recv(), "{shape:?} p={p}");
+            assert_eq!(
+                pl.total_bytes_sent(),
+                pl.total_bytes_recv(),
+                "{shape:?} p={p}"
+            );
         }
     }
 }
