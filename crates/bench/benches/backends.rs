@@ -1,0 +1,46 @@
+//! Criterion benchmark for the execution backends: one simulated hour
+//! (input → transport → chemistry → aerosol → output) on the tiny
+//! dataset, run end to end on the serial backend and on the thread pool
+//! at 1/2/4/8 workers.
+//!
+//! The backends are bit-identical by construction (see
+//! `tests/backend_determinism.rs`), so this measures pure wall-clock:
+//! pool dispatch overhead at 1 thread, scaling beyond it. On a
+//! single-core host the rayon rows only show the dispatch overhead.
+
+use airshed_core::config::SimConfig;
+use airshed_core::driver::run_resumable_with;
+use airshed_core::ExecSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut config = SimConfig::test_tiny(4, 1);
+    config.start_hour = 12;
+    let variants = [
+        ("serial", ExecSpec::serial()),
+        ("rayon1", ExecSpec::rayon(1)),
+        ("rayon2", ExecSpec::rayon(2)),
+        ("rayon4", ExecSpec::rayon(4)),
+        ("rayon8", ExecSpec::rayon(8)),
+    ];
+    for (name, exec) in variants {
+        c.bench_function(&format!("backend/tiny_hour_{name}"), |b| {
+            b.iter(|| {
+                let (_, profile, checkpoint) = run_resumable_with(&config, None, exec);
+                black_box((profile.hours.len(), checkpoint.state.conc[0]))
+            })
+        });
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(5)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_backends
+}
+criterion_main!(benches);

@@ -12,6 +12,13 @@
 //! gas-to-particle transfer. Because the uptake in each cell depends on
 //! domain totals, the step genuinely requires the whole concentration
 //! array — it cannot be evaluated from any single node's block.
+//!
+//! The step is split accordingly: Pass 1 ([`uptake_scale`], the global
+//! burden scan) is inherently sequential; Pass 2 ([`apply_uptake`]) is a
+//! pure per-cell kernel the shared-memory execution backend runs over
+//! partitioned cell ranges, with the diagnostics reduced in cell order
+//! afterwards ([`reduce_deltas`]) so every partitioning is bit-identical
+//! to the sequential scan.
 
 use crate::species as sp;
 
@@ -55,8 +62,157 @@ impl Default for AerosolParams {
     }
 }
 
+/// The globally-derived uptake scales one step applies in every cell:
+/// the product of Pass 1 (domain burdens). Computing it requires the
+/// whole concentration array; applying it (Pass 2) is per-cell and
+/// embarrassingly parallel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UptakeScale {
+    /// Domain-mean neutralisation ratio used for this step.
+    pub neutralization: f64,
+    /// Fraction of each cell's gas-phase sulfate condensing this step.
+    pub f_sulf: f64,
+    /// Fraction of each cell's nitric acid condensing (already scaled by
+    /// neutralisation and temperature).
+    pub f_no3: f64,
+}
+
+/// Volume-weighted per-cell transfer amounts recorded by Pass 2, reduced
+/// in cell order afterwards so the diagnostics never depend on how the
+/// cells were partitioned across workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CellDelta {
+    /// `v · d_sulf` — sulfate moved to the particle phase.
+    pub sulf: f64,
+    /// `v · d_no3` — nitrate moved.
+    pub no3: f64,
+    /// `v · nh3_for_sulf` — ammonia consumed by the sulfate uptake (the
+    /// nitrate uptake consumes a further `no3`).
+    pub nh3_for_sulf: f64,
+}
+
+// Pass 2 splits the concentration array at the three species blocks in
+// index order; the split below assumes this ordering.
+const _: () = assert!(sp::HNO3 < sp::SULF && sp::SULF < sp::NH3);
+
+/// Disjoint mutable views of the three aerosol species' blocks of a
+/// species-major `A(species, layers, nodes)` array, each indexed by flat
+/// cell `c = l * nodes + n`. Returns `(sulf, hno3, nh3)`.
+pub fn species_blocks_mut(
+    conc: &mut [f64],
+    layers: usize,
+    nodes: usize,
+) -> (&mut [f64], &mut [f64], &mut [f64]) {
+    let cells = layers * nodes;
+    debug_assert_eq!(conc.len(), sp::N_SPECIES * cells);
+    let (head, rest) = conc.split_at_mut(sp::SULF * cells);
+    let hno3 = &mut head[sp::HNO3 * cells..(sp::HNO3 + 1) * cells];
+    let (sulf, rest) = rest.split_at_mut(cells);
+    let nh3 = &mut rest[(sp::NH3 - sp::SULF - 1) * cells..(sp::NH3 - sp::SULF) * cells];
+    (sulf, hno3, nh3)
+}
+
+/// Pass 1: scan the domain burdens and derive the global uptake scales.
+/// This is the step that genuinely needs the replicated array. Returns
+/// `None` for an empty domain (no volume), in which case the step is a
+/// no-op.
+pub fn uptake_scale(
+    sulf: &[f64],
+    hno3: &[f64],
+    nh3: &[f64],
+    cell_volume: &[f64],
+    t_mean_kelvin: f64,
+    dt_min: f64,
+    params: &AerosolParams,
+) -> Option<UptakeScale> {
+    let mut tot_sulf = 0.0;
+    let mut tot_hno3 = 0.0;
+    let mut tot_nh3 = 0.0;
+    let mut tot_vol = 0.0;
+    for c in 0..cell_volume.len() {
+        let v = cell_volume[c];
+        tot_sulf += v * sulf[c];
+        tot_hno3 += v * hno3[c];
+        tot_nh3 += v * nh3[c];
+        tot_vol += v;
+    }
+    if tot_vol <= 0.0 {
+        return None;
+    }
+    let acid = 2.0 * tot_sulf + tot_hno3;
+    let neutralization = if acid > 0.0 {
+        (tot_nh3 / acid).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    // Nitrate partitioning shuts down in warm air (NH4NO3 is volatile).
+    let t_factor = (1.0 - params.t_sensitivity * (t_mean_kelvin - params.t_ref)).clamp(0.0, 1.5);
+    let f_sulf = 1.0 - (-params.sulf_rate * dt_min).exp();
+    let f_no3 = (1.0 - (-params.nitrate_rate * dt_min * t_factor).exp()) * neutralization;
+    Some(UptakeScale {
+        neutralization,
+        f_sulf,
+        f_no3,
+    })
+}
+
+/// Pass 2 kernel: apply the globally-scaled uptake to a contiguous run
+/// of cells. All four slices are the same cell range of their arrays;
+/// the per-cell transfers land in `deltas`. Purely local, so disjoint
+/// cell ranges can run concurrently; summing `deltas` in cell order
+/// afterwards reproduces the sequential diagnostics bit for bit.
+pub fn apply_uptake(
+    sulf: &mut [f64],
+    hno3: &mut [f64],
+    nh3: &mut [f64],
+    cell_volume: &[f64],
+    scale: &UptakeScale,
+    deltas: &mut [CellDelta],
+) {
+    for c in 0..sulf.len() {
+        let v = cell_volume[c];
+        let d_sulf = sulf[c] * scale.f_sulf;
+        sulf[c] -= d_sulf;
+        // Sulfate uptake consumes 2 NH3 per SULF where available.
+        let nh3_for_sulf = (2.0 * d_sulf).min(nh3[c]);
+        nh3[c] -= nh3_for_sulf;
+        // Ammonium nitrate: 1:1 NH3:HNO3, limited by both.
+        let d_no3 = (hno3[c] * scale.f_no3).min(nh3[c]);
+        hno3[c] -= d_no3;
+        nh3[c] -= d_no3;
+        deltas[c] = CellDelta {
+            sulf: v * d_sulf,
+            no3: v * d_no3,
+            nh3_for_sulf: v * nh3_for_sulf,
+        };
+    }
+}
+
+/// Reduce the per-cell transfers into the step diagnostics, in cell
+/// order, with the same accumulation sequence the original sequential
+/// loop used (sulfate, then sulfate's ammonia, then nitrate and its
+/// ammonia, cell by cell).
+pub fn reduce_deltas(deltas: &[CellDelta], neutralization: f64) -> AerosolResult {
+    let mut moved_sulf = 0.0;
+    let mut moved_no3 = 0.0;
+    let mut used_nh3 = 0.0;
+    for d in deltas {
+        moved_sulf += d.sulf;
+        used_nh3 += d.nh3_for_sulf;
+        moved_no3 += d.no3;
+        used_nh3 += d.no3;
+    }
+    AerosolResult {
+        neutralization,
+        sulfate_transferred: moved_sulf,
+        nitrate_transferred: moved_no3,
+        ammonia_consumed: used_nh3,
+    }
+}
+
 /// Perform one bulk equilibrium step over the *entire* concentration
-/// array.
+/// array: Pass 1 ([`uptake_scale`]), Pass 2 ([`apply_uptake`]) over all
+/// cells, then the ordered reduction ([`reduce_deltas`]).
 ///
 /// * `conc` — flattened `A(species, layers, nodes)` array, species-major:
 ///   index `(s, l, n) = (s * layers + l) * nodes + n`.
@@ -80,75 +236,19 @@ pub fn equilibrium_step(
 ) -> AerosolResult {
     assert_eq!(conc.len(), sp::N_SPECIES * layers * nodes);
     assert_eq!(cell_volume.len(), layers * nodes);
-    let idx = |s: usize, l: usize, n: usize| (s * layers + l) * nodes + n;
-
-    // --- Pass 1: domain burdens (this is the global, sequential scan that
-    // requires the replicated array). ---
-    let mut tot_sulf = 0.0;
-    let mut tot_hno3 = 0.0;
-    let mut tot_nh3 = 0.0;
-    let mut tot_vol = 0.0;
-    for l in 0..layers {
-        for n in 0..nodes {
-            let v = cell_volume[l * nodes + n];
-            tot_sulf += v * conc[idx(sp::SULF, l, n)];
-            tot_hno3 += v * conc[idx(sp::HNO3, l, n)];
-            tot_nh3 += v * conc[idx(sp::NH3, l, n)];
-            tot_vol += v;
-        }
-    }
-    if tot_vol <= 0.0 {
+    let (sulf, hno3, nh3) = species_blocks_mut(conc, layers, nodes);
+    let Some(scale) = uptake_scale(sulf, hno3, nh3, cell_volume, t_mean_kelvin, dt_min, params)
+    else {
         return AerosolResult {
             neutralization: 0.0,
             sulfate_transferred: 0.0,
             nitrate_transferred: 0.0,
             ammonia_consumed: 0.0,
         };
-    }
-    let acid = 2.0 * tot_sulf + tot_hno3;
-    let neutralization = if acid > 0.0 {
-        (tot_nh3 / acid).clamp(0.0, 1.0)
-    } else {
-        0.0
     };
-    // Nitrate partitioning shuts down in warm air (NH4NO3 is volatile).
-    let t_factor = (1.0 - params.t_sensitivity * (t_mean_kelvin - params.t_ref)).clamp(0.0, 1.5);
-
-    // --- Pass 2: apply globally-scaled uptake in every cell. ---
-    let f_sulf = 1.0 - (-params.sulf_rate * dt_min).exp();
-    let f_no3 = (1.0 - (-params.nitrate_rate * dt_min * t_factor).exp()) * neutralization;
-    let mut moved_sulf = 0.0;
-    let mut moved_no3 = 0.0;
-    let mut used_nh3 = 0.0;
-    for l in 0..layers {
-        for n in 0..nodes {
-            let v = cell_volume[l * nodes + n];
-            let s = idx(sp::SULF, l, n);
-            let h = idx(sp::HNO3, l, n);
-            let a = idx(sp::NH3, l, n);
-
-            let d_sulf = conc[s] * f_sulf;
-            conc[s] -= d_sulf;
-            moved_sulf += v * d_sulf;
-            // Sulfate uptake consumes 2 NH3 per SULF where available.
-            let nh3_for_sulf = (2.0 * d_sulf).min(conc[a]);
-            conc[a] -= nh3_for_sulf;
-            used_nh3 += v * nh3_for_sulf;
-
-            // Ammonium nitrate: 1:1 NH3:HNO3, limited by both.
-            let d_no3 = (conc[h] * f_no3).min(conc[a]);
-            conc[h] -= d_no3;
-            conc[a] -= d_no3;
-            moved_no3 += v * d_no3;
-            used_nh3 += v * d_no3;
-        }
-    }
-    AerosolResult {
-        neutralization,
-        sulfate_transferred: moved_sulf,
-        nitrate_transferred: moved_no3,
-        ammonia_consumed: used_nh3,
-    }
+    let mut deltas = vec![CellDelta::default(); layers * nodes];
+    apply_uptake(sulf, hno3, nh3, cell_volume, &scale, &mut deltas);
+    reduce_deltas(&deltas, scale.neutralization)
 }
 
 #[cfg(test)]

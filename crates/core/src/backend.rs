@@ -1,0 +1,223 @@
+//! Execution backends: lowering [`crate::plan`] partitions onto real
+//! host threads.
+//!
+//! The plan IR describes *what* each phase distributes (chemistry per
+//! grid column, transport per layer, aerosol per cell) and the virtual
+//! machine charges that distribution to a modeled clock. A [`Backend`]
+//! is the physical counterpart: it takes the same `ItemLayout`
+//! partitions and runs them on OS threads via the shared-memory pool in
+//! `airshed_hpf::host`.
+//!
+//! Two backends exist:
+//!
+//! * [`Serial`] — every partition runs inline on the caller's thread, in
+//!   partition order. The baseline, and the reference for bit-identity.
+//! * [`Rayon`] — a fork–join worker pool (the rayon model: scoped
+//!   workers pulling tasks from a shared queue; the crate itself is not
+//!   a dependency — the pool is `airshed_hpf::host::run_parts`).
+//!
+//! Determinism contract: backends only control *where* a partition
+//! runs, never how results merge. Kernels write into per-item or
+//! per-partition slots and the caller reduces sequentially in item
+//! order afterwards, so `Serial` and `Rayon` at any thread count
+//! produce bit-identical states and work profiles (pinned by the
+//! `backend_determinism` suite).
+
+use airshed_hpf::host;
+
+/// Which executor runs partitioned phase work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Inline, single-threaded, partition order.
+    Serial,
+    /// Fork–join worker pool on host threads.
+    #[default]
+    Rayon,
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<BackendKind, String> {
+        match s {
+            "serial" => Ok(BackendKind::Serial),
+            "rayon" => Ok(BackendKind::Rayon),
+            other => Err(format!("unknown backend '{other}' (serial|rayon)")),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::Serial => write!(f, "serial"),
+            BackendKind::Rayon => write!(f, "rayon"),
+        }
+    }
+}
+
+/// A fully resolved execution choice: backend kind plus thread count.
+/// The default is the rayon pool over every available host core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecSpec {
+    pub kind: BackendKind,
+    /// Worker threads for the pool backend; ignored (treated as 1) by
+    /// the serial backend.
+    pub threads: usize,
+}
+
+impl Default for ExecSpec {
+    fn default() -> ExecSpec {
+        ExecSpec::rayon(host::available_threads())
+    }
+}
+
+impl ExecSpec {
+    pub fn serial() -> ExecSpec {
+        ExecSpec {
+            kind: BackendKind::Serial,
+            threads: 1,
+        }
+    }
+
+    pub fn rayon(threads: usize) -> ExecSpec {
+        ExecSpec {
+            kind: BackendKind::Rayon,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Build a spec from CLI-ish inputs: optional kind (default rayon)
+    /// and optional thread count (default all host cores).
+    pub fn resolve(kind: Option<BackendKind>, threads: Option<usize>) -> ExecSpec {
+        let kind = kind.unwrap_or_default();
+        match kind {
+            BackendKind::Serial => ExecSpec::serial(),
+            BackendKind::Rayon => ExecSpec::rayon(threads.unwrap_or_else(host::available_threads)),
+        }
+    }
+
+    /// How many partitions a phase should cut its items into.
+    pub fn parallelism(&self) -> usize {
+        match self.kind {
+            BackendKind::Serial => 1,
+            BackendKind::Rayon => self.threads.max(1),
+        }
+    }
+
+    /// Human-readable form for run reports and logs, e.g. `rayon(8)`.
+    pub fn describe(&self) -> String {
+        match self.kind {
+            BackendKind::Serial => "serial".to_string(),
+            BackendKind::Rayon => format!("rayon({})", self.threads),
+        }
+    }
+
+    /// Run one fork of partition tasks on the chosen backend.
+    pub fn run<'scope>(&self, tasks: Vec<host::Task<'scope>>) {
+        match self.kind {
+            BackendKind::Serial => Serial.for_parts(tasks),
+            BackendKind::Rayon => Rayon {
+                threads: self.threads,
+            }
+            .for_parts(tasks),
+        }
+    }
+}
+
+/// An executor for one fork of partitioned phase work. Object-safe so
+/// engines can hold `Box<dyn Backend>` when the choice is dynamic.
+pub trait Backend: Sync {
+    /// Name used in reports (`serial`, `rayon`).
+    fn name(&self) -> &'static str;
+    /// Worker threads this backend applies to a fork.
+    fn threads(&self) -> usize;
+    /// Execute every task to completion before returning.
+    fn for_parts<'scope>(&self, tasks: Vec<host::Task<'scope>>);
+}
+
+/// The baseline executor: runs tasks inline, in order.
+pub struct Serial;
+
+impl Backend for Serial {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+    fn threads(&self) -> usize {
+        1
+    }
+    fn for_parts<'scope>(&self, tasks: Vec<host::Task<'scope>>) {
+        for task in tasks {
+            task();
+        }
+    }
+}
+
+/// The pool executor: fork–join over `threads` scoped workers with
+/// dynamic task pulling.
+pub struct Rayon {
+    pub threads: usize,
+}
+
+impl Backend for Rayon {
+    fn name(&self) -> &'static str {
+        "rayon"
+    }
+    fn threads(&self) -> usize {
+        self.threads.max(1)
+    }
+    fn for_parts<'scope>(&self, tasks: Vec<host::Task<'scope>>) {
+        host::run_parts(self.threads(), tasks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parses_and_prints() {
+        assert_eq!(
+            "serial".parse::<BackendKind>().unwrap(),
+            BackendKind::Serial
+        );
+        assert_eq!("rayon".parse::<BackendKind>().unwrap(), BackendKind::Rayon);
+        assert!("omp".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::Rayon.to_string(), "rayon");
+    }
+
+    #[test]
+    fn default_spec_is_rayon_all_cores() {
+        let spec = ExecSpec::default();
+        assert_eq!(spec.kind, BackendKind::Rayon);
+        assert!(spec.threads >= 1);
+    }
+
+    #[test]
+    fn resolve_honors_explicit_choices() {
+        let s = ExecSpec::resolve(Some(BackendKind::Serial), Some(7));
+        assert_eq!(s, ExecSpec::serial());
+        assert_eq!(s.parallelism(), 1);
+        let r = ExecSpec::resolve(Some(BackendKind::Rayon), Some(3));
+        assert_eq!(r.threads, 3);
+        assert_eq!(r.parallelism(), 3);
+        assert_eq!(r.describe(), "rayon(3)");
+    }
+
+    #[test]
+    fn both_backends_complete_all_tasks() {
+        for spec in [ExecSpec::serial(), ExecSpec::rayon(4)] {
+            let mut out = vec![0usize; 8];
+            let tasks: Vec<airshed_hpf::host::Task> = out
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    Box::new(move || {
+                        *slot = i + 1;
+                    }) as airshed_hpf::host::Task
+                })
+                .collect();
+            spec.run(tasks);
+            assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        }
+    }
+}

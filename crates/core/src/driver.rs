@@ -8,6 +8,7 @@
 //! re-running the kernels — the results are identical because the
 //! numerics are deterministic and P-independent.
 
+use crate::backend::ExecSpec;
 use crate::config::SimConfig;
 use crate::phases::PhaseEngine;
 use crate::profile::{HourProfile, StepProfile, WorkProfile};
@@ -113,17 +114,36 @@ pub fn run_with_profile(config: &SimConfig) -> (RunReport, WorkProfile) {
     (report, profile)
 }
 
+/// [`run_with_profile`] on an explicit execution backend.
+pub fn run_with_profile_on(config: &SimConfig, exec: ExecSpec) -> (RunReport, WorkProfile) {
+    let (report, profile, _) = run_resumable_with(config, None, exec);
+    (report, profile)
+}
+
 /// Execute `config.hours` hours, optionally resuming from a checkpoint
 /// (which supplies both the state and the first hour). Returns the
 /// report, the work profile, and a checkpoint for the following hour —
 /// a run split at any hour boundary is bit-identical to an uninterrupted
-/// one (no hidden state crosses the hour loop).
+/// one (no hidden state crosses the hour loop). Runs on the default
+/// execution backend (the thread pool over all host cores); the backend
+/// never affects the results, only wall-clock.
 pub fn run_resumable(
     config: &SimConfig,
     resume: Option<crate::checkpoint::Checkpoint>,
 ) -> (RunReport, WorkProfile, crate::checkpoint::Checkpoint) {
+    run_resumable_with(config, resume, ExecSpec::default())
+}
+
+/// [`run_resumable`] on an explicit execution backend ([`ExecSpec`]).
+/// The backend choice is recorded in the returned report.
+pub fn run_resumable_with(
+    config: &SimConfig,
+    resume: Option<crate::checkpoint::Checkpoint>,
+    exec: ExecSpec,
+) -> (RunReport, WorkProfile, crate::checkpoint::Checkpoint) {
     let dataset = config.dataset.build();
     let mut engine = PhaseEngine::new(dataset, config.kh, config.chem_opts);
+    engine.exec = exec;
     if config.weather == crate::config::Weather::Stagnation {
         engine.generator = airshed_met::hourly::InputGenerator::stagnation();
     }
@@ -201,8 +221,9 @@ pub fn run_resumable(
         hours,
         summaries: summaries.clone(),
     };
-    let report =
+    let mut report =
         RunReport::from_machine(engine.dataset.spec.name, &machine, config.hours, summaries);
+    report.backend = exec.describe();
     let checkpoint = crate::checkpoint::Checkpoint {
         next_hour: first_hour + config.hours,
         state,

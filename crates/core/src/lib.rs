@@ -29,6 +29,8 @@
 //! * [`profile`] — captured work profiles (run once, replay across P);
 //! * [`plan`] — the [`plan::PhaseGraph`] execution-plan IR every backend
 //!   lowers from;
+//! * [`backend`] — execution backends (serial / thread pool) that run
+//!   the same partitions on real host cores;
 //! * [`driver`] — the data-parallel main loop (executes the plan graph);
 //! * [`taskpar`] — the pipelined task-parallel variant (§5, Figure 8),
 //!   scheduled from the graph's stage annotations;
@@ -36,6 +38,7 @@
 //!   same graph;
 //! * [`report`] — run reports for the figure harness.
 
+pub mod backend;
 pub mod checkpoint;
 pub mod config;
 pub mod driver;
@@ -49,6 +52,7 @@ pub mod taskpar;
 pub mod testsupport;
 pub mod viz;
 
+pub use backend::{Backend, BackendKind, ExecSpec};
 pub use config::{DatasetChoice, SimConfig};
 pub use driver::{replay, run, run_with_profile};
 pub use plan::PhaseGraph;

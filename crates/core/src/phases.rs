@@ -6,21 +6,36 @@
 //! lump sums for the sequential phases). The driver charges those units
 //! to the virtual machine nodes that own the corresponding data.
 //!
+//! The same partitions also drive the *real* execution: the engine's
+//! [`ExecSpec`] lowers each phase's `ItemLayout` onto the shared-memory
+//! backend (`crate::backend`) — transport blocks by layer, chemistry
+//! stripes columns cyclically, the aerosol's parallel pass blocks by
+//! cell. Work-unit merges are item-indexed and reduced sequentially in
+//! item order, so every backend and thread count produces bit-identical
+//! states and profiles.
+//!
 //! Work-unit coefficients are flop-scale calibration constants
 //! ([`WorkCoeffs`]); with the default machine rates they land the
 //! absolute phase times in the ranges the paper reports for the LA data
 //! set (see `EXPERIMENTS.md`).
 
+use crate::backend::ExecSpec;
+use crate::plan::ItemLayout;
 use crate::state::{HourSummary, SimState};
-use airshed_chem::aerosol::{equilibrium_step, AerosolParams, AerosolResult};
+use airshed_chem::aerosol::{
+    apply_uptake, reduce_deltas, species_blocks_mut, uptake_scale, AerosolParams, AerosolResult,
+    CellDelta,
+};
 use airshed_chem::mechanism::Mechanism;
 use airshed_chem::species::{self as sp, N_SPECIES, SPECIES};
 use airshed_chem::vertical::{diffuse_column, ColumnGeometry};
 use airshed_chem::youngboris::{integrate_cell, YbOptions, YbWorkspace};
 use airshed_grid::datasets::Dataset;
+use airshed_hpf::host::Task;
 use airshed_met::emissions::{EmissionInventory, PointSource};
 use airshed_met::hourly::{HourlyInput, InputGenerator};
-use airshed_transport::operator::HorizontalTransport;
+use airshed_transport::operator::{HorizontalTransport, TransportWorkspace};
+use std::sync::Mutex;
 
 /// Work-unit coefficients (flop-equivalents per elementary operation).
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +71,37 @@ impl Default for WorkCoeffs {
     }
 }
 
+/// A scoped pool of reusable worker scratch. Workers check a workspace
+/// out at the start of a fork and return it at the end, so steady-state
+/// hot loops allocate nothing: after the first step every fork finds
+/// warm buffers waiting.
+struct WorkspacePool<T> {
+    free: Mutex<Vec<T>>,
+}
+
+impl<T> WorkspacePool<T> {
+    fn new() -> WorkspacePool<T> {
+        WorkspacePool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn take(&self, make: impl FnOnce() -> T) -> T {
+        self.free.lock().unwrap().pop().unwrap_or_else(make)
+    }
+
+    fn put(&self, t: T) {
+        self.free.lock().unwrap().push(t);
+    }
+}
+
+/// Per-worker chemistry scratch: the Young–Boris workspace plus the
+/// vertical-solve column buffer.
+struct ChemScratch {
+    ws: YbWorkspace,
+    column: Vec<f64>,
+}
+
 /// Everything the phases need, bundled.
 pub struct PhaseEngine {
     pub dataset: Dataset,
@@ -69,9 +115,15 @@ pub struct PhaseEngine {
     background: Vec<f64>,
     /// Point sources grouped by grid column.
     point_by_slot: Vec<Vec<PointSource>>,
-    /// Host threads for the chemistry/transport loops (does not affect
-    /// virtual time, only wall-clock).
-    pub host_threads: usize,
+    /// How the phase loops execute on the host (does not affect virtual
+    /// time, only wall-clock).
+    pub exec: ExecSpec,
+    /// Reusable per-worker transport scratch (RHS + solver vectors).
+    transport_pool: WorkspacePool<TransportWorkspace>,
+    /// Reusable per-worker chemistry scratch.
+    chem_pool: WorkspacePool<ChemScratch>,
+    /// Reusable aerosol per-cell delta buffer.
+    delta_pool: WorkspacePool<Vec<CellDelta>>,
 }
 
 impl PhaseEngine {
@@ -83,10 +135,6 @@ impl PhaseEngine {
         for ps in &inventory.points {
             point_by_slot[ps.slot].push(ps.clone());
         }
-        let host_threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(16);
         PhaseEngine {
             dataset,
             inventory,
@@ -98,7 +146,10 @@ impl PhaseEngine {
             coeffs: WorkCoeffs::default(),
             background: sp::background_vector(),
             point_by_slot,
-            host_threads,
+            exec: ExecSpec::default(),
+            transport_pool: WorkspacePool::new(),
+            chem_pool: WorkspacePool::new(),
+            delta_pool: WorkspacePool::new(),
         }
     }
 
@@ -141,45 +192,63 @@ impl PhaseEngine {
     }
 
     /// One transport half step over all layers and species. Returns work
-    /// per *layer* (the transport distribution unit). Host-parallel
-    /// across (layer, species) planes.
+    /// per *layer* (the transport distribution unit).
+    ///
+    /// Execution mirrors the transport node's layout: BLOCK over layers
+    /// — the paper's "the degree of parallelism is restricted to the
+    /// number of layers". Each partition owns whole layers (every
+    /// species plane of those layers) and checks a warm
+    /// [`TransportWorkspace`] out of the pool, so the solves are
+    /// allocation-free after the first step. Per-plane iteration counts
+    /// land in indexed slots and are reduced in plane order.
     pub fn transport_half_step(&self, op: &HorizontalTransport, state: &mut SimState) -> Vec<f64> {
         let layers = state.layers;
         let nodes = state.nodes;
+        let species = state.species;
         let nnz = op.layers[0].sys.nnz() as f64;
-        // Planes are contiguous chunks of `nodes`; plane index =
-        // s * layers + l. Distribute planes over host threads.
-        let plane_iters: Vec<(usize, usize)> = {
-            let mut results: Vec<(usize, usize)> = Vec::new(); // (plane, iterations)
-            let planes: Vec<(usize, &mut [f64])> =
-                state.conc.chunks_mut(nodes).enumerate().collect();
+        let parts = ItemLayout::Block.partition(layers, self.exec.parallelism().min(layers));
+        let mut per_plane_iters = vec![0usize; species * layers];
+        {
+            // Plane (s, l) is the contiguous chunk
+            // `conc[(s*layers + l)*nodes ..][..nodes]`; hand each
+            // partition its planes and matching iteration slots.
+            let mut planes: Vec<Option<&mut [f64]>> =
+                state.conc.chunks_mut(nodes).map(Some).collect();
+            let mut slots: Vec<Option<&mut usize>> = per_plane_iters.iter_mut().map(Some).collect();
             let bg = &self.background;
-            let chunks = split_into(planes, self.host_threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            let mut scratch = Vec::new();
-                            let mut out = Vec::with_capacity(chunk.len());
-                            for (plane, data) in chunk {
-                                let s = plane / layers;
-                                let l = plane % layers;
-                                let stats = op.half_step(l, data, bg[s], &mut scratch);
-                                out.push((plane, stats.iterations));
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    results.extend(h.join().expect("transport worker panicked"));
+            let mut tasks: Vec<Task> = Vec::with_capacity(parts.len());
+            for part in &parts {
+                if part.is_empty() {
+                    continue;
                 }
-            });
-            results
-        };
+                let mut owned: Vec<(usize, usize, &mut [f64], &mut usize)> =
+                    Vec::with_capacity(part.len() * species);
+                for s in 0..species {
+                    for &l in part {
+                        let plane = s * layers + l;
+                        owned.push((
+                            s,
+                            l,
+                            planes[plane].take().expect("plane owned twice"),
+                            slots[plane].take().expect("slot owned twice"),
+                        ));
+                    }
+                }
+                tasks.push(Box::new(move || {
+                    let mut ws = self.transport_pool.take(TransportWorkspace::new);
+                    for (s, l, data, iters) in owned {
+                        let stats = op.half_step(l, data, bg[s], &mut ws);
+                        *iters = stats.iterations;
+                    }
+                    self.transport_pool.put(ws);
+                }));
+            }
+            self.exec.run(tasks);
+        }
+        // Deterministic reduction in plane order — identical for every
+        // backend and thread count.
         let mut per_layer = vec![0.0; layers];
-        for (plane, iters) in plane_iters {
+        for (plane, &iters) in per_plane_iters.iter().enumerate() {
             // +1: the RHS matvec and residual check are real work even
             // when the warm start already satisfies the tolerance.
             per_layer[plane % layers] += (iters + 1) as f64 * nnz * self.coeffs.solve_per_nnz_iter;
@@ -190,85 +259,88 @@ impl PhaseEngine {
     /// One chemistry step (`Lcz`): gas-phase kinetics per cell, point-
     /// source injection, then implicit vertical diffusion with surface
     /// emission and deposition. Returns work per *grid column* (the
-    /// chemistry distribution unit). Host-parallel across columns.
+    /// chemistry distribution unit).
+    ///
+    /// Execution stripes columns CYCLIC across workers — the layout §4
+    /// recommends for the urban/rural load imbalance. Columns are packed
+    /// into a contiguous buffer in partition order (each partition
+    /// mutates one disjoint chunk), cell-major within a column
+    /// (`col[l*N_SPECIES + s]`) so the Young–Boris integrator works on
+    /// each cell's species vector in place. Per-column work lands in
+    /// column-indexed slots, making the merge order-free.
     pub fn chemistry_step(&self, state: &mut SimState, input: &HourlyInput) -> Vec<f64> {
         let layers = state.layers;
         let nodes = state.nodes;
         let dt = input.dt_min;
         let n_rx = self.mech.n_reactions() as f64;
 
-        // Extract columns into a contiguous column-major buffer so host
-        // threads mutate disjoint chunks.
+        let parts = ItemLayout::Cyclic.partition(nodes, self.exec.parallelism());
         let col_len = N_SPECIES * layers;
         let mut cols = vec![0.0f64; nodes * col_len];
-        for n in 0..nodes {
-            state.read_column(n, &mut cols[n * col_len..(n + 1) * col_len]);
-        }
-
-        let mut per_column = vec![0.0f64; nodes];
-        {
-            let engine = self;
-            let chunks: Vec<(usize, &mut [f64])> = {
-                // Chunk columns evenly across threads.
-                let per_thread = nodes.div_ceil(engine.host_threads).max(1);
-                let mut rest = cols.as_mut_slice();
-                let mut start = 0usize;
-                let mut out = Vec::new();
-                while !rest.is_empty() {
-                    let take = (per_thread * col_len).min(rest.len());
-                    let (head, tail) = rest.split_at_mut(take);
-                    out.push((start, head));
-                    start += take / col_len;
-                    rest = tail;
-                }
-                out
-            };
-            let works: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|(first_col, buf)| {
-                        scope.spawn(move || {
-                            engine.chemistry_columns(buf, first_col, layers, dt, input, n_rx)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("chemistry worker panicked"))
-                    .collect()
-            });
-            for w in works {
-                for (n, units) in w {
-                    per_column[n] = units;
-                }
+        let mut slot = 0usize;
+        for part in &parts {
+            for &n in part {
+                state.read_column_cells(n, &mut cols[slot * col_len..(slot + 1) * col_len]);
+                slot += 1;
             }
         }
 
-        for n in 0..nodes {
-            state.write_column(n, &cols[n * col_len..(n + 1) * col_len]);
+        let mut works: Vec<Vec<f64>> = parts.iter().map(|p| vec![0.0f64; p.len()]).collect();
+        {
+            let mut rest = cols.as_mut_slice();
+            let mut tasks: Vec<Task> = Vec::with_capacity(parts.len());
+            for (part, wout) in parts.iter().zip(works.iter_mut()) {
+                let (chunk, tail) = rest.split_at_mut(part.len() * col_len);
+                rest = tail;
+                if part.is_empty() {
+                    continue;
+                }
+                tasks.push(Box::new(move || {
+                    self.chemistry_columns(chunk, part, layers, dt, input, n_rx, wout);
+                }));
+            }
+            self.exec.run(tasks);
+        }
+
+        let mut per_column = vec![0.0f64; nodes];
+        for (part, w) in parts.iter().zip(works.iter()) {
+            for (k, &n) in part.iter().enumerate() {
+                per_column[n] = w[k];
+            }
+        }
+
+        let mut slot = 0usize;
+        for part in &parts {
+            for &n in part {
+                state.write_column_cells(n, &cols[slot * col_len..(slot + 1) * col_len]);
+                slot += 1;
+            }
         }
         per_column
     }
 
-    /// Process a contiguous run of columns (buffer layout: per column,
-    /// species-major × layer, as produced by `SimState::read_column`).
+    /// Process the columns listed in `cols_idx` (`buf` holds one column
+    /// per entry, in list order, cell-major: `col[l*N_SPECIES + s]`, so
+    /// each grid cell's species vector is a contiguous in-place slice).
+    /// Work units land in `work_out[k]` for column `cols_idx[k]`.
+    #[allow(clippy::too_many_arguments)]
     fn chemistry_columns(
         &self,
         buf: &mut [f64],
-        first_col: usize,
+        cols_idx: &[usize],
         layers: usize,
         dt: f64,
         input: &HourlyInput,
         n_rx: f64,
-    ) -> Vec<(usize, f64)> {
+        work_out: &mut [f64],
+    ) {
         let col_len = N_SPECIES * layers;
-        let n_cols = buf.len() / col_len;
-        let mut ws = YbWorkspace::new(N_SPECIES);
-        let mut cell = vec![0.0f64; N_SPECIES];
-        let mut column = vec![0.0f64; layers];
-        let mut out = Vec::with_capacity(n_cols);
-        for k in 0..n_cols {
-            let n = first_col + k;
+        let mut scratch = self.chem_pool.take(|| ChemScratch {
+            ws: YbWorkspace::new(N_SPECIES),
+            column: vec![0.0f64; layers],
+        });
+        scratch.column.resize(layers, 0.0);
+        for (k, &n) in cols_idx.iter().enumerate() {
             let col = &mut buf[k * col_len..(k + 1) * col_len];
             let mut evals = 0u64;
 
@@ -276,35 +348,31 @@ impl PhaseEngine {
             for ps in &self.point_by_slot[n] {
                 let dz = self.geom.dz[ps.layer];
                 for (s, info) in SPECIES.iter().enumerate() {
-                    col[s * layers + ps.layer] +=
+                    col[ps.layer * N_SPECIES + s] +=
                         ps.strength * info.point_emission_weight * dt / dz;
                 }
             }
 
-            // Gas-phase kinetics, cell by cell up the column.
+            // Gas-phase kinetics, cell by cell up the column — in place
+            // on the cell's contiguous species vector.
             for l in 0..layers {
-                for (s, c) in cell.iter_mut().enumerate() {
-                    *c = col[s * layers + l];
-                }
+                let cell = &mut col[l * N_SPECIES..(l + 1) * N_SPECIES];
                 let stats = integrate_cell(
                     &self.mech,
-                    &mut cell,
+                    cell,
                     input.temp_k,
                     input.sun_layers[l],
                     dt,
                     &self.chem_opts,
-                    &mut ws,
+                    &mut scratch.ws,
                 );
                 evals += stats.evals;
-                for (s, c) in cell.iter().enumerate() {
-                    col[s * layers + l] = *c;
-                }
             }
 
             // Vertical diffusion + emission + deposition per species.
             for (s, info) in SPECIES.iter().enumerate() {
-                for (l, c) in column.iter_mut().enumerate() {
-                    *c = col[s * layers + l];
+                for (l, c) in scratch.column.iter_mut().enumerate() {
+                    *c = col[l * N_SPECIES + s];
                 }
                 let emis =
                     self.inventory
@@ -315,38 +383,98 @@ impl PhaseEngine {
                     info.deposition_m_per_min,
                     emis,
                     dt,
-                    &mut column,
+                    &mut scratch.column,
                 );
-                for (l, c) in column.iter().enumerate() {
-                    col[s * layers + l] = *c;
+                for (l, &c) in scratch.column.iter().enumerate() {
+                    col[l * N_SPECIES + s] = c;
                 }
             }
 
-            let work = evals as f64 * n_rx * self.coeffs.chem_per_reaction_eval
+            work_out[k] = evals as f64 * n_rx * self.coeffs.chem_per_reaction_eval
                 + N_SPECIES as f64 * self.coeffs.vertical_per_column_species;
-            out.push((n, work));
         }
-        out
+        self.chem_pool.put(scratch);
     }
 
-    /// The sequential aerosol equilibrium over the replicated array.
-    /// Returns (result, work units).
+    /// The aerosol equilibrium over the replicated array. Returns
+    /// (result, work units).
+    ///
+    /// Pass 1 (domain burdens) is the inherently sequential global scan
+    /// the paper replicates; Pass 2 (per-cell uptake) blocks cells
+    /// across workers, writing volume-weighted transfers into cell-
+    /// indexed slots that are reduced in cell order — bit-identical to
+    /// the sequential scan for every backend.
     pub fn aerosol_step(
         &self,
         state: &mut SimState,
         input: &HourlyInput,
         cell_volumes: &[f64],
     ) -> (AerosolResult, f64) {
-        let r = equilibrium_step(
-            &mut state.conc,
-            state.layers,
-            state.nodes,
+        let layers = state.layers;
+        let nodes = state.nodes;
+        let cells = layers * nodes;
+        let work = 2.0 * cells as f64 * self.coeffs.aerosol_per_cell;
+        let (sulf, hno3, nh3) = species_blocks_mut(&mut state.conc, layers, nodes);
+        let params = AerosolParams::default();
+        let Some(scale) = uptake_scale(
+            sulf,
+            hno3,
+            nh3,
             cell_volumes,
             input.temp_k,
             input.dt_min,
-            &AerosolParams::default(),
-        );
-        let work = 2.0 * (state.layers * state.nodes) as f64 * self.coeffs.aerosol_per_cell;
+            &params,
+        ) else {
+            return (
+                AerosolResult {
+                    neutralization: 0.0,
+                    sulfate_transferred: 0.0,
+                    nitrate_transferred: 0.0,
+                    ammonia_consumed: 0.0,
+                },
+                work,
+            );
+        };
+
+        let mut deltas = self.delta_pool.take(Vec::new);
+        deltas.clear();
+        deltas.resize(cells, CellDelta::default());
+        {
+            let parts = ItemLayout::Block.partition(cells, self.exec.parallelism());
+            let mut tasks: Vec<Task> = Vec::with_capacity(parts.len());
+            let mut sulf = &mut *sulf;
+            let mut hno3 = &mut *hno3;
+            let mut nh3 = &mut *nh3;
+            let mut vol = cell_volumes;
+            let mut dl = deltas.as_mut_slice();
+            let mut consumed = 0usize;
+            for part in &parts {
+                if part.is_empty() {
+                    continue;
+                }
+                // Block partitions are contiguous ascending ranges.
+                let len = part.len();
+                debug_assert_eq!(part[0], consumed);
+                consumed += len;
+                let (s_head, s_tail) = sulf.split_at_mut(len);
+                let (h_head, h_tail) = hno3.split_at_mut(len);
+                let (a_head, a_tail) = nh3.split_at_mut(len);
+                let (v_head, v_tail) = vol.split_at(len);
+                let (d_head, d_tail) = dl.split_at_mut(len);
+                sulf = s_tail;
+                hno3 = h_tail;
+                nh3 = a_tail;
+                vol = v_tail;
+                dl = d_tail;
+                let scale = &scale;
+                tasks.push(Box::new(move || {
+                    apply_uptake(s_head, h_head, a_head, v_head, scale, d_head);
+                }));
+            }
+            self.exec.run(tasks);
+        }
+        let r = reduce_deltas(&deltas, scale.neutralization);
+        self.delta_pool.put(deltas);
         (r, work)
     }
 
@@ -357,21 +485,6 @@ impl PhaseEngine {
         let bytes = (state.len() * 8) as f64;
         (summary, bytes * self.coeffs.output_per_byte)
     }
-}
-
-/// Split a vector into at most `k` nearly equal chunks.
-fn split_into<T>(mut items: Vec<T>, k: usize) -> Vec<Vec<T>> {
-    let k = k.max(1);
-    let total = items.len();
-    let per = total.div_ceil(k).max(1);
-    let mut out = Vec::new();
-    while !items.is_empty() {
-        let take = per.min(items.len());
-        let rest = items.split_off(take);
-        out.push(items);
-        items = rest;
-    }
-    out
 }
 
 #[cfg(test)]
@@ -429,19 +542,31 @@ mod tests {
     }
 
     #[test]
-    fn chemistry_matches_serial_reference() {
-        // The host-parallel column loop must give identical results to a
-        // serial pass (bitwise: same operations per column).
+    fn backends_match_bit_for_bit() {
+        // The parallel phase loops must give identical results to the
+        // serial executor (bitwise: same operations per item, merges in
+        // item order) at any thread count.
         let mut e = engine();
         let (input, _) = e.input_hour(13);
-        let mut s1 = SimState::from_background(&e.dataset);
-        e.host_threads = 1;
-        let w1 = e.chemistry_step(&mut s1, &input);
-        let mut s8 = SimState::from_background(&e.dataset);
-        e.host_threads = 8;
-        let w8 = e.chemistry_step(&mut s8, &input);
-        assert_eq!(s1.conc, s8.conc);
-        assert_eq!(w1, w8);
+        let vols = SimState::cell_volumes(&e.dataset);
+        let run = |e: &PhaseEngine| {
+            let mut s = SimState::from_background(&e.dataset);
+            let (op, _) = e.pretrans(&input);
+            let wt = e.transport_half_step(&op, &mut s);
+            let wc = e.chemistry_step(&mut s, &input);
+            let (ar, _) = e.aerosol_step(&mut s, &input, &vols);
+            (s, wt, wc, ar)
+        };
+        e.exec = ExecSpec::serial();
+        let (s1, wt1, wc1, ar1) = run(&e);
+        for threads in [2usize, 8] {
+            e.exec = ExecSpec::rayon(threads);
+            let (s2, wt2, wc2, ar2) = run(&e);
+            assert_eq!(s1.conc, s2.conc, "threads={threads}");
+            assert_eq!(wt1, wt2, "threads={threads}");
+            assert_eq!(wc1, wc2, "threads={threads}");
+            assert_eq!(ar1, ar2, "threads={threads}");
+        }
     }
 
     #[test]
@@ -496,21 +621,35 @@ mod tests {
     }
 
     #[test]
+    fn aerosol_step_matches_standalone_equilibrium() {
+        // The engine's partitioned aerosol pass must equal the chem
+        // crate's sequential reference exactly — state and diagnostics.
+        let mut e = engine();
+        e.exec = ExecSpec::rayon(4);
+        let mut state = SimState::from_background(&e.dataset);
+        let (input, _) = e.input_hour(14);
+        let vols = SimState::cell_volumes(&e.dataset);
+        let mut reference = state.conc.clone();
+        let want = airshed_chem::aerosol::equilibrium_step(
+            &mut reference,
+            state.layers,
+            state.nodes,
+            &vols,
+            input.temp_k,
+            input.dt_min,
+            &AerosolParams::default(),
+        );
+        let (got, _) = e.aerosol_step(&mut state, &input, &vols);
+        assert_eq!(want, got);
+        assert_eq!(state.conc, reference);
+    }
+
+    #[test]
     fn output_hour_summarises() {
         let e = engine();
         let state = SimState::from_background(&e.dataset);
         let (summary, work) = e.output_hour(&state, 3);
         assert_eq!(summary.hour, 3);
         assert!(work > 0.0);
-    }
-
-    #[test]
-    fn split_into_covers_everything() {
-        let v: Vec<usize> = (0..10).collect();
-        let chunks = split_into(v, 3);
-        assert_eq!(chunks.len(), 3);
-        let flat: Vec<usize> = chunks.into_iter().flatten().collect();
-        assert_eq!(flat, (0..10).collect::<Vec<_>>());
-        assert_eq!(split_into(Vec::<u8>::new(), 4).len(), 0);
     }
 }

@@ -71,12 +71,38 @@ impl ItemLayout {
         match self {
             ItemLayout::Block => block_ranges(per_item.len(), p)
                 .into_iter()
-                .map(|r| per_item[r].iter().sum())
+                // Fold from +0.0 (not `Iterator::sum`, which starts at
+                // -0.0) so empty nodes charge the same +0.0 under both
+                // layouts and partition sums match bit for bit.
+                .map(|r| per_item[r].iter().fold(0.0, |a, &b| a + b))
                 .collect(),
             ItemLayout::Cyclic => {
                 let mut out = vec![0.0; p];
                 for (i, &w) in per_item.iter().enumerate() {
                     out[i % p] += w;
+                }
+                out
+            }
+        }
+    }
+
+    /// Partition item *indices* into per-part ownership lists under this
+    /// layout — the index-level counterpart of [`ItemLayout::per_node`]:
+    /// summing `per_item` over `partition(n, p)[k]` gives
+    /// `per_node(per_item, p)[k]`. The virtual machine charges the
+    /// per-node sums; the real execution backend runs the index lists.
+    /// Block parts are contiguous ascending ranges; cyclic parts stripe
+    /// round-robin (each list still ascends).
+    pub fn partition(&self, n_items: usize, parts: usize) -> Vec<Vec<usize>> {
+        match self {
+            ItemLayout::Block => block_ranges(n_items, parts)
+                .into_iter()
+                .map(|r| r.collect())
+                .collect(),
+            ItemLayout::Cyclic => {
+                let mut out = vec![Vec::new(); parts];
+                for i in 0..n_items {
+                    out[i % parts].push(i);
                 }
                 out
             }
@@ -448,7 +474,7 @@ mod tests {
             assert!((total - work.iter().sum::<f64>()).abs() < 1e-12, "p={p}");
         }
         // Ceil-sized blocks: 17 items over 4 nodes = 5,5,5,2.
-        let per = ItemLayout::Block.per_node(&vec![1.0; 17], 4);
+        let per = ItemLayout::Block.per_node(&[1.0; 17], 4);
         assert_eq!(per, vec![5.0, 5.0, 5.0, 2.0]);
     }
 

@@ -41,6 +41,9 @@ pub struct RunReport {
     pub popexp_seconds: f64,
     pub comm_steps: Vec<CommStepSummary>,
     pub summaries: Vec<HourSummary>,
+    /// Host execution backend that ran the kernels (e.g. `rayon(8)`);
+    /// empty for replays, which never run the numerics.
+    pub backend: String,
 }
 
 impl RunReport {
@@ -63,6 +66,7 @@ impl RunReport {
             chemistry_seconds: b.get(PhaseCategory::Chemistry),
             communication_seconds: b.get(PhaseCategory::Communication),
             popexp_seconds: b.get(PhaseCategory::PopExp),
+            backend: String::new(),
             comm_steps: machine
                 .comm_log
                 .records()
@@ -106,6 +110,9 @@ impl fmt::Display for RunReport {
             "{} on {} (P={}, {}h): total {:.1}s",
             self.dataset, self.machine, self.p, self.hours, self.total_seconds
         )?;
+        if !self.backend.is_empty() {
+            writeln!(f, "  host backend: {}", self.backend)?;
+        }
         writeln!(
             f,
             "  chemistry {:.1}s | transport {:.1}s | I/O {:.1}s | comm {:.2}s | popexp {:.1}s",

@@ -115,6 +115,30 @@ impl SimState {
         }
     }
 
+    /// Copy one grid column into `out` cell-major (`out[l * species + s]`):
+    /// each grid cell's species vector is contiguous — the structure-of-
+    /// arrays layout the Young–Boris inner loop integrates in place.
+    pub fn read_column_cells(&self, n: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.species * self.layers);
+        for l in 0..self.layers {
+            for s in 0..self.species {
+                out[l * self.species + s] = self.conc[self.idx(s, l, n)];
+            }
+        }
+    }
+
+    /// Write a grid column back from the layout `read_column_cells`
+    /// produced.
+    pub fn write_column_cells(&mut self, n: usize, data: &[f64]) {
+        debug_assert_eq!(data.len(), self.species * self.layers);
+        for l in 0..self.layers {
+            for s in 0..self.species {
+                let i = self.idx(s, l, n);
+                self.conc[i] = data[l * self.species + s];
+            }
+        }
+    }
+
     /// Per-(layer, node) cell volume weights (layer thickness × nodal
     /// area), used by the aerosol global burdens.
     pub fn cell_volumes(dataset: &Dataset) -> Vec<f64> {
@@ -136,7 +160,7 @@ impl SimState {
 }
 
 /// Science summary of one simulated hour — what `outputhour` writes.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct HourSummary {
     pub hour: usize,
     /// Domain-max surface ozone (ppm).

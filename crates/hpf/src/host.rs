@@ -1,0 +1,129 @@
+//! Host-side shared-memory execution: a fork–join worker pool over
+//! scoped OS threads.
+//!
+//! The rest of this crate models the *virtual* Fx/HPF machine — it
+//! charges communication and compute to a clock without running
+//! anything concurrently. This module is the real counterpart: it takes
+//! the per-node partitions an HPF distribution implies and runs them on
+//! actual host cores. Tasks are pulled from a shared queue (dynamic
+//! self-scheduling, like HPF's `CYCLIC` guided loops) so uneven
+//! partitions — the paper's urban/rural chemistry imbalance — do not
+//! leave workers idle.
+//!
+//! The pool is allocation-light by design: one `Vec` of boxed tasks per
+//! fork, no channels, no long-lived threads. Scoped spawning lets tasks
+//! borrow the caller's buffers (`&mut` slices of the concentration
+//! array), which is what keeps the hot kernels allocation-free.
+
+use std::sync::Mutex;
+
+/// A unit of work handed to the pool. Boxed so heterogeneous captures
+/// can share one queue; `'scope` lets it borrow caller data.
+pub type Task<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+/// Run `tasks` to completion on up to `threads` worker threads.
+///
+/// With `threads <= 1` (or a single task) everything runs inline on the
+/// caller's thread in queue order — the serial path has zero spawn
+/// overhead, so a 1-thread pool is exactly the serial executor.
+///
+/// Workers pull tasks one at a time from a shared queue, so scheduling
+/// is dynamic: a worker that drew a cheap task comes back for more.
+/// Nothing about *results* is ordered — callers that need deterministic
+/// reductions must write into per-task slots and reduce sequentially
+/// after this returns (see `airshed-core`'s backend layer).
+///
+/// Panics in a task propagate to the caller when the scope joins.
+pub fn run_parts(threads: usize, tasks: Vec<Task<'_>>) {
+    let workers = threads.min(tasks.len());
+    if workers <= 1 {
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+    let queue = Mutex::new(tasks.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Hold the lock only while drawing, never while running.
+                let task = queue.lock().unwrap().next();
+                match task {
+                    Some(task) => task(),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Number of host cores available to a pool, always at least 1.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        for threads in [1usize, 2, 4, 9] {
+            let hits = AtomicUsize::new(0);
+            let tasks: Vec<Task> = (0..23)
+                .map(|_| {
+                    Box::new(|| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }) as Task
+                })
+                .collect();
+            run_parts(threads, tasks);
+            assert_eq!(hits.load(Ordering::Relaxed), 23, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tasks_can_borrow_disjoint_caller_slices() {
+        let mut data = vec![0u64; 64];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(16).collect();
+        let tasks: Vec<Task> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(k, chunk)| {
+                Box::new(move || {
+                    for (i, x) in chunk.iter_mut().enumerate() {
+                        *x = (k * 100 + i) as u64;
+                    }
+                }) as Task
+            })
+            .collect();
+        run_parts(4, tasks);
+        assert_eq!(data[0], 0);
+        assert_eq!(data[17], 101);
+        assert_eq!(data[63], 315);
+    }
+
+    #[test]
+    fn empty_queue_is_fine() {
+        run_parts(8, Vec::new());
+    }
+
+    #[test]
+    fn serial_path_preserves_queue_order() {
+        let mut order = Vec::new();
+        let cell = std::sync::Mutex::new(&mut order);
+        let cell = &cell;
+        let tasks: Vec<Task> = (0..5)
+            .map(|i| {
+                Box::new(move || {
+                    cell.lock().unwrap().push(i);
+                }) as Task
+            })
+            .collect();
+        run_parts(1, tasks);
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+}

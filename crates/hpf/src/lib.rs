@@ -36,6 +36,7 @@ pub mod dist;
 pub mod exec;
 pub mod foreign;
 pub mod groups;
+pub mod host;
 pub mod loops;
 pub mod pipeline;
 pub mod pvm;

@@ -251,6 +251,10 @@ pub struct ServerConfig {
     pub cache_shards: usize,
     /// Default per-job wall-clock deadline.
     pub default_deadline: Option<Duration>,
+    /// Execution backend each worker runs the numerics on. A job's
+    /// transport/chemistry loops fork onto this backend's threads, so
+    /// total kernel concurrency is roughly `workers × exec.threads`.
+    pub exec: airshed_core::ExecSpec,
 }
 
 impl Default for ServerConfig {
@@ -263,6 +267,7 @@ impl Default for ServerConfig {
             result_cache_capacity: 256,
             cache_shards: 8,
             default_deadline: None,
+            exec: airshed_core::ExecSpec::default(),
         }
     }
 }
@@ -274,6 +279,7 @@ pub(crate) struct Shared {
     pub(crate) profiles: ShardedLru<NumericsKey, Arc<WorkProfile>>,
     pub(crate) results: ShardedLru<ResultKey, Arc<RunReport>>,
     pub(crate) admission: AdmissionController,
+    pub(crate) exec: airshed_core::ExecSpec,
 }
 
 /// The concurrent scenario service.
@@ -310,6 +316,7 @@ impl ScenarioServer {
             profiles: ShardedLru::new(config.cache_shards, config.profile_cache_capacity),
             results: ShardedLru::new(config.cache_shards, config.result_cache_capacity),
             admission: AdmissionController::new(config.budget_seconds),
+            exec: config.exec,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {

@@ -20,10 +20,11 @@
 use crate::cache::{NumericsKey, ResultKey};
 use crate::{JobCell, JobError, JobResult, ResumePoint, ScenarioRequest, Shared};
 use airshed_core::config::SimConfig;
-use airshed_core::driver::run_resumable;
+use airshed_core::driver::run_resumable_with;
 use airshed_core::plan::replay_profile;
 use airshed_core::profile::HourProfile;
 use airshed_core::state::HourSummary;
+use airshed_core::ExecSpec;
 use airshed_core::WorkProfile;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -109,7 +110,13 @@ fn execute(shared: &Shared, job: &QueuedJob, deadline_at: Option<Instant>) -> Jo
         None => {
             metrics.profile_cache_misses.fetch_add(1, Ordering::Relaxed);
             let resume = request.resume.as_deref().cloned();
-            let profile = Arc::new(run_hourly(config, resume, &job.cell.cancel, deadline_at)?);
+            let profile = Arc::new(run_hourly(
+                config,
+                resume,
+                &job.cell.cancel,
+                deadline_at,
+                shared.exec,
+            )?);
             shared.profiles.insert(numerics_key, Arc::clone(&profile));
             shared.admission.calibrate(config, &profile);
             profile
@@ -138,6 +145,7 @@ pub fn run_hourly(
     resume: Option<ResumePoint>,
     cancel: &AtomicBool,
     deadline_at: Option<Instant>,
+    exec: ExecSpec,
 ) -> Result<WorkProfile, JobError> {
     let total = config.hours;
     let (mut hours, mut summaries, mut meta, mut checkpoint) = match resume {
@@ -163,7 +171,7 @@ pub fn run_hourly(
         }
         let mut segment = config.clone();
         segment.hours = 1;
-        let (_, prof, next) = run_resumable(&segment, checkpoint.take());
+        let (_, prof, next) = run_resumable_with(&segment, checkpoint.take(), exec);
         meta = Some((prof.dataset, prof.shape));
         hours.extend(prof.hours);
         summaries.extend(prof.summaries);
@@ -177,7 +185,7 @@ pub fn run_hourly(
         None => {
             let mut empty = config.clone();
             empty.hours = 0;
-            let (_, prof, _) = run_resumable(&empty, None);
+            let (_, prof, _) = run_resumable_with(&empty, None, exec);
             (prof.dataset, prof.shape)
         }
     };
@@ -240,7 +248,7 @@ mod tests {
     fn hourly_execution_matches_straight_run_bitwise() {
         let cfg = config(3);
         let (_, straight) = run_with_profile(&cfg);
-        let stitched = run_hourly(&cfg, None, &never(), None).unwrap();
+        let stitched = run_hourly(&cfg, None, &never(), None, ExecSpec::default()).unwrap();
         assert_eq!(stitched.hours.len(), straight.hours.len());
         assert_eq!(stitched.dataset, straight.dataset);
         assert_eq!(stitched.shape, straight.shape);
@@ -270,7 +278,7 @@ mod tests {
         // the episode in half manually and resume through a ResumePoint.
         let mut half = cfg.clone();
         half.hours = 2;
-        let stitched_half = run_hourly(&half, None, &never(), None).unwrap();
+        let stitched_half = run_hourly(&half, None, &never(), None, ExecSpec::default()).unwrap();
         // Rebuild the checkpoint by running the same half through the
         // resumable driver directly.
         let (_, _, ckpt) = airshed_core::driver::run_resumable(&half, None);
@@ -278,7 +286,7 @@ mod tests {
             checkpoint: ckpt,
             partial: stitched_half,
         };
-        let full = run_hourly(&cfg, Some(resume), &never(), None).unwrap();
+        let full = run_hourly(&cfg, Some(resume), &never(), None, ExecSpec::default()).unwrap();
         assert_eq!(full.hours.len(), 4);
         for (a, b) in full.hours.iter().zip(&straight.hours) {
             assert_eq!(a.surface, b.surface);
@@ -312,7 +320,7 @@ mod tests {
     fn pre_cancelled_run_returns_cancelled_without_work() {
         let cfg = config(2);
         let cancelled = AtomicBool::new(true);
-        match run_hourly(&cfg, None, &cancelled, None) {
+        match run_hourly(&cfg, None, &cancelled, None, ExecSpec::default()) {
             Err(JobError::Cancelled { resume }) => assert!(resume.is_none()),
             other => panic!("expected cancellation, got {other:?}"),
         }
@@ -323,7 +331,7 @@ mod tests {
         let cfg = config(3);
         // Deadline already in the past: expires before the first hour.
         let past = Instant::now();
-        match run_hourly(&cfg, None, &never(), Some(past)) {
+        match run_hourly(&cfg, None, &never(), Some(past), ExecSpec::default()) {
             Err(JobError::DeadlineExpired { resume }) => assert!(resume.is_none()),
             other => panic!("expected expiry, got {other:?}"),
         }

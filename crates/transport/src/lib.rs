@@ -32,5 +32,8 @@ pub mod solver;
 pub mod supg;
 
 pub use csr::{Csr, CsrBuilder};
-pub use operator::{HorizontalTransport, LayerOperator, TransportWork};
-pub use solver::{bicgstab, conjugate_gradient, SolveStats};
+pub use operator::{HorizontalTransport, LayerOperator, TransportWork, TransportWorkspace};
+pub use solver::{
+    bicgstab, bicgstab_with, conjugate_gradient, conjugate_gradient_with, Jacobi, SolveStats,
+    SolverWorkspace,
+};

@@ -7,7 +7,7 @@
 //! parallelism is restricted to the number of layers."
 
 use crate::csr::Csr;
-use crate::solver::{bicgstab, SolveStats};
+use crate::solver::{bicgstab_with, Jacobi, SolveStats, SolverWorkspace};
 use crate::supg::assemble_layer;
 use airshed_grid::mesh::Mesh;
 
@@ -18,6 +18,24 @@ pub struct LayerOperator {
     pub sys: Csr,
     /// `M − (Δt/2)/2 · K` (boundary rows irrelevant; RHS is overwritten).
     pub rhs_mat: Csr,
+    /// Jacobi preconditioner of `sys`, built once at assembly and shared
+    /// by every solve against this layer.
+    pub pre: Jacobi,
+}
+
+/// Reusable scratch for [`HorizontalTransport::half_step`]: the RHS vector
+/// plus the solver's workspace. One per worker thread; reused across all
+/// (layer, species) solves and successive transport steps.
+#[derive(Default)]
+pub struct TransportWorkspace {
+    rhs: Vec<f64>,
+    solver: SolverWorkspace,
+}
+
+impl TransportWorkspace {
+    pub fn new() -> TransportWorkspace {
+        TransportWorkspace::default()
+    }
 }
 
 /// Work performed by transport operations — the units the machine model
@@ -69,7 +87,8 @@ impl HorizontalTransport {
                     sys.set_identity_row(b);
                 }
                 work.nnz = sys.nnz();
-                LayerOperator { sys, rhs_mat }
+                let pre = Jacobi::new(&sys);
+                LayerOperator { sys, rhs_mat, pre }
             })
             .collect();
         (
@@ -95,25 +114,34 @@ impl HorizontalTransport {
     }
 
     /// Apply one half step to a single (layer, species) field in place.
-    /// `bg` is the boundary (inflow) concentration for this species;
-    /// `scratch` must be at least `n` long. Returns solve statistics —
-    /// `iterations` feeds the transport work account.
+    /// `bg` is the boundary (inflow) concentration for this species; `ws`
+    /// supplies every scratch buffer, so the hot loop is allocation-free
+    /// after the first call. Returns solve statistics — `iterations`
+    /// feeds the transport work account.
     pub fn half_step(
         &self,
         layer: usize,
         conc: &mut [f64],
         bg: f64,
-        scratch: &mut Vec<f64>,
+        ws: &mut TransportWorkspace,
     ) -> SolveStats {
         debug_assert_eq!(conc.len(), self.n);
         let op = &self.layers[layer];
-        scratch.resize(self.n, 0.0);
-        op.rhs_mat.matvec(conc, scratch);
+        ws.rhs.resize(self.n, 0.0);
+        op.rhs_mat.matvec(conc, &mut ws.rhs);
         for &b in &self.boundary {
-            scratch[b] = bg;
+            ws.rhs[b] = bg;
         }
         // Warm start from the current field: successive steps are close.
-        let stats = bicgstab(&op.sys, scratch, conc, self.rtol, self.max_iter);
+        let stats = bicgstab_with(
+            &op.sys,
+            &ws.rhs,
+            conc,
+            self.rtol,
+            self.max_iter,
+            &op.pre,
+            &mut ws.solver,
+        );
         // SUPG + CN can produce slight undershoots near fronts; clip the
         // nonphysical negatives (concentrations).
         for c in conc.iter_mut() {
@@ -167,7 +195,7 @@ mod tests {
     fn uniform_field_is_a_fixed_point() {
         let (d, op) = setup(0.3, 0.1);
         let mut c = vec![0.04; d.mesh.n_free()];
-        let mut scratch = Vec::new();
+        let mut scratch = TransportWorkspace::new();
         for _ in 0..5 {
             let st = op.half_step(0, &mut c, 0.04, &mut scratch);
             assert!(st.converged);
@@ -182,7 +210,7 @@ mod tests {
         let (d, op) = setup(0.3, 0.0); // 5 m/s eastward
         let mut c = gaussian(&d, 35.0, 50.0, 10.0);
         let (x0, y0) = center_of_mass(&d, &c);
-        let mut scratch = Vec::new();
+        let mut scratch = TransportWorkspace::new();
         // 10 half-steps of 2 min: 20 min, expected shift 0.3*20 = 6 km.
         for _ in 0..10 {
             op.half_step(0, &mut c, 0.0, &mut scratch);
@@ -201,7 +229,7 @@ mod tests {
         let (d, op) = setup(0.4, 0.2);
         let mut c = gaussian(&d, 30.0, 35.0, 6.0);
         let peak0 = c.iter().cloned().fold(0.0f64, f64::max);
-        let mut scratch = Vec::new();
+        let mut scratch = TransportWorkspace::new();
         for _ in 0..30 {
             op.half_step(1, &mut c, 0.0, &mut scratch);
         }
@@ -217,7 +245,7 @@ mod tests {
         let (op, _) = HorizontalTransport::assemble(&d.mesh, &winds, 0.08, 2.0);
         let mut c = gaussian(&d, 50.0, 50.0, 8.0);
         let peak0 = c.iter().cloned().fold(0.0f64, f64::max);
-        let mut scratch = Vec::new();
+        let mut scratch = TransportWorkspace::new();
         for _ in 0..20 {
             op.half_step(0, &mut c, 0.0, &mut scratch);
         }
@@ -234,7 +262,7 @@ mod tests {
         // propagates into the domain.
         let (d, op) = setup(0.5, 0.0);
         let mut c = vec![0.0; d.mesh.n_free()];
-        let mut scratch = Vec::new();
+        let mut scratch = TransportWorkspace::new();
         for _ in 0..40 {
             op.half_step(0, &mut c, 0.04, &mut scratch);
         }
@@ -252,7 +280,7 @@ mod tests {
     fn solver_iterations_are_reported() {
         let (d, op) = setup(0.3, 0.1);
         let mut c = gaussian(&d, 40.0, 40.0, 12.0);
-        let mut scratch = Vec::new();
+        let mut scratch = TransportWorkspace::new();
         let st = op.half_step(0, &mut c, 0.0, &mut scratch);
         assert!(st.converged);
         assert!(st.iterations > 0 && st.iterations < 200);

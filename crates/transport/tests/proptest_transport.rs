@@ -7,6 +7,7 @@ use airshed_grid::datasets::Dataset;
 use airshed_transport::csr::CsrBuilder;
 use airshed_transport::onedim::{OneDimTransport, UniformGrid};
 use airshed_transport::operator::HorizontalTransport;
+use airshed_transport::operator::TransportWorkspace;
 use airshed_transport::solver::{bicgstab, conjugate_gradient};
 use proptest::prelude::*;
 
@@ -87,7 +88,7 @@ proptest! {
         let winds = vec![vec![(u, v); d.mesh.n_nodes()]];
         let (op, _) = HorizontalTransport::assemble(&d.mesh, &winds, 0.01, 5.0);
         let mut c = vec![bg; d.mesh.n_free()];
-        let mut scratch = Vec::new();
+        let mut scratch = TransportWorkspace::new();
         let st = op.half_step(0, &mut c, bg, &mut scratch);
         prop_assert!(st.converged);
         for (i, &x) in c.iter().enumerate() {

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Backend and kernel benchmarks. Produces BENCH_kernels.json at the repo
+# root (medians: LA hour serial vs rayon(4), workspace-hoisting wins,
+# scenario-server throughput) and prints the criterion backend sweep
+# (serial vs rayon at 1/2/4/8 threads on a tiny hour).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> criterion backend sweep (tiny hour, serial vs rayon 1/2/4/8)"
+cargo bench -p airshed-bench --bench backends
+
+echo "==> kernel medians -> BENCH_kernels.json"
+cargo run --release -p airshed-bench --bin bench_kernels -- BENCH_kernels.json
+
+echo "==> done: $(pwd)/BENCH_kernels.json"

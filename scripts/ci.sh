@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: formatting, release build, full test suite, a warning-free
-# clippy pass, and warning-free rustdoc.
+# clippy pass (all targets, benches included), a 2-thread backend smoke
+# run, and warning-free rustdoc.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,8 +14,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> backend smoke test (rayon, 2 threads)"
+cargo run --release --bin airshed -- run \
+    --dataset tiny:60 --hours 1 --backend rayon --threads 2 --no-map
 
 echo "==> cargo doc --workspace --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

@@ -12,10 +12,11 @@
 //! configuration, from one binary — the "downstream user" entry point.
 
 use airshed::core::config::{DatasetChoice, SimConfig, Weather};
-use airshed::core::driver::{replay_with_layout, run_with_profile, ChemLayout};
+use airshed::core::driver::{replay_with_layout, run_with_profile_on, ChemLayout};
 use airshed::core::predict::PerfModel;
 use airshed::core::taskpar::{optimize_split, replay_taskparallel};
 use airshed::core::viz;
+use airshed::core::{BackendKind, ExecSpec};
 use airshed::machine::MachineProfile;
 use airshed::popexp::{replay_with_popexp, Hosting};
 use airshed::server::{ScenarioRequest, ScenarioServer, ServerConfig, SubmitOutcome};
@@ -34,6 +35,8 @@ struct Options {
     cyclic: bool,
     taskpar: bool,
     map: bool,
+    backend: Option<BackendKind>,
+    threads: Option<usize>,
     // serve-batch knobs
     workers: usize,
     clients: usize,
@@ -55,6 +58,8 @@ impl Default for Options {
             cyclic: false,
             taskpar: false,
             map: true,
+            backend: None,
+            threads: None,
             workers: 4,
             clients: 4,
             queue_cap: 64,
@@ -91,6 +96,8 @@ OPTIONS:
     --cyclic  use CYCLIC chemistry distribution
     --taskpar use the pipelined task-parallel driver
     --no-map  skip the ASCII ozone map
+    --backend serial | rayon               (default rayon)
+    --threads N  host threads for the rayon backend (default: all cores)
 
 SERVE-BATCH OPTIONS:
     --workers N     worker pool size                    (default 4)
@@ -164,6 +171,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--stagnation" => o.weather = Weather::Stagnation,
+            "--backend" => o.backend = Some(val("--backend")?.parse()?),
+            "--threads" => {
+                o.threads = Some(val("--threads")?.parse().map_err(|e| format!("{e}"))?);
+                if o.threads == Some(0) {
+                    return Err("--threads must be positive".into());
+                }
+            }
             "--cyclic" => o.cyclic = true,
             "--taskpar" => o.taskpar = true,
             "--no-map" => o.map = false,
@@ -213,6 +227,10 @@ fn config(o: &Options, p: usize) -> SimConfig {
     }
 }
 
+fn exec(o: &Options) -> ExecSpec {
+    ExecSpec::resolve(o.backend, o.threads)
+}
+
 fn layout(o: &Options) -> ChemLayout {
     if o.cyclic {
         ChemLayout::Cyclic
@@ -223,14 +241,16 @@ fn layout(o: &Options) -> ChemLayout {
 
 fn cmd_run(o: &Options) {
     let p = o.nodes[0];
+    let exec = exec(o);
     eprintln!(
-        "simulating {} for {} hours on {} x{} nodes...",
+        "simulating {} for {} hours on {} x{} nodes (host backend {})...",
         o.dataset.name(),
         o.hours,
         o.machine.name,
-        p
+        p,
+        exec.describe()
     );
-    let (report, profile) = run_with_profile(&config(o, p));
+    let (report, profile) = run_with_profile_on(&config(o, p), exec);
     let report = if o.cyclic {
         replay_with_layout(&profile, o.machine, p, ChemLayout::Cyclic)
     } else {
@@ -280,7 +300,7 @@ fn cmd_gridinfo(o: &Options) {
 }
 
 fn cmd_sweep(o: &Options) {
-    let (_, profile) = run_with_profile(&config(o, o.nodes[0]));
+    let (_, profile) = run_with_profile_on(&config(o, o.nodes[0]), exec(o));
     println!(
         "{:>6} {:>12} {:>12} {:>14}",
         "P", "T3E (s)", "T3D (s)", "Paragon (s)"
@@ -298,7 +318,7 @@ fn cmd_sweep(o: &Options) {
 }
 
 fn cmd_predict(o: &Options) {
-    let (_, profile) = run_with_profile(&config(o, o.nodes[0]));
+    let (_, profile) = run_with_profile_on(&config(o, o.nodes[0]), exec(o));
     let model = PerfModel::from_profile(&profile);
     println!(
         "{:>6} {:>14} {:>14} {:>8}",
@@ -323,7 +343,7 @@ fn cmd_predict(o: &Options) {
 }
 
 fn cmd_popexp(o: &Options) {
-    let (_, profile) = run_with_profile(&config(o, o.nodes[0]));
+    let (_, profile) = run_with_profile_on(&config(o, o.nodes[0]), exec(o));
     println!(
         "{:>6} {:>14} {:>16} {:>10}",
         "P", "native (s)", "foreign (s)", "overhead"
@@ -435,10 +455,12 @@ fn cmd_serve_batch(o: &Options) -> Result<(), String> {
         Some(path) => load_scenarios(path)?,
         None => demo_scenarios(o),
     };
+    let exec = exec(o);
     eprintln!(
-        "serving {} scenarios: {} workers, {} clients, queue capacity {}, budget {}",
+        "serving {} scenarios: {} workers (host backend {}), {} clients, queue capacity {}, budget {}",
         scenarios.len(),
         o.workers,
+        exec.describe(),
         o.clients,
         o.queue_cap,
         o.budget
@@ -449,6 +471,7 @@ fn cmd_serve_batch(o: &Options) -> Result<(), String> {
         workers: o.workers,
         queue_capacity: o.queue_cap,
         budget_seconds: o.budget,
+        exec,
         ..Default::default()
     });
 
@@ -658,6 +681,19 @@ mod tests {
         assert_eq!(scenarios[0].config.p, scenarios[16].config.p);
         let no_budget = demo_scenarios(&parse(&[]).unwrap());
         assert_eq!(no_budget.len(), 32);
+    }
+
+    #[test]
+    fn parse_backend_options() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.backend, None);
+        assert_eq!(exec(&o).kind, BackendKind::Rayon);
+        let o = parse(&args("--backend serial")).unwrap();
+        assert_eq!(exec(&o), ExecSpec::serial());
+        let o = parse(&args("--backend rayon --threads 4")).unwrap();
+        assert_eq!(exec(&o), ExecSpec::rayon(4));
+        assert!(parse(&args("--backend omp")).is_err());
+        assert!(parse(&args("--threads 0")).is_err());
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Property tests for the partition layer shared by the virtual machine
+//! and the real execution backend.
+//!
+//! `ItemLayout::partition` decides which worker owns which item; the
+//! same layout's `per_node` decides which virtual node is charged for
+//! it. These properties pin the contract the backend's determinism
+//! rests on: partitions are exact permutations, their work sums match
+//! the virtual charges bit for bit, and merging per-partition results
+//! by item index (or absorbing `YbStats` counters in any partition
+//! order) can never change a total.
+
+use airshed::chem::youngboris::YbStats;
+use airshed::core::plan::ItemLayout;
+use proptest::prelude::*;
+
+fn layouts() -> impl Strategy<Value = ItemLayout> {
+    prop_oneof![Just(ItemLayout::Block), Just(ItemLayout::Cyclic)]
+}
+
+proptest! {
+    #[test]
+    fn partition_is_a_permutation_of_items(
+        layout in layouts(),
+        n in 0usize..300,
+        parts in 1usize..20,
+    ) {
+        let partition = layout.partition(n, parts);
+        prop_assert_eq!(partition.len(), parts);
+        let mut seen = vec![false; n];
+        for part in &partition {
+            for &i in part {
+                prop_assert!(i < n, "item {} out of range", i);
+                prop_assert!(!seen[i], "item {} owned twice", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some item unowned");
+    }
+
+    #[test]
+    fn block_parts_are_contiguous_and_cyclic_parts_stripe(
+        n in 1usize..300,
+        parts in 1usize..20,
+    ) {
+        for part in &ItemLayout::Block.partition(n, parts) {
+            for w in part.windows(2) {
+                prop_assert_eq!(w[1], w[0] + 1, "block part not contiguous");
+            }
+        }
+        for (k, part) in ItemLayout::Cyclic.partition(n, parts).iter().enumerate() {
+            for (j, &i) in part.iter().enumerate() {
+                prop_assert_eq!(i, k + j * parts, "cyclic part not a stripe");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_work_sums_match_per_node_charges_exactly(
+        layout in layouts(),
+        per_item in proptest::collection::vec(0.0f64..1.0e7, 0..200),
+        parts in 1usize..16,
+    ) {
+        // The virtual machine charges per_node; the backend runs
+        // partition. Summing each partition's items in list order must
+        // reproduce the charge bit for bit — same additions, same order.
+        let per_node = layout.per_node(&per_item, parts);
+        let partition = layout.partition(per_item.len(), parts);
+        for (k, part) in partition.iter().enumerate() {
+            let mut sum = 0.0f64;
+            for &i in part {
+                sum += per_item[i];
+            }
+            prop_assert_eq!(
+                sum.to_bits(),
+                per_node[k].to_bits(),
+                "node {} charge mismatch: {} vs {}",
+                k,
+                sum,
+                per_node[k]
+            );
+        }
+    }
+
+    #[test]
+    fn ybstats_totals_are_merge_order_invariant(
+        layout in layouts(),
+        per_item in proptest::collection::vec((0u64..50, 0u64..10, 1u64..2000), 1..150),
+        parts in 1usize..12,
+        rotate in 0usize..12,
+    ) {
+        // Per-item integrator counters, as chemistry produces them.
+        let stats: Vec<YbStats> = per_item
+            .iter()
+            .map(|&(substeps, rejected, evals)| YbStats { substeps, rejected, evals })
+            .collect();
+        // Serial reference: absorb in item order.
+        let mut serial = YbStats::default();
+        for s in &stats {
+            serial.absorb(*s);
+        }
+        // Backend: partition the items, then absorb whole partitions in
+        // an arbitrary (rotated) completion order.
+        let partition = layout.partition(stats.len(), parts);
+        let mut pooled = YbStats::default();
+        for k in 0..partition.len() {
+            let part = &partition[(k + rotate) % partition.len()];
+            for &i in part {
+                pooled.absorb(stats[i]);
+            }
+        }
+        prop_assert_eq!(pooled.substeps, serial.substeps);
+        prop_assert_eq!(pooled.rejected, serial.rejected);
+        prop_assert_eq!(pooled.evals, serial.evals);
+    }
+}

@@ -292,7 +292,7 @@ fn graph_edges_conserve_bytes_for_lcg_shapes_and_layouts() {
             10 + (rng.next_u64() % 900) as usize,
         ];
         let p = 1 + (rng.next_u64() % 80) as usize;
-        let layout = if rng.next_u64() % 2 == 0 {
+        let layout = if rng.next_u64().is_multiple_of(2) {
             ChemLayout::Block
         } else {
             ChemLayout::Cyclic

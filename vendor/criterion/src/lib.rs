@@ -1,0 +1,147 @@
+//! Local shim for the slice of `criterion` the workspace benches use:
+//! `Criterion::default().sample_size(n)`, `bench_function`, `Bencher::iter`
+//! / `iter_batched`, `criterion_group!` (both forms) and `criterion_main!`.
+//!
+//! Each sample times one invocation of the routine; the harness prints
+//! min/median/max per benchmark and keeps the last run's medians readable
+//! via [`Criterion::medians`] so callers can post-process results.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch-size hint, accepted for API compatibility (the shim always sets
+/// up one input per timed sample).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<(String, Duration)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no fixed time budget.
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is one untimed call.
+    pub fn warm_up_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut samples = b.samples;
+        samples.sort();
+        let (min, med, max) = if samples.is_empty() {
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO)
+        } else {
+            (
+                samples[0],
+                samples[samples.len() / 2],
+                samples[samples.len() - 1],
+            )
+        };
+        println!(
+            "bench {name:48} min {:>12?}  median {:>12?}  max {:>12?}  (n={})",
+            min,
+            med,
+            max,
+            samples.len()
+        );
+        self.results.push((name.to_string(), med));
+        self
+    }
+
+    /// `(name, median)` pairs for every benchmark run so far.
+    pub fn medians(&self) -> &[(String, Duration)] {
+        &self.results
+    }
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,49 @@
+//! `prop::collection::vec` — vectors with fixed or ranged length.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Length specification: a fixed `usize` or a `Range<usize>`.
+pub trait IntoSizeRange {
+    /// `(min, max_exclusive)` bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+pub struct VecStrategy<S> {
+    elem: S,
+    min: usize,
+    max_exclusive: usize,
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max_exclusive) = size.bounds();
+    assert!(min < max_exclusive, "empty vec-length range");
+    VecStrategy {
+        elem,
+        min,
+        max_exclusive,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.max_exclusive - self.min) as u64;
+        let len = self.min + rng.next_below(span) as usize;
+        (0..len).map(|_| self.elem.sample(rng)).collect()
+    }
+}

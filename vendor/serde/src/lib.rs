@@ -1,0 +1,11 @@
+//! Local shim for `serde`: the workspace only derives `Serialize` as a
+//! marker on report/summary structs, so the trait is blanket-implemented
+//! and the derive is a no-op.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
