@@ -21,13 +21,15 @@ use airshed_chem::mechanism::Mechanism;
 use airshed_chem::species as sp;
 use airshed_chem::youngboris::{integrate_cell, YbOptions, YbWorkspace};
 use airshed_core::config::{DatasetChoice, SimConfig};
-use airshed_core::driver::run_resumable_with;
+use airshed_core::driver::{run_resumable_with, run_with_profile_obs};
+use airshed_core::obs::{Collector, Obs, SpanSink};
 use airshed_core::phases::PhaseEngine;
 use airshed_core::ExecSpec;
 use airshed_grid::datasets::Dataset;
 use airshed_server::{ScenarioRequest, ScenarioServer, ServerConfig};
 use airshed_transport::operator::TransportWorkspace;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Median of a sample set (averages the middle pair for even counts).
@@ -118,6 +120,24 @@ fn yb_hoisting() -> (f64, f64) {
     (reused / CELLS as f64, fresh / CELLS as f64)
 }
 
+/// Per-phase wall-clock medians (µs) for the LA hour, derived from the
+/// observability layer's spans: the same `run` is repeated and every
+/// driver-lane span ("inputhour", "pretrans", "transport", "chemistry",
+/// "aerosol", "outputhour", ...) lands in one sink, so the bench numbers
+/// and a `--trace-out` trace of the same scenario come from one clock.
+fn phase_medians(exec: ExecSpec) -> Vec<(&'static str, f64)> {
+    let mut config = SimConfig::test_tiny(4, 1);
+    config.dataset = DatasetChoice::LosAngeles;
+    config.start_hour = 12;
+    let sink = Arc::new(SpanSink::new());
+    let obs = Obs::new(Arc::clone(&sink) as Arc<dyn Collector>);
+    for _ in 0..3 {
+        let (_, profile) = run_with_profile_obs(&config, exec, &obs);
+        black_box(profile.hours.len());
+    }
+    sink.phase_wall_medians()
+}
+
 /// Cold-batch jobs/sec against a fresh pool of `workers` workers.
 fn server_rate(workers: usize) -> f64 {
     const JOBS: usize = 8;
@@ -165,6 +185,9 @@ fn main() {
     let (tr_reused_s, tr_fresh_s) = transport_hoisting();
     let (yb_reused_s, yb_fresh_s) = yb_hoisting();
 
+    eprintln!("measuring per-phase span medians...");
+    let phases = phase_medians(ExecSpec::rayon(4));
+
     eprintln!("measuring server throughput...");
     let rate1 = server_rate(1);
     let rate4 = server_rate(4);
@@ -200,6 +223,13 @@ fn main() {
         format!("{:.2} us", yb_fresh_s * 1e6),
         format!("hoisting {:.2}x", yb_fresh_s / yb_reused_s),
     ]);
+    for (name, us) in &phases {
+        table.row(vec![
+            format!("la_hour/phase/{name}"),
+            format!("{:.2} ms", us * 1e-3),
+            "span-derived".to_string(),
+        ]);
+    }
     table.row(vec![
         "server/workers1".to_string(),
         format!("{rate1:.2} jobs/s"),
@@ -213,8 +243,13 @@ fn main() {
     table.print("Kernel and backend medians", "bench_kernels");
 
     // The serde shim is a no-op, so the JSON is formatted by hand.
+    let phase_json = phases
+        .iter()
+        .map(|(name, us)| format!("    \"{name}\": {us:.2}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"host_threads\": {host_threads},\n  \"la_hour\": {{\n    \"serial_s\": {serial_s:.4},\n    \"rayon4_s\": {rayon4_s:.4},\n    \"speedup_rayon4\": {:.4}\n  }},\n  \"workspace_hoisting\": {{\n    \"transport_half_step_reused_s\": {tr_reused_s:.6},\n    \"transport_half_step_fresh_s\": {tr_fresh_s:.6},\n    \"transport_speedup\": {:.4},\n    \"yb_cell_reused_s\": {yb_reused_s:.9},\n    \"yb_cell_fresh_s\": {yb_fresh_s:.9},\n    \"yb_speedup\": {:.4}\n  }},\n  \"server_throughput\": {{\n    \"jobs\": 8,\n    \"workers1_jobs_per_s\": {rate1:.4},\n    \"workers4_jobs_per_s\": {rate4:.4},\n    \"scaling_4v1\": {:.4}\n  }}\n}}\n",
+        "{{\n  \"host_threads\": {host_threads},\n  \"la_hour\": {{\n    \"serial_s\": {serial_s:.4},\n    \"rayon4_s\": {rayon4_s:.4},\n    \"speedup_rayon4\": {:.4}\n  }},\n  \"la_hour_phase_median_us\": {{\n{phase_json}\n  }},\n  \"workspace_hoisting\": {{\n    \"transport_half_step_reused_s\": {tr_reused_s:.6},\n    \"transport_half_step_fresh_s\": {tr_fresh_s:.6},\n    \"transport_speedup\": {:.4},\n    \"yb_cell_reused_s\": {yb_reused_s:.9},\n    \"yb_cell_fresh_s\": {yb_fresh_s:.9},\n    \"yb_speedup\": {:.4}\n  }},\n  \"server_throughput\": {{\n    \"jobs\": 8,\n    \"workers1_jobs_per_s\": {rate1:.4},\n    \"workers4_jobs_per_s\": {rate4:.4},\n    \"scaling_4v1\": {:.4}\n  }}\n}}\n",
         serial_s / rayon4_s,
         tr_fresh_s / tr_reused_s,
         yb_fresh_s / yb_reused_s,

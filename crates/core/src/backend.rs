@@ -59,6 +59,7 @@ impl std::fmt::Display for BackendKind {
 /// The default is the rayon pool over every available host core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecSpec {
+    /// Which executor runs the work.
     pub kind: BackendKind,
     /// Worker threads for the pool backend; ignored (treated as 1) by
     /// the serial backend.
@@ -72,6 +73,7 @@ impl Default for ExecSpec {
 }
 
 impl ExecSpec {
+    /// The inline single-threaded executor.
     pub fn serial() -> ExecSpec {
         ExecSpec {
             kind: BackendKind::Serial,
@@ -79,6 +81,7 @@ impl ExecSpec {
         }
     }
 
+    /// The fork–join pool executor with `threads` workers (min 1).
     pub fn rayon(threads: usize) -> ExecSpec {
         ExecSpec {
             kind: BackendKind::Rayon,
@@ -113,14 +116,37 @@ impl ExecSpec {
     }
 
     /// Run one fork of partition tasks on the chosen backend.
+    ///
+    /// ```
+    /// use airshed_core::backend::ExecSpec;
+    /// let mut out = [0u32; 4];
+    /// let tasks = out
+    ///     .iter_mut()
+    ///     .enumerate()
+    ///     .map(|(i, slot)| Box::new(move || *slot = i as u32) as airshed_hpf::host::Task)
+    ///     .collect();
+    /// ExecSpec::rayon(2).run(tasks);
+    /// assert_eq!(out, [0, 1, 2, 3]);
+    /// ```
     pub fn run<'scope>(&self, tasks: Vec<host::Task<'scope>>) {
-        match self.kind {
-            BackendKind::Serial => Serial.for_parts(tasks),
-            BackendKind::Rayon => Rayon {
-                threads: self.threads,
-            }
-            .for_parts(tasks),
-        }
+        self.run_observed(tasks, None)
+    }
+
+    /// [`run`](ExecSpec::run) with an optional pool observer that is
+    /// told each task's worker, queue position, and wall-clock
+    /// interval (see [`airshed_hpf::host::PoolObserver`]). Passing
+    /// `None` is exactly `run` — the unobserved path takes no clock
+    /// reads. Observation never affects scheduling or merge order.
+    pub fn run_observed<'scope>(
+        &self,
+        tasks: Vec<host::Task<'scope>>,
+        observer: Option<&dyn host::PoolObserver>,
+    ) {
+        let threads = match self.kind {
+            BackendKind::Serial => 1,
+            BackendKind::Rayon => self.threads.max(1),
+        };
+        host::run_parts_observed(threads, tasks, observer);
     }
 }
 

@@ -10,6 +10,7 @@
 
 use crate::backend::ExecSpec;
 use crate::config::SimConfig;
+use crate::obs::{Obs, Track};
 use crate::phases::PhaseEngine;
 use crate::profile::{HourProfile, StepProfile, WorkProfile};
 use crate::report::RunReport;
@@ -120,6 +121,16 @@ pub fn run_with_profile_on(config: &SimConfig, exec: ExecSpec) -> (RunReport, Wo
     (report, profile)
 }
 
+/// [`run_with_profile_on`] reporting spans through an [`Obs`] handle.
+pub fn run_with_profile_obs(
+    config: &SimConfig,
+    exec: ExecSpec,
+    obs: &Obs,
+) -> (RunReport, WorkProfile) {
+    let (report, profile, _) = run_resumable_obs(config, None, exec, obs);
+    (report, profile)
+}
+
 /// Execute `config.hours` hours, optionally resuming from a checkpoint
 /// (which supplies both the state and the first hour). Returns the
 /// report, the work profile, and a checkpoint for the following hour —
@@ -141,9 +152,34 @@ pub fn run_resumable_with(
     resume: Option<crate::checkpoint::Checkpoint>,
     exec: ExecSpec,
 ) -> (RunReport, WorkProfile, crate::checkpoint::Checkpoint) {
+    run_resumable_obs(config, resume, exec, &Obs::off())
+}
+
+/// [`run_resumable_with`] reporting spans through an [`Obs`] handle.
+///
+/// When `obs` is enabled the driver opens one span per simulated hour
+/// ("hour"), one per phase invocation inside it (the [`PhaseKind`]
+/// labels), and one around [`charge_hour`] — and the engine's pool
+/// forks report per-task worker spans through the same handle. The
+/// virtual machine's own trace is enabled too; its events (every
+/// PhaseGraph node and redistribution edge, in virtual time) are
+/// exported onto [`Track::Virtual`] rows and the span buffers are
+/// flushed at each hour boundary. With a disabled handle this function
+/// is exactly [`run_resumable_with`]: no clock reads, no tracing, and
+/// bit-identical results either way (instrumentation never reorders
+/// the item-ordered reductions).
+///
+/// [`PhaseKind`]: airshed_machine::accounting::PhaseKind
+pub fn run_resumable_obs(
+    config: &SimConfig,
+    resume: Option<crate::checkpoint::Checkpoint>,
+    exec: ExecSpec,
+    obs: &Obs,
+) -> (RunReport, WorkProfile, crate::checkpoint::Checkpoint) {
     let dataset = config.dataset.build();
     let mut engine = PhaseEngine::new(dataset, config.kh, config.chem_opts);
     engine.exec = exec;
+    engine.obs = obs.clone();
     if config.weather == crate::config::Weather::Stagnation {
         engine.generator = airshed_met::hourly::InputGenerator::stagnation();
     }
@@ -172,6 +208,10 @@ pub fn run_resumable_with(
     let shape = state.shape();
 
     let mut machine = Machine::new(config.machine, config.p);
+    if obs.enabled() {
+        machine.trace.enable();
+    }
+    let mut trace_mark = 0usize;
     let plans = HourPlans::new(&shape, config.p);
 
     let mut hours = Vec::with_capacity(config.hours);
@@ -179,40 +219,81 @@ pub fn run_resumable_with(
 
     for h in 0..config.hours {
         let hour = first_hour + h;
-        let (input, input_work) = engine.input_hour(hour);
-        let (op, pretrans_work) = engine.pretrans(&input);
+        let tag = hour as u32;
+        engine.set_obs_hour(tag);
+        {
+            let _hour_span = obs.span_hour("hour", tag);
+            let (input, input_work) = {
+                let _s = obs.span_hour("inputhour", tag);
+                engine.input_hour(hour)
+            };
+            let (op, pretrans_work) = {
+                let _s = obs.span_hour("pretrans", tag);
+                engine.pretrans(&input)
+            };
 
-        let mut steps = Vec::with_capacity(input.nsteps);
-        for _ in 0..input.nsteps {
-            let transport1 = engine.transport_half_step(&op, &mut state);
-            let chemistry = engine.chemistry_step(&mut state, &input);
-            let (_aero, aerosol) = engine.aerosol_step(&mut state, &input, &cell_volumes);
-            let transport2 = engine.transport_half_step(&op, &mut state);
-            steps.push(StepProfile {
-                transport1,
-                transport2,
-                chemistry,
-                aerosol,
-            });
-        }
-        debug_assert!(state.is_physical(), "state went unphysical at hour {hour}");
+            let mut steps = Vec::with_capacity(input.nsteps);
+            for _ in 0..input.nsteps {
+                let transport1 = {
+                    let _s = obs.span_hour("transport", tag);
+                    engine.transport_half_step(&op, &mut state)
+                };
+                let chemistry = {
+                    let _s = obs.span_hour("chemistry", tag);
+                    engine.chemistry_step(&mut state, &input)
+                };
+                let (_aero, aerosol) = {
+                    let _s = obs.span_hour("aerosol", tag);
+                    engine.aerosol_step(&mut state, &input, &cell_volumes)
+                };
+                let transport2 = {
+                    let _s = obs.span_hour("transport", tag);
+                    engine.transport_half_step(&op, &mut state)
+                };
+                steps.push(StepProfile {
+                    transport1,
+                    transport2,
+                    chemistry,
+                    aerosol,
+                });
+            }
+            debug_assert!(state.is_physical(), "state went unphysical at hour {hour}");
 
-        let (summary, output_work) = engine.output_hour(&state, hour);
-        let mut surface = Vec::with_capacity(crate::profile::SURFACE_SPECIES.len() * state.nodes);
-        for &s in &crate::profile::SURFACE_SPECIES {
-            surface.extend_from_slice(state.plane(s, 0));
+            let (summary, output_work) = {
+                let _s = obs.span_hour("outputhour", tag);
+                engine.output_hour(&state, hour)
+            };
+            let mut surface =
+                Vec::with_capacity(crate::profile::SURFACE_SPECIES.len() * state.nodes);
+            for &s in &crate::profile::SURFACE_SPECIES {
+                surface.extend_from_slice(state.plane(s, 0));
+            }
+            let hp = HourProfile {
+                input_work,
+                pretrans_work,
+                output_work,
+                input_bytes: input.data_bytes(),
+                steps,
+                surface,
+            };
+            {
+                let _s = obs.span_hour("charge_hour", tag);
+                charge_hour(&mut machine, &hp, &plans);
+            }
+            hours.push(hp);
+            summaries.push(summary);
         }
-        let hp = HourProfile {
-            input_work,
-            pretrans_work,
-            output_work,
-            input_bytes: input.data_bytes(),
-            steps,
-            surface,
-        };
-        charge_hour(&mut machine, &hp, &plans);
-        hours.push(hp);
-        summaries.push(summary);
+        // Hour boundary: export the virtual-machine events this hour's
+        // graph execution charged (every PhaseKind node and redist
+        // edge, in virtual time) and flush the span buffers.
+        if obs.enabled() {
+            let events = machine.trace.events();
+            for e in &events[trace_mark..] {
+                obs.record_virtual(e.label, Track::Virtual(e.label), e.start, e.end, Some(tag));
+            }
+            trace_mark = events.len();
+            obs.flush();
+        }
     }
 
     let profile = WorkProfile {

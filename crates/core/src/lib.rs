@@ -36,12 +36,15 @@
 //!   scheduled from the graph's stage annotations;
 //! * [`predict`] — the §4 analytic performance model, folded over the
 //!   same graph;
+//! * [`obs`] — the unified observability layer (spans, Chrome-trace and
+//!   Prometheus exporters) every other module reports through;
 //! * [`report`] — run reports for the figure harness.
 
 pub mod backend;
 pub mod checkpoint;
 pub mod config;
 pub mod driver;
+pub mod obs;
 pub mod phases;
 pub mod plan;
 pub mod predict;
@@ -55,6 +58,7 @@ pub mod viz;
 pub use backend::{Backend, BackendKind, ExecSpec};
 pub use config::{DatasetChoice, SimConfig};
 pub use driver::{replay, run, run_with_profile};
+pub use obs::Obs;
 pub use plan::PhaseGraph;
 pub use predict::PerfModel;
 pub use profile::WorkProfile;

@@ -1,0 +1,197 @@
+//! Metric primitives: counters, gauges, and latency histograms.
+//!
+//! These are the concurrent building blocks every subsystem reports
+//! through. They are deliberately tiny — plain relaxed atomics — so a
+//! disabled observability layer costs nothing and an enabled one costs
+//! one uncontended atomic RMW per event. The server's metrics registry
+//! (`airshed-server`) is built entirely from these types; the Prometheus
+//! exporter in [`super::prom`] renders their snapshots.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two microsecond buckets in a histogram. Bucket `i`
+/// covers `[2^i, 2^{i+1})` µs; bucket 0 also absorbs sub-microsecond
+/// samples, the last bucket absorbs everything above ~35 minutes.
+pub const BUCKETS: usize = 32;
+
+/// A monotonically increasing event counter.
+///
+/// ```
+/// use airshed_core::obs::metrics::Counter;
+/// let c = Counter::new();
+/// c.inc();
+/// c.add(2);
+/// assert_eq!(c.get(), 3);
+/// ```
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous-value gauge (queue depth, jobs in flight).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A concurrent latency histogram with power-of-two microsecond buckets.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, sample: Duration) {
+        let micros = sample.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; BUCKETS],
+    pub count: u64,
+    pub total_micros: u64,
+    pub max_micros: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample in microseconds.
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (µs) of the bucket holding the `q`-quantile sample
+    /// (`q` in `[0, 1]`). Bucket resolution, so at most 2x off.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max_micros
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        g.add(-3);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        for micros in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max_micros, 100_000);
+        assert_eq!(s.total_micros, 101_106);
+        // p50 of {1,2,3,100,1000,100000}: third sample, bucket of 3 µs
+        // is [2,4) so the reported upper bound is 4.
+        assert_eq!(s.quantile_micros(0.5), 4);
+        assert!(s.quantile_micros(1.0) >= 100_000);
+        assert_eq!(s.quantile_micros(0.0), s.quantile_micros(1e-9));
+    }
+
+    #[test]
+    fn zero_duration_lands_in_first_bucket() {
+        let h = Histogram::new();
+        h.record(Duration::ZERO);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.mean_micros(), 0.0);
+    }
+}

@@ -1,0 +1,565 @@
+//! # `obs` — the unified observability layer
+//!
+//! One span model for the three timing stories the repo used to tell
+//! separately (the virtual machine's [`Trace`], the server's metrics
+//! registry, the backend run reports):
+//!
+//! * a [`SpanRecord`] is a named interval on a [`Track`] — wall-clock
+//!   µs for real execution (driver hours, engine phases, pool tasks,
+//!   server job lifecycle) or virtual-machine µs for the charged
+//!   PhaseGraph replay and the pipeline schedule;
+//! * a [`Collector`] receives spans; the production collector is
+//!   [`SpanSink`] (sharded, effectively per-thread buffers, flushed at
+//!   hour boundaries), the disabled path is [`NoopCollector`];
+//! * the [`Obs`] handle is what instrumented code carries: `Clone`,
+//!   cheap, and **zero-cost when disabled** — every instrumentation
+//!   site checks a cached `enabled` bool and skips even the
+//!   `Instant::now()` calls, so a disabled run performs no atomic
+//!   operations, no allocation, and no clock reads on behalf of
+//!   tracing. Bit-identity of results is preserved by construction:
+//!   spans only *observe* phase boundaries, they never reorder work.
+//!
+//! Exporters live outside the hot loop: [`SpanSink::chrome_trace`]
+//! renders the Chrome trace-event JSON (loadable in Perfetto /
+//! `about:tracing`) and [`SpanSink::prometheus`] renders a Prometheus
+//! text-format snapshot, both from the flushed buffers after the run.
+//!
+//! ```
+//! use airshed_core::obs::{Obs, SpanSink};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(SpanSink::new());
+//! let obs = Obs::new(sink.clone());
+//! {
+//!     let _hour = obs.span_hour("hour", 0);
+//!     let _phase = obs.span_hour("transport", 0);
+//! } // guards drop; spans are recorded
+//! obs.flush();
+//! let trace = sink.chrome_trace();
+//! assert!(trace.contains("\"name\":\"transport\""));
+//! ```
+//!
+//! [`Trace`]: ../../airshed_machine/trace/struct.Trace.html
+
+pub mod chrome;
+pub mod metrics;
+pub mod prom;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Which horizontal track of the trace a span belongs to.
+///
+/// Tracks map 1:1 onto Chrome trace rows: one per execution lane (the
+/// CLI driver is lane 0, server worker *k* is lane *k+1*), one per pool
+/// worker thread under its lane, one per virtual-machine phase category,
+/// and one per pipeline stage (the paper's Fig 8/9 Gantt rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Track {
+    /// The main thread of an execution lane (driver loop, server worker).
+    Lane(u32),
+    /// Worker `worker` of the host thread pool serving lane `lane`.
+    PoolWorker { lane: u32, worker: u32 },
+    /// A virtual-machine-time track (charged PhaseGraph events).
+    Virtual(&'static str),
+    /// A pipeline-stage track in virtual time (task-parallel schedule).
+    Stage(&'static str),
+}
+
+/// One recorded interval. Timestamps are microseconds from the
+/// collector's epoch (wall clock) or from virtual t=0 (virtual tracks).
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (phase label, lifecycle stage, task name).
+    pub name: &'static str,
+    /// Which track the span renders on.
+    pub track: Track,
+    /// Start, µs from epoch.
+    pub ts_us: f64,
+    /// Duration in µs.
+    pub dur_us: f64,
+    /// Simulated hour the span belongs to, if any.
+    pub hour: Option<u32>,
+    /// One optional integer attribute (worker index, job id, …).
+    pub arg: Option<(&'static str, i64)>,
+}
+
+/// Destination for spans and pre-rendered metric sections.
+///
+/// `record` must be callable from any thread; `flush` moves buffered
+/// spans into the exportable event list (called at hour boundaries and
+/// before export); `publish` attaches an already-rendered Prometheus
+/// text section (the server uses this to flush its registry on drop).
+pub trait Collector: Send + Sync {
+    fn record(&self, span: SpanRecord);
+    fn flush(&self);
+    fn publish(&self, section: &'static str, text: String);
+}
+
+/// The disabled path: discards everything.
+pub struct NoopCollector;
+
+impl Collector for NoopCollector {
+    fn record(&self, _span: SpanRecord) {}
+    fn flush(&self) {}
+    fn publish(&self, _section: &'static str, _text: String) {}
+}
+
+const SHARDS: usize = 16;
+
+/// The production collector: spans land in one of 16 sharded buffers
+/// picked by thread id, so concurrent recorders practically never
+/// contend (each worker thread hashes to a stable shard and takes an
+/// uncontended lock — one CAS). `flush` drains the shards into the
+/// ordered event list; exporters read only that list.
+pub struct SpanSink {
+    shards: Vec<Mutex<Vec<SpanRecord>>>,
+    events: Mutex<Vec<SpanRecord>>,
+    sections: Mutex<Vec<(&'static str, String)>>,
+    dropped: AtomicU64,
+}
+
+impl Default for SpanSink {
+    fn default() -> Self {
+        SpanSink::new()
+    }
+}
+
+impl SpanSink {
+    pub fn new() -> SpanSink {
+        SpanSink {
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            events: Mutex::new(Vec::new()),
+            sections: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_index() -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+
+    /// All flushed spans, ordered by start time. Call after [`flush`].
+    ///
+    /// [`flush`]: Collector::flush
+    pub fn events(&self) -> Vec<SpanRecord> {
+        self.flush();
+        let mut out = self.events.lock().unwrap().clone();
+        out.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+        out
+    }
+
+    /// Published Prometheus sections, in publication order.
+    pub fn sections(&self) -> Vec<(&'static str, String)> {
+        self.sections.lock().unwrap().clone()
+    }
+
+    /// Spans ever dropped because a shard lock was poisoned (diagnostic;
+    /// should stay 0).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Median wall-clock duration (µs) per span name over lane tracks,
+    /// sorted by name. Used by `bench_kernels` so bench numbers and
+    /// traces come from the same clock.
+    pub fn phase_wall_medians(&self) -> Vec<(&'static str, f64)> {
+        let mut by_name: std::collections::BTreeMap<&'static str, Vec<f64>> = Default::default();
+        for e in self.events() {
+            if matches!(e.track, Track::Lane(_)) {
+                by_name.entry(e.name).or_default().push(e.dur_us);
+            }
+        }
+        by_name
+            .into_iter()
+            .map(|(name, mut durs)| {
+                durs.sort_by(f64::total_cmp);
+                let mid = durs.len() / 2;
+                let median = if durs.len() % 2 == 1 {
+                    durs[mid]
+                } else {
+                    0.5 * (durs[mid - 1] + durs[mid])
+                };
+                (name, median)
+            })
+            .collect()
+    }
+}
+
+impl Collector for SpanSink {
+    fn record(&self, span: SpanRecord) {
+        match self.shards[Self::shard_index()].lock() {
+            Ok(mut shard) => shard.push(span),
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        let mut events = self.events.lock().unwrap();
+        for shard in &self.shards {
+            if let Ok(mut shard) = shard.lock() {
+                events.append(&mut shard);
+            }
+        }
+    }
+
+    fn publish(&self, section: &'static str, text: String) {
+        let mut sections = self.sections.lock().unwrap();
+        // Re-publishing a section replaces it (the server publishes its
+        // registry both at shutdown and on drop).
+        if let Some(slot) = sections.iter_mut().find(|(name, _)| *name == section) {
+            slot.1 = text;
+        } else {
+            sections.push((section, text));
+        }
+    }
+}
+
+/// The handle instrumented code carries. Cloning is cheap (one `Arc`
+/// bump); all clones share the collector and the wall-clock epoch, so
+/// spans from every lane land on one common time axis.
+#[derive(Clone)]
+pub struct Obs {
+    collector: Arc<dyn Collector>,
+    enabled: bool,
+    lane: u32,
+    epoch: Instant,
+}
+
+impl Obs {
+    /// An enabled handle recording into `collector`, lane 0.
+    pub fn new(collector: Arc<dyn Collector>) -> Obs {
+        Obs {
+            collector,
+            enabled: true,
+            lane: 0,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The disabled handle: no clock reads, no allocation, no atomics.
+    pub fn off() -> Obs {
+        Obs {
+            collector: Arc::new(NoopCollector),
+            enabled: false,
+            lane: 0,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A clone bound to a different execution lane (server worker `k`
+    /// uses lane `k+1`; the CLI driver keeps lane 0).
+    pub fn with_lane(&self, lane: u32) -> Obs {
+        Obs {
+            lane,
+            ..self.clone()
+        }
+    }
+
+    /// Whether spans are being recorded at all. Instrumentation sites
+    /// branch on this before touching the clock.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// This handle's execution lane.
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// Microseconds elapsed since the collector epoch for `at`.
+    pub fn us_since_epoch(&self, at: Instant) -> f64 {
+        at.saturating_duration_since(self.epoch).as_secs_f64() * 1e6
+    }
+
+    /// Open a wall-clock span on this lane's main track; the span is
+    /// recorded when the returned guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.span_inner(name, None, None)
+    }
+
+    /// Like [`span`](Obs::span) with a simulated-hour attribute.
+    pub fn span_hour(&self, name: &'static str, hour: u32) -> SpanGuard<'_> {
+        self.span_inner(name, Some(hour), None)
+    }
+
+    /// Like [`span`](Obs::span) with one integer attribute.
+    pub fn span_arg(&self, name: &'static str, key: &'static str, value: i64) -> SpanGuard<'_> {
+        self.span_inner(name, None, Some((key, value)))
+    }
+
+    fn span_inner(
+        &self,
+        name: &'static str,
+        hour: Option<u32>,
+        arg: Option<(&'static str, i64)>,
+    ) -> SpanGuard<'_> {
+        SpanGuard {
+            obs: self,
+            name,
+            hour,
+            arg,
+            start: if self.enabled {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Record a wall-clock interval measured elsewhere (pool tasks hand
+    /// their start/end `Instant`s over from the worker threads).
+    pub fn record_interval(
+        &self,
+        name: &'static str,
+        track: Track,
+        start: Instant,
+        end: Instant,
+        hour: Option<u32>,
+        arg: Option<(&'static str, i64)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.collector.record(SpanRecord {
+            name,
+            track,
+            ts_us: self.us_since_epoch(start),
+            dur_us: end.saturating_duration_since(start).as_secs_f64() * 1e6,
+            hour,
+            arg,
+        });
+    }
+
+    /// Record a virtual-time interval (seconds of machine time) on a
+    /// virtual or stage track.
+    pub fn record_virtual(
+        &self,
+        name: &'static str,
+        track: Track,
+        start_s: f64,
+        end_s: f64,
+        hour: Option<u32>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.collector.record(SpanRecord {
+            name,
+            track,
+            ts_us: start_s * 1e6,
+            dur_us: (end_s - start_s).max(0.0) * 1e6,
+            hour,
+            arg: None,
+        });
+    }
+
+    /// Move buffered spans to the exportable list (hour boundary).
+    pub fn flush(&self) {
+        if self.enabled {
+            self.collector.flush();
+        }
+    }
+
+    /// Attach a pre-rendered Prometheus section to the export.
+    pub fn publish(&self, section: &'static str, text: String) {
+        if self.enabled {
+            self.collector.publish(section, text);
+        }
+    }
+}
+
+/// Adapter from the host pool's [`PoolObserver`] hook to spans: each
+/// completed pool task becomes one span named after the owning phase,
+/// on that worker's [`Track::PoolWorker`] row, with the task's queue
+/// position as a `seq` attribute.
+///
+/// `airshed-hpf` cannot depend on this crate, so it defines the
+/// observer trait and this adapter implements it.
+///
+/// [`PoolObserver`]: airshed_hpf::host::PoolObserver
+pub struct PoolHook<'a> {
+    obs: &'a Obs,
+    name: &'static str,
+    hour: Option<u32>,
+}
+
+impl<'a> PoolHook<'a> {
+    /// A hook attributing pool tasks to phase `name` in `hour`.
+    pub fn new(obs: &'a Obs, name: &'static str, hour: Option<u32>) -> PoolHook<'a> {
+        PoolHook { obs, name, hour }
+    }
+
+    /// The hook as an optional trait object: `None` when the handle is
+    /// disabled, so the pool takes its zero-cost unobserved path.
+    pub fn as_observer(&self) -> Option<&dyn airshed_hpf::host::PoolObserver> {
+        if self.obs.enabled() {
+            Some(self)
+        } else {
+            None
+        }
+    }
+}
+
+impl airshed_hpf::host::PoolObserver for PoolHook<'_> {
+    fn task(&self, worker: usize, seq: usize, start: Instant, end: Instant) {
+        self.obs.record_interval(
+            self.name,
+            Track::PoolWorker {
+                lane: self.obs.lane,
+                worker: worker as u32,
+            },
+            start,
+            end,
+            self.hour,
+            Some(("seq", seq as i64)),
+        );
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled)
+            .field("lane", &self.lane)
+            .finish()
+    }
+}
+
+/// RAII wall-clock span: opened by [`Obs::span`], recorded on drop.
+/// Holds `Some(start)` only when the handle is enabled, so the disabled
+/// path is a single branch on drop.
+pub struct SpanGuard<'a> {
+    obs: &'a Obs,
+    name: &'static str,
+    hour: Option<u32>,
+    arg: Option<(&'static str, i64)>,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let end = Instant::now();
+            self.obs.collector.record(SpanRecord {
+                name: self.name,
+                track: Track::Lane(self.obs.lane),
+                ts_us: self.obs.us_since_epoch(start),
+                dur_us: end.saturating_duration_since(start).as_secs_f64() * 1e6,
+                hour: self.hour,
+                arg: self.arg,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let obs = Obs::off();
+        assert!(!obs.enabled());
+        let _g = obs.span("phase");
+        drop(_g);
+        obs.flush();
+        // Nothing observable; mostly asserting it does not panic.
+    }
+
+    #[test]
+    fn spans_land_in_sink_after_flush() {
+        let sink = Arc::new(SpanSink::new());
+        let obs = Obs::new(sink.clone());
+        {
+            let _outer = obs.span_hour("hour", 3);
+            let _inner = obs.span_hour("transport", 3);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        obs.flush();
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        // Sorted by start: outer ("hour") starts first.
+        assert_eq!(events[0].name, "hour");
+        assert_eq!(events[1].name, "transport");
+        assert!(events[0].dur_us >= events[1].dur_us);
+        assert_eq!(events[0].hour, Some(3));
+        // Nesting: inner lies within outer.
+        assert!(events[1].ts_us >= events[0].ts_us);
+        assert!(events[1].ts_us + events[1].dur_us <= events[0].ts_us + events[0].dur_us + 1.0);
+    }
+
+    #[test]
+    fn spans_from_worker_threads_survive_thread_exit() {
+        let sink = Arc::new(SpanSink::new());
+        let obs = Obs::new(sink.clone());
+        std::thread::scope(|scope| {
+            for w in 0..4u32 {
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    let now = Instant::now();
+                    obs.record_interval(
+                        "task",
+                        Track::PoolWorker { lane: 0, worker: w },
+                        now,
+                        now + Duration::from_micros(10),
+                        Some(0),
+                        Some(("seq", w as i64)),
+                    );
+                });
+            }
+        });
+        obs.flush();
+        assert_eq!(sink.events().len(), 4);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn publish_replaces_section() {
+        let sink = Arc::new(SpanSink::new());
+        let obs = Obs::new(sink.clone());
+        obs.publish("server", "v1".into());
+        obs.publish("server", "v2".into());
+        obs.publish("other", "x".into());
+        let sections = sink.sections();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0], ("server", "v2".to_string()));
+    }
+
+    #[test]
+    fn phase_medians_are_per_name() {
+        let sink = Arc::new(SpanSink::new());
+        let obs = Obs::new(sink.clone());
+        let t0 = Instant::now();
+        for d in [10u64, 20, 30] {
+            obs.record_interval(
+                "chemistry",
+                Track::Lane(0),
+                t0,
+                t0 + Duration::from_micros(d),
+                None,
+                None,
+            );
+        }
+        // Pool-worker spans are excluded from phase medians.
+        obs.record_interval(
+            "chemistry",
+            Track::PoolWorker { lane: 0, worker: 0 },
+            t0,
+            t0 + Duration::from_micros(500),
+            None,
+            None,
+        );
+        let medians = sink.phase_wall_medians();
+        assert_eq!(medians.len(), 1);
+        assert_eq!(medians[0].0, "chemistry");
+        assert!((medians[0].1 - 20.0).abs() < 1.5);
+    }
+}

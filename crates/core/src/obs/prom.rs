@@ -1,0 +1,196 @@
+//! Prometheus text-format exporter.
+//!
+//! [`PromWriter`] is a tiny hand-rolled writer for the Prometheus
+//! exposition format (`# HELP` / `# TYPE` headers, `name{labels} value`
+//! samples, cumulative `_bucket`/`_sum`/`_count` histogram series).
+//! The vendored serde shim is a no-op, so the text is assembled by
+//! hand; the format is line-oriented and needs nothing more.
+//!
+//! [`SpanSink::prometheus`](super::SpanSink::prometheus) renders the
+//! span-derived phase-latency histograms and then appends every
+//! section published through [`Collector::publish`] — the server
+//! publishes its whole registry (job flow counters, queue depth, cache
+//! hit rates, latency histograms) as one such section.
+//!
+//! [`Collector::publish`]: super::Collector::publish
+
+use super::metrics::{HistogramSnapshot, BUCKETS};
+use super::Track;
+use std::fmt::Write as _;
+
+/// Incremental writer for Prometheus text exposition format.
+///
+/// ```
+/// use airshed_core::obs::prom::PromWriter;
+/// let mut w = PromWriter::new();
+/// w.header("jobs_total", "Jobs ever submitted.", "counter");
+/// w.sample("jobs_total", "", 42.0);
+/// let text = w.finish();
+/// assert!(text.contains("# TYPE jobs_total counter"));
+/// assert!(text.contains("jobs_total 42"));
+/// ```
+#[derive(Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    /// Write the `# HELP` / `# TYPE` header for a metric family.
+    /// `kind` is `counter`, `gauge`, or `histogram`.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Write one sample. `labels` is either empty or a preformatted
+    /// `key="value"` list without braces (e.g. `phase="transport"`).
+    pub fn sample(&mut self, name: &str, labels: &str, value: f64) {
+        if labels.is_empty() {
+            let _ = writeln!(self.out, "{name} {}", fmt_value(value));
+        } else {
+            let _ = writeln!(self.out, "{name}{{{labels}}} {}", fmt_value(value));
+        }
+    }
+
+    /// Write the `_bucket`/`_sum`/`_count` series for one histogram.
+    /// Buckets are the power-of-two-µs buckets converted to seconds
+    /// (the Prometheus convention), cumulative, with a final `+Inf`.
+    pub fn histogram(&mut self, name: &str, labels: &str, h: &HistogramSnapshot) {
+        let sep = if labels.is_empty() { "" } else { "," };
+        let mut cumulative = 0u64;
+        for (i, &b) in h.buckets.iter().enumerate() {
+            cumulative += b;
+            // Bucket i covers [2^i, 2^{i+1}) µs → le = 2^{i+1} µs.
+            if b == 0 && i < BUCKETS - 1 {
+                continue; // keep the text short; cumulative still correct
+            }
+            let le = (1u128 << (i + 1)) as f64 * 1e-6;
+            let _ = writeln!(
+                self.out,
+                "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}",
+                fmt_value(le)
+            );
+        }
+        let _ = writeln!(
+            self.out,
+            "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+            h.count
+        );
+        self.sample(&format!("{name}_sum"), labels, h.total_micros as f64 * 1e-6);
+        self.sample(&format!("{name}_count"), labels, h.count as f64);
+    }
+
+    /// The accumulated document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Format a value the way Prometheus expects: integers without a
+/// decimal point, everything else in shortest-roundtrip form.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl super::SpanSink {
+    /// Render a Prometheus text snapshot: span-derived phase-latency
+    /// histograms first, then every published section (e.g. the server
+    /// registry) verbatim.
+    pub fn prometheus(&self) -> String {
+        use super::metrics::Histogram;
+        use std::collections::BTreeMap;
+        use std::time::Duration;
+
+        let events = self.events();
+        let mut phases: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+        let pool = Histogram::new();
+        for e in &events {
+            let d = Duration::from_nanos((e.dur_us * 1e3) as u64);
+            match e.track {
+                Track::Lane(_) => phases.entry(e.name).or_default().record(d),
+                Track::PoolWorker { .. } => pool.record(d),
+                _ => {} // virtual-time tracks are not latency samples
+            }
+        }
+
+        let mut w = PromWriter::new();
+        if !phases.is_empty() {
+            w.header(
+                "airshed_phase_seconds",
+                "Wall-clock phase latency from spans.",
+                "histogram",
+            );
+            for (name, h) in &phases {
+                w.histogram(
+                    "airshed_phase_seconds",
+                    &format!("phase=\"{name}\""),
+                    &h.snapshot(),
+                );
+            }
+        }
+        let pool = pool.snapshot();
+        if pool.count > 0 {
+            w.header(
+                "airshed_pool_task_seconds",
+                "Wall-clock thread-pool task latency from spans.",
+                "histogram",
+            );
+            w.histogram("airshed_pool_task_seconds", "", &pool);
+        }
+        let mut out = w.finish();
+        for (_, text) in self.sections() {
+            out.push_str(&text);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::metrics::Histogram;
+    use std::time::Duration;
+
+    #[test]
+    fn writer_emits_headers_samples_and_histograms() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(100));
+        let mut w = PromWriter::new();
+        w.header("x_seconds", "help text", "histogram");
+        w.histogram("x_seconds", "phase=\"t\"", &h.snapshot());
+        w.header("d", "depth", "gauge");
+        w.sample("d", "", 7.0);
+        let text = w.finish();
+        assert!(text.contains("# TYPE x_seconds histogram"));
+        // 3 µs is in [2,4) µs → le = 4e-6 s.
+        assert!(text.contains("x_seconds_bucket{phase=\"t\",le=\"0.000004\"} 1"));
+        assert!(text.contains("x_seconds_bucket{phase=\"t\",le=\"+Inf\"} 2"));
+        assert!(text.contains("x_seconds_count{phase=\"t\"} 2"));
+        assert!(text.contains("d 7\n"));
+    }
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let h = Histogram::new();
+        for micros in [1u64, 3, 3, 9] {
+            h.record(Duration::from_micros(micros));
+        }
+        let mut w = PromWriter::new();
+        w.histogram("m", "", &h.snapshot());
+        let text = w.finish();
+        // [1] in [1,2): cum 1; [3,3] in [2,4): cum 3; [9] in [8,16): cum 4.
+        assert!(text.contains("m_bucket{le=\"0.000002\"} 1"));
+        assert!(text.contains("m_bucket{le=\"0.000004\"} 3"));
+        assert!(text.contains("m_bucket{le=\"0.000016\"} 4"));
+        assert!(text.contains("m_bucket{le=\"+Inf\"} 4"));
+    }
+}

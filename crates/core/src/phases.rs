@@ -20,6 +20,7 @@
 //! set (see `EXPERIMENTS.md`).
 
 use crate::backend::ExecSpec;
+use crate::obs::{Obs, PoolHook};
 use crate::plan::ItemLayout;
 use crate::state::{HourSummary, SimState};
 use airshed_chem::aerosol::{
@@ -118,6 +119,12 @@ pub struct PhaseEngine {
     /// How the phase loops execute on the host (does not affect virtual
     /// time, only wall-clock).
     pub exec: ExecSpec,
+    /// Observability handle: pool forks report per-task spans through
+    /// it. Disabled by default; the driver installs an enabled handle
+    /// (and keeps [`PhaseEngine::set_obs_hour`] current) when tracing.
+    pub obs: Obs,
+    /// Simulated hour tag attached to pool-task spans.
+    obs_hour: Option<u32>,
     /// Reusable per-worker transport scratch (RHS + solver vectors).
     transport_pool: WorkspacePool<TransportWorkspace>,
     /// Reusable per-worker chemistry scratch.
@@ -147,6 +154,8 @@ impl PhaseEngine {
             background: sp::background_vector(),
             point_by_slot,
             exec: ExecSpec::default(),
+            obs: Obs::off(),
+            obs_hour: None,
             transport_pool: WorkspacePool::new(),
             chem_pool: WorkspacePool::new(),
             delta_pool: WorkspacePool::new(),
@@ -163,6 +172,12 @@ impl PhaseEngine {
                 ps.strength *= factor;
             }
         }
+    }
+
+    /// Tag pool-task spans recorded from here on with this simulated
+    /// hour (the driver calls this at each hour boundary).
+    pub fn set_obs_hour(&mut self, hour: u32) {
+        self.obs_hour = Some(hour);
     }
 
     /// Background (boundary) concentration of a species.
@@ -243,7 +258,8 @@ impl PhaseEngine {
                     self.transport_pool.put(ws);
                 }));
             }
-            self.exec.run(tasks);
+            let hook = PoolHook::new(&self.obs, "transport", self.obs_hour);
+            self.exec.run_observed(tasks, hook.as_observer());
         }
         // Deterministic reduction in plane order — identical for every
         // backend and thread count.
@@ -299,7 +315,8 @@ impl PhaseEngine {
                     self.chemistry_columns(chunk, part, layers, dt, input, n_rx, wout);
                 }));
             }
-            self.exec.run(tasks);
+            let hook = PoolHook::new(&self.obs, "chemistry", self.obs_hour);
+            self.exec.run_observed(tasks, hook.as_observer());
         }
 
         let mut per_column = vec![0.0f64; nodes];
@@ -471,7 +488,8 @@ impl PhaseEngine {
                     apply_uptake(s_head, h_head, a_head, v_head, scale, d_head);
                 }));
             }
-            self.exec.run(tasks);
+            let hook = PoolHook::new(&self.obs, "aerosol", self.obs_hour);
+            self.exec.run_observed(tasks, hook.as_observer());
         }
         let r = reduce_deltas(&deltas, scale.neutralization);
         self.delta_pool.put(deltas);

@@ -67,6 +67,15 @@ pub enum ItemLayout {
 impl ItemLayout {
     /// Reduce per-item work (per layer or per column) to per-node work
     /// under this layout.
+    ///
+    /// ```
+    /// use airshed_core::plan::ItemLayout;
+    /// let per_item = [3.0, 1.0, 4.0, 1.0, 5.0];
+    /// // BLOCK: ceil-sized contiguous blocks of 3 + 2 items.
+    /// assert_eq!(ItemLayout::Block.per_node(&per_item, 2), vec![8.0, 6.0]);
+    /// // CYCLIC: items 0,2,4 on node 0; items 1,3 on node 1.
+    /// assert_eq!(ItemLayout::Cyclic.per_node(&per_item, 2), vec![12.0, 2.0]);
+    /// ```
     pub fn per_node(&self, per_item: &[f64], p: usize) -> Vec<f64> {
         match self {
             ItemLayout::Block => block_ranges(per_item.len(), p)
@@ -93,6 +102,14 @@ impl ItemLayout {
     /// per-node sums; the real execution backend runs the index lists.
     /// Block parts are contiguous ascending ranges; cyclic parts stripe
     /// round-robin (each list still ascends).
+    ///
+    /// ```
+    /// use airshed_core::plan::ItemLayout;
+    /// assert_eq!(
+    ///     ItemLayout::Cyclic.partition(5, 2),
+    ///     vec![vec![0, 2, 4], vec![1, 3]],
+    /// );
+    /// ```
     pub fn partition(&self, n_items: usize, parts: usize) -> Vec<Vec<usize>> {
         match self {
             ItemLayout::Block => block_ranges(n_items, parts)
@@ -192,9 +209,14 @@ pub struct PhaseGraph {
 }
 
 impl PhaseGraph {
+    /// Index of the `D_Repl->D_Trans` edge in [`PhaseGraph::edges`].
     pub const EDGE_REPL_TO_TRANS: usize = 0;
+    /// Index of the `D_Trans->D_Chem` edge in [`PhaseGraph::edges`].
     pub const EDGE_TRANS_TO_CHEM: usize = 1;
+    /// Index of the `D_Chem->D_Repl` edge in [`PhaseGraph::edges`].
     pub const EDGE_CHEM_TO_REPL: usize = 2;
+    /// Index of the hour-boundary `D_Trans->D_Repl` edge in
+    /// [`PhaseGraph::edges`].
     pub const EDGE_TRANS_TO_REPL: usize = 3;
 
     /// Build the plan graph for one captured hour, mirroring Figure 1's

@@ -13,6 +13,7 @@
 //! pipeline recurrence combines them.
 
 use crate::driver::HourPlans;
+use crate::obs::{Obs, Track};
 use crate::plan::PhaseGraph;
 use crate::profile::WorkProfile;
 use crate::report::RunReport;
@@ -61,6 +62,21 @@ pub fn replay_taskparallel_split(
     p_in: usize,
     p_out: usize,
 ) -> TaskParReport {
+    replay_taskparallel_obs(profile, machine_profile, p, p_in, p_out, &Obs::off())
+}
+
+/// [`replay_taskparallel_split`] reporting the pipeline schedule as
+/// virtual-time spans: one [`Track::Stage`] row per stage (`input`,
+/// `compute`, `output`), one span per simulated hour on each — the
+/// paper's Fig 8 Gantt, exported to the trace.
+pub fn replay_taskparallel_obs(
+    profile: &WorkProfile,
+    machine_profile: MachineProfile,
+    p: usize,
+    p_in: usize,
+    p_out: usize,
+    obs: &Obs,
+) -> TaskParReport {
     assert!(p_in >= 1 && p_out >= 1);
     assert!(
         p > p_in + p_out,
@@ -89,6 +105,15 @@ pub fn replay_taskparallel_split(
 
     let durations = vec![input_durs, compute_durs, output_durs];
     let sched = schedule(&durations);
+    if obs.enabled() {
+        const STAGES: [&str; 3] = ["pipeline:input", "pipeline:compute", "pipeline:output"];
+        for (s, name) in STAGES.iter().enumerate() {
+            for (i, (&end, &dur)) in sched.completion[s].iter().zip(&durations[s]).enumerate() {
+                obs.record_virtual(name, Track::Stage(name), end - dur, end, Some(i as u32));
+            }
+        }
+        obs.flush();
+    }
     TaskParReport {
         p,
         io_nodes: p_in + p_out,

@@ -16,10 +16,41 @@
 //! array), which is what keeps the hot kernels allocation-free.
 
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A unit of work handed to the pool. Boxed so heterogeneous captures
 /// can share one queue; `'scope` lets it borrow caller data.
 pub type Task<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+/// Observer for pool task execution, implemented by the observability
+/// layer upstream (this crate cannot depend on `airshed-core`, so the
+/// hook is defined here and adapted there).
+///
+/// `task` is called once per completed task with the worker index that
+/// ran it, the task's position in the submission order, and the
+/// wall-clock start/end instants. Implementations must be cheap and
+/// thread-safe: calls arrive concurrently from every worker.
+///
+/// ```
+/// use airshed_hpf::host::{run_parts_observed, PoolObserver, Task};
+/// use std::sync::Mutex;
+/// use std::time::Instant;
+///
+/// struct Count(Mutex<usize>);
+/// impl PoolObserver for Count {
+///     fn task(&self, _w: usize, _seq: usize, _s: Instant, _e: Instant) {
+///         *self.0.lock().unwrap() += 1;
+///     }
+/// }
+///
+/// let seen = Count(Mutex::new(0));
+/// let tasks: Vec<Task> = (0..5).map(|_| Box::new(|| {}) as Task).collect();
+/// run_parts_observed(2, tasks, Some(&seen));
+/// assert_eq!(*seen.0.lock().unwrap(), 5);
+/// ```
+pub trait PoolObserver: Sync {
+    fn task(&self, worker: usize, seq: usize, start: Instant, end: Instant);
+}
 
 /// Run `tasks` to completion on up to `threads` worker threads.
 ///
@@ -35,21 +66,51 @@ pub type Task<'scope> = Box<dyn FnOnce() + Send + 'scope>;
 ///
 /// Panics in a task propagate to the caller when the scope joins.
 pub fn run_parts(threads: usize, tasks: Vec<Task<'_>>) {
+    run_parts_observed(threads, tasks, None);
+}
+
+/// [`run_parts`] with an optional [`PoolObserver`] reporting each task's
+/// worker, queue position, and wall-clock interval.
+///
+/// With `observer == None` this is exactly `run_parts` — no clock reads,
+/// no extra bookkeeping — so the unobserved path stays zero-cost.
+/// Observation never changes scheduling or result order: the observer is
+/// invoked after a task completes, outside the queue lock.
+pub fn run_parts_observed(
+    threads: usize,
+    tasks: Vec<Task<'_>>,
+    observer: Option<&dyn PoolObserver>,
+) {
     let workers = threads.min(tasks.len());
     if workers <= 1 {
-        for task in tasks {
-            task();
+        for (seq, task) in tasks.into_iter().enumerate() {
+            match observer {
+                None => task(),
+                Some(obs) => {
+                    let start = Instant::now();
+                    task();
+                    obs.task(0, seq, start, Instant::now());
+                }
+            }
         }
         return;
     }
-    let queue = Mutex::new(tasks.into_iter());
+    let queue = Mutex::new(tasks.into_iter().enumerate());
+    let queue = &queue;
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for worker in 0..workers {
+            scope.spawn(move || loop {
                 // Hold the lock only while drawing, never while running.
                 let task = queue.lock().unwrap().next();
                 match task {
-                    Some(task) => task(),
+                    Some((seq, task)) => match observer {
+                        None => task(),
+                        Some(obs) => {
+                            let start = Instant::now();
+                            task();
+                            obs.task(worker, seq, start, Instant::now());
+                        }
+                    },
                     None => break,
                 }
             });
@@ -109,6 +170,27 @@ mod tests {
     #[test]
     fn empty_queue_is_fine() {
         run_parts(8, Vec::new());
+    }
+
+    #[test]
+    fn observer_sees_every_task_once_with_valid_workers() {
+        struct Rec(Mutex<Vec<(usize, usize)>>);
+        impl PoolObserver for Rec {
+            fn task(&self, worker: usize, seq: usize, start: Instant, end: Instant) {
+                assert!(end >= start);
+                self.0.lock().unwrap().push((worker, seq));
+            }
+        }
+        for threads in [1usize, 3] {
+            let rec = Rec(Mutex::new(Vec::new()));
+            let tasks: Vec<Task> = (0..17).map(|_| Box::new(|| {}) as Task).collect();
+            run_parts_observed(threads, tasks, Some(&rec));
+            let mut seen = rec.0.into_inner().unwrap();
+            assert!(seen.iter().all(|&(w, _)| w < threads));
+            seen.sort_by_key(|&(_, seq)| seq);
+            let seqs: Vec<usize> = seen.iter().map(|&(_, seq)| seq).collect();
+            assert_eq!(seqs, (0..17).collect::<Vec<_>>(), "threads={threads}");
+        }
     }
 
     #[test]

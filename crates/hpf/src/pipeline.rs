@@ -21,6 +21,15 @@ pub struct PipelineSchedule {
 }
 
 /// Schedule `durations[s][i]` (stage-major) through a linear pipeline.
+///
+/// ```
+/// use airshed_hpf::pipeline::{schedule, sequential_makespan};
+/// // 3 unit-cost stages over 4 items overlap: stages + items - 1 ticks.
+/// let durations = vec![vec![1.0; 4]; 3];
+/// let sched = schedule(&durations);
+/// assert_eq!(sched.makespan, 6.0);
+/// assert_eq!(sequential_makespan(&durations), 12.0);
+/// ```
 pub fn schedule(durations: &[Vec<f64>]) -> PipelineSchedule {
     let stages = durations.len();
     assert!(stages > 0, "need at least one stage");

@@ -42,7 +42,7 @@ use crate::queue::{BoundedQueue, PushError};
 use airshed_core::checkpoint::Checkpoint;
 use airshed_core::config::SimConfig;
 use airshed_core::driver::ChemLayout;
-use airshed_core::{RunReport, WorkProfile};
+use airshed_core::{Obs, RunReport, WorkProfile};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -255,6 +255,11 @@ pub struct ServerConfig {
     /// transport/chemistry loops fork onto this backend's threads, so
     /// total kernel concurrency is roughly `workers × exec.threads`.
     pub exec: airshed_core::ExecSpec,
+    /// Observability handle. Worker `k` records its job lifecycle and
+    /// driver spans on lane `k + 1` of this handle's collector; the
+    /// final metrics snapshot is published into it when the server's
+    /// shared state drops. Disabled by default.
+    pub obs: Obs,
 }
 
 impl Default for ServerConfig {
@@ -268,6 +273,7 @@ impl Default for ServerConfig {
             cache_shards: 8,
             default_deadline: None,
             exec: airshed_core::ExecSpec::default(),
+            obs: Obs::off(),
         }
     }
 }
@@ -280,6 +286,22 @@ pub(crate) struct Shared {
     pub(crate) results: ShardedLru<ResultKey, Arc<RunReport>>,
     pub(crate) admission: AdmissionController,
     pub(crate) exec: airshed_core::ExecSpec,
+    pub(crate) obs: Obs,
+}
+
+impl Drop for Shared {
+    /// Drain-safety: whatever path tears the server down (explicit
+    /// [`ScenarioServer::shutdown`], plain drop, or a panicking test),
+    /// the last owner of the shared state publishes the final registry
+    /// snapshot into the obs collector. Workers hold clones of the
+    /// `Arc<Shared>`, and both teardown paths join them first, so every
+    /// recorded-but-unreported counter update is visible here.
+    fn drop(&mut self) {
+        if self.obs.enabled() {
+            self.obs
+                .publish("server-metrics", self.metrics.snapshot().to_prometheus());
+        }
+    }
 }
 
 /// The concurrent scenario service.
@@ -317,14 +339,18 @@ impl ScenarioServer {
             results: ShardedLru::new(config.cache_shards, config.result_cache_capacity),
             admission: AdmissionController::new(config.budget_seconds),
             exec: config.exec,
+            obs: config.obs.clone(),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let default_deadline = config.default_deadline;
+                // Worker k records on lane k+1 (lane 0 is the client /
+                // CLI driver), so concurrent jobs get separate tracks.
+                let worker_obs = config.obs.with_lane(i as u32 + 1);
                 std::thread::Builder::new()
                     .name(format!("airshed-worker-{i}"))
-                    .spawn(move || worker::worker_loop(&shared, default_deadline))
+                    .spawn(move || worker::worker_loop(&shared, default_deadline, &worker_obs))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -339,17 +365,20 @@ impl ScenarioServer {
     /// (accepted, queue-full, or rejected by admission control).
     pub fn submit(&self, request: ScenarioRequest) -> SubmitOutcome {
         let metrics = &self.shared.metrics;
-        metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let obs = &self.shared.obs;
+        let _submit_span = obs.span("submit");
+        metrics.submitted.inc();
 
         // Resumed jobs were already admitted once; re-deciding would
         // double-charge them against the budget.
         if request.resume.is_none() {
+            let _admission_span = obs.span("admission");
             if let AdmissionDecision::Reject {
                 predicted_seconds,
                 budget_seconds,
             } = self.shared.admission.decide(&request.config)
             {
-                metrics.rejected_admission.fetch_add(1, Ordering::Relaxed);
+                metrics.rejected_admission.inc();
                 return SubmitOutcome::Rejected {
                     predicted_seconds,
                     budget_seconds,
@@ -367,15 +396,16 @@ impl ScenarioServer {
         };
         match self.shared.queue.try_push(job) {
             Ok(()) => {
-                metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+                metrics.in_flight.inc();
+                metrics.queue_depth.inc();
                 SubmitOutcome::Submitted(JobHandle { id, cell })
             }
             Err((_, PushError::Full)) => {
-                metrics.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                metrics.rejected_queue_full.inc();
                 SubmitOutcome::QueueFull
             }
             Err((_, PushError::Closed)) => {
-                metrics.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                metrics.rejected_queue_full.inc();
                 SubmitOutcome::ShuttingDown
             }
         }
@@ -586,6 +616,32 @@ mod tests {
         let m = server.shutdown();
         assert_eq!(m.rejected_admission, 1);
         assert!(m.reconciles());
+    }
+
+    #[test]
+    fn dropped_server_flushes_final_metrics() {
+        // Drain-safety regression: a server dropped WITHOUT an explicit
+        // shutdown() must still publish its final registry snapshot to
+        // the obs collector (counters registered but never reported
+        // used to be lost on this path).
+        let sink = Arc::new(airshed_core::obs::SpanSink::new());
+        let obs = Obs::new(Arc::clone(&sink) as Arc<dyn airshed_core::obs::Collector>);
+        let server = ScenarioServer::start(ServerConfig {
+            workers: 1,
+            obs,
+            ..Default::default()
+        });
+        let handle = server.submit(tiny_request(4, 1)).into_handle().unwrap();
+        handle.wait().unwrap();
+        drop(server);
+        let sections = sink.sections();
+        let (_, text) = sections
+            .iter()
+            .find(|(name, _)| *name == "server-metrics")
+            .expect("final metrics published on drop");
+        assert!(text.contains("airshed_server_submitted_total 1"), "{text}");
+        assert!(text.contains("airshed_server_completed_total 1"), "{text}");
+        assert!(text.contains("airshed_server_in_flight 0"), "{text}");
     }
 
     #[test]

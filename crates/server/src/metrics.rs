@@ -1,5 +1,16 @@
 //! Metrics registry: lock-free counters plus latency histograms,
-//! snapshot-able as a plain struct and printable as a text report.
+//! snapshot-able as a plain struct, printable as a text report, and
+//! renderable as a Prometheus text-format section.
+//!
+//! The registry is built from the observability layer's primitives
+//! ([`airshed_core::obs::metrics`]) — the same `Counter`/`Gauge`/
+//! [`Histogram`] types the span exporters use — so the server reports
+//! through the unified spine rather than a bespoke one. The final
+//! snapshot is published into the run's obs collector when the server's
+//! shared state drops (see `Shared` in the crate root), which makes the
+//! registry drain-safe: a server that is dropped without an explicit
+//! `shutdown()` still flushes its counters to the `--metrics-out`
+//! export.
 //!
 //! The registry is the observability contract of the scenario service:
 //! every job submitted to the server is accounted for in exactly one of
@@ -12,107 +23,32 @@
 //! which [`MetricsSnapshot::reconciles`] checks (a non-drained snapshot
 //! carries the remainder in `in_flight`).
 
-use serde::Serialize;
+pub use airshed_core::obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use airshed_core::obs::prom::PromWriter;
 use std::fmt;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::time::Duration;
-
-/// Number of power-of-two microsecond buckets in a histogram. Bucket `i`
-/// covers `[2^i, 2^{i+1})` µs; bucket 0 also absorbs sub-microsecond
-/// samples, the last bucket absorbs everything above ~35 minutes.
-const BUCKETS: usize = 32;
-
-/// A concurrent latency histogram with power-of-two microsecond buckets.
-#[derive(Default)]
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    total_micros: AtomicU64,
-    max_micros: AtomicU64,
-}
-
-impl Histogram {
-    pub fn new() -> Histogram {
-        Histogram::default()
-    }
-
-    /// Record one sample.
-    pub fn record(&self, sample: Duration) {
-        let micros = sample.as_micros().min(u64::MAX as u128) as u64;
-        let idx = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_micros.fetch_add(micros, Ordering::Relaxed);
-        self.max_micros.fetch_max(micros, Ordering::Relaxed);
-    }
-
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
-            count: self.count.load(Ordering::Relaxed),
-            total_micros: self.total_micros.load(Ordering::Relaxed),
-            max_micros: self.max_micros.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// A point-in-time copy of a [`Histogram`].
-#[derive(Debug, Clone, Serialize)]
-pub struct HistogramSnapshot {
-    pub buckets: [u64; BUCKETS],
-    pub count: u64,
-    pub total_micros: u64,
-    pub max_micros: u64,
-}
-
-impl HistogramSnapshot {
-    /// Mean sample in microseconds.
-    pub fn mean_micros(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.total_micros as f64 / self.count as f64
-        }
-    }
-
-    /// Upper bound (µs) of the bucket holding the `q`-quantile sample
-    /// (`q` in `[0, 1]`). Bucket resolution, so at most 2x off.
-    pub fn quantile_micros(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, &b) in self.buckets.iter().enumerate() {
-            seen += b;
-            if seen >= rank {
-                return 1u64 << (i + 1).min(63);
-            }
-        }
-        self.max_micros
-    }
-}
 
 /// The scenario service's metrics registry.
 #[derive(Default)]
 pub struct Metrics {
     // Flow counters. `submitted` counts every submit attempt; each
     // attempt ends in exactly one of the other flow counters.
-    pub submitted: AtomicU64,
-    pub completed: AtomicU64,
-    pub rejected_admission: AtomicU64,
-    pub rejected_queue_full: AtomicU64,
-    pub cancelled: AtomicU64,
-    pub deadline_expired: AtomicU64,
-    pub failed: AtomicU64,
+    pub submitted: Counter,
+    pub completed: Counter,
+    pub rejected_admission: Counter,
+    pub rejected_queue_full: Counter,
+    pub cancelled: Counter,
+    pub deadline_expired: Counter,
+    pub failed: Counter,
     /// Jobs accepted into the queue but not yet finished (gauge).
-    pub in_flight: AtomicI64,
+    pub in_flight: Gauge,
+    /// Jobs currently sitting in the submission queue (gauge).
+    pub queue_depth: Gauge,
 
     // Cache observability.
-    pub profile_cache_hits: AtomicU64,
-    pub profile_cache_misses: AtomicU64,
-    pub result_cache_hits: AtomicU64,
-    pub result_cache_misses: AtomicU64,
+    pub profile_cache_hits: Counter,
+    pub profile_cache_misses: Counter,
+    pub result_cache_hits: Counter,
+    pub result_cache_misses: Counter,
 
     // Latency histograms per job phase.
     pub queue_wait: Histogram,
@@ -126,20 +62,20 @@ impl Metrics {
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let r = Ordering::Relaxed;
         MetricsSnapshot {
-            submitted: self.submitted.load(r),
-            completed: self.completed.load(r),
-            rejected_admission: self.rejected_admission.load(r),
-            rejected_queue_full: self.rejected_queue_full.load(r),
-            cancelled: self.cancelled.load(r),
-            deadline_expired: self.deadline_expired.load(r),
-            failed: self.failed.load(r),
-            in_flight: self.in_flight.load(r),
-            profile_cache_hits: self.profile_cache_hits.load(r),
-            profile_cache_misses: self.profile_cache_misses.load(r),
-            result_cache_hits: self.result_cache_hits.load(r),
-            result_cache_misses: self.result_cache_misses.load(r),
+            submitted: self.submitted.get(),
+            completed: self.completed.get(),
+            rejected_admission: self.rejected_admission.get(),
+            rejected_queue_full: self.rejected_queue_full.get(),
+            cancelled: self.cancelled.get(),
+            deadline_expired: self.deadline_expired.get(),
+            failed: self.failed.get(),
+            in_flight: self.in_flight.get(),
+            queue_depth: self.queue_depth.get(),
+            profile_cache_hits: self.profile_cache_hits.get(),
+            profile_cache_misses: self.profile_cache_misses.get(),
+            result_cache_hits: self.result_cache_hits.get(),
+            result_cache_misses: self.result_cache_misses.get(),
             queue_wait: self.queue_wait.snapshot(),
             service: self.service.snapshot(),
             latency: self.latency.snapshot(),
@@ -149,7 +85,7 @@ impl Metrics {
 
 /// A point-in-time copy of the whole registry — a plain struct, so it can
 /// be asserted on in tests and serialised by harnesses.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
     pub submitted: u64,
     pub completed: u64,
@@ -159,6 +95,7 @@ pub struct MetricsSnapshot {
     pub deadline_expired: u64,
     pub failed: u64,
     pub in_flight: i64,
+    pub queue_depth: i64,
     pub profile_cache_hits: u64,
     pub profile_cache_misses: u64,
     pub result_cache_hits: u64,
@@ -186,6 +123,103 @@ impl MetricsSnapshot {
         self.submitted as i64
             == (self.completed + self.rejected() + self.cancelled_total() + self.failed) as i64
                 + self.in_flight
+    }
+
+    /// Render the snapshot in Prometheus text exposition format:
+    /// job-flow counters, the queue-depth and in-flight gauges, cache
+    /// hit/miss counters, and the three latency histograms.
+    pub fn to_prometheus(&self) -> String {
+        let mut w = PromWriter::new();
+        let counters: [(&str, &str, u64); 7] = [
+            (
+                "airshed_server_submitted_total",
+                "Submit attempts.",
+                self.submitted,
+            ),
+            (
+                "airshed_server_completed_total",
+                "Jobs completed.",
+                self.completed,
+            ),
+            (
+                "airshed_server_rejected_admission_total",
+                "Jobs rejected by admission control.",
+                self.rejected_admission,
+            ),
+            (
+                "airshed_server_rejected_queue_full_total",
+                "Jobs rejected by queue backpressure.",
+                self.rejected_queue_full,
+            ),
+            (
+                "airshed_server_cancelled_total",
+                "Jobs cancelled.",
+                self.cancelled,
+            ),
+            (
+                "airshed_server_deadline_expired_total",
+                "Jobs expired at an hour boundary.",
+                self.deadline_expired,
+            ),
+            (
+                "airshed_server_failed_total",
+                "Jobs that panicked.",
+                self.failed,
+            ),
+        ];
+        for (name, help, v) in counters {
+            w.header(name, help, "counter");
+            w.sample(name, "", v as f64);
+        }
+        w.header(
+            "airshed_server_in_flight",
+            "Jobs accepted but not finished.",
+            "gauge",
+        );
+        w.sample("airshed_server_in_flight", "", self.in_flight as f64);
+        w.header(
+            "airshed_server_queue_depth",
+            "Jobs waiting in the queue.",
+            "gauge",
+        );
+        w.sample("airshed_server_queue_depth", "", self.queue_depth as f64);
+
+        w.header(
+            "airshed_server_cache_events_total",
+            "Cache hits and misses by cache and outcome.",
+            "counter",
+        );
+        let caches: [(&str, &str, u64); 4] = [
+            ("profile", "hit", self.profile_cache_hits),
+            ("profile", "miss", self.profile_cache_misses),
+            ("result", "hit", self.result_cache_hits),
+            ("result", "miss", self.result_cache_misses),
+        ];
+        for (cache, outcome, v) in caches {
+            w.sample(
+                "airshed_server_cache_events_total",
+                &format!("cache=\"{cache}\",outcome=\"{outcome}\""),
+                v as f64,
+            );
+        }
+
+        w.header(
+            "airshed_server_job_seconds",
+            "Job latency by stage (queue wait, service, end-to-end).",
+            "histogram",
+        );
+        for (stage, h) in [
+            ("queue_wait", &self.queue_wait),
+            ("service", &self.service),
+            ("latency", &self.latency),
+        ] {
+            w.histogram(
+                "airshed_server_job_seconds",
+                &format!("stage=\"{stage}\""),
+                h,
+            );
+        }
+        w.finish()
     }
 }
 
@@ -243,57 +277,51 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_and_quantiles() {
-        let h = Histogram::new();
-        for micros in [1u64, 2, 3, 100, 1000, 100_000] {
-            h.record(Duration::from_micros(micros));
-        }
-        let s = h.snapshot();
-        assert_eq!(s.count, 6);
-        assert_eq!(s.max_micros, 100_000);
-        assert_eq!(s.total_micros, 101_106);
-        // p50 of {1,2,3,100,1000,100000}: third sample, bucket of 3 µs
-        // is [2,4) so the reported upper bound is 4.
-        assert_eq!(s.quantile_micros(0.5), 4);
-        assert!(s.quantile_micros(1.0) >= 100_000);
-        assert_eq!(s.quantile_micros(0.0), s.quantile_micros(1e-9));
-    }
-
-    #[test]
-    fn zero_duration_lands_in_first_bucket() {
-        let h = Histogram::new();
-        h.record(Duration::ZERO);
-        let s = h.snapshot();
-        assert_eq!(s.count, 1);
-        assert_eq!(s.buckets[0], 1);
-        assert_eq!(s.mean_micros(), 0.0);
-    }
-
-    #[test]
     fn snapshot_reconciles() {
         let m = Metrics::new();
-        m.submitted.fetch_add(10, Ordering::Relaxed);
-        m.completed.fetch_add(6, Ordering::Relaxed);
-        m.rejected_admission.fetch_add(1, Ordering::Relaxed);
-        m.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
-        m.cancelled.fetch_add(1, Ordering::Relaxed);
-        m.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        m.submitted.add(10);
+        m.completed.add(6);
+        m.rejected_admission.inc();
+        m.rejected_queue_full.inc();
+        m.cancelled.inc();
+        m.deadline_expired.inc();
         let s = m.snapshot();
         assert!(s.reconciles(), "{s}");
-        m.submitted.fetch_add(1, Ordering::Relaxed);
+        m.submitted.inc();
         assert!(!m.snapshot().reconciles());
-        m.in_flight.fetch_add(1, Ordering::Relaxed);
+        m.in_flight.inc();
         assert!(m.snapshot().reconciles());
     }
 
     #[test]
     fn report_mentions_the_reconciliation() {
         let m = Metrics::new();
-        m.submitted.fetch_add(2, Ordering::Relaxed);
-        m.completed.fetch_add(2, Ordering::Relaxed);
-        m.result_cache_hits.fetch_add(1, Ordering::Relaxed);
+        m.submitted.add(2);
+        m.completed.add(2);
+        m.result_cache_hits.inc();
         let text = format!("{}", m.snapshot());
         assert!(text.contains("reconciled"));
         assert!(text.contains("result cache: 1 hits"));
+    }
+
+    #[test]
+    fn prometheus_rendering_carries_the_counts() {
+        let m = Metrics::new();
+        m.submitted.add(5);
+        m.completed.add(3);
+        m.cancelled.add(2);
+        m.queue_depth.add(4);
+        m.result_cache_hits.inc();
+        m.service.record(std::time::Duration::from_micros(100));
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE airshed_server_submitted_total counter"));
+        assert!(text.contains("airshed_server_submitted_total 5"));
+        assert!(text.contains("airshed_server_completed_total 3"));
+        assert!(text.contains("airshed_server_queue_depth 4"));
+        assert!(
+            text.contains("airshed_server_cache_events_total{cache=\"result\",outcome=\"hit\"} 1")
+        );
+        assert!(text.contains("airshed_server_job_seconds_count{stage=\"service\"} 1"));
+        assert!(text.contains("airshed_server_job_seconds_bucket{stage=\"service\",le=\"+Inf\"} 1"));
     }
 }

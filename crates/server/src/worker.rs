@@ -20,11 +20,13 @@
 use crate::cache::{NumericsKey, ResultKey};
 use crate::{JobCell, JobError, JobResult, ResumePoint, ScenarioRequest, Shared};
 use airshed_core::config::SimConfig;
-use airshed_core::driver::run_resumable_with;
+use airshed_core::driver::run_resumable_obs;
+use airshed_core::obs::Track;
 use airshed_core::plan::replay_profile;
 use airshed_core::profile::HourProfile;
 use airshed_core::state::HourSummary;
 use airshed_core::ExecSpec;
+use airshed_core::Obs;
 use airshed_core::WorkProfile;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -40,14 +42,29 @@ pub(crate) struct QueuedJob {
 }
 
 /// Body of one worker thread: pop until the queue closes and drains.
-pub(crate) fn worker_loop(shared: &Shared, default_deadline: Option<Duration>) {
+/// `obs` is the worker's lane-bound observability handle: the queue
+/// wait, each job's execution, and the driver's per-hour spans all land
+/// on this worker's track.
+pub(crate) fn worker_loop(shared: &Shared, default_deadline: Option<Duration>, obs: &Obs) {
     while let Some(job) = shared.queue.pop() {
         let metrics = &shared.metrics;
-        metrics.queue_wait.record(job.enqueued_at.elapsed());
+        metrics.queue_depth.dec();
+        let popped_at = Instant::now();
+        metrics.queue_wait.record(popped_at - job.enqueued_at);
+        // The wait is over by the time this worker sees the job; record
+        // it retroactively so the trace shows the backpressure.
+        obs.record_interval(
+            "queue-wait",
+            Track::Lane(obs.lane()),
+            job.enqueued_at,
+            popped_at,
+            None,
+            Some(("job", job.id.0 as i64)),
+        );
 
         if job.cell.cancel.load(Ordering::Relaxed) {
-            metrics.cancelled.fetch_add(1, Ordering::Relaxed);
-            metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+            metrics.cancelled.inc();
+            metrics.in_flight.dec();
             job.cell.finish(Err(JobError::Cancelled { resume: None }));
             continue;
         }
@@ -58,38 +75,41 @@ pub(crate) fn worker_loop(shared: &Shared, default_deadline: Option<Duration>) {
             .deadline
             .or(default_deadline)
             .map(|d| started + d);
-        let result: JobResult =
-            match catch_unwind(AssertUnwindSafe(|| execute(shared, &job, deadline_at))) {
+        let result: JobResult = {
+            let _job_span = obs.span_arg("job", "job", job.id.0 as i64);
+            match catch_unwind(AssertUnwindSafe(|| execute(shared, &job, deadline_at, obs))) {
                 Ok(result) => result,
                 Err(panic) => Err(JobError::Failed {
                     message: panic_message(panic.as_ref()),
                 }),
-            };
+            }
+        };
 
         match &result {
             Ok(_) => {
-                metrics.completed.fetch_add(1, Ordering::Relaxed);
+                metrics.completed.inc();
                 metrics.service.record(started.elapsed());
                 metrics.latency.record(job.enqueued_at.elapsed());
             }
             Err(JobError::Cancelled { .. }) => {
-                metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                metrics.cancelled.inc();
             }
             Err(JobError::DeadlineExpired { .. }) => {
-                metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                metrics.deadline_expired.inc();
             }
             Err(JobError::Failed { message }) => {
                 eprintln!("airshed-server: {} failed: {message}", job.id);
-                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                metrics.failed.inc();
             }
         }
-        metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        metrics.in_flight.dec();
         job.cell.finish(result);
+        obs.flush();
     }
 }
 
 /// Run one job to a terminal state (report or error).
-fn execute(shared: &Shared, job: &QueuedJob, deadline_at: Option<Instant>) -> JobResult {
+fn execute(shared: &Shared, job: &QueuedJob, deadline_at: Option<Instant>, obs: &Obs) -> JobResult {
     let request = &job.request;
     let config = &request.config;
     let numerics_key = NumericsKey::of(config);
@@ -97,25 +117,26 @@ fn execute(shared: &Shared, job: &QueuedJob, deadline_at: Option<Instant>) -> Jo
     let metrics = &shared.metrics;
 
     if let Some(report) = shared.results.get(&result_key) {
-        metrics.result_cache_hits.fetch_add(1, Ordering::Relaxed);
+        metrics.result_cache_hits.inc();
         return Ok(report);
     }
-    metrics.result_cache_misses.fetch_add(1, Ordering::Relaxed);
+    metrics.result_cache_misses.inc();
 
     let profile = match shared.profiles.get(&numerics_key) {
         Some(profile) => {
-            metrics.profile_cache_hits.fetch_add(1, Ordering::Relaxed);
+            metrics.profile_cache_hits.inc();
             profile
         }
         None => {
-            metrics.profile_cache_misses.fetch_add(1, Ordering::Relaxed);
+            metrics.profile_cache_misses.inc();
             let resume = request.resume.as_deref().cloned();
-            let profile = Arc::new(run_hourly(
+            let profile = Arc::new(run_hourly_obs(
                 config,
                 resume,
                 &job.cell.cancel,
                 deadline_at,
                 shared.exec,
+                obs,
             )?);
             shared.profiles.insert(numerics_key, Arc::clone(&profile));
             shared.admission.calibrate(config, &profile);
@@ -126,6 +147,7 @@ fn execute(shared: &Shared, job: &QueuedJob, deadline_at: Option<Instant>) -> Jo
     // Whether the profile came from the cache or was just captured, the
     // report is charged through the same plan-graph execution — a cached
     // profile and a fresh run price identically.
+    let _replay_span = obs.span("replay");
     let report = Arc::new(replay_profile(
         &profile,
         config.machine,
@@ -146,6 +168,20 @@ pub fn run_hourly(
     cancel: &AtomicBool,
     deadline_at: Option<Instant>,
     exec: ExecSpec,
+) -> Result<WorkProfile, JobError> {
+    run_hourly_obs(config, resume, cancel, deadline_at, exec, &Obs::off())
+}
+
+/// [`run_hourly`] reporting the driver's spans through `obs` (the
+/// worker's lane-bound handle), so each simulated hour of a server job
+/// shows up nested under that worker's job span.
+pub fn run_hourly_obs(
+    config: &SimConfig,
+    resume: Option<ResumePoint>,
+    cancel: &AtomicBool,
+    deadline_at: Option<Instant>,
+    exec: ExecSpec,
+    obs: &Obs,
 ) -> Result<WorkProfile, JobError> {
     let total = config.hours;
     let (mut hours, mut summaries, mut meta, mut checkpoint) = match resume {
@@ -171,7 +207,7 @@ pub fn run_hourly(
         }
         let mut segment = config.clone();
         segment.hours = 1;
-        let (_, prof, next) = run_resumable_with(&segment, checkpoint.take(), exec);
+        let (_, prof, next) = run_resumable_obs(&segment, checkpoint.take(), exec, obs);
         meta = Some((prof.dataset, prof.shape));
         hours.extend(prof.hours);
         summaries.extend(prof.summaries);
@@ -185,7 +221,7 @@ pub fn run_hourly(
         None => {
             let mut empty = config.clone();
             empty.hours = 0;
-            let (_, prof, _) = run_resumable_with(&empty, None, exec);
+            let (_, prof, _) = run_resumable_obs(&empty, None, exec, obs);
             (prof.dataset, prof.shape)
         }
     };

@@ -4,20 +4,34 @@
 //! state, and the metrics reconcile with the clients' own books.
 
 use airshed_core::config::SimConfig;
+use airshed_core::obs::{Collector, Obs, SpanSink};
 use airshed_server::{JobError, ScenarioRequest, ScenarioServer, ServerConfig, SubmitOutcome};
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Duration;
 
 const CLIENTS: usize = 8;
 const JOBS_PER_CLIENT: usize = 16;
 
+/// Value of a sample line `name value` or `name{labels} value` in a
+/// Prometheus text document.
+fn prom_value(text: &str, series: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(series)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
 #[test]
 fn stress_unique_job_ids_and_reconciled_metrics() {
+    let sink = Arc::new(SpanSink::new());
     let server = ScenarioServer::start(ServerConfig {
         workers: 4,
         // Far below the offered load, so QueueFull backpressure fires
         // and the retry path is exercised for real.
         queue_capacity: 4,
+        obs: Obs::new(Arc::clone(&sink) as Arc<dyn Collector>),
         ..Default::default()
     });
 
@@ -119,5 +133,49 @@ fn stress_unique_job_ids_and_reconciled_metrics() {
     assert!(
         metrics.profile_cache_hits + metrics.result_cache_hits > 0,
         "duplicate scenarios must reuse cached work"
+    );
+
+    // Prometheus parity: the exported text snapshot must carry exactly
+    // the job and cache counts the registry snapshot reports.
+    let text = sink.prometheus();
+    let parity: [(&str, u64); 8] = [
+        ("airshed_server_submitted_total", metrics.submitted),
+        ("airshed_server_completed_total", metrics.completed),
+        ("airshed_server_cancelled_total", metrics.cancelled),
+        (
+            "airshed_server_rejected_queue_full_total",
+            metrics.rejected_queue_full,
+        ),
+        (
+            "airshed_server_cache_events_total{cache=\"profile\",outcome=\"hit\"}",
+            metrics.profile_cache_hits,
+        ),
+        (
+            "airshed_server_cache_events_total{cache=\"profile\",outcome=\"miss\"}",
+            metrics.profile_cache_misses,
+        ),
+        (
+            "airshed_server_cache_events_total{cache=\"result\",outcome=\"hit\"}",
+            metrics.result_cache_hits,
+        ),
+        (
+            "airshed_server_cache_events_total{cache=\"result\",outcome=\"miss\"}",
+            metrics.result_cache_misses,
+        ),
+    ];
+    for (series, want) in parity {
+        let got = prom_value(&text, series)
+            .unwrap_or_else(|| panic!("series {series} missing from export"));
+        assert_eq!(got, want as f64, "{series}");
+    }
+    assert_eq!(
+        prom_value(&text, "airshed_server_job_seconds_count{stage=\"service\"}"),
+        Some(metrics.service.count as f64),
+        "service histogram count"
+    );
+    // The worker-lane spans made it into the same export.
+    assert!(
+        sink.events().iter().any(|e| e.name == "job"),
+        "job lifecycle spans recorded"
     );
 }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI gate: formatting, release build, full test suite, a warning-free
-# clippy pass (all targets, benches included), a 2-thread backend smoke
-# run, and warning-free rustdoc.
+# CI gate: formatting, release build, full test suite (doctests
+# included), a warning-free clippy pass (all targets, benches included),
+# a 2-thread backend smoke run, an observability smoke run (the trace
+# must be loadable JSON with spans for every phase), and warning-free
+# rustdoc.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,12 +16,33 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test --doc --workspace -q"
+cargo test --doc --workspace -q
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> backend smoke test (rayon, 2 threads)"
 cargo run --release --bin airshed -- run \
     --dataset tiny:60 --hours 1 --backend rayon --threads 2 --no-map
+
+echo "==> observability smoke test (--trace-out / --metrics-out)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run --release --bin airshed -- run \
+    --dataset tiny:60 --hours 1 --backend rayon --threads 2 --no-map \
+    --trace-out "$trace_dir/trace.json" --metrics-out "$trace_dir/metrics.prom"
+python3 - "$trace_dir/trace.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+missing = {"hour", "inputhour", "pretrans", "transport",
+           "chemistry", "aerosol", "outputhour"} - names
+assert not missing, f"trace lacks phase spans: {sorted(missing)}"
+print(f"trace OK: {len(doc['traceEvents'])} events, phases covered")
+PY
+grep -q 'airshed_phase_seconds_count{phase="transport"}' "$trace_dir/metrics.prom"
+echo "metrics OK: phase histogram present"
 
 echo "==> cargo doc --workspace --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

@@ -12,15 +12,17 @@
 //! configuration, from one binary — the "downstream user" entry point.
 
 use airshed::core::config::{DatasetChoice, SimConfig, Weather};
-use airshed::core::driver::{replay_with_layout, run_with_profile_on, ChemLayout};
+use airshed::core::driver::{replay_with_layout, run_with_profile_obs, ChemLayout};
+use airshed::core::obs::{Collector, Obs, SpanSink};
 use airshed::core::predict::PerfModel;
-use airshed::core::taskpar::{optimize_split, replay_taskparallel};
+use airshed::core::taskpar::{optimize_split, replay_taskparallel_obs};
 use airshed::core::viz;
 use airshed::core::{BackendKind, ExecSpec};
 use airshed::machine::MachineProfile;
 use airshed::popexp::{replay_with_popexp, Hosting};
 use airshed::server::{ScenarioRequest, ScenarioServer, ServerConfig, SubmitOutcome};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 #[derive(Debug, Clone)]
@@ -43,6 +45,9 @@ struct Options {
     queue_cap: usize,
     budget: Option<f64>,
     scenarios: Option<String>,
+    // observability exports (any subcommand)
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 impl Default for Options {
@@ -65,6 +70,8 @@ impl Default for Options {
             queue_cap: 64,
             budget: None,
             scenarios: None,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -98,6 +105,9 @@ OPTIONS:
     --no-map  skip the ASCII ozone map
     --backend serial | rayon               (default rayon)
     --threads N  host threads for the rayon backend (default: all cores)
+    --trace-out F    write a Chrome trace-event JSON of the run to F
+                     (open in Perfetto / chrome://tracing)
+    --metrics-out F  write a Prometheus text-format metrics snapshot to F
 
 SERVE-BATCH OPTIONS:
     --workers N     worker pool size                    (default 4)
@@ -207,6 +217,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 o.budget = Some(b);
             }
             "--scenarios" => o.scenarios = Some(val("--scenarios")?),
+            "--trace-out" => o.trace_out = Some(val("--trace-out")?),
+            "--metrics-out" => o.metrics_out = Some(val("--metrics-out")?),
             other => return Err(format!("unknown option '{other}' (try: airshed help)")),
         }
     }
@@ -239,7 +251,7 @@ fn layout(o: &Options) -> ChemLayout {
     }
 }
 
-fn cmd_run(o: &Options) {
+fn cmd_run(o: &Options, obs: &Obs) {
     let p = o.nodes[0];
     let exec = exec(o);
     eprintln!(
@@ -250,7 +262,7 @@ fn cmd_run(o: &Options) {
         p,
         exec.describe()
     );
-    let (report, profile) = run_with_profile_on(&config(o, p), exec);
+    let (report, profile) = run_with_profile_obs(&config(o, p), exec, obs);
     let report = if o.cyclic {
         replay_with_layout(&profile, o.machine, p, ChemLayout::Cyclic)
     } else {
@@ -258,7 +270,7 @@ fn cmd_run(o: &Options) {
     };
     print!("{report}");
     if o.taskpar && p >= 3 {
-        let tp = replay_taskparallel(&profile, o.machine, p);
+        let tp = replay_taskparallel_obs(&profile, o.machine, p, 1, 1, obs);
         println!(
             "task-parallel pipeline (1 in / {} compute / 1 out): {:.1}s ({:+.1}% vs data-parallel)",
             p - 2,
@@ -281,7 +293,8 @@ fn cmd_run(o: &Options) {
     }
 }
 
-fn cmd_gridinfo(o: &Options) {
+fn cmd_gridinfo(o: &Options, obs: &Obs) {
+    let _span = obs.span("gridinfo");
     let dataset = o.dataset.build();
     println!(
         "dataset {} over {:.0} x {:.0} km",
@@ -299,8 +312,8 @@ fn cmd_gridinfo(o: &Options) {
     }
 }
 
-fn cmd_sweep(o: &Options) {
-    let (_, profile) = run_with_profile_on(&config(o, o.nodes[0]), exec(o));
+fn cmd_sweep(o: &Options, obs: &Obs) {
+    let (_, profile) = run_with_profile_obs(&config(o, o.nodes[0]), exec(o), obs);
     println!(
         "{:>6} {:>12} {:>12} {:>14}",
         "P", "T3E (s)", "T3D (s)", "Paragon (s)"
@@ -317,8 +330,8 @@ fn cmd_sweep(o: &Options) {
     }
 }
 
-fn cmd_predict(o: &Options) {
-    let (_, profile) = run_with_profile_on(&config(o, o.nodes[0]), exec(o));
+fn cmd_predict(o: &Options, obs: &Obs) {
+    let (_, profile) = run_with_profile_obs(&config(o, o.nodes[0]), exec(o), obs);
     let model = PerfModel::from_profile(&profile);
     println!(
         "{:>6} {:>14} {:>14} {:>8}",
@@ -342,8 +355,8 @@ fn cmd_predict(o: &Options) {
     }
 }
 
-fn cmd_popexp(o: &Options) {
-    let (_, profile) = run_with_profile_on(&config(o, o.nodes[0]), exec(o));
+fn cmd_popexp(o: &Options, obs: &Obs) {
+    let (_, profile) = run_with_profile_obs(&config(o, o.nodes[0]), exec(o), obs);
     println!(
         "{:>6} {:>14} {:>16} {:>10}",
         "P", "native (s)", "foreign (s)", "overhead"
@@ -450,7 +463,7 @@ fn demo_scenarios(o: &Options) -> Vec<Scenario> {
     scenarios
 }
 
-fn cmd_serve_batch(o: &Options) -> Result<(), String> {
+fn cmd_serve_batch(o: &Options, obs: &Obs) -> Result<(), String> {
     let scenarios = match &o.scenarios {
         Some(path) => load_scenarios(path)?,
         None => demo_scenarios(o),
@@ -472,6 +485,7 @@ fn cmd_serve_batch(o: &Options) -> Result<(), String> {
         queue_capacity: o.queue_cap,
         budget_seconds: o.budget,
         exec,
+        obs: obs.clone(),
         ..Default::default()
     });
 
@@ -585,14 +599,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // One span sink for the whole invocation, shared by every layer the
+    // command touches; spans cost nothing when neither export is asked for.
+    let sink =
+        (opts.trace_out.is_some() || opts.metrics_out.is_some()).then(|| Arc::new(SpanSink::new()));
+    let obs = match &sink {
+        Some(sink) => Obs::new(Arc::clone(sink) as Arc<dyn Collector>),
+        None => Obs::off(),
+    };
     match cmd.as_str() {
-        "run" => cmd_run(&opts),
-        "gridinfo" => cmd_gridinfo(&opts),
-        "sweep" => cmd_sweep(&opts),
-        "predict" => cmd_predict(&opts),
-        "popexp" => cmd_popexp(&opts),
+        "run" => cmd_run(&opts, &obs),
+        "gridinfo" => cmd_gridinfo(&opts, &obs),
+        "sweep" => cmd_sweep(&opts, &obs),
+        "predict" => cmd_predict(&opts, &obs),
+        "popexp" => cmd_popexp(&opts, &obs),
         "serve-batch" => {
-            if let Err(e) = cmd_serve_batch(&opts) {
+            if let Err(e) = cmd_serve_batch(&opts, &obs) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
@@ -601,6 +623,20 @@ fn main() -> ExitCode {
             eprintln!("error: unknown command '{other}'");
             usage();
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(sink) = sink {
+        let exports = [
+            (opts.trace_out.as_deref(), sink.chrome_trace()),
+            (opts.metrics_out.as_deref(), sink.prometheus()),
+        ];
+        for (path, text) in exports {
+            let Some(path) = path else { continue };
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("error: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
         }
     }
     ExitCode::SUCCESS
@@ -681,6 +717,17 @@ mod tests {
         assert_eq!(scenarios[0].config.p, scenarios[16].config.p);
         let no_budget = demo_scenarios(&parse(&[]).unwrap());
         assert_eq!(no_budget.len(), 32);
+    }
+
+    #[test]
+    fn parse_observability_options() {
+        let o = parse(&args("--trace-out trace.json --metrics-out metrics.prom")).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("trace.json"));
+        assert_eq!(o.metrics_out.as_deref(), Some("metrics.prom"));
+        let o = parse(&[]).unwrap();
+        assert!(o.trace_out.is_none() && o.metrics_out.is_none());
+        assert!(parse(&args("--trace-out")).is_err());
+        assert!(parse(&args("--metrics-out")).is_err());
     }
 
     #[test]

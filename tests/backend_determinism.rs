@@ -15,9 +15,11 @@
 //! and are `#[ignore]`d for runtime (opt in with `--ignored`).
 
 use airshed::core::config::{DatasetChoice, SimConfig};
-use airshed::core::driver::run_resumable_with;
+use airshed::core::driver::{run_resumable_obs, run_resumable_with};
+use airshed::core::obs::{Collector, Obs, SpanSink};
 use airshed::core::profile::WorkProfile;
 use airshed::core::{BackendKind, ExecSpec};
+use std::sync::Arc;
 
 /// Run one episode on the given backend and return (profile, conc).
 fn episode(config: &SimConfig, exec: ExecSpec) -> (WorkProfile, Vec<f64>) {
@@ -85,6 +87,30 @@ fn sweep(dataset: DatasetChoice, hours: usize) {
 #[test]
 fn tiny_serial_and_rayon_are_bit_identical() {
     sweep(DatasetChoice::Tiny(90), 2);
+}
+
+#[test]
+fn tracing_enabled_is_bit_identical_to_disabled() {
+    // The observability layer only reads clocks around phase boundaries;
+    // it must never perturb the numerics, on either backend.
+    let mut config = SimConfig::test_tiny(11, 2);
+    config.p = 4;
+    config.start_hour = 11;
+    for exec in [ExecSpec::serial(), ExecSpec::rayon(4)] {
+        let (_, profile_off, chk_off) = run_resumable_obs(&config, None, exec, &Obs::off());
+        let sink = Arc::new(SpanSink::new());
+        let obs = Obs::new(Arc::clone(&sink) as Arc<dyn Collector>);
+        let (_, profile_on, chk_on) = run_resumable_obs(&config, None, exec, &obs);
+        assert_identical(
+            &format!("tracing on vs off ({})", exec.describe()),
+            &(profile_off, chk_off.state.conc),
+            &(profile_on, chk_on.state.conc),
+        );
+        assert!(
+            sink.events().iter().any(|e| e.name == "transport"),
+            "the traced run must actually record spans"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,411 @@
+//! End-to-end smoke test for the observability exports: drive the real
+//! `airshed` binary with `--trace-out` / `--metrics-out` on a tiny
+//! scenario and validate both artifacts from the outside.
+//!
+//! The Chrome trace is checked with a small hand-written JSON parser
+//! (the vendored serde shim is a no-op, so this is the only honest way
+//! to prove the output *is* JSON): the document must parse, carry at
+//! least one complete-event span per simulated phase, nest every phase
+//! span inside an `hour` span on the driver lane, and name per-worker
+//! pool tracks. The Prometheus snapshot must parse line by line and
+//! carry the phase-latency histogram series.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+// ---------------------------------------------------------------------
+// A minimal JSON value + recursive-descent parser (tests only).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).ok_or("bad codepoint")?);
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or("truncated utf-8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos += len;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The smoke test proper.
+// ---------------------------------------------------------------------
+
+/// A complete ("ph":"X") span pulled out of the trace.
+struct Span {
+    name: String,
+    pid: f64,
+    tid: f64,
+    ts: f64,
+    dur: f64,
+}
+
+#[test]
+fn cli_trace_and_metrics_exports_are_valid_and_complete() {
+    let dir = std::env::temp_dir().join(format!("airshed-trace-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+    let metrics_path = dir.join("metrics.prom");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_airshed"))
+        .args([
+            "run",
+            "--dataset",
+            "tiny:40",
+            "--hours",
+            "2",
+            "--no-map",
+            "--backend",
+            "rayon",
+            "--threads",
+            "2",
+            "--trace-out",
+        ])
+        .arg(&trace_path)
+        .arg("--metrics-out")
+        .arg(&metrics_path)
+        .status()
+        .expect("airshed binary runs");
+    assert!(status.success(), "airshed run failed: {status}");
+
+    // ---- the Chrome trace --------------------------------------------
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let doc = Parser::parse(&text).expect("trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("top-level traceEvents array");
+
+    let mut spans = Vec::new();
+    let mut thread_names = Vec::new();
+    for e in events {
+        match e.get("ph").and_then(Json::as_str) {
+            Some("X") => spans.push(Span {
+                name: e.get("name").and_then(Json::as_str).unwrap().to_string(),
+                pid: e.get("pid").and_then(Json::as_num).unwrap(),
+                tid: e.get("tid").and_then(Json::as_num).unwrap(),
+                ts: e.get("ts").and_then(Json::as_num).unwrap(),
+                dur: e.get("dur").and_then(Json::as_num).unwrap(),
+            }),
+            Some("M") => {
+                if e.get("name").and_then(Json::as_str) == Some("thread_name") {
+                    let name = e
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .unwrap();
+                    thread_names.push(name.to_string());
+                }
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+
+    // Every phase of the hour graph shows up at least once.
+    for phase in [
+        "inputhour",
+        "pretrans",
+        "transport",
+        "chemistry",
+        "aerosol",
+        "outputhour",
+        "charge_hour",
+        "hour",
+    ] {
+        assert!(
+            spans.iter().any(|s| s.name == phase),
+            "no '{phase}' span in the trace"
+        );
+    }
+
+    // Phase spans nest inside an hour span on the same (driver) track.
+    // The virtual-machine process reuses phase names as labels, so the
+    // wall-clock nesting check is scoped to the host process.
+    let hours: Vec<&Span> = spans.iter().filter(|s| s.name == "hour").collect();
+    assert_eq!(hours.len(), 2, "one hour span per simulated hour");
+    let host_pid = hours[0].pid;
+    let driver_tid = hours[0].tid;
+    // Pool tasks reuse the phase name on their own per-worker tracks, so
+    // the driver-lane nesting check keys on the driver tid and the task
+    // spans are checked for time containment separately below.
+    let is_phase = |s: &Span| {
+        matches!(
+            s.name.as_str(),
+            "inputhour" | "pretrans" | "transport" | "chemistry" | "aerosol" | "outputhour"
+        )
+    };
+    let nested = |s: &Span| {
+        hours
+            .iter()
+            .any(|h| h.ts <= s.ts && h.ts + h.dur >= s.ts + s.dur - 1e-6)
+    };
+    let mut driver_phases = 0;
+    let mut worker_tasks = 0;
+    for s in spans.iter().filter(|s| s.pid == host_pid && is_phase(s)) {
+        assert!(
+            nested(s),
+            "span '{}' at ts={} not inside any hour span",
+            s.name,
+            s.ts
+        );
+        if s.tid == driver_tid {
+            driver_phases += 1;
+        } else {
+            worker_tasks += 1;
+        }
+    }
+    assert!(driver_phases >= 12, "two hours of driver-lane phase spans");
+    assert!(worker_tasks > 0, "pool task spans on per-worker tracks");
+
+    // The rayon pool contributed per-worker tracks, and they are named.
+    assert!(
+        thread_names.iter().any(|n| n.starts_with("pool-worker-")),
+        "pool worker tracks must be named: {thread_names:?}"
+    );
+
+    // The virtual-machine redistribution edges got their own process.
+    assert!(
+        spans.iter().any(|s| s.name.contains("->")),
+        "redistribution edge spans (e.g. D_Trans->D_Chem) missing"
+    );
+
+    // ---- the Prometheus snapshot -------------------------------------
+    let prom = std::fs::read_to_string(&metrics_path).unwrap();
+    let mut samples = 0;
+    for line in prom.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').expect("sample lines end in a value");
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "unparseable sample value in line: {line}"
+        );
+        samples += 1;
+    }
+    assert!(samples > 0, "metrics snapshot has samples");
+    assert!(
+        prom.contains("airshed_phase_seconds_count{phase=\"transport\"}"),
+        "phase latency histogram missing from metrics"
+    );
+    assert!(
+        prom.contains("airshed_pool_task_seconds_count"),
+        "pool task histogram missing from metrics"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
