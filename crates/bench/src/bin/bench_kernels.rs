@@ -129,6 +129,13 @@ fn phase_medians(exec: ExecSpec) -> Vec<(&'static str, f64)> {
     let mut config = SimConfig::test_tiny(4, 1);
     config.dataset = DatasetChoice::LosAngeles;
     config.start_hour = 12;
+    // One untraced warmup run first: the initial run pays one-off costs
+    // (dataset build, allocator warmup, code paging) that would skew the
+    // recorded medians; only steady-state iterations land in the sink.
+    {
+        let (_, profile) = run_with_profile_obs(&config, exec, &Obs::off());
+        black_box(profile.hours.len());
+    }
     let sink = Arc::new(SpanSink::new());
     let obs = Obs::new(Arc::clone(&sink) as Arc<dyn Collector>);
     for _ in 0..3 {

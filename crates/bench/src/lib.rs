@@ -6,6 +6,7 @@
 //! binaries load the cache. Delete the directory to force recomputation.
 
 pub mod cache;
+pub mod check;
 pub mod table;
 
 use airshed_core::config::{DatasetChoice, SimConfig};

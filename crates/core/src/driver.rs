@@ -288,12 +288,26 @@ pub fn run_resumable_obs(
         // edge, in virtual time) and flush the span buffers.
         if obs.enabled() {
             let events = machine.trace.events();
-            for e in &events[trace_mark..] {
+            let new_events = &events[trace_mark..];
+            for e in new_events {
                 obs.record_virtual(e.label, Track::Virtual(e.label), e.start, e.end, Some(tag));
+            }
+            // Oracle hook: pair this hour's charged events with the
+            // plan graph that produced them (the same graph
+            // `charge_hour` just executed) and sample the per-phase
+            // residuals onto the counter track.
+            if let Some(oracle) = obs.oracle() {
+                let hp = hours.last().expect("hour profile was just pushed");
+                let graph = crate::plan::PhaseGraph::for_hour(hp, &plans, config.p);
+                let hour_report = oracle.observe_hour(&graph, new_events, tag);
+                hour_report.record_counters(obs, tag);
             }
             trace_mark = events.len();
             obs.flush();
         }
+    }
+    if let Some(oracle) = obs.oracle() {
+        oracle.publish_to(obs);
     }
 
     let profile = WorkProfile {

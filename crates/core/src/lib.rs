@@ -58,6 +58,7 @@ pub mod viz;
 pub use backend::{Backend, BackendKind, ExecSpec};
 pub use config::{DatasetChoice, SimConfig};
 pub use driver::{replay, run, run_with_profile};
+pub use obs::oracle::{validate_profile, Oracle, Validation};
 pub use obs::Obs;
 pub use plan::PhaseGraph;
 pub use predict::PerfModel;

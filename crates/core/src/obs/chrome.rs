@@ -24,6 +24,7 @@ use std::fmt::Write as _;
 const PID_HOST: u32 = 1;
 const PID_VIRTUAL: u32 = 2;
 const PID_PIPELINE: u32 = 3;
+const PID_COUNTERS: u32 = 4;
 
 /// Escape a string for inclusion in a JSON string literal.
 fn esc(s: &str) -> String {
@@ -64,6 +65,13 @@ fn pid_tid(track: Track, dynamic: &mut BTreeMap<(u32, &'static str), u32>) -> (u
                 *dynamic.entry((PID_PIPELINE, label)).or_insert(next),
             )
         }
+        Track::Counter(label) => {
+            let next = dynamic.len() as u32;
+            (
+                PID_COUNTERS,
+                *dynamic.entry((PID_COUNTERS, label)).or_insert(next),
+            )
+        }
     }
 }
 
@@ -75,17 +83,25 @@ fn track_name(track: Track) -> String {
         Track::PoolWorker { lane, worker } => {
             format!("server-worker-{}/pool-{worker}", lane - 1)
         }
-        Track::Virtual(label) | Track::Stage(label) => label.to_string(),
+        Track::Virtual(label) | Track::Stage(label) | Track::Counter(label) => label.to_string(),
     }
 }
 
 /// Render spans as a complete Chrome trace JSON document.
 pub fn render(events: &[SpanRecord]) -> String {
+    render_with_open(events, &[])
+}
+
+/// [`render`], plus still-open spans emitted as unmatched `ph:"B"`
+/// begin events after the complete events — how the exporter
+/// flushes-on-drop: a run interrupted mid-hour still produces a trace
+/// Perfetto loads, with the in-flight spans visibly open-ended.
+pub fn render_with_open(events: &[SpanRecord], open: &[SpanRecord]) -> String {
     let mut dynamic: BTreeMap<(u32, &'static str), u32> = BTreeMap::new();
     // First pass: discover every (pid, tid) so metadata events can name
     // the tracks before any duration event references them.
     let mut tracks: BTreeMap<(u32, u32), String> = BTreeMap::new();
-    for e in events {
+    for e in events.iter().chain(open) {
         let (pid, tid) = pid_tid(e.track, &mut dynamic);
         tracks
             .entry((pid, tid))
@@ -111,6 +127,7 @@ pub fn render(events: &[SpanRecord]) -> String {
         let pname = match pid {
             PID_HOST => "host (wall clock)",
             PID_VIRTUAL => "virtual machine",
+            PID_COUNTERS => "oracle (counters)",
             _ => "pipeline (virtual time)",
         };
         push(
@@ -136,9 +153,24 @@ pub fn render(events: &[SpanRecord]) -> String {
         );
     }
 
-    // Duration events.
+    // Duration and counter events.
     for e in events {
         let (pid, tid) = pid_tid(e.track, &mut dynamic);
+        if let Track::Counter(_) = e.track {
+            // Counter sample: the record's dur field carries the value.
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"C\",\"name\":\"{}\",\"cat\":\"airshed\",\"pid\":{pid},\
+                     \"tid\":{tid},\"ts\":{:.3},\"args\":{{\"value\":{:.6}}}}}",
+                    esc(e.name),
+                    e.ts_us,
+                    e.dur_us
+                ),
+            );
+            continue;
+        }
         let mut args = String::new();
         if let Some(hour) = e.hour {
             let _ = write!(args, "\"hour\":{hour}");
@@ -161,14 +193,33 @@ pub fn render(events: &[SpanRecord]) -> String {
             ),
         );
     }
+    // Still-open spans: begin events with no matching end.
+    for e in open {
+        let (pid, tid) = pid_tid(e.track, &mut dynamic);
+        let mut args = String::new();
+        if let Some(hour) = e.hour {
+            let _ = write!(args, "\"hour\":{hour}");
+        }
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"B\",\"name\":\"{}\",\"cat\":\"airshed\",\"pid\":{pid},\
+                 \"tid\":{tid},\"ts\":{:.3},\"args\":{{{args}}}}}",
+                esc(e.name),
+                e.ts_us
+            ),
+        );
+    }
     out.push_str("\n]}\n");
     out
 }
 
 impl super::SpanSink {
-    /// Flush and render everything recorded so far as Chrome trace JSON.
+    /// Flush and render everything recorded so far as Chrome trace JSON,
+    /// including spans whose guards are still open (flush-on-drop).
     pub fn chrome_trace(&self) -> String {
-        render(&self.events())
+        render_with_open(&self.events(), &self.open_spans())
     }
 }
 
@@ -212,5 +263,35 @@ mod tests {
     #[test]
     fn escapes_special_characters() {
         assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn counter_tracks_render_as_counter_events() {
+        let events = vec![SpanRecord {
+            name: "transport",
+            track: Track::Counter("oracle residual"),
+            ts_us: 1e6,
+            dur_us: 0.25,
+            hour: Some(1),
+            arg: None,
+        }];
+        let json = render(&events);
+        assert!(json.contains("\"ph\":\"C\",\"name\":\"transport\""));
+        assert!(json.contains("\"value\":0.250000"));
+        assert!(json.contains("\"name\":\"oracle residual\"")); // thread name
+        assert!(json.contains("\"name\":\"oracle (counters)\"")); // process
+    }
+
+    #[test]
+    fn open_spans_render_as_begin_events() {
+        let done = vec![span("hour", Track::Lane(0), 0.0, 100.0)];
+        let open = vec![span("chemistry", Track::Lane(0), 40.0, 0.0)];
+        let json = render_with_open(&done, &open);
+        assert!(json.contains("\"ph\":\"X\",\"name\":\"hour\""));
+        assert!(json.contains("\"ph\":\"B\",\"name\":\"chemistry\""));
+        let open_count = json.matches("\"ph\":\"B\"").count();
+        assert_eq!(open_count, 1);
+        // Well-formed despite the unmatched begin.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

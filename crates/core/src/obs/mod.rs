@@ -43,6 +43,7 @@
 
 pub mod chrome;
 pub mod metrics;
+pub mod oracle;
 pub mod prom;
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,6 +66,10 @@ pub enum Track {
     Virtual(&'static str),
     /// A pipeline-stage track in virtual time (task-parallel schedule).
     Stage(&'static str),
+    /// A counter series (Chrome `ph:"C"` samples — the oracle's
+    /// per-hour residuals). For counter records the span's `dur_us`
+    /// field carries the sampled *value*, not a duration.
+    Counter(&'static str),
 }
 
 /// One recorded interval. Timestamps are microseconds from the
@@ -95,6 +100,18 @@ pub trait Collector: Send + Sync {
     fn record(&self, span: SpanRecord);
     fn flush(&self);
     fn publish(&self, section: &'static str, text: String);
+
+    /// A guard-backed span just opened; `span.dur_us` is 0 and `id`
+    /// pairs this call with the matching [`span_closed`]. Collectors
+    /// that export still-open spans at shutdown (flush-on-drop, so an
+    /// interrupted run's trace still loads) override these; the
+    /// defaults make open-span tracking opt-in per collector.
+    ///
+    /// [`span_closed`]: Collector::span_closed
+    fn span_opened(&self, _id: u64, _span: SpanRecord) {}
+    /// The guard for `id` dropped (its closed span arrives via
+    /// [`record`](Collector::record)).
+    fn span_closed(&self, _id: u64) {}
 }
 
 /// The disabled path: discards everything.
@@ -117,6 +134,7 @@ pub struct SpanSink {
     shards: Vec<Mutex<Vec<SpanRecord>>>,
     events: Mutex<Vec<SpanRecord>>,
     sections: Mutex<Vec<(&'static str, String)>>,
+    open: Mutex<std::collections::HashMap<u64, SpanRecord>>,
     dropped: AtomicU64,
 }
 
@@ -132,6 +150,7 @@ impl SpanSink {
             shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             events: Mutex::new(Vec::new()),
             sections: Mutex::new(Vec::new()),
+            open: Mutex::new(std::collections::HashMap::new()),
             dropped: AtomicU64::new(0),
         }
     }
@@ -162,6 +181,15 @@ impl SpanSink {
     /// should stay 0).
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Spans whose guards have not dropped yet, ordered by start time.
+    /// The Chrome exporter emits these as unmatched begin events so an
+    /// interrupted run's trace still loads in Perfetto.
+    pub fn open_spans(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = self.open.lock().unwrap().values().cloned().collect();
+        out.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+        out
     }
 
     /// Median wall-clock duration (µs) per span name over lane tracks,
@@ -219,6 +247,14 @@ impl Collector for SpanSink {
             sections.push((section, text));
         }
     }
+
+    fn span_opened(&self, id: u64, span: SpanRecord) {
+        self.open.lock().unwrap().insert(id, span);
+    }
+
+    fn span_closed(&self, id: u64) {
+        self.open.lock().unwrap().remove(&id);
+    }
 }
 
 /// The handle instrumented code carries. Cloning is cheap (one `Arc`
@@ -230,6 +266,7 @@ pub struct Obs {
     enabled: bool,
     lane: u32,
     epoch: Instant,
+    oracle: Option<Arc<oracle::Oracle>>,
 }
 
 impl Obs {
@@ -240,6 +277,7 @@ impl Obs {
             enabled: true,
             lane: 0,
             epoch: Instant::now(),
+            oracle: None,
         }
     }
 
@@ -250,7 +288,23 @@ impl Obs {
             enabled: false,
             lane: 0,
             epoch: Instant::now(),
+            oracle: None,
         }
+    }
+
+    /// Attach a performance oracle: the driver feeds it every executed
+    /// plan node paired with its measured span, the oracle accumulates
+    /// residuals and recalibrates machine parameters (see
+    /// [`oracle::Oracle`]). A no-op on a disabled handle's spans — the
+    /// oracle only ever observes when spans are being recorded.
+    pub fn with_oracle(mut self, oracle: Arc<oracle::Oracle>) -> Obs {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// The attached oracle, if any.
+    pub fn oracle(&self) -> Option<&Arc<oracle::Oracle>> {
+        self.oracle.as_ref()
     }
 
     /// A clone bound to a different execution lane (server worker `k`
@@ -300,16 +354,34 @@ impl Obs {
         hour: Option<u32>,
         arg: Option<(&'static str, i64)>,
     ) -> SpanGuard<'_> {
+        let start = if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let mut id = 0;
+        if let Some(start) = start {
+            static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+            id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+            self.collector.span_opened(
+                id,
+                SpanRecord {
+                    name,
+                    track: Track::Lane(self.lane),
+                    ts_us: self.us_since_epoch(start),
+                    dur_us: 0.0,
+                    hour,
+                    arg,
+                },
+            );
+        }
         SpanGuard {
             obs: self,
             name,
             hour,
             arg,
-            start: if self.enabled {
-                Some(Instant::now())
-            } else {
-                None
-            },
+            start,
+            id,
         }
     }
 
@@ -355,6 +427,31 @@ impl Obs {
             track,
             ts_us: start_s * 1e6,
             dur_us: (end_s - start_s).max(0.0) * 1e6,
+            hour,
+            arg: None,
+        });
+    }
+
+    /// Record one counter sample (Chrome `ph:"C"` series) at `ts_us` on
+    /// the counter track named `track_label`; `name` names the series
+    /// within the track. The value rides in the record's `dur_us` field
+    /// (see [`Track::Counter`]).
+    pub fn record_counter(
+        &self,
+        name: &'static str,
+        track_label: &'static str,
+        ts_us: f64,
+        value: f64,
+        hour: Option<u32>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.collector.record(SpanRecord {
+            name,
+            track: Track::Counter(track_label),
+            ts_us,
+            dur_us: value,
             hour,
             arg: None,
         });
@@ -441,12 +538,14 @@ pub struct SpanGuard<'a> {
     hour: Option<u32>,
     arg: Option<(&'static str, i64)>,
     start: Option<Instant>,
+    id: u64,
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some(start) = self.start {
             let end = Instant::now();
+            self.obs.collector.span_closed(self.id);
             self.obs.collector.record(SpanRecord {
                 name: self.name,
                 track: Track::Lane(self.obs.lane),
@@ -519,6 +618,34 @@ mod tests {
         obs.flush();
         assert_eq!(sink.events().len(), 4);
         assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn open_spans_are_tracked_until_guards_drop() {
+        let sink = Arc::new(SpanSink::new());
+        let obs = Obs::new(sink.clone());
+        let g = obs.span_hour("hour", 7);
+        let open = sink.open_spans();
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].name, "hour");
+        assert_eq!(open[0].hour, Some(7));
+        assert_eq!(open[0].dur_us, 0.0);
+        drop(g);
+        assert!(sink.open_spans().is_empty());
+        obs.flush();
+        assert_eq!(sink.events().len(), 1);
+    }
+
+    #[test]
+    fn counter_records_carry_the_value_in_dur() {
+        let sink = Arc::new(SpanSink::new());
+        let obs = Obs::new(sink.clone());
+        obs.record_counter("transport", "oracle residual", 2e6, 0.125, Some(2));
+        obs.flush();
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].track, Track::Counter("oracle residual"));
+        assert_eq!(events[0].dur_us, 0.125);
     }
 
     #[test]

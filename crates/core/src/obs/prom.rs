@@ -100,6 +100,34 @@ fn fmt_value(v: f64) -> String {
     }
 }
 
+/// Escape a label value per the exposition format: inside the double
+/// quotes, `\` becomes `\\`, `"` becomes `\"`, and a line feed becomes
+/// `\n`. Every label value interpolated into a sample must pass
+/// through here (or [`label`]) — a raw quote or newline in a value
+/// breaks strict parsers.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format one `key="value"` label pair with the value escaped.
+///
+/// ```
+/// use airshed_core::obs::prom::label;
+/// assert_eq!(label("phase", "a\"b"), "phase=\"a\\\"b\"");
+/// ```
+pub fn label(key: &str, value: &str) -> String {
+    format!("{key}=\"{}\"", escape_label_value(value))
+}
+
 impl super::SpanSink {
     /// Render a Prometheus text snapshot: span-derived phase-latency
     /// histograms first, then every published section (e.g. the server
@@ -131,7 +159,7 @@ impl super::SpanSink {
             for (name, h) in &phases {
                 w.histogram(
                     "airshed_phase_seconds",
-                    &format!("phase=\"{name}\""),
+                    &label("phase", name),
                     &h.snapshot(),
                 );
             }
@@ -176,6 +204,124 @@ mod tests {
         assert!(text.contains("x_seconds_bucket{phase=\"t\",le=\"+Inf\"} 2"));
         assert!(text.contains("x_seconds_count{phase=\"t\"} 2"));
         assert!(text.contains("d 7\n"));
+    }
+
+    /// One parsed sample line: `(metric_name, labels, value)`.
+    type Sample = (String, Vec<(String, String)>, f64);
+
+    /// A strict line parser for the exposition format: returns one
+    /// [`Sample`] per line, panicking on anything malformed — unescaped
+    /// quote/newline/backslash in a label value, missing closing brace,
+    /// non-numeric value (other than `+Inf`).
+    fn parse_exposition(text: &str) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name_labels, value) = line.rsplit_once(' ').expect("sample has no value");
+            let value = if value == "+Inf" {
+                f64::INFINITY
+            } else {
+                value
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| panic!("unparseable value {value:?} in line {line:?}"))
+            };
+            let (name, labels) = match name_labels.split_once('{') {
+                None => (name_labels.to_string(), Vec::new()),
+                Some((name, rest)) => {
+                    let body = rest.strip_suffix('}').expect("missing closing brace");
+                    let mut labels = Vec::new();
+                    let mut chars = body.chars().peekable();
+                    loop {
+                        let mut key = String::new();
+                        for c in chars.by_ref() {
+                            if c == '=' {
+                                break;
+                            }
+                            key.push(c);
+                        }
+                        assert!(!key.is_empty(), "empty label key in {line:?}");
+                        assert_eq!(chars.next(), Some('"'), "label value must be quoted");
+                        let mut val = String::new();
+                        loop {
+                            match chars.next().expect("unterminated label value") {
+                                '\\' => match chars.next().expect("dangling backslash") {
+                                    '\\' => val.push('\\'),
+                                    '"' => val.push('"'),
+                                    'n' => val.push('\n'),
+                                    other => panic!("bad escape \\{other} in {line:?}"),
+                                },
+                                '"' => break,
+                                '\n' => panic!("raw newline in label value"),
+                                c => val.push(c),
+                            }
+                        }
+                        labels.push((key, val));
+                        match chars.next() {
+                            None => break,
+                            Some(',') => continue,
+                            Some(other) => panic!("unexpected {other:?} after label"),
+                        }
+                    }
+                    (name.to_string(), labels)
+                }
+            };
+            out.push((name, labels, value));
+        }
+        out
+    }
+
+    #[test]
+    fn strict_parser_accepts_escaped_labels_and_cumulative_buckets() {
+        // A label value exercising all three mandatory escapes.
+        let hostile = "grid\\la \"tiny\"\nnext";
+        let h = Histogram::new();
+        for micros in [1u64, 3, 3, 9] {
+            h.record(Duration::from_micros(micros));
+        }
+        let mut w = PromWriter::new();
+        w.header("airshed_x_seconds", "test histogram", "histogram");
+        w.histogram("airshed_x_seconds", &label("grid", hostile), &h.snapshot());
+        w.sample("airshed_plain", &label("grid", hostile), 4.0);
+        let text = w.finish();
+
+        let samples = parse_exposition(&text);
+        // The escaping round-trips through a strict parser.
+        assert!(!samples.is_empty());
+        for (_, labels, _) in &samples {
+            let grid = labels
+                .iter()
+                .find(|(k, _)| k == "grid")
+                .expect("grid label");
+            assert_eq!(grid.1, hostile, "label value must round-trip");
+        }
+        // Buckets: cumulative, nondecreasing, ending at le="+Inf" whose
+        // count equals the _count sample.
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|(n, _, _)| n == "airshed_x_seconds_bucket")
+            .collect();
+        assert!(buckets.len() >= 2);
+        let mut last = f64::NEG_INFINITY;
+        for (_, _labels, count) in &buckets {
+            assert!(*count >= last, "buckets must be cumulative");
+            last = *count;
+        }
+        let le_of = |b: &Sample| b.1.iter().find(|(k, _)| k == "le").unwrap().1.clone();
+        assert_eq!(le_of(buckets.last().unwrap()), "+Inf");
+        // All finite les strictly increase.
+        let les: Vec<f64> = buckets[..buckets.len() - 1]
+            .iter()
+            .map(|b| le_of(b).parse::<f64>().unwrap())
+            .collect();
+        assert!(les.windows(2).all(|w| w[0] < w[1]));
+        let count = samples
+            .iter()
+            .find(|(n, _, _)| n == "airshed_x_seconds_count")
+            .unwrap()
+            .2;
+        assert_eq!(buckets.last().unwrap().2, count);
     }
 
     #[test]

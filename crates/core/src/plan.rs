@@ -161,6 +161,26 @@ impl Work {
             Work::Distributed { per_item, .. } => per_item.iter().sum(),
         }
     }
+
+    /// What the machine charges for this work on `p` nodes, and how
+    /// unbalanced the charge is: `(charged_units, imbalance)`.
+    ///
+    /// Replicated work charges in full on every node (imbalance 1).
+    /// Distributed work charges its heaviest node under the layout;
+    /// imbalance is heaviest/mean, ≥ 1, and exactly the factor by which
+    /// the §4.1 even-division model underestimates the phase.
+    pub fn charged(&self, p: usize) -> (f64, f64) {
+        match self {
+            Work::Replicated { work, .. } => (*work, 1.0),
+            Work::Distributed { per_item, layout } => {
+                let per = layout.per_node(per_item, p);
+                let max = per.iter().fold(0.0f64, |a, &b| a.max(b));
+                let mean = per.iter().sum::<f64>() / p.max(1) as f64;
+                let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+                (max, imbalance)
+            }
+        }
+    }
 }
 
 /// What a graph node does: compute, or a redistribution over one of the
@@ -515,6 +535,23 @@ mod tests {
             }
             assert_eq!(direct.elapsed(), via_graph.elapsed(), "p={p}");
         }
+    }
+
+    #[test]
+    fn charged_work_is_the_heaviest_node() {
+        let w = Work::Distributed {
+            per_item: vec![3.0, 1.0, 4.0, 1.0, 5.0],
+            layout: ItemLayout::Block,
+        };
+        // BLOCK over 2 nodes: [3+1+4, 1+5] = [8, 6]; mean 7.
+        let (charged, imbalance) = w.charged(2);
+        assert_eq!(charged, 8.0);
+        assert!((imbalance - 8.0 / 7.0).abs() < 1e-12);
+        let r = Work::Replicated {
+            work: 9.0,
+            parallelism: 1,
+        };
+        assert_eq!(r.charged(16), (9.0, 1.0));
     }
 
     #[test]

@@ -58,6 +58,60 @@ pub struct PerfModel {
     pub occurrences: CommOccurrences,
 }
 
+/// The §4.2 closed-form cost of **one occurrence** of each
+/// redistribution on a machine × P point. [`PerfModel::predict`]
+/// multiplies these by the occurrence counts; the oracle
+/// ([`crate::obs::oracle`]) prices each observed comm span with the
+/// same numbers, so prediction and validation cannot drift apart.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CommStepCosts {
+    pub repl_to_trans: f64,
+    pub trans_to_chem: f64,
+    pub chem_to_repl: f64,
+    pub trans_to_repl: f64,
+}
+
+impl CommStepCosts {
+    /// The cost for a redistribution edge by its `redist::labels` name.
+    pub fn for_label(&self, label: &str) -> Option<f64> {
+        match label {
+            labels::REPL_TO_TRANS => Some(self.repl_to_trans),
+            labels::TRANS_TO_CHEM => Some(self.trans_to_chem),
+            labels::CHEM_TO_REPL => Some(self.chem_to_repl),
+            labels::TRANS_TO_REPL => Some(self.trans_to_repl),
+            _ => None,
+        }
+    }
+}
+
+/// Price one occurrence of each §4.2 redistribution on `machine` with
+/// `p` nodes for array shape `[species, layers, nodes]`.
+pub fn comm_step_costs(machine: &MachineProfile, shape: [usize; 3], p: usize) -> CommStepCosts {
+    let [species, layers, nodes] = shape;
+    let pf = p as f64;
+    let w = machine.word_size as f64;
+    let vol = (species * nodes) as f64 * w;
+    let local_layers = (layers as f64 / layers.min(p) as f64).ceil();
+    let c1 = machine.copy_cost * local_layers * vol;
+    // Message counts saturate once P exceeds the number of chem-block
+    // owners (ceil blocks leave trailing nodes empty past the column
+    // count); irrelevant for the paper's P <= 128 on 700+ columns.
+    let chem_owners = nodes.min(p) as f64;
+    let c2 = machine.latency * chem_owners + machine.byte_cost * local_layers * vol;
+    let c3 = machine.latency * (pf + chem_owners) + machine.byte_cost * layers as f64 * vol;
+    // Hour-boundary D_Trans->D_Repl: the runtime lowers this
+    // few-source replication to a relayed broadcast — every node
+    // receives the array once, with ~log2(P) message startups.
+    let log2p = (p.next_power_of_two().trailing_zeros().max(1)) as f64;
+    let c4 = machine.latency * 2.0 * log2p + machine.byte_cost * layers as f64 * vol;
+    CommStepCosts {
+        repl_to_trans: c1,
+        trans_to_chem: c2,
+        chem_to_repl: c3,
+        trans_to_repl: c4,
+    }
+}
+
 /// Predicted phase times (seconds) for one machine × P point.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct Prediction {
@@ -130,9 +184,7 @@ impl PerfModel {
 
     /// Predict phase times on `machine` with `p` nodes.
     pub fn predict(&self, machine: &MachineProfile, p: usize) -> Prediction {
-        let [species, layers, nodes] = self.shape;
-        let pf = p as f64;
-        let w = machine.word_size as f64;
+        let [_, layers, nodes] = self.shape;
         let rate = machine.rate;
 
         // --- Computation (§4.1): seq / useful parallelism, ceil rule ---
@@ -145,40 +197,27 @@ impl PerfModel {
         let chemistry =
             self.seq_chemistry / rate * ch_ceil / nodes as f64 + self.seq_aerosol / rate;
 
-        // --- Communication (§4.2) ---
-        let vol = (species * nodes) as f64 * w;
-        let local_layers = (layers as f64 / layers.min(p) as f64).ceil();
-        let c1 = machine.copy_cost * local_layers * vol;
-        // Message counts saturate once P exceeds the number of chem-block
-        // owners (ceil blocks leave trailing nodes empty past the column
-        // count); irrelevant for the paper's P <= 128 on 700+ columns.
-        let chem_owners = nodes.min(p) as f64;
-        let c2 = machine.latency * chem_owners + machine.byte_cost * local_layers * vol;
-        let c3 = machine.latency * (pf + chem_owners) + machine.byte_cost * layers as f64 * vol;
-        // Hour-boundary D_Trans->D_Repl: the runtime lowers this
-        // few-source replication to a relayed broadcast — every node
-        // receives the array once, with ~log2(P) message startups.
-        let log2p = (p.next_power_of_two().trailing_zeros().max(1)) as f64;
-        let c4 = machine.latency * 2.0 * log2p + machine.byte_cost * layers as f64 * vol;
+        // --- Communication (§4.2): per-occurrence costs × counts ---
+        let c = comm_step_costs(machine, self.shape, p);
 
         // Occurrences come straight off the plan graphs' comm nodes:
         // D_Repl->D_Trans once per step plus once at each hour start,
         // D_Trans->D_Chem and D_Chem->D_Repl once per step,
         // D_Trans->D_Repl once per hour.
         let occ = self.occurrences;
-        let communication = c1 * occ.repl_to_trans as f64
-            + c2 * occ.trans_to_chem as f64
-            + c3 * occ.chem_to_repl as f64
-            + c4 * occ.trans_to_repl as f64;
+        let communication = c.repl_to_trans * occ.repl_to_trans as f64
+            + c.trans_to_chem * occ.trans_to_chem as f64
+            + c.chem_to_repl * occ.chem_to_repl as f64
+            + c.trans_to_repl * occ.trans_to_repl as f64;
 
         Prediction {
             p,
             io,
             transport,
             chemistry,
-            comm_repl_to_trans: c1,
-            comm_trans_to_chem: c2,
-            comm_chem_to_repl: c3,
+            comm_repl_to_trans: c.repl_to_trans,
+            comm_trans_to_chem: c.trans_to_chem,
+            comm_chem_to_repl: c.chem_to_repl,
             communication,
             total: io + transport + chemistry + communication,
         }
@@ -320,6 +359,21 @@ mod tests {
         assert_eq!(occ.trans_to_chem, m.steps);
         assert_eq!(occ.chem_to_repl, m.steps);
         assert_eq!(occ.trans_to_repl, m.hours);
+    }
+
+    #[test]
+    fn comm_step_costs_match_prediction_fields() {
+        let (m, _) = model_and_profile();
+        let t3e = MachineProfile::t3e();
+        for p in [1usize, 4, 17, 64] {
+            let pred = m.predict(&t3e, p);
+            let c = comm_step_costs(&t3e, m.shape, p);
+            assert_eq!(c.repl_to_trans, pred.comm_repl_to_trans, "p={p}");
+            assert_eq!(c.trans_to_chem, pred.comm_trans_to_chem, "p={p}");
+            assert_eq!(c.chem_to_repl, pred.comm_chem_to_repl, "p={p}");
+            assert_eq!(c.for_label(labels::TRANS_TO_REPL), Some(c.trans_to_repl));
+            assert_eq!(c.for_label("not-an-edge"), None);
+        }
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub struct RunReport {
     /// Host execution backend that ran the kernels (e.g. `rayon(8)`);
     /// empty for replays, which never run the numerics.
     pub backend: String,
+    /// What the performance model predicted `total_seconds` would be
+    /// before the run, when a prediction was available (server jobs
+    /// admitted through a calibrated [`crate::PerfModel`]).
+    pub predicted_seconds: Option<f64>,
 }
 
 impl RunReport {
@@ -67,6 +71,7 @@ impl RunReport {
             communication_seconds: b.get(PhaseCategory::Communication),
             popexp_seconds: b.get(PhaseCategory::PopExp),
             backend: String::new(),
+            predicted_seconds: None,
             comm_steps: machine
                 .comm_log
                 .records()
@@ -112,6 +117,15 @@ impl fmt::Display for RunReport {
         )?;
         if !self.backend.is_empty() {
             writeln!(f, "  host backend: {}", self.backend)?;
+        }
+        if let Some(predicted) = self.predicted_seconds {
+            let rel = (self.total_seconds - predicted) / predicted.abs().max(1e-12);
+            writeln!(
+                f,
+                "  predicted {:.1}s (actual {:+.1}% vs model)",
+                predicted,
+                rel * 100.0
+            )?;
         }
         writeln!(
             f,

@@ -19,6 +19,7 @@
 use crate::cache::NumericsKey;
 use airshed_core::config::SimConfig;
 use airshed_core::{PerfModel, WorkProfile};
+use airshed_machine::MachineProfile;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -40,6 +41,11 @@ pub enum AdmissionDecision {
 pub struct AdmissionController {
     budget_seconds: Option<f64>,
     models: Mutex<HashMap<NumericsKey, PerfModel>>,
+    /// Recalibrated machine profiles from the performance oracle, keyed
+    /// by machine name: when the oracle has fitted fresher L/G/H/rate
+    /// parameters from observed spans, predictions price with those
+    /// instead of the nominal datasheet (latest recalibration wins).
+    machines: Mutex<HashMap<&'static str, MachineProfile>>,
 }
 
 impl AdmissionController {
@@ -49,6 +55,7 @@ impl AdmissionController {
         AdmissionController {
             budget_seconds,
             models: Mutex::new(HashMap::new()),
+            machines: Mutex::new(HashMap::new()),
         }
     }
 
@@ -64,9 +71,31 @@ impl AdmissionController {
         let family = NumericsKey::of(config).family();
         let models = self.models.lock().unwrap();
         let model = models.get(&family)?;
-        let prediction = model.predict(&config.machine, config.p);
+        // Price with the oracle-recalibrated profile when one exists for
+        // this machine; the nominal datasheet otherwise.
+        let machine = self
+            .recalibrated(config.machine.name)
+            .unwrap_or(config.machine);
+        let prediction = model.predict(&machine, config.p);
         let scale = config.hours as f64 / model.hours.max(1) as f64;
         Some(prediction.total * scale)
+    }
+
+    /// Install an oracle-recalibrated machine profile. Subsequent
+    /// predictions for machines with this name price with the fitted
+    /// parameters (latest recalibration wins).
+    pub fn apply_recalibration(&self, machine: MachineProfile) {
+        self.machines.lock().unwrap().insert(machine.name, machine);
+    }
+
+    /// The recalibrated profile for `name`, if the oracle has fitted one.
+    pub fn recalibrated(&self, name: &str) -> Option<MachineProfile> {
+        self.machines.lock().unwrap().get(name).copied()
+    }
+
+    /// Number of machines with an oracle-recalibrated profile installed.
+    pub fn recalibrated_count(&self) -> usize {
+        self.machines.lock().unwrap().len()
     }
 
     /// Decide whether to admit `config`.
@@ -182,5 +211,31 @@ mod tests {
         let mut slow = config.clone();
         slow.machine = MachineProfile::paragon();
         assert!(ctl.predict_seconds(&slow).unwrap() > one);
+    }
+
+    #[test]
+    fn recalibrated_machines_reprice_predictions() {
+        let (ctl, config) = calibrated_controller(None);
+        let nominal = ctl.predict_seconds(&config).unwrap();
+        assert_eq!(ctl.recalibrated_count(), 0);
+        // The oracle discovers the machine computes at half the
+        // datasheet rate: predictions roughly double (comm unchanged).
+        let drifted = MachineProfile {
+            rate: config.machine.rate / 2.0,
+            ..config.machine
+        };
+        ctl.apply_recalibration(drifted);
+        assert_eq!(ctl.recalibrated_count(), 1);
+        assert_eq!(ctl.recalibrated(config.machine.name), Some(drifted));
+        let repriced = ctl.predict_seconds(&config).unwrap();
+        assert!(
+            repriced > nominal * 1.5 && repriced < nominal * 2.5,
+            "half-rate recalibration should roughly double the estimate: \
+             {nominal} -> {repriced}"
+        );
+        // Other machines are unaffected.
+        let mut other = config.clone();
+        other.machine = MachineProfile::paragon();
+        assert!(ctl.recalibrated(other.machine.name).is_none());
     }
 }

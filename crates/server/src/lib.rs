@@ -431,6 +431,13 @@ impl ScenarioServer {
         self.shared.admission.predict_seconds(config)
     }
 
+    /// Number of machines whose profile has been recalibrated by the
+    /// performance oracle (0 when no oracle is attached to the obs
+    /// handle or no job has run the numerics yet).
+    pub fn recalibrated_machines(&self) -> usize {
+        self.shared.admission.recalibrated_count()
+    }
+
     /// Graceful shutdown: stop accepting work, drain the queue, join the
     /// workers, and return the final metrics snapshot.
     pub fn shutdown(mut self) -> MetricsSnapshot {
@@ -466,6 +473,58 @@ mod tests {
             workers,
             ..Default::default()
         })
+    }
+
+    #[test]
+    fn reports_carry_predictions_and_the_oracle_recalibrates() {
+        let sink = Arc::new(airshed_core::obs::SpanSink::new());
+        let config = {
+            let mut c = SimConfig::test_tiny(4, 1);
+            c.start_hour = 12;
+            c
+        };
+        let oracle = Arc::new(airshed_core::Oracle::new(config.machine));
+        let obs = Obs::new(Arc::clone(&sink) as Arc<dyn airshed_core::obs::Collector>)
+            .with_oracle(Arc::clone(&oracle));
+        let server = ScenarioServer::start(ServerConfig {
+            workers: 1,
+            obs,
+            ..Default::default()
+        });
+        // First of its family: unknown at submit time, but the worker
+        // calibrates before replaying, so even this report is priced.
+        let r1 = server
+            .submit(ScenarioRequest::new(config.clone()))
+            .into_handle()
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(r1.predicted_seconds.is_some());
+        // The driver fed the run's spans to the oracle, and the worker
+        // handed its recalibrated machine back to admission control.
+        assert!(oracle.hours_observed() >= 1);
+        assert_eq!(oracle.mismatched_hours(), 0);
+        assert_eq!(server.recalibrated_machines(), 1);
+        // Second job, same family on another placement: predicted up
+        // front and in the same ballpark as the charged result.
+        let mut c2 = config.clone();
+        c2.p = 8;
+        let r2 = server
+            .submit(ScenarioRequest::new(c2))
+            .into_handle()
+            .unwrap()
+            .wait()
+            .unwrap();
+        let predicted = r2.predicted_seconds.expect("family is calibrated");
+        let rel = (r2.total_seconds - predicted).abs() / predicted;
+        assert!(
+            rel < 0.6,
+            "predicted {predicted} vs actual {} (rel {rel})",
+            r2.total_seconds
+        );
+        server.shutdown();
+        // The final flush published the oracle section through obs.
+        assert!(sink.prometheus().contains("airshed_oracle_drift"));
     }
 
     #[test]

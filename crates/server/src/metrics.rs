@@ -24,7 +24,7 @@
 //! carries the remainder in `in_flight`).
 
 pub use airshed_core::obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
-use airshed_core::obs::prom::PromWriter;
+use airshed_core::obs::prom::{self, PromWriter};
 use std::fmt;
 
 /// The scenario service's metrics registry.
@@ -198,7 +198,11 @@ impl MetricsSnapshot {
         for (cache, outcome, v) in caches {
             w.sample(
                 "airshed_server_cache_events_total",
-                &format!("cache=\"{cache}\",outcome=\"{outcome}\""),
+                &format!(
+                    "{},{}",
+                    prom::label("cache", cache),
+                    prom::label("outcome", outcome)
+                ),
                 v as f64,
             );
         }
@@ -215,7 +219,7 @@ impl MetricsSnapshot {
         ] {
             w.histogram(
                 "airshed_server_job_seconds",
-                &format!("stage=\"{stage}\""),
+                &prom::label("stage", stage),
                 h,
             );
         }

@@ -116,6 +116,10 @@ fn execute(shared: &Shared, job: &QueuedJob, deadline_at: Option<Instant>, obs: 
     let result_key = ResultKey::of(config, request.layout);
     let metrics = &shared.metrics;
 
+    // Predict the cost before doing any work, while the model state is
+    // what admission saw (None for a first-of-its-family scenario).
+    let predicted_before = shared.admission.predict_seconds(config);
+
     if let Some(report) = shared.results.get(&result_key) {
         metrics.result_cache_hits.inc();
         return Ok(report);
@@ -140,6 +144,15 @@ fn execute(shared: &Shared, job: &QueuedJob, deadline_at: Option<Instant>, obs: 
             )?);
             shared.profiles.insert(numerics_key, Arc::clone(&profile));
             shared.admission.calibrate(config, &profile);
+            // The driver just fed this run's spans to the oracle (when
+            // one is attached); hand its recalibrated machine profile to
+            // admission so later predictions track the observed fleet,
+            // not the datasheet.
+            if let Some(oracle) = obs.oracle() {
+                if oracle.comm_observations() > 0 {
+                    shared.admission.apply_recalibration(oracle.recalibrated());
+                }
+            }
             profile
         }
     };
@@ -147,13 +160,11 @@ fn execute(shared: &Shared, job: &QueuedJob, deadline_at: Option<Instant>, obs: 
     // Whether the profile came from the cache or was just captured, the
     // report is charged through the same plan-graph execution — a cached
     // profile and a fresh run price identically.
+    let predicted = predicted_before.or_else(|| shared.admission.predict_seconds(config));
     let _replay_span = obs.span("replay");
-    let report = Arc::new(replay_profile(
-        &profile,
-        config.machine,
-        config.p,
-        request.layout,
-    ));
+    let mut report = replay_profile(&profile, config.machine, config.p, request.layout);
+    report.predicted_seconds = predicted;
+    let report = Arc::new(report);
     shared.results.insert(result_key, Arc::clone(&report));
     Ok(report)
 }

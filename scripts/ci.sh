@@ -44,6 +44,29 @@ PY
 grep -q 'airshed_phase_seconds_count{phase="transport"}' "$trace_dir/metrics.prom"
 echo "metrics OK: phase histogram present"
 
+echo "==> bench regression gate smoke (committed numbers, no re-measure)"
+# The committed BENCH_kernels.json against the committed baseline must
+# pass (both measured on the same tree) ...
+cargo run --release -q -p airshed-bench --bin bench_check -- \
+    BENCH_baseline.json BENCH_kernels.json
+# ... and an injected 2x chemistry slowdown must fail — proves the gate
+# has teeth without re-running the benchmarks in CI.
+if cargo run --release -q -p airshed-bench --bin bench_check -- \
+        BENCH_baseline.json BENCH_kernels.json \
+        --inject la_hour_phase_median_us.chemistry=2.0; then
+    echo "bench gate FAILED to flag an injected 2x slowdown" >&2
+    exit 1
+fi
+echo "bench gate OK: clean tree passes, injected slowdown fails"
+
+echo "==> performance-oracle smoke (airshed validate)"
+cargo run --release --bin airshed -- validate --help >/dev/null
+cargo run --release --bin airshed -- validate \
+    --grid tiny:60 --hours 1 --nodes 4,16 --json "$trace_dir/validate.json" \
+    | grep -q "predicted vs measured"
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$trace_dir/validate.json"
+echo "validate OK: tables printed, JSON parses"
+
 echo "==> cargo doc --workspace --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

@@ -13,6 +13,7 @@
 
 use airshed::core::config::{DatasetChoice, SimConfig, Weather};
 use airshed::core::driver::{replay_with_layout, run_with_profile_obs, ChemLayout};
+use airshed::core::obs::oracle::{validate_profile, Oracle};
 use airshed::core::obs::{Collector, Obs, SpanSink};
 use airshed::core::predict::PerfModel;
 use airshed::core::taskpar::{optimize_split, replay_taskparallel_obs};
@@ -48,6 +49,8 @@ struct Options {
     // observability exports (any subcommand)
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    // validate: also write the table as JSON
+    json_out: Option<String>,
 }
 
 impl Default for Options {
@@ -72,6 +75,7 @@ impl Default for Options {
             scenarios: None,
             trace_out: None,
             metrics_out: None,
+            json_out: None,
         }
     }
 }
@@ -88,12 +92,15 @@ COMMANDS:
     sweep       replay one run across machines and node counts (Figure 2 style)
     predict     calibrate the analytic model and extrapolate (Figure 6/7 style)
     popexp      integrated Airshed + population exposure (Figure 13 style)
+    validate    run the performance oracle: predicted-vs-measured tables
+                over a node sweep plus L/G/H recalibration (Figure 5-7 style)
     serve-batch run a scenario batch through the concurrent scenario service
     gridinfo    multiscale-grid statistics for a dataset
     help        this text
 
 OPTIONS:
     --dataset la | ne | tiny:<columns>     (default tiny:120)
+    --grid    alias for --dataset
     --machine t3e | t3d | paragon          (default t3e)
     --nodes   N[,N...]                     (default 16)
     --hours   N                            (default 6)
@@ -109,6 +116,11 @@ OPTIONS:
                      (open in Perfetto / chrome://tracing)
     --metrics-out F  write a Prometheus text-format metrics snapshot to F
 
+VALIDATE OPTIONS:
+    --nodes N,N,...  node counts to sweep (default 4,16,64 when a single
+                     count is given)
+    --json F         also write the predicted-vs-measured tables as JSON
+
 SERVE-BATCH OPTIONS:
     --workers N     worker pool size                    (default 4)
     --clients M     concurrent submitting clients       (default 4)
@@ -121,6 +133,7 @@ SERVE-BATCH OPTIONS:
 EXAMPLES:
     airshed run --dataset tiny:150 --nodes 32 --hours 8
     airshed sweep --dataset la --nodes 4,8,16,32,64,128
+    airshed validate --grid la --nodes 4,16,64
     airshed run --dataset tiny:120 --emis 0.5 --hours 6   # policy scenario
     airshed serve-batch --dataset tiny:60 --workers 4 --clients 8 --budget 2e4"
     );
@@ -136,7 +149,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match a.as_str() {
-            "--dataset" => {
+            "--dataset" | "--grid" => {
                 let v = val("--dataset")?;
                 o.dataset = match v.as_str() {
                     "la" | "LA" => DatasetChoice::LosAngeles,
@@ -219,6 +232,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--scenarios" => o.scenarios = Some(val("--scenarios")?),
             "--trace-out" => o.trace_out = Some(val("--trace-out")?),
             "--metrics-out" => o.metrics_out = Some(val("--metrics-out")?),
+            "--json" => o.json_out = Some(val("--json")?),
             other => return Err(format!("unknown option '{other}' (try: airshed help)")),
         }
     }
@@ -353,6 +367,38 @@ fn cmd_predict(o: &Options, obs: &Obs) {
             100.0 * (pred.total - meas.total_seconds).abs() / meas.total_seconds
         );
     }
+}
+
+fn cmd_validate(o: &Options, obs: &Obs) -> Result<(), String> {
+    // An explicit multi-count list is swept as given; a single count
+    // (including the default) expands to the Figure 6/7 sweep.
+    let nodes = if o.nodes.len() > 1 {
+        o.nodes.clone()
+    } else {
+        vec![4, 16, 64]
+    };
+    let exec = exec(o);
+    eprintln!(
+        "validating {} for {} hours on {} at P in {:?} (host backend {})...",
+        o.dataset.name(),
+        o.hours,
+        o.machine.name,
+        nodes,
+        exec.describe()
+    );
+    // Run the numerics once with a live oracle attached, so a --trace-out
+    // export of this command carries the per-hour residual counter track.
+    let live = Arc::new(Oracle::new(o.machine));
+    let obs_with_oracle = obs.clone().with_oracle(Arc::clone(&live));
+    let (_, profile) = run_with_profile_obs(&config(o, nodes[0]), exec, &obs_with_oracle);
+    // Then sweep the node counts through a fresh oracle on plan replays.
+    let v = validate_profile(&profile, o.machine, &nodes);
+    print!("{}", v.text());
+    if let Some(path) = &o.json_out {
+        std::fs::write(path, v.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
 }
 
 fn cmd_popexp(o: &Options, obs: &Obs) {
@@ -588,7 +634,9 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
-    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+    // `--help` anywhere on the line wins, before option parsing: the
+    // conventional escape hatch (`airshed validate --help`).
+    if args.iter().any(|a| matches!(a.as_str(), "--help" | "-h")) || cmd == "help" {
         usage();
         return ExitCode::SUCCESS;
     }
@@ -612,6 +660,12 @@ fn main() -> ExitCode {
         "gridinfo" => cmd_gridinfo(&opts, &obs),
         "sweep" => cmd_sweep(&opts, &obs),
         "predict" => cmd_predict(&opts, &obs),
+        "validate" => {
+            if let Err(e) = cmd_validate(&opts, &obs) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         "popexp" => cmd_popexp(&opts, &obs),
         "serve-batch" => {
             if let Err(e) = cmd_serve_batch(&opts, &obs) {
@@ -728,6 +782,21 @@ mod tests {
         assert!(o.trace_out.is_none() && o.metrics_out.is_none());
         assert!(parse(&args("--trace-out")).is_err());
         assert!(parse(&args("--metrics-out")).is_err());
+    }
+
+    #[test]
+    fn parse_validate_options() {
+        let o = parse(&args("--grid la --nodes 4,16,64 --json v.json")).unwrap();
+        assert_eq!(o.dataset, DatasetChoice::LosAngeles);
+        assert_eq!(o.nodes, vec![4, 16, 64]);
+        assert_eq!(o.json_out.as_deref(), Some("v.json"));
+        // --grid is a strict alias for --dataset.
+        assert_eq!(
+            parse(&args("--grid tiny:33")).unwrap().dataset,
+            parse(&args("--dataset tiny:33")).unwrap().dataset
+        );
+        assert!(parse(&args("--grid venus")).is_err());
+        assert!(parse(&args("--json")).is_err());
     }
 
     #[test]

@@ -114,6 +114,51 @@ fn tracing_enabled_is_bit_identical_to_disabled() {
 }
 
 #[test]
+fn oracle_validation_is_bit_identical_to_untraced() {
+    // The performance oracle rides on the trace stream: it re-lowers the
+    // hour's PhaseGraph and pairs it with the recorded spans, but it
+    // only ever *reads* profiles and events. A run with the oracle
+    // attached must be bit-identical to an untraced run, and on a
+    // healthy (undrifted) run the oracle's own pricing residuals are
+    // exactly the charge formulas, so they sit at numerical zero.
+    use airshed::core::Oracle;
+
+    let mut config = SimConfig::test_tiny(17, 2);
+    config.p = 4;
+    config.start_hour = 11;
+    for exec in [ExecSpec::serial(), ExecSpec::rayon(4)] {
+        let (_, profile_off, chk_off) = run_resumable_obs(&config, None, exec, &Obs::off());
+
+        let sink = Arc::new(SpanSink::new());
+        let oracle = Arc::new(Oracle::new(config.machine));
+        let obs =
+            Obs::new(Arc::clone(&sink) as Arc<dyn Collector>).with_oracle(Arc::clone(&oracle));
+        let (_, profile_on, chk_on) = run_resumable_obs(&config, None, exec, &obs);
+
+        assert_identical(
+            &format!("oracle on vs off ({})", exec.describe()),
+            &(profile_off, chk_off.state.conc),
+            &(profile_on, chk_on.state.conc),
+        );
+
+        // The oracle actually saw the run: every hour paired cleanly.
+        assert_eq!(oracle.hours_observed(), 2, "oracle observed both hours");
+        assert_eq!(oracle.mismatched_hours(), 0, "no mispaired hours");
+        assert!(oracle.observations() > 0 && oracle.comm_observations() > 0);
+        assert!(
+            oracle.pricing_mare() < 1e-9,
+            "undrifted pricing residuals must be numerically zero, got {}",
+            oracle.pricing_mare()
+        );
+        assert!(
+            oracle.drift() < 1e-3,
+            "recalibrating against self-generated spans must not drift: {}",
+            oracle.drift()
+        );
+    }
+}
+
+#[test]
 fn backend_kind_roundtrips_through_report() {
     let config = SimConfig::test_tiny(8, 1);
     for exec in [ExecSpec::serial(), ExecSpec::rayon(2)] {

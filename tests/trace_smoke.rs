@@ -409,3 +409,90 @@ fn cli_trace_and_metrics_exports_are_valid_and_complete() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Regression test for two exporter invariants that only show up under
+/// concurrency: (1) spans recorded from different OS threads land in
+/// different shard buffers, and `SpanSink::events()` must still hand
+/// them back globally sorted by start time; (2) a span whose guard is
+/// still alive at export time must appear in the Chrome trace as an
+/// unmatched `ph:"B"` begin event (flush-on-drop), and flip to a
+/// complete `ph:"X"` event once the guard drops.
+#[test]
+fn cross_shard_sort_and_open_span_flush_on_drop() {
+    use airshed::core::obs::{Collector, Obs, SpanSink, Track};
+    use std::sync::Arc;
+
+    let sink = Arc::new(SpanSink::new());
+    let obs = Obs::new(Arc::clone(&sink) as Arc<dyn Collector>);
+
+    // Interleaved spans from four lanes on four OS threads: each thread
+    // hashes to its own shard, so the raw drain order is by shard, not
+    // by time.
+    let mut handles = Vec::new();
+    for lane in 0..4u32 {
+        let lane_obs = obs.with_lane(lane);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..8 {
+                let _g = lane_obs.span("transport");
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Hold one guard open across the export.
+    let open_guard = obs.span("hour");
+    let trace = sink.chrome_trace();
+    let events = sink.events();
+
+    // (1) Global sort across shards.
+    let mut lanes = std::collections::BTreeSet::new();
+    for e in &events {
+        if let Track::Lane(l) = e.track {
+            lanes.insert(l);
+        }
+    }
+    assert!(lanes.len() >= 2, "spans must span multiple lane tracks");
+    assert!(
+        events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us),
+        "events() must be sorted by start time across shards"
+    );
+    assert_eq!(sink.dropped(), 0, "no shard may drop spans");
+
+    // (2) The still-open span renders as a begin event.
+    let doc = Parser::parse(&trace).expect("trace with open spans must still be valid JSON");
+    let trace_events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let phase_of = |e: &Json, name: &str| {
+        e.get("name").and_then(Json::as_str) == Some(name)
+            && e.get("ph").and_then(Json::as_str).is_some()
+    };
+    let open_hours: Vec<&Json> = trace_events
+        .iter()
+        .filter(|e| phase_of(e, "hour"))
+        .collect();
+    assert_eq!(open_hours.len(), 1, "exactly one 'hour' event while open");
+    assert_eq!(
+        open_hours[0].get("ph").and_then(Json::as_str),
+        Some("B"),
+        "a still-open span must flush as an unmatched begin event"
+    );
+
+    // Once the guard drops the same span becomes a complete event and
+    // the begin event disappears.
+    drop(open_guard);
+    let trace = sink.chrome_trace();
+    let doc = Parser::parse(&trace).unwrap();
+    let trace_events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let closed_hours: Vec<&str> = trace_events
+        .iter()
+        .filter(|e| phase_of(e, "hour"))
+        .map(|e| e.get("ph").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(
+        closed_hours,
+        vec!["X"],
+        "a dropped guard must leave exactly one complete event"
+    );
+}
