@@ -1,0 +1,227 @@
+//! The front-end process: accept shard connections, drive the
+//! [`Router`], and shuffle frames.
+//!
+//! All policy lives in the router; this module only does IO. One reader
+//! thread per shard funnels decoded messages into an mpsc channel; the
+//! main loop multiplexes those events with periodic [`Router::poll`]
+//! calls (which is where heartbeat timeouts and re-dispatch happen) and
+//! writes the resulting `Assign`/`Shutdown` frames. A failed write or a
+//! closed reader both collapse to [`Router::on_disconnect`] — the
+//! router treats them identically to a heartbeat timeout.
+
+use crate::proto::{self, Msg};
+use crate::router::{Router, RouterConfig, ShardCounters};
+use crate::wire::WireError;
+use airshed_core::config::SimConfig;
+use airshed_core::driver::ChemLayout;
+use airshed_core::Obs;
+use airshed_core::RunReport;
+use std::io::Write;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Front-end tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontendOptions {
+    /// Number of shard connections to wait for before serving.
+    pub expect: usize,
+    pub router: RouterConfig,
+    /// Overall wall-clock budget for the batch.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for FrontendOptions {
+    fn default() -> FrontendOptions {
+        FrontendOptions {
+            expect: 2,
+            router: RouterConfig::default(),
+            deadline: Some(Duration::from_secs(600)),
+        }
+    }
+}
+
+/// What a batch produced.
+pub struct FabricOutcome {
+    /// `(scenario index, report)` for every job that completed.
+    pub reports: Vec<(usize, RunReport)>,
+    /// `(scenario index, error)` for every job that terminally failed.
+    pub failures: Vec<(usize, String)>,
+    /// Per-shard `(name, counters)` in connection order.
+    pub shards: Vec<(String, ShardCounters)>,
+    /// Fabric metrics in Prometheus exposition format.
+    pub prometheus: String,
+}
+
+enum Event {
+    Msg(usize, Msg),
+    Gone(usize),
+}
+
+/// Serve one batch of scenarios over `listener`: wait for
+/// `opts.expect` shards to connect and say `Hello`, route every
+/// scenario, and run the event loop until each job reaches a terminal
+/// state. Returns an error only when the batch cannot finish (all
+/// shards lost, or the deadline expires).
+///
+/// The fabric metrics are published through `obs` under the
+/// `fabric-metrics` section, so `--metrics-out` exports them alongside
+/// the rest of the Prometheus surface.
+pub fn serve_batch(
+    listener: &TcpListener,
+    opts: FrontendOptions,
+    scenarios: &[(SimConfig, ChemLayout)],
+    obs: &Obs,
+) -> Result<FabricOutcome, String> {
+    let mut router = Router::new(opts.router);
+    let (tx, rx) = mpsc::channel::<Event>();
+    let mut writers: Vec<Option<TcpStream>> = Vec::new();
+    let mut readers = Vec::new();
+
+    // Phase 1: collect the fleet. Shards introduce themselves with a
+    // Hello frame carrying their name and worker count.
+    for i in 0..opts.expect {
+        let (stream, addr) = listener
+            .accept()
+            .map_err(|e| format!("accept failed: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let mut reader = stream
+            .try_clone()
+            .map_err(|e| format!("clone failed: {e}"))?;
+        let hello = proto::recv(&mut reader).map_err(|e| format!("bad hello from {addr}: {e}"))?;
+        let Msg::Hello { name, workers } = hello else {
+            return Err(format!(
+                "expected Hello from {addr}, got tag {}",
+                hello.tag()
+            ));
+        };
+        let shard = router.add_shard(&name, workers as usize, 0);
+        debug_assert_eq!(shard, i);
+        let tx = tx.clone();
+        readers.push(std::thread::spawn(move || loop {
+            match proto::recv(&mut reader) {
+                Ok(msg) => {
+                    if tx.send(Event::Msg(shard, msg)).is_err() {
+                        return;
+                    }
+                }
+                Err(WireError::Closed) => {
+                    let _ = tx.send(Event::Gone(shard));
+                    return;
+                }
+                Err(e) => {
+                    eprintln!("airshed-fabric: shard {shard} stream error: {e}");
+                    let _ = tx.send(Event::Gone(shard));
+                    return;
+                }
+            }
+        }));
+        writers.push(Some(stream));
+    }
+    drop(tx);
+
+    // Phase 2: route everything, then run the event loop.
+    for (i, (config, layout)) in scenarios.iter().enumerate() {
+        router.submit(i, config.clone(), *layout);
+    }
+
+    let epoch = Instant::now();
+    let deadline = opts.deadline.map(|d| epoch + d);
+    let mut reports = Vec::new();
+    let mut failures = Vec::new();
+
+    while reports.len() + failures.len() < scenarios.len() {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            shutdown(&mut writers, &mut readers);
+            return Err(format!(
+                "fabric deadline expired with {} jobs outstanding",
+                router.outstanding()
+            ));
+        }
+        let now_ms = epoch.elapsed().as_millis() as u64;
+        for (shard, msg) in router.poll(now_ms) {
+            let ok = match writers[shard].as_mut() {
+                Some(w) => proto::send(w, &msg).is_ok(),
+                None => false,
+            };
+            if !ok {
+                writers[shard] = None;
+                router.on_disconnect(shard);
+            }
+        }
+        for (scenario, result) in router.take_finished() {
+            match result {
+                Ok(report) => reports.push((scenario, report)),
+                Err(message) => failures.push((scenario, message)),
+            }
+        }
+        if router.live_shards() == 0 && router.outstanding() > 0 {
+            shutdown(&mut writers, &mut readers);
+            return Err(format!(
+                "all shards lost with {} jobs outstanding",
+                router.outstanding()
+            ));
+        }
+        // Block briefly for traffic, then drain whatever queued up.
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(ev) => {
+                let mut pending = vec![ev];
+                while let Ok(ev) = rx.try_recv() {
+                    pending.push(ev);
+                }
+                let now_ms = epoch.elapsed().as_millis() as u64;
+                for ev in pending {
+                    match ev {
+                        Event::Msg(shard, msg) => router.on_msg(shard, msg, now_ms),
+                        Event::Gone(shard) => {
+                            writers[shard] = None;
+                            router.on_disconnect(shard);
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Every reader exited; the next live_shards() check
+                // decides whether that is completion or catastrophe.
+            }
+        }
+        for (scenario, result) in router.take_finished() {
+            match result {
+                Ok(report) => reports.push((scenario, report)),
+                Err(message) => failures.push((scenario, message)),
+            }
+        }
+    }
+
+    shutdown(&mut writers, &mut readers);
+    let prometheus = router.prometheus();
+    obs.publish("fabric-metrics", prometheus.clone());
+    obs.flush();
+    let shards = (0..router.shard_count())
+        .map(|s| (router.shard_name(s).to_string(), router.counters(s)))
+        .collect();
+    reports.sort_by_key(|(i, _)| *i);
+    failures.sort_by_key(|(i, _)| *i);
+    Ok(FabricOutcome {
+        reports,
+        failures,
+        shards,
+        prometheus,
+    })
+}
+
+/// Tell live shards to exit, unblock their readers, and join them.
+fn shutdown(writers: &mut [Option<TcpStream>], readers: &mut Vec<std::thread::JoinHandle<()>>) {
+    for w in writers.iter_mut() {
+        if let Some(stream) = w.as_mut() {
+            let _ = proto::send(stream, &Msg::Shutdown);
+            let _ = stream.flush();
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        *w = None;
+    }
+    for handle in readers.drain(..) {
+        let _ = handle.join();
+    }
+}

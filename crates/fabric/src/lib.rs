@@ -1,0 +1,42 @@
+//! Multi-process scenario fabric: sharded serving with oracle-routed
+//! load balancing.
+//!
+//! The paper's airshed model ran on one fixed-size MPP. This crate is
+//! the step from one box to many: a front-end process accepts scenario
+//! jobs and routes each over TCP to one of N shard processes, each an
+//! `airshed-server`-style worker pool. Everything rides a hand-rolled
+//! length-framed wire protocol ([`wire`], [`proto`]) — no serialization
+//! dependencies, every `f64` crosses the wire as its exact bit pattern,
+//! so a fabric run's reports are bit-identical to a single-process run.
+//!
+//! The interesting part is *where* jobs go. PR 5's oracle keeps a live,
+//! per-machine recalibration of the §4 performance model; each shard
+//! streams its recalibrated [`MachineProfile`](airshed_machine::MachineProfile)
+//! and freshly calibrated [`PerfModel`](airshed_core::PerfModel)s back
+//! to the front-end, which prices every incoming job on every shard and
+//! routes to the earliest predicted completion ([`router`]). Idle
+//! shards steal queued work from loaded ones, and a shard that stops
+//! heartbeating has its jobs re-routed — resuming from the hour
+//! checkpoints its `Progress` reports carried, not from scratch.
+//!
+//! Layering (bottom up):
+//!
+//! | module       | job                                                    |
+//! |--------------|--------------------------------------------------------|
+//! | [`wire`]     | frames, byte codec, fault injection ([`FaultPlan`])    |
+//! | [`proto`]    | [`Msg`] — the typed protocol + domain codecs           |
+//! | [`router`]   | deterministic routing/stealing/failover state machine  |
+//! | [`shard`]    | shard process: worker pool behind one TCP connection   |
+//! | [`frontend`] | front-end process: accept shards, drive the [`Router`] |
+
+pub mod frontend;
+pub mod proto;
+pub mod router;
+pub mod shard;
+pub mod wire;
+
+pub use frontend::{serve_batch, FabricOutcome, FrontendOptions};
+pub use proto::{report_fingerprint, Msg, ScenarioJob};
+pub use router::{Router, RouterConfig, ShardCounters};
+pub use shard::{run_shard, ShardOptions};
+pub use wire::{FaultAction, FaultPlan, FaultyWriter, WireError};

@@ -1,0 +1,814 @@
+//! The fabric message set and its hand-rolled codecs.
+//!
+//! One [`Msg`] enum covers both directions of a front-end <-> shard
+//! connection; [`Msg::encode`]/[`Msg::decode`] map it onto the
+//! [`crate::wire`] frame format. The domain payloads — [`SimConfig`],
+//! [`MachineProfile`], [`WorkProfile`], [`RunReport`], [`PerfModel`],
+//! [`ResumePoint`] — are encoded field-by-field with fixed-width
+//! little-endian integers and raw `f64` bits (checkpoints reuse the
+//! existing `ASHCKPT1` binary codec verbatim), so every number crosses
+//! the wire bit-exactly and a failover resumed on another shard keeps
+//! the repo's bit-identity guarantee.
+
+use crate::wire::{Dec, Enc, WireError};
+use airshed_chem::youngboris::{AsymptoticForm, YbOptions};
+use airshed_core::checkpoint::Checkpoint;
+use airshed_core::config::{DatasetChoice, SimConfig, Weather};
+use airshed_core::driver::ChemLayout;
+use airshed_core::predict::CommOccurrences;
+use airshed_core::profile::{HourProfile, StepProfile};
+use airshed_core::report::CommStepSummary;
+use airshed_core::state::HourSummary;
+use airshed_core::{PerfModel, RunReport, WorkProfile};
+use airshed_machine::MachineProfile;
+use airshed_server::ResumePoint;
+use std::fmt::Write as _;
+
+/// Frame tag bytes, one per [`Msg`] variant.
+pub mod tags {
+    pub const HELLO: u8 = 1;
+    pub const HEARTBEAT: u8 = 2;
+    pub const ASSIGN: u8 = 3;
+    pub const PROGRESS: u8 = 4;
+    pub const COMPLETED: u8 = 5;
+    pub const FAILED: u8 = 6;
+    pub const CALIBRATED: u8 = 7;
+    pub const RECALIBRATED: u8 = 8;
+    pub const SHUTDOWN: u8 = 9;
+}
+
+/// One scenario as shipped to a shard: the configuration, the replay
+/// layout, and (after a failover) the resume state carrying the hours
+/// already completed elsewhere.
+#[derive(Debug, Clone)]
+pub struct ScenarioJob {
+    pub config: SimConfig,
+    pub layout: ChemLayout,
+    pub resume: Option<ResumePoint>,
+}
+
+/// Every message on a fabric connection.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Shard -> front-end, once per connection: identity and capacity.
+    Hello { name: String, workers: u32 },
+    /// Shard -> front-end liveness beacon with queue-depth telemetry.
+    Heartbeat { seq: u64, running: u32, queued: u32 },
+    /// Front-end -> shard: run this job.
+    Assign { job: u64, work: Box<ScenarioJob> },
+    /// Shard -> front-end, each hour boundary: the resume state the
+    /// front-end will re-route from if this shard dies.
+    Progress { job: u64, resume: Box<ResumePoint> },
+    /// Shard -> front-end: terminal success.
+    Completed { job: u64, report: Box<RunReport> },
+    /// Shard -> front-end: terminal failure (panic in the numerics).
+    Failed { job: u64, message: String },
+    /// Shard -> front-end: a fresh numerics run calibrated this job's
+    /// scenario family; here is its §4 performance model.
+    Calibrated { job: u64, model: PerfModel },
+    /// Shard -> front-end: the shard's oracle re-fitted its machine
+    /// parameters from observed spans.
+    Recalibrated { machine: MachineProfile },
+    /// Front-end -> shard: drain and exit.
+    Shutdown,
+}
+
+impl Msg {
+    /// The frame tag for this message.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Msg::Hello { .. } => tags::HELLO,
+            Msg::Heartbeat { .. } => tags::HEARTBEAT,
+            Msg::Assign { .. } => tags::ASSIGN,
+            Msg::Progress { .. } => tags::PROGRESS,
+            Msg::Completed { .. } => tags::COMPLETED,
+            Msg::Failed { .. } => tags::FAILED,
+            Msg::Calibrated { .. } => tags::CALIBRATED,
+            Msg::Recalibrated { .. } => tags::RECALIBRATED,
+            Msg::Shutdown => tags::SHUTDOWN,
+        }
+    }
+
+    /// Encode the payload (tag not included — it lives in the frame
+    /// header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            Msg::Hello { name, workers } => {
+                e.str(name);
+                e.u32(*workers);
+            }
+            Msg::Heartbeat {
+                seq,
+                running,
+                queued,
+            } => {
+                e.u64(*seq);
+                e.u32(*running);
+                e.u32(*queued);
+            }
+            Msg::Assign { job, work } => {
+                e.u64(*job);
+                enc_job(&mut e, work);
+            }
+            Msg::Progress { job, resume } => {
+                e.u64(*job);
+                enc_resume(&mut e, resume);
+            }
+            Msg::Completed { job, report } => {
+                e.u64(*job);
+                enc_report(&mut e, report);
+            }
+            Msg::Failed { job, message } => {
+                e.u64(*job);
+                e.str(message);
+            }
+            Msg::Calibrated { job, model } => {
+                e.u64(*job);
+                enc_model(&mut e, model);
+            }
+            Msg::Recalibrated { machine } => {
+                enc_machine(&mut e, machine);
+            }
+            Msg::Shutdown => {}
+        }
+        e.finish()
+    }
+
+    /// Decode a payload under a frame tag.
+    pub fn decode(tag: u8, payload: &[u8]) -> Result<Msg, WireError> {
+        let mut d = Dec::new(payload);
+        let msg = match tag {
+            tags::HELLO => Msg::Hello {
+                name: d.str()?,
+                workers: d.u32()?,
+            },
+            tags::HEARTBEAT => Msg::Heartbeat {
+                seq: d.u64()?,
+                running: d.u32()?,
+                queued: d.u32()?,
+            },
+            tags::ASSIGN => Msg::Assign {
+                job: d.u64()?,
+                work: Box::new(dec_job(&mut d)?),
+            },
+            tags::PROGRESS => Msg::Progress {
+                job: d.u64()?,
+                resume: Box::new(dec_resume(&mut d)?),
+            },
+            tags::COMPLETED => Msg::Completed {
+                job: d.u64()?,
+                report: Box::new(dec_report(&mut d)?),
+            },
+            tags::FAILED => Msg::Failed {
+                job: d.u64()?,
+                message: d.str()?,
+            },
+            tags::CALIBRATED => Msg::Calibrated {
+                job: d.u64()?,
+                model: dec_model(&mut d)?,
+            },
+            tags::RECALIBRATED => Msg::Recalibrated {
+                machine: dec_machine(&mut d)?,
+            },
+            tags::SHUTDOWN => Msg::Shutdown,
+            other => return Err(WireError::UnknownTag(other)),
+        };
+        d.done()?;
+        Ok(msg)
+    }
+}
+
+/// Send one message over a raw writer.
+pub fn send(w: &mut impl std::io::Write, msg: &Msg) -> std::io::Result<()> {
+    crate::wire::write_frame(w, msg.tag(), &msg.encode())
+}
+
+/// Receive one message (blocking).
+pub fn recv(r: &mut impl std::io::Read) -> Result<Msg, WireError> {
+    let (tag, payload) = crate::wire::read_frame(r)?;
+    Msg::decode(tag, &payload)
+}
+
+// ---------------------------------------------------------------------------
+// Domain codecs
+// ---------------------------------------------------------------------------
+
+/// Intern a decoded dataset name into the `&'static str` the profile
+/// structs carry. The three real datasets are constants; anything else
+/// (test fixtures) leaks — bounded by the number of distinct names.
+fn intern(name: String) -> &'static str {
+    match name.as_str() {
+        "LA" => "LA",
+        "NE" => "NE",
+        "TINY" => "TINY",
+        "TEST" => "TEST",
+        _ => Box::leak(name.into_boxed_str()),
+    }
+}
+
+fn enc_config(e: &mut Enc, c: &SimConfig) {
+    match c.dataset {
+        DatasetChoice::LosAngeles => e.u8(0),
+        DatasetChoice::NorthEast => e.u8(1),
+        DatasetChoice::Tiny(n) => {
+            e.u8(2);
+            e.usize(n);
+        }
+    }
+    enc_machine(e, &c.machine);
+    e.usize(c.p);
+    e.usize(c.hours);
+    e.usize(c.start_hour);
+    e.f64(c.kh);
+    let o = &c.chem_opts;
+    e.f64(o.eps);
+    e.f64(o.atol);
+    e.f64(o.h_min);
+    e.f64(o.h_max);
+    e.f64(o.stiff_ratio);
+    e.bool(o.form == AsymptoticForm::Exponential);
+    e.bool(c.weather == Weather::Stagnation);
+    e.f64(c.emission_scale);
+}
+
+fn dec_config(d: &mut Dec) -> Result<SimConfig, WireError> {
+    let dataset = match d.u8()? {
+        0 => DatasetChoice::LosAngeles,
+        1 => DatasetChoice::NorthEast,
+        2 => DatasetChoice::Tiny(d.usize()?),
+        _ => return Err(WireError::Malformed("unknown dataset choice")),
+    };
+    let machine = dec_machine(d)?;
+    let p = d.usize()?;
+    let hours = d.usize()?;
+    let start_hour = d.usize()?;
+    let kh = d.f64()?;
+    let chem_opts = YbOptions {
+        eps: d.f64()?,
+        atol: d.f64()?,
+        h_min: d.f64()?,
+        h_max: d.f64()?,
+        stiff_ratio: d.f64()?,
+        form: if d.bool()? {
+            AsymptoticForm::Exponential
+        } else {
+            AsymptoticForm::Rational
+        },
+    };
+    let weather = if d.bool()? {
+        Weather::Stagnation
+    } else {
+        Weather::Ventilated
+    };
+    let emission_scale = d.f64()?;
+    Ok(SimConfig {
+        dataset,
+        machine,
+        p,
+        hours,
+        start_hour,
+        kh,
+        chem_opts,
+        weather,
+        emission_scale,
+    })
+}
+
+fn enc_machine(e: &mut Enc, m: &MachineProfile) {
+    e.str(m.name);
+    e.f64(m.rate);
+    e.f64(m.latency);
+    e.f64(m.byte_cost);
+    e.f64(m.copy_cost);
+    e.usize(m.word_size);
+}
+
+fn dec_machine(d: &mut Dec) -> Result<MachineProfile, WireError> {
+    let name = d.str()?;
+    // Reuse the canonical profile names so decode does not leak for the
+    // paper machines; the numeric parameters still come off the wire
+    // (they may be oracle-recalibrated, not nominal).
+    let name: &'static str = match name.as_str() {
+        "Cray T3E" => "Cray T3E",
+        "Cray T3D" => "Cray T3D",
+        "Intel Paragon" => "Intel Paragon",
+        _ => intern(name),
+    };
+    Ok(MachineProfile {
+        name,
+        rate: d.f64()?,
+        latency: d.f64()?,
+        byte_cost: d.f64()?,
+        copy_cost: d.f64()?,
+        word_size: d.usize()?,
+    })
+}
+
+fn enc_layout(e: &mut Enc, l: ChemLayout) {
+    e.u8(match l {
+        ChemLayout::Block => 0,
+        ChemLayout::Cyclic => 1,
+    });
+}
+
+fn dec_layout(d: &mut Dec) -> Result<ChemLayout, WireError> {
+    match d.u8()? {
+        0 => Ok(ChemLayout::Block),
+        1 => Ok(ChemLayout::Cyclic),
+        _ => Err(WireError::Malformed("unknown chem layout")),
+    }
+}
+
+fn enc_job(e: &mut Enc, j: &ScenarioJob) {
+    enc_config(e, &j.config);
+    enc_layout(e, j.layout);
+    match &j.resume {
+        None => e.bool(false),
+        Some(r) => {
+            e.bool(true);
+            enc_resume(e, r);
+        }
+    }
+}
+
+fn dec_job(d: &mut Dec) -> Result<ScenarioJob, WireError> {
+    let config = dec_config(d)?;
+    let layout = dec_layout(d)?;
+    let resume = if d.bool()? {
+        Some(dec_resume(d)?)
+    } else {
+        None
+    };
+    Ok(ScenarioJob {
+        config,
+        layout,
+        resume,
+    })
+}
+
+fn enc_resume(e: &mut Enc, r: &ResumePoint) {
+    // Checkpoints already have a validated binary codec (`ASHCKPT1`);
+    // nest those bytes rather than inventing a second format.
+    e.bytes(&r.checkpoint.encode());
+    enc_profile(e, &r.partial);
+}
+
+fn dec_resume(d: &mut Dec) -> Result<ResumePoint, WireError> {
+    let ckpt = d.bytes()?;
+    let checkpoint =
+        Checkpoint::decode(ckpt).map_err(|_| WireError::Malformed("bad checkpoint"))?;
+    let partial = dec_profile(d)?;
+    Ok(ResumePoint {
+        checkpoint,
+        partial,
+    })
+}
+
+fn enc_profile(e: &mut Enc, p: &WorkProfile) {
+    e.str(p.dataset);
+    for &s in &p.shape {
+        e.usize(s);
+    }
+    e.u32(p.hours.len() as u32);
+    for h in &p.hours {
+        e.f64(h.input_work);
+        e.f64(h.pretrans_work);
+        e.f64(h.output_work);
+        e.usize(h.input_bytes);
+        e.u32(h.steps.len() as u32);
+        for s in &h.steps {
+            e.f64s(&s.transport1);
+            e.f64s(&s.transport2);
+            e.f64s(&s.chemistry);
+            e.f64(s.aerosol);
+        }
+        e.f64s(&h.surface);
+    }
+    e.u32(p.summaries.len() as u32);
+    for s in &p.summaries {
+        enc_summary(e, s);
+    }
+}
+
+fn dec_profile(d: &mut Dec) -> Result<WorkProfile, WireError> {
+    let dataset = intern(d.str()?);
+    let shape = [d.usize()?, d.usize()?, d.usize()?];
+    let n_hours = d.len_prefix(8)?;
+    let mut hours = Vec::with_capacity(n_hours);
+    for _ in 0..n_hours {
+        let input_work = d.f64()?;
+        let pretrans_work = d.f64()?;
+        let output_work = d.f64()?;
+        let input_bytes = d.usize()?;
+        let n_steps = d.len_prefix(8)?;
+        let mut steps = Vec::with_capacity(n_steps);
+        for _ in 0..n_steps {
+            steps.push(StepProfile {
+                transport1: d.f64s()?,
+                transport2: d.f64s()?,
+                chemistry: d.f64s()?,
+                aerosol: d.f64()?,
+            });
+        }
+        let surface = d.f64s()?;
+        hours.push(HourProfile {
+            input_work,
+            pretrans_work,
+            output_work,
+            input_bytes,
+            steps,
+            surface,
+        });
+    }
+    let n_sum = d.len_prefix(8)?;
+    let summaries = (0..n_sum)
+        .map(|_| dec_summary(d))
+        .collect::<Result<_, _>>()?;
+    Ok(WorkProfile {
+        dataset,
+        shape,
+        hours,
+        summaries,
+    })
+}
+
+fn enc_summary(e: &mut Enc, s: &HourSummary) {
+    e.usize(s.hour);
+    e.f64(s.max_o3);
+    e.f64(s.mean_o3);
+    e.f64(s.mean_nox);
+    e.f64(s.mean_total_n);
+}
+
+fn dec_summary(d: &mut Dec) -> Result<HourSummary, WireError> {
+    Ok(HourSummary {
+        hour: d.usize()?,
+        max_o3: d.f64()?,
+        mean_o3: d.f64()?,
+        mean_nox: d.f64()?,
+        mean_total_n: d.f64()?,
+    })
+}
+
+fn enc_report(e: &mut Enc, r: &RunReport) {
+    e.str(&r.dataset);
+    e.str(&r.machine);
+    e.usize(r.p);
+    e.usize(r.hours);
+    e.f64(r.total_seconds);
+    e.f64(r.io_seconds);
+    e.f64(r.transport_seconds);
+    e.f64(r.chemistry_seconds);
+    e.f64(r.communication_seconds);
+    e.f64(r.popexp_seconds);
+    e.u32(r.comm_steps.len() as u32);
+    for c in &r.comm_steps {
+        e.str(&c.label);
+        e.f64(c.total_seconds);
+        e.usize(c.count);
+    }
+    e.u32(r.summaries.len() as u32);
+    for s in &r.summaries {
+        enc_summary(e, s);
+    }
+    e.str(&r.backend);
+    match r.predicted_seconds {
+        None => e.bool(false),
+        Some(p) => {
+            e.bool(true);
+            e.f64(p);
+        }
+    }
+}
+
+fn dec_report(d: &mut Dec) -> Result<RunReport, WireError> {
+    let dataset = d.str()?;
+    let machine = d.str()?;
+    let p = d.usize()?;
+    let hours = d.usize()?;
+    let total_seconds = d.f64()?;
+    let io_seconds = d.f64()?;
+    let transport_seconds = d.f64()?;
+    let chemistry_seconds = d.f64()?;
+    let communication_seconds = d.f64()?;
+    let popexp_seconds = d.f64()?;
+    let n_comm = d.len_prefix(8)?;
+    let mut comm_steps = Vec::with_capacity(n_comm);
+    for _ in 0..n_comm {
+        comm_steps.push(CommStepSummary {
+            label: d.str()?,
+            total_seconds: d.f64()?,
+            count: d.usize()?,
+        });
+    }
+    let n_sum = d.len_prefix(8)?;
+    let summaries = (0..n_sum)
+        .map(|_| dec_summary(d))
+        .collect::<Result<_, _>>()?;
+    let backend = d.str()?;
+    let predicted_seconds = if d.bool()? { Some(d.f64()?) } else { None };
+    Ok(RunReport {
+        dataset,
+        machine,
+        p,
+        hours,
+        total_seconds,
+        io_seconds,
+        transport_seconds,
+        chemistry_seconds,
+        communication_seconds,
+        popexp_seconds,
+        comm_steps,
+        summaries,
+        backend,
+        predicted_seconds,
+    })
+}
+
+fn enc_model(e: &mut Enc, m: &PerfModel) {
+    for &s in &m.shape {
+        e.usize(s);
+    }
+    e.f64(m.seq_io);
+    e.f64(m.seq_transport);
+    e.f64(m.seq_chemistry);
+    e.f64(m.seq_aerosol);
+    e.usize(m.steps);
+    e.usize(m.hours);
+    let o = &m.occurrences;
+    e.usize(o.repl_to_trans);
+    e.usize(o.trans_to_chem);
+    e.usize(o.chem_to_repl);
+    e.usize(o.trans_to_repl);
+}
+
+fn dec_model(d: &mut Dec) -> Result<PerfModel, WireError> {
+    Ok(PerfModel {
+        shape: [d.usize()?, d.usize()?, d.usize()?],
+        seq_io: d.f64()?,
+        seq_transport: d.f64()?,
+        seq_chemistry: d.f64()?,
+        seq_aerosol: d.f64()?,
+        steps: d.usize()?,
+        hours: d.usize()?,
+        occurrences: CommOccurrences {
+            repl_to_trans: d.usize()?,
+            trans_to_chem: d.usize()?,
+            chem_to_repl: d.usize()?,
+            trans_to_repl: d.usize()?,
+        },
+    })
+}
+
+/// Canonical fingerprint of a [`RunReport`]'s *deterministic* content:
+/// every `f64` as its exact bit pattern, every count verbatim. The
+/// host-dependent fields — `backend` (which machine ran the kernels)
+/// and `predicted_seconds` (routing-time model state) — are excluded,
+/// so a report computed behind the fabric (possibly resumed across a
+/// shard failover) fingerprints identically to a single-process run of
+/// the same scenario. The CI smoke test diffs these files.
+pub fn report_fingerprint(r: &RunReport) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{}|{}|p{}|h{}", r.dataset, r.machine, r.p, r.hours);
+    for v in [
+        r.total_seconds,
+        r.io_seconds,
+        r.transport_seconds,
+        r.chemistry_seconds,
+        r.communication_seconds,
+        r.popexp_seconds,
+    ] {
+        let _ = write!(s, "|{:016x}", v.to_bits());
+    }
+    for c in &r.comm_steps {
+        let _ = write!(
+            s,
+            "|{}:{:016x}:{}",
+            c.label,
+            c.total_seconds.to_bits(),
+            c.count
+        );
+    }
+    for h in &r.summaries {
+        let _ = write!(
+            s,
+            "|{}:{:016x}:{:016x}:{:016x}:{:016x}",
+            h.hour,
+            h.max_o3.to_bits(),
+            h.mean_o3.to_bits(),
+            h.mean_nox.to_bits(),
+            h.mean_total_n.to_bits()
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airshed_core::driver::run_resumable;
+
+    fn sample_config() -> SimConfig {
+        let mut c = SimConfig::test_tiny(4, 2);
+        c.start_hour = 9;
+        c.emission_scale = 0.85;
+        c.machine = MachineProfile::t3d();
+        c
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        for msg in [
+            Msg::Hello {
+                name: "s0".into(),
+                workers: 3,
+            },
+            Msg::Heartbeat {
+                seq: 42,
+                running: 2,
+                queued: 7,
+            },
+            Msg::Failed {
+                job: 9,
+                message: "chemistry blew up".into(),
+            },
+            Msg::Shutdown,
+        ] {
+            let back = Msg::decode(msg.tag(), &msg.encode()).unwrap();
+            assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn config_and_model_round_trip_bit_exactly() {
+        let c = sample_config();
+        let msg = Msg::Assign {
+            job: 5,
+            work: Box::new(ScenarioJob {
+                config: c.clone(),
+                layout: ChemLayout::Cyclic,
+                resume: None,
+            }),
+        };
+        let Msg::Assign { job, work } = Msg::decode(msg.tag(), &msg.encode()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(job, 5);
+        assert_eq!(
+            work.config.emission_scale.to_bits(),
+            c.emission_scale.to_bits()
+        );
+        assert_eq!(work.config.machine, c.machine);
+        assert_eq!(work.config.hours, 2);
+        assert_eq!(work.layout, ChemLayout::Cyclic);
+        // The family key — what the router prices by — survives intact.
+        use airshed_server::cache::NumericsKey;
+        assert_eq!(
+            NumericsKey::of(&work.config).family(),
+            NumericsKey::of(&c).family()
+        );
+    }
+
+    #[test]
+    fn full_run_artifacts_round_trip_bit_exactly() {
+        // Run one real tiny hour, then push the checkpoint, profile,
+        // report and perf model through the wire and back.
+        let mut cfg = SimConfig::test_tiny(4, 1);
+        cfg.start_hour = 12;
+        let (report, profile, ckpt) = run_resumable(&cfg, None);
+        let model = PerfModel::from_profile(&profile);
+
+        let progress = Msg::Progress {
+            job: 1,
+            resume: Box::new(ResumePoint {
+                checkpoint: ckpt.clone(),
+                partial: profile.clone(),
+            }),
+        };
+        let Msg::Progress { resume, .. } = Msg::decode(progress.tag(), &progress.encode()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(resume.checkpoint.next_hour, ckpt.next_hour);
+        assert_eq!(resume.checkpoint.state.conc, ckpt.state.conc);
+        assert_eq!(resume.partial.dataset, profile.dataset);
+        assert_eq!(resume.partial.shape, profile.shape);
+        assert_eq!(resume.partial.hours.len(), profile.hours.len());
+        for (a, b) in resume.partial.hours.iter().zip(&profile.hours) {
+            assert_eq!(a.surface, b.surface);
+            for (sa, sb) in a.steps.iter().zip(&b.steps) {
+                assert_eq!(sa.chemistry, sb.chemistry);
+                assert_eq!(sa.transport1, sb.transport1);
+            }
+        }
+
+        let completed = Msg::Completed {
+            job: 1,
+            report: Box::new(report.clone()),
+        };
+        let Msg::Completed { report: back, .. } =
+            Msg::decode(completed.tag(), &completed.encode()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(report_fingerprint(&back), report_fingerprint(&report));
+        assert_eq!(back.total_seconds.to_bits(), report.total_seconds.to_bits());
+
+        let calibrated = Msg::Calibrated {
+            job: 1,
+            model: model.clone(),
+        };
+        let Msg::Calibrated { model: m2, .. } =
+            Msg::decode(calibrated.tag(), &calibrated.encode()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        let t3e = MachineProfile::t3e();
+        assert_eq!(
+            m2.predict(&t3e, 16).total.to_bits(),
+            model.predict(&t3e, 16).total.to_bits()
+        );
+    }
+
+    #[test]
+    fn recalibrated_machine_keeps_fitted_parameters() {
+        let drifted = MachineProfile {
+            rate: 197.3e6,
+            latency: 6.1e-5,
+            ..MachineProfile::t3e()
+        };
+        let msg = Msg::Recalibrated { machine: drifted };
+        let Msg::Recalibrated { machine } = Msg::decode(msg.tag(), &msg.encode()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(machine.name, "Cray T3E");
+        assert_eq!(machine.rate.to_bits(), drifted.rate.to_bits());
+        assert_eq!(machine.latency.to_bits(), drifted.latency.to_bits());
+    }
+
+    #[test]
+    fn fingerprint_ignores_host_dependent_fields() {
+        let mut cfg = SimConfig::test_tiny(2, 1);
+        cfg.start_hour = 12;
+        let (mut report, _, _) = run_resumable(&cfg, None);
+        let a = report_fingerprint(&report);
+        report.backend = "rayon(64)".into();
+        report.predicted_seconds = Some(123.0);
+        assert_eq!(a, report_fingerprint(&report));
+        report.total_seconds += 1.0;
+        assert_ne!(a, report_fingerprint(&report));
+    }
+
+    #[test]
+    fn corrupt_payloads_fail_cleanly() {
+        let msg = Msg::Hello {
+            name: "s1".into(),
+            workers: 2,
+        };
+        let mut payload = msg.encode();
+        // Unknown tag.
+        assert!(matches!(
+            Msg::decode(200, &payload),
+            Err(WireError::UnknownTag(200))
+        ));
+        // Trailing garbage.
+        payload.push(0);
+        assert!(Msg::decode(tags::HELLO, &payload).is_err());
+        // Truncated payload.
+        assert!(Msg::decode(tags::HELLO, &payload[..3]).is_err());
+        // An Assign whose checkpoint bytes are corrupted must error, not
+        // panic: flip a byte inside the nested ASHCKPT1 block.
+        let mut cfg = SimConfig::test_tiny(2, 1);
+        cfg.start_hour = 12;
+        let (_, profile, ckpt) = run_resumable(&cfg, None);
+        let assign = Msg::Assign {
+            job: 3,
+            work: Box::new(ScenarioJob {
+                config: cfg,
+                layout: ChemLayout::Block,
+                resume: Some(ResumePoint {
+                    checkpoint: ckpt,
+                    partial: profile,
+                }),
+            }),
+        };
+        let mut bytes = assign.encode();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0xff;
+        // Either the checkpoint validator or a codec bound trips; both
+        // are WireErrors. (The flip could land in profile f64 data and
+        // still decode — find a byte that actually breaks decoding.)
+        let mut broke = false;
+        for at in [at, 100, 120, 140] {
+            let mut b = assign.encode();
+            b[at] ^= 0xff;
+            if Msg::decode(tags::ASSIGN, &b).is_err() {
+                broke = true;
+                break;
+            }
+        }
+        assert!(broke, "no corruption detected at any probed offset");
+        let _ = bytes;
+    }
+}

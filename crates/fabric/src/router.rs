@@ -1,0 +1,734 @@
+//! The front-end routing brain: a deterministic state machine.
+//!
+//! The router holds no sockets and never reads a clock — every method
+//! that depends on time takes an explicit `now_ms`, and all outbound
+//! wire traffic is returned as `(shard, Msg)` pairs from [`Router::poll`].
+//! That makes the interesting distributed behaviors — earliest-
+//! predicted-completion routing, work stealing, heartbeat-timeout
+//! failover with checkpoint resume — unit-testable with a scripted
+//! clock (see `tests/robustness.rs`), while the socket shuffling in
+//! [`crate::frontend`] stays dumb.
+//!
+//! **Routing** prices a job on every live shard with the §4
+//! [`PerfModel`] of the job's scenario *family* (the
+//! [`NumericsKey::family`] the server's admission controller also uses)
+//! evaluated against that shard's latest oracle-recalibrated
+//! [`MachineProfile`], scaled to the hours the job still has to run.
+//! The job goes to the shard with the earliest predicted completion:
+//! `argmin(predicted backlog + this job's predicted cost)`. Families
+//! with no calibrated model yet are priced at the mean cost of the
+//! known outstanding jobs (or 1 when nothing is known), which degrades
+//! to least-loaded routing.
+//!
+//! **Stealing**: only `workers` jobs are ever in flight to a shard (the
+//! dispatch window); the rest of its queue is a logical backlog held
+//! here. A shard that runs dry steals queued jobs from the shard with
+//! the most predicted backlog — a cheap local move, no revocation
+//! protocol, because undispatched jobs only exist in the router.
+//!
+//! **Failover**: a shard that misses heartbeats past the timeout (or
+//! drops its connection) is declared lost; every job it held is
+//! re-routed with the freshest [`ResumePoint`] its hourly `Progress`
+//! reports carried, so the new shard resumes from the checkpoint
+//! instead of restarting — and the checkpoint guarantee makes the final
+//! report bit-identical either way.
+
+use crate::proto::{Msg, ScenarioJob};
+use airshed_core::config::SimConfig;
+use airshed_core::driver::ChemLayout;
+use airshed_core::obs::metrics::Histogram;
+use airshed_core::obs::prom::{label, PromWriter};
+use airshed_core::{PerfModel, RunReport};
+use airshed_machine::MachineProfile;
+use airshed_server::cache::NumericsKey;
+use airshed_server::ResumePoint;
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// Router tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// A shard that has not been heard from for this long is lost.
+    pub heartbeat_timeout_ms: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            heartbeat_timeout_ms: 2000,
+        }
+    }
+}
+
+/// Per-shard fabric counters (exported to Prometheus, asserted in tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Jobs first routed to this shard.
+    pub routed: u64,
+    /// Queued jobs this shard stole from a loaded peer.
+    pub stolen: u64,
+    /// Jobs this shard received from a lost peer (failover).
+    pub failed_over: u64,
+    /// Jobs this shard completed.
+    pub completed: u64,
+}
+
+struct Shard {
+    name: String,
+    /// Dispatch window: at most this many jobs in flight on the wire.
+    window: usize,
+    alive: bool,
+    last_seen_ms: u64,
+    /// Oracle-recalibrated machine parameters, by machine name.
+    machines: HashMap<&'static str, MachineProfile>,
+    inflight: Vec<u64>,
+    backlog: VecDeque<u64>,
+    counters: ShardCounters,
+}
+
+struct Job {
+    /// Caller's tag (scenario index) echoed back with the result.
+    scenario: usize,
+    config: SimConfig,
+    layout: ChemLayout,
+    /// Freshest resume state, from hourly `Progress` reports.
+    resume: Option<ResumePoint>,
+    /// Predicted remaining virtual seconds at dispatch time.
+    predicted: Option<f64>,
+    shard: Option<usize>,
+}
+
+/// See the module docs.
+pub struct Router {
+    cfg: RouterConfig,
+    shards: Vec<Shard>,
+    jobs: HashMap<u64, Job>,
+    next_job: u64,
+    /// Calibrated §4 models by scenario family.
+    models: HashMap<NumericsKey, PerfModel>,
+    /// Jobs with no live shard to run on (all lost); re-routed as soon
+    /// as a shard is (re)registered.
+    orphans: VecDeque<u64>,
+    finished: Vec<(usize, Result<RunReport, String>)>,
+    /// Predicted-vs-actual completion time distributions (virtual s).
+    predicted_hist: Histogram,
+    actual_hist: Histogram,
+}
+
+impl Router {
+    pub fn new(cfg: RouterConfig) -> Router {
+        Router {
+            cfg,
+            shards: Vec::new(),
+            jobs: HashMap::new(),
+            next_job: 0,
+            models: HashMap::new(),
+            orphans: VecDeque::new(),
+            finished: Vec::new(),
+            predicted_hist: Histogram::new(),
+            actual_hist: Histogram::new(),
+        }
+    }
+
+    /// Register a connected shard; `workers` sets its dispatch window.
+    pub fn add_shard(&mut self, name: &str, workers: usize, now_ms: u64) -> usize {
+        self.shards.push(Shard {
+            name: name.to_string(),
+            window: workers.max(1),
+            alive: true,
+            last_seen_ms: now_ms,
+            machines: HashMap::new(),
+            inflight: Vec::new(),
+            backlog: VecDeque::new(),
+            counters: ShardCounters::default(),
+        });
+        self.shards.len() - 1
+    }
+
+    /// Accept one scenario; returns its job id. The job is routed
+    /// immediately (counted in `routed`) but only shipped by [`Router::poll`].
+    pub fn submit(&mut self, scenario: usize, config: SimConfig, layout: ChemLayout) -> u64 {
+        let id = self.next_job;
+        self.next_job += 1;
+        self.jobs.insert(
+            id,
+            Job {
+                scenario,
+                config,
+                layout,
+                resume: None,
+                predicted: None,
+                shard: None,
+            },
+        );
+        match self.route(id) {
+            Some(s) => self.shards[s].counters.routed += 1,
+            None => self.orphans.push_back(id),
+        }
+        id
+    }
+
+    /// Record a calibrated performance model for `config`'s family.
+    /// Normally fed by `Calibrated` messages; also a test hook.
+    pub fn calibrate(&mut self, config: &SimConfig, model: PerfModel) {
+        self.models.insert(NumericsKey::of(config).family(), model);
+    }
+
+    /// Handle one shard message. `now_ms` marks the shard live.
+    pub fn on_msg(&mut self, shard: usize, msg: Msg, now_ms: u64) {
+        if self.shards[shard].alive {
+            self.shards[shard].last_seen_ms = now_ms;
+        }
+        match msg {
+            Msg::Heartbeat { .. } | Msg::Hello { .. } => {}
+            Msg::Progress { job, resume } => {
+                if let Some(j) = self.jobs.get_mut(&job) {
+                    j.resume = Some(*resume);
+                }
+            }
+            Msg::Completed { job, report } => self.complete(shard, job, *report),
+            Msg::Failed { job, message } => {
+                if let Some(j) = self.jobs.remove(&job) {
+                    self.detach(job);
+                    self.finished.push((j.scenario, Err(message)));
+                }
+            }
+            Msg::Calibrated { job, model } => {
+                if let Some(j) = self.jobs.get(&job) {
+                    let key = NumericsKey::of(&j.config).family();
+                    self.models.insert(key, model);
+                } else {
+                    // Job already finished (Calibrated races Completed
+                    // only if reordered — same stream, so in practice
+                    // Calibrated lands first); ignore.
+                }
+            }
+            Msg::Recalibrated { machine } => {
+                self.shards[shard].machines.insert(machine.name, machine);
+            }
+            Msg::Assign { .. } | Msg::Shutdown => {} // not shard -> front-end
+        }
+    }
+
+    /// The shard's connection dropped: immediate failover.
+    pub fn on_disconnect(&mut self, shard: usize) {
+        self.lose(shard);
+    }
+
+    /// Advance the state machine: declare heartbeat-silent shards lost,
+    /// re-route their jobs, let dry shards steal, and dispatch up to
+    /// each live shard's window. Returns the frames to put on the wire.
+    pub fn poll(&mut self, now_ms: u64) -> Vec<(usize, Msg)> {
+        // Failover on missed heartbeats.
+        let timeout = self.cfg.heartbeat_timeout_ms;
+        for s in 0..self.shards.len() {
+            if self.shards[s].alive && now_ms.saturating_sub(self.shards[s].last_seen_ms) > timeout
+            {
+                self.lose(s);
+            }
+        }
+        // Orphans (jobs that survived a total outage) route first.
+        for _ in 0..self.orphans.len() {
+            let Some(id) = self.orphans.pop_front() else {
+                break;
+            };
+            match self.route(id) {
+                Some(s) => self.shards[s].counters.failed_over += 1,
+                None => self.orphans.push_back(id),
+            }
+        }
+        self.steal();
+        self.dispatch()
+    }
+
+    /// Work stealing: a live shard whose pipeline has room and whose
+    /// backlog is empty takes one queued job at a time from the live
+    /// shard with the largest predicted backlog. Only shards whose
+    /// pipeline is already full are valid victims — their backlog is
+    /// true excess; stealing from a shard that could dispatch the job
+    /// itself would just ping-pong work between idle shards.
+    fn steal(&mut self) {
+        loop {
+            let mut moved = false;
+            for thief in 0..self.shards.len() {
+                let t = &self.shards[thief];
+                if !t.alive || !t.backlog.is_empty() || t.inflight.len() >= t.window {
+                    continue;
+                }
+                // Victim: most predicted backlog seconds, ties to the
+                // lowest index; must have excess queued work.
+                let victim = (0..self.shards.len())
+                    .filter(|&v| v != thief && self.shards[v].alive)
+                    .filter(|&v| {
+                        !self.shards[v].backlog.is_empty()
+                            && self.shards[v].inflight.len() >= self.shards[v].window
+                    })
+                    .map(|v| (self.backlog_cost(v), v))
+                    .max_by(|(ca, va), (cb, vb)| {
+                        ca.partial_cmp(cb)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(vb.cmp(va))
+                    })
+                    .map(|(_, v)| v);
+                let Some(victim) = victim else { continue };
+                // Take from the back: the job farthest from running.
+                let id = self.shards[victim].backlog.pop_back().unwrap();
+                self.shards[thief].backlog.push_back(id);
+                self.shards[thief].counters.stolen += 1;
+                self.jobs.get_mut(&id).unwrap().shard = Some(thief);
+                moved = true;
+            }
+            if !moved {
+                return;
+            }
+        }
+    }
+
+    /// Ship backlog jobs up to each live shard's dispatch window.
+    fn dispatch(&mut self) -> Vec<(usize, Msg)> {
+        let mut out = Vec::new();
+        for s in 0..self.shards.len() {
+            while self.shards[s].alive
+                && self.shards[s].inflight.len() < self.shards[s].window
+                && !self.shards[s].backlog.is_empty()
+            {
+                let id = self.shards[s].backlog.pop_front().unwrap();
+                self.shards[s].inflight.push(id);
+                let predicted = self.job_cost(s, id);
+                let job = self.jobs.get_mut(&id).unwrap();
+                job.predicted = predicted;
+                out.push((
+                    s,
+                    Msg::Assign {
+                        job: id,
+                        work: Box::new(ScenarioJob {
+                            config: job.config.clone(),
+                            layout: job.layout,
+                            resume: job.resume.clone(),
+                        }),
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    fn complete(&mut self, shard: usize, job: u64, mut report: RunReport) {
+        let Some(j) = self.jobs.remove(&job) else {
+            return;
+        };
+        self.detach(job);
+        self.shards[shard].counters.completed += 1;
+        if let Some(p) = j.predicted {
+            report.predicted_seconds = Some(p);
+            self.predicted_hist
+                .record(Duration::from_secs_f64(p.max(0.0)));
+            self.actual_hist
+                .record(Duration::from_secs_f64(report.total_seconds.max(0.0)));
+        }
+        self.finished.push((j.scenario, Ok(report)));
+    }
+
+    /// Remove `job` from whichever shard queue holds it.
+    fn detach(&mut self, job: u64) {
+        for s in &mut self.shards {
+            s.inflight.retain(|&id| id != job);
+            s.backlog.retain(|&id| id != job);
+        }
+        self.orphans.retain(|&id| id != job);
+    }
+
+    /// Declare a shard lost and re-route everything it held, resuming
+    /// from the freshest checkpoints its progress reports carried.
+    fn lose(&mut self, shard: usize) {
+        if !self.shards[shard].alive {
+            return;
+        }
+        self.shards[shard].alive = false;
+        let mut displaced: Vec<u64> = self.shards[shard].inflight.drain(..).collect();
+        displaced.extend(self.shards[shard].backlog.drain(..));
+        for id in displaced {
+            if let Some(j) = self.jobs.get_mut(&id) {
+                j.shard = None;
+                j.predicted = None;
+            }
+            match self.route(id) {
+                Some(s) => self.shards[s].counters.failed_over += 1,
+                None => self.orphans.push_back(id),
+            }
+        }
+    }
+
+    /// Route one job to the live shard with the earliest predicted
+    /// completion; returns the chosen shard, or `None` if none is live.
+    fn route(&mut self, id: u64) -> Option<usize> {
+        let best = (0..self.shards.len())
+            .filter(|&s| self.shards[s].alive)
+            .map(|s| {
+                let finish =
+                    self.shard_load(s) + self.job_cost(s, id).unwrap_or_else(|| self.mean_cost());
+                (finish, s)
+            })
+            // Earliest finish wins; ties go to the lowest shard index.
+            .min_by(|(ca, sa), (cb, sb)| {
+                ca.partial_cmp(cb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(sa.cmp(sb))
+            })
+            .map(|(_, s)| s)?;
+        self.shards[best].backlog.push_back(id);
+        self.jobs.get_mut(&id).unwrap().shard = Some(best);
+        Some(best)
+    }
+
+    /// Predicted remaining virtual seconds of `job` on `shard`: the
+    /// family model priced with the shard's recalibrated machine,
+    /// scaled to the hours not yet checkpointed. Public so tests can
+    /// assert the cost function directly.
+    pub fn job_cost(&self, shard: usize, job: u64) -> Option<f64> {
+        let j = self.jobs.get(&job)?;
+        let model = self.models.get(&NumericsKey::of(&j.config).family())?;
+        let machine = self.shards[shard]
+            .machines
+            .get(j.config.machine.name)
+            .copied()
+            .unwrap_or(j.config.machine);
+        let per_hour = model.predict(&machine, j.config.p).total / model.hours.max(1) as f64;
+        let done = j.resume.as_ref().map_or(0, |r| r.partial.hours.len());
+        let remaining = j.config.hours.saturating_sub(done);
+        Some(per_hour * remaining as f64)
+    }
+
+    /// Predicted virtual seconds of everything queued or running on
+    /// `shard` (unknown families at the mean known cost).
+    pub fn shard_load(&self, shard: usize) -> f64 {
+        let s = &self.shards[shard];
+        s.inflight
+            .iter()
+            .chain(s.backlog.iter())
+            .map(|&id| self.job_cost(shard, id).unwrap_or_else(|| self.mean_cost()))
+            .sum()
+    }
+
+    fn backlog_cost(&self, shard: usize) -> f64 {
+        self.shards[shard]
+            .backlog
+            .iter()
+            .map(|&id| self.job_cost(shard, id).unwrap_or_else(|| self.mean_cost()))
+            .sum()
+    }
+
+    /// Fallback price for uncalibrated families: the mean predicted
+    /// cost over outstanding jobs with known families, else 1.
+    fn mean_cost(&self) -> f64 {
+        let (mut sum, mut n) = (0.0, 0u64);
+        for (&id, j) in &self.jobs {
+            if let Some(s) = j.shard {
+                if let Some(c) = self.job_cost(s, id) {
+                    sum += c;
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            1.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    // --- introspection -----------------------------------------------------
+
+    pub fn live_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.alive).count()
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn shard_is_alive(&self, shard: usize) -> bool {
+        self.shards[shard].alive
+    }
+
+    pub fn shard_name(&self, shard: usize) -> &str {
+        &self.shards[shard].name
+    }
+
+    /// Jobs not yet in a terminal state.
+    pub fn outstanding(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Drain finished `(scenario, result)` pairs.
+    pub fn take_finished(&mut self) -> Vec<(usize, Result<RunReport, String>)> {
+        std::mem::take(&mut self.finished)
+    }
+
+    pub fn counters(&self, shard: usize) -> ShardCounters {
+        self.shards[shard].counters
+    }
+
+    /// Which live shard currently holds `job`, if any.
+    pub fn job_shard(&self, job: u64) -> Option<usize> {
+        self.jobs.get(&job).and_then(|j| j.shard)
+    }
+
+    /// Hours of `job` already checkpointed (from progress reports).
+    pub fn job_hours_done(&self, job: u64) -> usize {
+        self.jobs
+            .get(&job)
+            .and_then(|j| j.resume.as_ref())
+            .map_or(0, |r| r.partial.hours.len())
+    }
+
+    /// Render the fabric metrics in Prometheus exposition format:
+    /// per-shard routed/stolen/failed-over/completed counters, shard
+    /// liveness, and the predicted-vs-actual completion histograms.
+    pub fn prometheus(&self) -> String {
+        let mut w = PromWriter::new();
+        w.header(
+            "airshed_fabric_jobs_total",
+            "Fabric job routing events by shard.",
+            "counter",
+        );
+        for s in &self.shards {
+            for (event, v) in [
+                ("routed", s.counters.routed),
+                ("stolen", s.counters.stolen),
+                ("failed_over", s.counters.failed_over),
+                ("completed", s.counters.completed),
+            ] {
+                let labels = format!("{},{}", label("shard", &s.name), label("event", event));
+                w.sample("airshed_fabric_jobs_total", &labels, v as f64);
+            }
+        }
+        w.header(
+            "airshed_fabric_shard_up",
+            "1 while the shard is connected and heartbeating.",
+            "gauge",
+        );
+        for s in &self.shards {
+            w.sample(
+                "airshed_fabric_shard_up",
+                &label("shard", &s.name),
+                if s.alive { 1.0 } else { 0.0 },
+            );
+        }
+        w.header(
+            "airshed_fabric_completion_virtual_seconds",
+            "Predicted vs actual job completion time (virtual seconds).",
+            "histogram",
+        );
+        w.histogram(
+            "airshed_fabric_completion_virtual_seconds",
+            &label("kind", "predicted"),
+            &self.predicted_hist.snapshot(),
+        );
+        w.histogram(
+            "airshed_fabric_completion_virtual_seconds",
+            &label("kind", "actual"),
+            &self.actual_hist.snapshot(),
+        );
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airshed_core::testsupport::tiny_profile;
+
+    fn family_config(p: usize, hours: usize) -> SimConfig {
+        let mut c = SimConfig::test_tiny(p, hours);
+        c.start_hour = 6;
+        c
+    }
+
+    fn calibrated_router(slow_factor: f64) -> Router {
+        // Two shards on the "same" machine type, but shard 1's oracle
+        // reports its nodes run `slow_factor`x slower than nominal.
+        let mut r = Router::new(RouterConfig::default());
+        r.add_shard("fast", 8, 0);
+        r.add_shard("slow", 8, 0);
+        r.calibrate(
+            &family_config(4, 1),
+            PerfModel::from_profile(tiny_profile()),
+        );
+        let nominal = MachineProfile::t3e();
+        let degraded = MachineProfile {
+            rate: nominal.rate / slow_factor,
+            ..nominal
+        };
+        r.on_msg(1, Msg::Recalibrated { machine: degraded }, 0);
+        r
+    }
+
+    /// Total makespan of an assignment under the router's own cost
+    /// model: max over shards of the predicted costs of their jobs.
+    fn makespan(r: &Router, assignment: &[(u64, usize)]) -> f64 {
+        let mut per_shard = [0.0f64; 2];
+        for &(job, shard) in assignment {
+            per_shard[shard] += r.job_cost(shard, job).unwrap();
+        }
+        per_shard.iter().cloned().fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn greedy_by_prediction_beats_round_robin_on_makespan() {
+        // Satellite: planted shard profiles (one 8x slower) where
+        // earliest-predicted-completion routing provably beats blind
+        // round-robin on total makespan.
+        let mut r = calibrated_router(8.0);
+        let jobs: Vec<u64> = (0..8)
+            .map(|i| r.submit(i, family_config(4, 2), ChemLayout::Block))
+            .collect();
+
+        // The cost function itself sees the recalibration: the same job
+        // is ~8x more expensive on the degraded shard.
+        let ratio = r.job_cost(1, jobs[0]).unwrap() / r.job_cost(0, jobs[0]).unwrap();
+        assert!(
+            ratio > 6.0,
+            "recalibrated shard should price much higher, got {ratio}"
+        );
+
+        let greedy: Vec<(u64, usize)> = jobs
+            .iter()
+            .map(|&id| (id, r.job_shard(id).expect("routed")))
+            .collect();
+        let round_robin: Vec<(u64, usize)> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i % 2))
+            .collect();
+        let g = makespan(&r, &greedy);
+        let rr = makespan(&r, &round_robin);
+        assert!(
+            g < rr / 2.0,
+            "greedy makespan {g} should beat round-robin {rr} decisively"
+        );
+        // With a ~8x-slower peer (compute scales, comm terms do not),
+        // the fast shard takes the heavy majority: the slow shard only
+        // gets a job once the fast shard's queue exceeds its unit cost.
+        assert!(
+            r.counters(0).routed >= 7,
+            "fast shard should take almost everything: {:?} vs {:?}",
+            r.counters(0),
+            r.counters(1)
+        );
+    }
+
+    #[test]
+    fn mildly_slower_shard_still_shares_load() {
+        let mut r = calibrated_router(1.5);
+        for i in 0..10 {
+            r.submit(i, family_config(4, 2), ChemLayout::Block);
+        }
+        let (a, b) = (r.counters(0).routed, r.counters(1).routed);
+        assert_eq!(a + b, 10);
+        assert!(a > b, "fast shard should take more ({a} vs {b})");
+        assert!(b >= 2, "slow shard must still contribute ({a} vs {b})");
+    }
+
+    #[test]
+    fn dry_shards_steal_queued_work() {
+        let mut r = Router::new(RouterConfig::default());
+        // Tiny windows so most jobs sit in the router-side backlog.
+        r.add_shard("a", 1, 0);
+        r.add_shard("b", 1, 0);
+        r.calibrate(
+            &family_config(4, 1),
+            PerfModel::from_profile(tiny_profile()),
+        );
+        let jobs: Vec<u64> = (0..6)
+            .map(|i| r.submit(i, family_config(4, 1), ChemLayout::Block))
+            .collect();
+        let assigns = r.poll(0);
+        assert_eq!(assigns.len(), 2, "one in-flight job per shard window");
+        // Shard b's pipeline completes everything it holds; its backlog
+        // drains and it must start stealing from a's queue.
+        let b_jobs: Vec<u64> = jobs
+            .iter()
+            .copied()
+            .filter(|&id| r.job_shard(id) == Some(1))
+            .collect();
+        let mut completed = 0;
+        for id in b_jobs {
+            let mut report = airshed_core::driver::replay(tiny_profile(), MachineProfile::t3e(), 4);
+            report.predicted_seconds = None;
+            r.on_msg(
+                1,
+                Msg::Completed {
+                    job: id,
+                    report: Box::new(report),
+                },
+                10,
+            );
+            completed += 1;
+            r.poll(10);
+        }
+        assert!(completed > 0);
+        assert!(
+            r.counters(1).stolen > 0,
+            "dry shard should have stolen from the loaded one"
+        );
+        // Stolen jobs really moved: shard b now holds more than it was
+        // originally routed minus completions.
+        let moved: Vec<u64> = jobs
+            .iter()
+            .copied()
+            .filter(|&id| r.job_shard(id) == Some(1))
+            .collect();
+        assert!(!moved.is_empty());
+    }
+
+    #[test]
+    fn uncalibrated_families_fall_back_to_least_loaded() {
+        let mut r = Router::new(RouterConfig::default());
+        r.add_shard("a", 4, 0);
+        r.add_shard("b", 4, 0);
+        // No models calibrated: routing must still spread the load.
+        for i in 0..8 {
+            r.submit(i, family_config(4, 1), ChemLayout::Block);
+        }
+        assert_eq!(r.counters(0).routed, 4);
+        assert_eq!(r.counters(1).routed, 4);
+    }
+
+    #[test]
+    fn completion_sets_predicted_seconds_and_prometheus_renders() {
+        let mut r = calibrated_router(2.0);
+        let id = r.submit(0, family_config(4, 1), ChemLayout::Block);
+        let assigns = r.poll(0);
+        assert_eq!(assigns.len(), 1);
+        let report = airshed_core::driver::replay(tiny_profile(), MachineProfile::t3e(), 4);
+        r.on_msg(
+            0,
+            Msg::Completed {
+                job: id,
+                report: Box::new(report),
+            },
+            5,
+        );
+        let finished = r.take_finished();
+        assert_eq!(finished.len(), 1);
+        let (scenario, result) = &finished[0];
+        assert_eq!(*scenario, 0);
+        let report = result.as_ref().unwrap();
+        assert!(
+            report.predicted_seconds.is_some(),
+            "router stamps its prediction"
+        );
+
+        let text = r.prometheus();
+        assert!(text.contains(r#"airshed_fabric_jobs_total{shard="fast",event="routed"} 1"#));
+        assert!(text.contains(r#"airshed_fabric_jobs_total{shard="fast",event="completed"} 1"#));
+        assert!(text.contains(r#"airshed_fabric_shard_up{shard="slow"} 1"#));
+        assert!(
+            text.contains(r#"airshed_fabric_completion_virtual_seconds_count{kind="predicted"} 1"#)
+        );
+        assert!(
+            text.contains(r#"airshed_fabric_completion_virtual_seconds_count{kind="actual"} 1"#)
+        );
+    }
+}

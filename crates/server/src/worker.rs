@@ -194,6 +194,46 @@ pub fn run_hourly_obs(
     exec: ExecSpec,
     obs: &Obs,
 ) -> Result<WorkProfile, JobError> {
+    run_hourly_inner(config, resume, cancel, deadline_at, exec, obs, None)
+}
+
+/// [`run_hourly_obs`], additionally calling `on_hour` with a
+/// [`ResumePoint`] capturing all progress after every completed hour.
+/// The fabric shard streams these to its front-end so that if the shard
+/// is lost, its jobs resume from the last reported hour on another
+/// shard instead of restarting — with bit-identical final results,
+/// courtesy of the checkpoint guarantee.
+#[allow(clippy::too_many_arguments)]
+pub fn run_hourly_hooked(
+    config: &SimConfig,
+    resume: Option<ResumePoint>,
+    cancel: &AtomicBool,
+    deadline_at: Option<Instant>,
+    exec: ExecSpec,
+    obs: &Obs,
+    on_hour: &mut dyn FnMut(&ResumePoint),
+) -> Result<WorkProfile, JobError> {
+    run_hourly_inner(
+        config,
+        resume,
+        cancel,
+        deadline_at,
+        exec,
+        obs,
+        Some(on_hour),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_hourly_inner(
+    config: &SimConfig,
+    resume: Option<ResumePoint>,
+    cancel: &AtomicBool,
+    deadline_at: Option<Instant>,
+    exec: ExecSpec,
+    obs: &Obs,
+    mut on_hour: Option<&mut dyn FnMut(&ResumePoint)>,
+) -> Result<WorkProfile, JobError> {
     let total = config.hours;
     let (mut hours, mut summaries, mut meta, mut checkpoint) = match resume {
         Some(r) => (
@@ -223,6 +263,21 @@ pub fn run_hourly_obs(
         hours.extend(prof.hours);
         summaries.extend(prof.summaries);
         checkpoint = Some(next);
+        // The hooked path pays a per-hour clone of the accumulated
+        // profile; streaming-checkpoint callers accept that cost.
+        if let Some(hook) = on_hour.as_deref_mut() {
+            if let (Some((dataset, shape)), Some(ckpt)) = (meta, checkpoint.as_ref()) {
+                hook(&ResumePoint {
+                    checkpoint: ckpt.clone(),
+                    partial: WorkProfile {
+                        dataset,
+                        shape,
+                        hours: hours.clone(),
+                        summaries: summaries.clone(),
+                    },
+                });
+            }
+        }
     }
 
     let (dataset, shape) = match meta {

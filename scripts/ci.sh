@@ -59,6 +59,21 @@ if cargo run --release -q -p airshed-bench --bin bench_check -- \
 fi
 echo "bench gate OK: clean tree passes, injected slowdown fails"
 
+echo "==> fabric multi-process smoke (1 front-end + 2 shards, kill one mid-run)"
+# Single-process reference fingerprints for the same 16-job batch ...
+cargo run --release -q --bin airshed -- fabric --local \
+    --jobs 16 --dataset tiny:60 --hours 3 --out "$trace_dir/fabric_ref.txt"
+# ... then the real thing: two shard processes, shard 1 hard-exits after
+# 4 completed hours, its jobs must fail over (resuming from streamed
+# checkpoints) and every report must still arrive bit-identical.
+fabric_out="$(cargo run --release -q --bin airshed -- fabric \
+    --shards 2 --jobs 16 --dataset tiny:60 --hours 3 \
+    --kill-shard 1 --kill-after-hours 4 --out "$trace_dir/fabric_run.txt")"
+echo "$fabric_out"
+cmp "$trace_dir/fabric_ref.txt" "$trace_dir/fabric_run.txt"
+echo "$fabric_out" | grep -q "jobs/s sustained"
+echo "fabric OK: 16/16 reports bit-identical to single-process after shard kill"
+
 echo "==> performance-oracle smoke (airshed validate)"
 cargo run --release --bin airshed -- validate --help >/dev/null
 cargo run --release --bin airshed -- validate \

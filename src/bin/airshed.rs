@@ -19,6 +19,10 @@ use airshed::core::predict::PerfModel;
 use airshed::core::taskpar::{optimize_split, replay_taskparallel_obs};
 use airshed::core::viz;
 use airshed::core::{BackendKind, ExecSpec};
+use airshed::fabric::{
+    report_fingerprint, run_shard, serve_batch, FaultPlan, FrontendOptions, RouterConfig,
+    ShardOptions,
+};
 use airshed::machine::MachineProfile;
 use airshed::popexp::{replay_with_popexp, Hosting};
 use airshed::server::{ScenarioRequest, ScenarioServer, ServerConfig, SubmitOutcome};
@@ -51,6 +55,21 @@ struct Options {
     metrics_out: Option<String>,
     // validate: also write the table as JSON
     json_out: Option<String>,
+    // fabric / shard knobs
+    shards: usize,
+    expect: Option<usize>,
+    listen: String,
+    jobs: usize,
+    kill_shard: Option<usize>,
+    kill_after_hours: u64,
+    local: bool,
+    out: Option<String>,
+    connect: Option<String>,
+    shard_name: Option<String>,
+    die_after_hours: Option<u64>,
+    heartbeat_ms: u64,
+    hb_timeout_ms: u64,
+    fault: Option<String>,
 }
 
 impl Default for Options {
@@ -76,6 +95,20 @@ impl Default for Options {
             trace_out: None,
             metrics_out: None,
             json_out: None,
+            shards: 2,
+            expect: None,
+            listen: "127.0.0.1:0".to_string(),
+            jobs: 16,
+            kill_shard: None,
+            kill_after_hours: 4,
+            local: false,
+            out: None,
+            connect: None,
+            shard_name: None,
+            die_after_hours: None,
+            heartbeat_ms: 250,
+            hb_timeout_ms: 2000,
+            fault: None,
         }
     }
 }
@@ -95,6 +128,10 @@ COMMANDS:
     validate    run the performance oracle: predicted-vs-measured tables
                 over a node sweep plus L/G/H recalibration (Figure 5-7 style)
     serve-batch run a scenario batch through the concurrent scenario service
+    fabric      serve a batch across shard processes with oracle-routed
+                load balancing (spawns shards; or --local for the
+                single-process reference run)
+    shard       run one shard process (normally spawned by fabric)
     gridinfo    multiscale-grid statistics for a dataset
     help        this text
 
@@ -130,8 +167,31 @@ SERVE-BATCH OPTIONS:
                     scenario ('#' comments and blank lines skipped);
                     without it a 32-scenario demo batch is generated
 
+FABRIC OPTIONS:
+    --shards N       shard processes to spawn              (default 2)
+    --expect N       shard connections to wait for         (default: --shards)
+    --listen A       front-end bind address                (default 127.0.0.1:0)
+    --jobs N         scenarios in the batch                (default 16)
+    --workers N      worker threads per shard              (default 4)
+    --kill-shard I   give shard I --die-after-hours for the failover drill
+    --kill-after-hours H  hours before the killed shard exits (default 4)
+    --hb-timeout-ms T  declare a shard lost after T ms of silence (default 2000)
+    --local          run the same batch single-process (reference results)
+    --out F          write one 'index<TAB>fingerprint<TAB>scenario' line per
+                     job to F — bit-exact comparable between fabric and --local
+
+SHARD OPTIONS:
+    --connect A      front-end address (required)
+    --name S         shard name for metrics labels         (default shard)
+    --workers N      worker threads                        (default 4)
+    --heartbeat-ms T heartbeat period                      (default 250)
+    --die-after-hours H  hard-exit after H completed hours (crash drill)
+    --fault SPEC     wire fault injection: drop:N | delay:N:MS | truncate:N:KEEP
+
 EXAMPLES:
     airshed run --dataset tiny:150 --nodes 32 --hours 8
+    airshed fabric --shards 2 --jobs 16 --dataset tiny:60 --hours 3
+    airshed fabric --shards 2 --jobs 16 --kill-shard 1 --kill-after-hours 4
     airshed sweep --dataset la --nodes 4,8,16,32,64,128
     airshed validate --grid la --nodes 4,16,64
     airshed run --dataset tiny:120 --emis 0.5 --hours 6   # policy scenario
@@ -230,6 +290,69 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 o.budget = Some(b);
             }
             "--scenarios" => o.scenarios = Some(val("--scenarios")?),
+            "--shards" => {
+                o.shards = val("--shards")?.parse().map_err(|e| format!("{e}"))?;
+                if o.shards == 0 {
+                    return Err("--shards must be positive".into());
+                }
+            }
+            "--expect" => {
+                let n: usize = val("--expect")?.parse().map_err(|e| format!("{e}"))?;
+                if n == 0 {
+                    return Err("--expect must be positive".into());
+                }
+                o.expect = Some(n);
+            }
+            "--listen" => o.listen = val("--listen")?,
+            "--jobs" => {
+                o.jobs = val("--jobs")?.parse().map_err(|e| format!("{e}"))?;
+                if o.jobs == 0 {
+                    return Err("--jobs must be positive".into());
+                }
+            }
+            "--kill-shard" => {
+                o.kill_shard = Some(val("--kill-shard")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--kill-after-hours" => {
+                o.kill_after_hours = val("--kill-after-hours")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if o.kill_after_hours == 0 {
+                    return Err("--kill-after-hours must be positive".into());
+                }
+            }
+            "--local" => o.local = true,
+            "--out" => o.out = Some(val("--out")?),
+            "--connect" => o.connect = Some(val("--connect")?),
+            "--name" => o.shard_name = Some(val("--name")?),
+            "--die-after-hours" => {
+                let h: u64 = val("--die-after-hours")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if h == 0 {
+                    return Err("--die-after-hours must be positive".into());
+                }
+                o.die_after_hours = Some(h);
+            }
+            "--heartbeat-ms" => {
+                o.heartbeat_ms = val("--heartbeat-ms")?.parse().map_err(|e| format!("{e}"))?;
+                if o.heartbeat_ms == 0 {
+                    return Err("--heartbeat-ms must be positive".into());
+                }
+            }
+            "--hb-timeout-ms" => {
+                o.hb_timeout_ms = val("--hb-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if o.hb_timeout_ms == 0 {
+                    return Err("--hb-timeout-ms must be positive".into());
+                }
+            }
+            "--fault" => {
+                let spec = val("--fault")?;
+                FaultPlan::parse(&spec)?; // validate eagerly
+                o.fault = Some(spec);
+            }
             "--trace-out" => o.trace_out = Some(val("--trace-out")?),
             "--metrics-out" => o.metrics_out = Some(val("--metrics-out")?),
             "--json" => o.json_out = Some(val("--json")?),
@@ -628,6 +751,239 @@ fn cmd_serve_batch(o: &Options, obs: &Obs) -> Result<(), String> {
     Ok(())
 }
 
+/// The fabric batch: `--jobs` scenarios striped over four node counts
+/// and four emission-control policies — four distinct scenario
+/// families, so routing exercises several calibrated models at once.
+/// Deterministic by construction: the same options always produce the
+/// same batch, which is what makes the `--local` reference comparable.
+fn fabric_scenarios(o: &Options) -> Vec<Scenario> {
+    let node_counts = [4, 8, 16, 32];
+    let emission_scales = [1.0, 0.8, 0.6, 0.4];
+    (0..o.jobs)
+        .map(|i| {
+            let mut c = config(o, node_counts[i % node_counts.len()]);
+            c.emission_scale = emission_scales[(i / node_counts.len()) % emission_scales.len()];
+            Scenario {
+                config: c,
+                layout: layout(o),
+            }
+        })
+        .collect()
+}
+
+/// One `index<TAB>fingerprint<TAB>scenario` line per completed job,
+/// in index order: the bit-identity artifact the CI smoke `cmp`s
+/// between a fabric run and the `--local` reference.
+fn fingerprint_lines(
+    reports: &[(usize, airshed::core::report::RunReport)],
+    scenarios: &[Scenario],
+) -> String {
+    let mut lines = String::new();
+    for (i, report) in reports {
+        lines.push_str(&format!(
+            "{i}\t{}\t{}\n",
+            report_fingerprint(report),
+            scenarios[*i].describe()
+        ));
+    }
+    lines
+}
+
+/// Single-process reference for the fabric batch: the same scenarios
+/// through the same hourly checkpoint machinery, profile-cached per
+/// scenario family exactly as a shard would compute them.
+fn fabric_local(o: &Options, scenarios: &[Scenario]) -> Result<(), String> {
+    use airshed::server::cache::NumericsKey;
+    use airshed::server::worker::run_hourly;
+    let exec = exec(o);
+    eprintln!(
+        "fabric --local: {} jobs single-process (host backend {})",
+        scenarios.len(),
+        exec.describe()
+    );
+    let started = std::time::Instant::now();
+    let never = std::sync::atomic::AtomicBool::new(false);
+    let mut profiles: std::collections::HashMap<NumericsKey, Arc<airshed::core::WorkProfile>> =
+        std::collections::HashMap::new();
+    let mut reports = Vec::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        let key = NumericsKey::of(&s.config);
+        let profile = match profiles.get(&key) {
+            Some(p) => Arc::clone(p),
+            None => {
+                let p = run_hourly(&s.config, None, &never, None, exec)
+                    .map_err(|e| format!("scenario {i}: {e:?}"))?;
+                let p = Arc::new(p);
+                profiles.insert(key, Arc::clone(&p));
+                p
+            }
+        };
+        let report =
+            airshed::core::plan::replay_profile(&profile, s.config.machine, s.config.p, s.layout);
+        reports.push((i, report));
+    }
+    let wall = started.elapsed();
+    println!(
+        "{} jobs in {:.2}s ({:.1} jobs/s), {} scenario families",
+        reports.len(),
+        wall.as_secs_f64(),
+        reports.len() as f64 / wall.as_secs_f64().max(1e-9),
+        profiles.len()
+    );
+    if let Some(path) = &o.out {
+        std::fs::write(path, fingerprint_lines(&reports, scenarios))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_fabric(o: &Options, obs: &Obs) -> Result<(), String> {
+    let scenarios = fabric_scenarios(o);
+    if o.local {
+        return fabric_local(o, &scenarios);
+    }
+    let expect = o.expect.unwrap_or(o.shards);
+    let listener =
+        std::net::TcpListener::bind(&o.listen).map_err(|e| format!("binding {}: {e}", o.listen))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    eprintln!(
+        "fabric front-end on {addr}: spawning {} shards, {} jobs{}",
+        o.shards,
+        scenarios.len(),
+        o.kill_shard.map_or(String::new(), |i| format!(
+            ", shard {i} dies after {} hours",
+            o.kill_after_hours
+        ))
+    );
+
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut children = Vec::new();
+    for i in 0..o.shards {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("shard")
+            .arg("--connect")
+            .arg(addr.to_string())
+            .arg("--name")
+            .arg(format!("shard-{i}"))
+            .arg("--workers")
+            .arg(o.workers.to_string())
+            .arg("--heartbeat-ms")
+            .arg(o.heartbeat_ms.to_string());
+        if o.backend == Some(BackendKind::Serial) {
+            cmd.arg("--backend").arg("serial");
+        }
+        if let Some(t) = o.threads {
+            cmd.arg("--threads").arg(t.to_string());
+        }
+        if o.kill_shard == Some(i) {
+            cmd.arg("--die-after-hours")
+                .arg(o.kill_after_hours.to_string());
+        }
+        if let Some(spec) = &o.fault {
+            cmd.arg("--fault").arg(spec);
+        }
+        children.push(
+            cmd.spawn()
+                .map_err(|e| format!("spawning shard {i}: {e}"))?,
+        );
+    }
+
+    let started = std::time::Instant::now();
+    let pairs: Vec<(SimConfig, ChemLayout)> = scenarios
+        .iter()
+        .map(|s| (s.config.clone(), s.layout))
+        .collect();
+    let outcome = serve_batch(
+        &listener,
+        FrontendOptions {
+            expect,
+            router: RouterConfig {
+                heartbeat_timeout_ms: o.hb_timeout_ms,
+            },
+            deadline: Some(Duration::from_secs(600)),
+        },
+        &pairs,
+        obs,
+    );
+    let wall = started.elapsed();
+    for (i, child) in children.iter_mut().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) if o.kill_shard == Some(i) => {
+                eprintln!("shard {i} exited {status} (the planned crash)")
+            }
+            Ok(status) => eprintln!("shard {i} exited {status}"),
+            Err(e) => eprintln!("waiting for shard {i}: {e}"),
+        }
+    }
+    let outcome = outcome?;
+
+    if !outcome.failures.is_empty() {
+        let (i, msg) = &outcome.failures[0];
+        return Err(format!(
+            "{} of {} jobs failed; first: scenario {i}: {msg}",
+            outcome.failures.len(),
+            scenarios.len()
+        ));
+    }
+    if outcome.reports.len() != scenarios.len() {
+        return Err(format!(
+            "only {} of {} reports arrived",
+            outcome.reports.len(),
+            scenarios.len()
+        ));
+    }
+    for (name, c) in &outcome.shards {
+        println!(
+            "shard {name}: routed {} stolen {} failed-over {} completed {}",
+            c.routed, c.stolen, c.failed_over, c.completed
+        );
+    }
+    let failed_over: u64 = outcome.shards.iter().map(|(_, c)| c.failed_over).sum();
+    if o.kill_shard.is_some() && failed_over == 0 {
+        return Err("a shard kill was requested but no failover was observed".into());
+    }
+    println!(
+        "{} jobs in {:.2}s ({:.1} jobs/s sustained)",
+        outcome.reports.len(),
+        wall.as_secs_f64(),
+        outcome.reports.len() as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    if let Some(path) = &o.out {
+        std::fs::write(path, fingerprint_lines(&outcome.reports, &scenarios))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_shard(o: &Options, obs: &Obs) -> Result<(), String> {
+    let connect = o
+        .connect
+        .clone()
+        .ok_or_else(|| "shard needs --connect <front-end address>".to_string())?;
+    let fault = match &o.fault {
+        Some(spec) => FaultPlan::parse(spec)?,
+        None => FaultPlan::none(),
+    };
+    run_shard(
+        ShardOptions {
+            connect,
+            name: o.shard_name.clone().unwrap_or_else(|| "shard".to_string()),
+            workers: o.workers,
+            exec: exec(o),
+            heartbeat_ms: o.heartbeat_ms,
+            die_after_hours: o.die_after_hours,
+            drop_after_hours: None,
+            fault,
+        },
+        obs,
+    )
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -669,6 +1025,18 @@ fn main() -> ExitCode {
         "popexp" => cmd_popexp(&opts, &obs),
         "serve-batch" => {
             if let Err(e) = cmd_serve_batch(&opts, &obs) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "fabric" => {
+            if let Err(e) = cmd_fabric(&opts, &obs) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        "shard" => {
+            if let Err(e) = cmd_shard(&opts, &obs) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
@@ -810,6 +1178,63 @@ mod tests {
         assert_eq!(exec(&o), ExecSpec::rayon(4));
         assert!(parse(&args("--backend omp")).is_err());
         assert!(parse(&args("--threads 0")).is_err());
+    }
+
+    #[test]
+    fn parse_fabric_options() {
+        let o = parse(&args(
+            "--shards 3 --expect 2 --listen 127.0.0.1:7700 --jobs 8 --kill-shard 1 \
+             --kill-after-hours 2 --hb-timeout-ms 500 --out fp.txt --local",
+        ))
+        .unwrap();
+        assert_eq!(o.shards, 3);
+        assert_eq!(o.expect, Some(2));
+        assert_eq!(o.listen, "127.0.0.1:7700");
+        assert_eq!(o.jobs, 8);
+        assert_eq!(o.kill_shard, Some(1));
+        assert_eq!(o.kill_after_hours, 2);
+        assert_eq!(o.hb_timeout_ms, 500);
+        assert_eq!(o.out.as_deref(), Some("fp.txt"));
+        assert!(o.local);
+        assert!(parse(&args("--shards 0")).is_err());
+        assert!(parse(&args("--jobs 0")).is_err());
+        assert!(parse(&args("--kill-after-hours 0")).is_err());
+        assert!(parse(&args("--hb-timeout-ms 0")).is_err());
+    }
+
+    #[test]
+    fn parse_shard_options() {
+        let o = parse(&args(
+            "--connect 127.0.0.1:7700 --name s0 --workers 2 --heartbeat-ms 100 \
+             --die-after-hours 4 --fault drop:3,truncate:5:2",
+        ))
+        .unwrap();
+        assert_eq!(o.connect.as_deref(), Some("127.0.0.1:7700"));
+        assert_eq!(o.shard_name.as_deref(), Some("s0"));
+        assert_eq!(o.heartbeat_ms, 100);
+        assert_eq!(o.die_after_hours, Some(4));
+        assert_eq!(o.fault.as_deref(), Some("drop:3,truncate:5:2"));
+        // Fault specs are validated at parse time, not at shard start.
+        assert!(parse(&args("--fault explode:9")).is_err());
+        assert!(parse(&args("--die-after-hours 0")).is_err());
+        assert!(parse(&args("--heartbeat-ms 0")).is_err());
+    }
+
+    #[test]
+    fn fabric_batch_is_deterministic_with_multiple_families() {
+        let o = parse(&args("--jobs 16 --hours 3")).unwrap();
+        let a = fabric_scenarios(&o);
+        let b = fabric_scenarios(&o);
+        assert_eq!(a.len(), 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.describe(), y.describe());
+        }
+        use airshed::server::cache::NumericsKey;
+        let families: std::collections::HashSet<_> = a
+            .iter()
+            .map(|s| NumericsKey::of(&s.config).family())
+            .collect();
+        assert_eq!(families.len(), 4, "four emission-scale families");
     }
 
     #[test]

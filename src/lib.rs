@@ -28,6 +28,7 @@
 
 pub use airshed_chem as chem;
 pub use airshed_core as core;
+pub use airshed_fabric as fabric;
 pub use airshed_grid as grid;
 pub use airshed_hpf as hpf;
 pub use airshed_machine as machine;

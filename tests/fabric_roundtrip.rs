@@ -1,0 +1,220 @@
+//! End-to-end fabric integration over real sockets, in one process:
+//! a front-end and two shards wired through loopback TCP, asserting the
+//! tentpole guarantee — every report a fabric batch produces is
+//! bit-identical to the single-process run of the same scenarios, with
+//! and without a shard dying mid-batch.
+//!
+//! The shards here run as threads (`drop_after_hours` severs the
+//! connection instead of `process::exit`, which would take the test
+//! harness down with it); the CI smoke test in `scripts/ci.sh` runs the
+//! same drill with real processes and a real `exit(3)`.
+
+use airshed::core::config::SimConfig;
+use airshed::core::driver::ChemLayout;
+use airshed::core::plan::replay_profile;
+use airshed::core::{ExecSpec, Obs};
+use airshed::fabric::{
+    report_fingerprint, run_shard, serve_batch, FaultPlan, FrontendOptions, RouterConfig,
+    ShardOptions,
+};
+use airshed::server::cache::NumericsKey;
+use airshed::server::worker::run_hourly;
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+/// A small mixed batch: two node counts x two emission policies.
+fn scenarios(jobs: usize) -> Vec<(SimConfig, ChemLayout)> {
+    (0..jobs)
+        .map(|i| {
+            let mut c = SimConfig::test_tiny([2, 4][i % 2], 2);
+            c.dataset = airshed::core::config::DatasetChoice::Tiny(40);
+            c.start_hour = 7;
+            c.emission_scale = [1.0, 0.5][(i / 2) % 2];
+            (c, ChemLayout::Block)
+        })
+        .collect()
+}
+
+/// Single-process reference fingerprints, profile-cached per family —
+/// the same work a shard does, without any wire in between.
+fn reference_fingerprints(batch: &[(SimConfig, ChemLayout)]) -> Vec<String> {
+    let never = AtomicBool::new(false);
+    let mut profiles = HashMap::new();
+    batch
+        .iter()
+        .map(|(config, layout)| {
+            let profile = profiles.entry(NumericsKey::of(config)).or_insert_with(|| {
+                run_hourly(config, None, &never, None, ExecSpec::serial()).unwrap()
+            });
+            report_fingerprint(&replay_profile(profile, config.machine, config.p, *layout))
+        })
+        .collect()
+}
+
+fn shard_thread(
+    addr: std::net::SocketAddr,
+    name: &str,
+    drop_after_hours: Option<u64>,
+    fault: FaultPlan,
+) -> std::thread::JoinHandle<()> {
+    let name = name.to_string();
+    std::thread::spawn(move || {
+        let result = run_shard(
+            ShardOptions {
+                connect: addr.to_string(),
+                name,
+                workers: 1,
+                exec: ExecSpec::serial(),
+                heartbeat_ms: 50,
+                die_after_hours: None,
+                drop_after_hours,
+                fault,
+            },
+            &Obs::off(),
+        );
+        assert!(result.is_ok(), "shard failed: {result:?}");
+    })
+}
+
+#[test]
+fn fabric_batch_is_bit_identical_to_single_process() {
+    let batch = scenarios(6);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let shards = [
+        shard_thread(addr, "a", None, FaultPlan::none()),
+        shard_thread(addr, "b", None, FaultPlan::none()),
+    ];
+
+    let outcome = serve_batch(
+        &listener,
+        FrontendOptions {
+            expect: 2,
+            router: RouterConfig::default(),
+            deadline: Some(Duration::from_secs(120)),
+        },
+        &batch,
+        &Obs::off(),
+    )
+    .unwrap();
+    for handle in shards {
+        handle.join().unwrap();
+    }
+
+    assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+    assert_eq!(outcome.reports.len(), batch.len());
+    let routed: u64 = outcome.shards.iter().map(|(_, c)| c.routed).sum();
+    assert_eq!(routed, batch.len() as u64);
+
+    let reference = reference_fingerprints(&batch);
+    for (i, report) in &outcome.reports {
+        assert_eq!(
+            report_fingerprint(report),
+            reference[*i],
+            "scenario {i} diverged from the single-process run"
+        );
+        // The router stamped its §4 prediction on completions that were
+        // dispatched after its family calibrated.
+        assert!(report.total_seconds > 0.0);
+    }
+    // The metrics surface reflects the batch.
+    assert!(outcome
+        .prometheus
+        .contains("airshed_fabric_jobs_total{shard=\"a\",event=\"routed\"}"));
+}
+
+#[test]
+fn fabric_survives_a_shard_dropping_mid_batch() {
+    let batch = scenarios(6);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    // Shard "doomed" severs its connection after 3 completed hours —
+    // mid-batch, with jobs in flight.
+    let shards = [
+        shard_thread(addr, "doomed", Some(3), FaultPlan::none()),
+        shard_thread(addr, "survivor", None, FaultPlan::none()),
+    ];
+
+    let outcome = serve_batch(
+        &listener,
+        FrontendOptions {
+            expect: 2,
+            router: RouterConfig {
+                heartbeat_timeout_ms: 1000,
+            },
+            deadline: Some(Duration::from_secs(120)),
+        },
+        &batch,
+        &Obs::off(),
+    )
+    .unwrap();
+    for handle in shards {
+        handle.join().unwrap();
+    }
+
+    assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+    assert_eq!(outcome.reports.len(), batch.len(), "no job may be lost");
+    let failed_over: u64 = outcome.shards.iter().map(|(_, c)| c.failed_over).sum();
+    assert!(
+        failed_over > 0,
+        "the dropped shard's jobs must fail over: {:?}",
+        outcome.shards
+    );
+
+    // Failover must not cost bit-identity: resumed jobs produce exactly
+    // the single-process results.
+    let reference = reference_fingerprints(&batch);
+    for (i, report) in &outcome.reports {
+        assert_eq!(
+            report_fingerprint(report),
+            reference[*i],
+            "scenario {i} diverged after failover"
+        );
+    }
+    assert!(outcome
+        .prometheus
+        .contains("airshed_fabric_shard_up{shard=\"doomed\"} 0"));
+}
+
+#[test]
+fn fabric_recovers_from_a_shard_with_a_truncating_writer() {
+    // Wire-level fault injection, end to end: shard "mute" truncates its
+    // 3rd outbound frame (killing its writer), so the front-end stops
+    // hearing from it mid-stream. The framing layer must surface a clean
+    // error — never a panic — and the batch must still finish via the
+    // healthy shard after the heartbeat timeout.
+    let batch = scenarios(2);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fault = FaultPlan::parse("truncate:2:3").unwrap();
+    let shards = [
+        shard_thread(addr, "mute", None, fault),
+        shard_thread(addr, "healthy", None, FaultPlan::none()),
+    ];
+
+    let outcome = serve_batch(
+        &listener,
+        FrontendOptions {
+            expect: 2,
+            router: RouterConfig {
+                heartbeat_timeout_ms: 600,
+            },
+            deadline: Some(Duration::from_secs(120)),
+        },
+        &batch,
+        &Obs::off(),
+    )
+    .unwrap();
+    for handle in shards {
+        handle.join().unwrap();
+    }
+
+    assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+    assert_eq!(outcome.reports.len(), batch.len());
+    let reference = reference_fingerprints(&batch);
+    for (i, report) in &outcome.reports {
+        assert_eq!(report_fingerprint(report), reference[*i]);
+    }
+}

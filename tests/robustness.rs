@@ -124,3 +124,135 @@ fn tiny_datasets_of_any_size_build() {
         assert!(d.mesh.nodal_area.iter().all(|&a| a > 0.0));
     }
 }
+
+// --- fabric shard loss, deterministically -------------------------------
+//
+// The fabric's failover logic lives in `airshed::fabric::Router`, a
+// state machine that takes every timestamp as an explicit `now_ms`
+// argument. These tests drive heartbeat timeouts from a scripted clock
+// — no wall sleeps, no timing-dependent flakiness — and assert the
+// same behaviors the multi-process CI smoke exercises for real.
+
+#[test]
+fn fabric_shard_loss_fails_over_on_missed_heartbeats_deterministically() {
+    use airshed::fabric::{Msg, Router, RouterConfig};
+
+    let mut r = Router::new(RouterConfig {
+        heartbeat_timeout_ms: 1000,
+    });
+    r.add_shard("s0", 4, 0);
+    r.add_shard("s1", 4, 0);
+    let jobs: Vec<u64> = (0..4)
+        .map(|i| {
+            r.submit(
+                i,
+                SimConfig::test_tiny(4, 2),
+                airshed::core::driver::ChemLayout::Block,
+            )
+        })
+        .collect();
+    // No calibrated models yet: least-loaded routing splits the batch.
+    assert_eq!(r.counters(0).routed, 2);
+    assert_eq!(r.counters(1).routed, 2);
+    let assigns = r.poll(0);
+    assert_eq!(assigns.len(), 4, "both windows fill");
+
+    // At t=900 nobody has timed out yet; then only s0 heartbeats.
+    assert_eq!(r.poll(900).len(), 0);
+    assert_eq!(r.live_shards(), 2);
+    r.on_msg(
+        0,
+        Msg::Heartbeat {
+            seq: 1,
+            running: 2,
+            queued: 0,
+        },
+        900,
+    );
+
+    // At t=1700, s1 has been silent for 1700ms > 1000ms: it is lost and
+    // its two jobs are re-routed to s0, whose four-worker window has
+    // room to take them in flight immediately.
+    let reassigns = r.poll(1700);
+    assert!(!r.shard_is_alive(1));
+    assert_eq!(r.live_shards(), 1);
+    assert_eq!(r.counters(0).failed_over, 2);
+    assert_eq!(reassigns.len(), 2);
+    for (shard, msg) in &reassigns {
+        assert_eq!(*shard, 0);
+        assert!(matches!(msg, Msg::Assign { .. }));
+    }
+    // Failover is idempotent: polling again changes nothing.
+    assert_eq!(r.poll(1800).len(), 0);
+    assert_eq!(r.counters(0).failed_over, 2);
+    assert_eq!(r.outstanding(), jobs.len());
+}
+
+#[test]
+fn fabric_failover_resumes_from_progress_checkpoints() {
+    use airshed::fabric::{Msg, Router, RouterConfig};
+    use airshed::server::ResumePoint;
+
+    // A real one-hour checkpoint of a two-hour episode.
+    let mut cfg = SimConfig::test_tiny(4, 2);
+    cfg.start_hour = 9;
+    let mut first_hour = cfg.clone();
+    first_hour.hours = 1;
+    let (_, partial, checkpoint) = airshed::core::driver::run_resumable(&first_hour, None);
+    let resume = ResumePoint {
+        checkpoint,
+        partial,
+    };
+
+    let mut r = Router::new(RouterConfig {
+        heartbeat_timeout_ms: 1000,
+    });
+    r.add_shard("doomed", 1, 0);
+    r.add_shard("survivor", 1, 0);
+    let job = r.submit(0, cfg, airshed::core::driver::ChemLayout::Block);
+    assert_eq!(r.job_shard(job), Some(0), "ties route to the lower index");
+    let assigns = r.poll(0);
+    assert_eq!(assigns.len(), 1);
+
+    // The doomed shard reports one completed hour, then goes silent;
+    // the survivor keeps heartbeating.
+    r.on_msg(
+        0,
+        Msg::Progress {
+            job,
+            resume: Box::new(resume),
+        },
+        500,
+    );
+    r.on_msg(
+        1,
+        Msg::Heartbeat {
+            seq: 1,
+            running: 0,
+            queued: 0,
+        },
+        1400,
+    );
+    let reassigns = r.poll(1700);
+    assert!(!r.shard_is_alive(0));
+    assert_eq!(r.counters(1).failed_over, 1);
+    assert_eq!(reassigns.len(), 1);
+    let (shard, msg) = &reassigns[0];
+    assert_eq!(*shard, 1);
+    match msg {
+        Msg::Assign { job: id, work } => {
+            assert_eq!(*id, job);
+            let resume = work
+                .resume
+                .as_ref()
+                .expect("failover carries the checkpoint");
+            assert_eq!(resume.partial.hours.len(), 1, "resumes after hour 1");
+            assert_eq!(
+                resume.checkpoint.next_hour, 10,
+                "started at 9, one hour done"
+            );
+        }
+        other => panic!("expected Assign, got tag {}", other.tag()),
+    }
+    assert_eq!(r.job_hours_done(job), 1);
+}
