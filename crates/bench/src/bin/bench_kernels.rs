@@ -24,8 +24,9 @@ use airshed_core::config::{DatasetChoice, SimConfig};
 use airshed_core::driver::{run_resumable_with, run_with_profile_obs};
 use airshed_core::obs::{Collector, Obs, SpanSink};
 use airshed_core::phases::PhaseEngine;
-use airshed_core::ExecSpec;
+use airshed_core::{optimize_plan, ExecSpec};
 use airshed_grid::datasets::Dataset;
+use airshed_machine::MachineProfile;
 use airshed_server::{ScenarioRequest, ScenarioServer, ServerConfig};
 use airshed_transport::operator::TransportWorkspace;
 use std::hint::black_box;
@@ -145,6 +146,23 @@ fn phase_medians(exec: ExecSpec) -> Vec<(&'static str, f64)> {
     sink.phase_wall_medians()
 }
 
+/// The plan optimizer on a captured LA hour: the virtual hour cost of
+/// the paper-default plan vs the optimizer's choice on the T3E at
+/// P = 16 (deterministic §4-model numbers, not wall-clock), plus the
+/// wall-clock of the whole search — layout ladder × pipeline splits —
+/// which is the only part of the planner that costs host time.
+fn plan_optimize(exec: ExecSpec) -> (f64, f64, f64) {
+    let mut config = SimConfig::test_tiny(16, 1);
+    config.dataset = DatasetChoice::LosAngeles;
+    config.start_hour = 12;
+    let (_, profile) = run_with_profile_obs(&config, exec, &Obs::off());
+    let machine = MachineProfile::t3e();
+    let t = Instant::now();
+    let choice = optimize_plan(&profile, &machine, 16);
+    let search_s = t.elapsed().as_secs_f64();
+    (choice.default_seconds, choice.predicted_seconds, search_s)
+}
+
 /// Cold-batch jobs/sec against a fresh pool of `workers` workers.
 fn server_rate(workers: usize) -> f64 {
     const JOBS: usize = 8;
@@ -195,6 +213,9 @@ fn main() {
     eprintln!("measuring per-phase span medians...");
     let phases = phase_medians(ExecSpec::rayon(4));
 
+    eprintln!("measuring plan optimizer (LA hour, T3E, P=16)...");
+    let (plan_default_s, plan_opt_s, plan_search_s) = plan_optimize(ExecSpec::rayon(4));
+
     eprintln!("measuring server throughput...");
     let rate1 = server_rate(1);
     let rate4 = server_rate(4);
@@ -238,6 +259,24 @@ fn main() {
         ]);
     }
     table.row(vec![
+        "plan/default_hour".to_string(),
+        format!("{plan_default_s:.1} s"),
+        "virtual (T3E, P=16)".to_string(),
+    ]);
+    table.row(vec![
+        "plan/optimized_hour".to_string(),
+        format!("{plan_opt_s:.1} s"),
+        format!(
+            "virtual, saving {:.1}%",
+            100.0 * (plan_default_s - plan_opt_s) / plan_default_s
+        ),
+    ]);
+    table.row(vec![
+        "plan/search_wall".to_string(),
+        format!("{:.1} ms", plan_search_s * 1e3),
+        "whole layout+split search".to_string(),
+    ]);
+    table.row(vec![
         "server/workers1".to_string(),
         format!("{rate1:.2} jobs/s"),
         String::new(),
@@ -256,10 +295,11 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
-        "{{\n  \"host_threads\": {host_threads},\n  \"la_hour\": {{\n    \"serial_s\": {serial_s:.4},\n    \"rayon4_s\": {rayon4_s:.4},\n    \"speedup_rayon4\": {:.4}\n  }},\n  \"la_hour_phase_median_us\": {{\n{phase_json}\n  }},\n  \"workspace_hoisting\": {{\n    \"transport_half_step_reused_s\": {tr_reused_s:.6},\n    \"transport_half_step_fresh_s\": {tr_fresh_s:.6},\n    \"transport_speedup\": {:.4},\n    \"yb_cell_reused_s\": {yb_reused_s:.9},\n    \"yb_cell_fresh_s\": {yb_fresh_s:.9},\n    \"yb_speedup\": {:.4}\n  }},\n  \"server_throughput\": {{\n    \"jobs\": 8,\n    \"workers1_jobs_per_s\": {rate1:.4},\n    \"workers4_jobs_per_s\": {rate4:.4},\n    \"scaling_4v1\": {:.4}\n  }}\n}}\n",
+        "{{\n  \"host_threads\": {host_threads},\n  \"la_hour\": {{\n    \"serial_s\": {serial_s:.4},\n    \"rayon4_s\": {rayon4_s:.4},\n    \"speedup_rayon4\": {:.4}\n  }},\n  \"la_hour_phase_median_us\": {{\n{phase_json}\n  }},\n  \"workspace_hoisting\": {{\n    \"transport_half_step_reused_s\": {tr_reused_s:.6},\n    \"transport_half_step_fresh_s\": {tr_fresh_s:.6},\n    \"transport_speedup\": {:.4},\n    \"yb_cell_reused_s\": {yb_reused_s:.9},\n    \"yb_cell_fresh_s\": {yb_fresh_s:.9},\n    \"yb_speedup\": {:.4}\n  }},\n  \"plan_optimize\": {{\n    \"nodes\": 16,\n    \"default_hour_virtual_s\": {plan_default_s:.4},\n    \"optimized_hour_virtual_s\": {plan_opt_s:.4},\n    \"saving_frac\": {:.4},\n    \"search_wall_s\": {plan_search_s:.6}\n  }},\n  \"server_throughput\": {{\n    \"jobs\": 8,\n    \"workers1_jobs_per_s\": {rate1:.4},\n    \"workers4_jobs_per_s\": {rate4:.4},\n    \"scaling_4v1\": {:.4}\n  }}\n}}\n",
         serial_s / rayon4_s,
         tr_fresh_s / tr_reused_s,
         yb_fresh_s / yb_reused_s,
+        (plan_default_s - plan_opt_s) / plan_default_s,
         rate4 / rate1,
     );
     std::fs::write(&out_path, json).expect("write BENCH json");

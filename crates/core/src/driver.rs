@@ -22,33 +22,92 @@ use airshed_machine::{Machine, MachineProfile};
 /// Machine word size — 8 bytes on all three paper machines.
 pub const WORD: usize = 8;
 
-/// How the chemistry phase distributes grid columns. Fx supports block,
-/// cyclic and block-cyclic layouts; the paper's Airshed used `BLOCK`.
-/// `CYCLIC` stripes columns round-robin, which balances the urban/rural
-/// chemistry load imbalance — the `ablation_cyclic` bench quantifies the
-/// trade-off.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// How a distributed phase lays its items out over nodes. Fx supports
+/// block, cyclic and block-cyclic layouts; the paper's Airshed used
+/// `BLOCK` everywhere. `CYCLIC` stripes items round-robin, which
+/// balances the urban/rural chemistry load imbalance; `BlockCyclic(b)`
+/// deals contiguous runs of `b` items round-robin, trading imbalance
+/// against redistribution message counts. Historically named for the
+/// chemistry phase (the first to gain a layout knob); the plan
+/// optimizer now picks one per distributed phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ChemLayout {
     #[default]
     Block,
     Cyclic,
+    /// Round-robin runs of the given block size (HPF `CYCLIC(b)`).
+    BlockCyclic(usize),
 }
 
 impl ChemLayout {
     /// The HPF distribution of `A(species, layers, nodes)` this layout
-    /// gives the chemistry phase.
-    pub fn distribution(&self) -> Distribution {
+    /// gives a phase distributed along dimension `dim`.
+    pub fn distribution_on(&self, dim: usize) -> Distribution {
         match self {
-            ChemLayout::Block => Distribution::block(3, 2),
-            ChemLayout::Cyclic => Distribution::cyclic(3, 2),
+            ChemLayout::Block => Distribution::block(3, dim),
+            ChemLayout::Cyclic => Distribution::cyclic(3, dim),
+            ChemLayout::BlockCyclic(b) => Distribution::block_cyclic(3, dim, *b),
         }
     }
 
-    /// Reduce per-column work to per-node work under this layout. The
+    /// The distribution the chemistry phase (columns, dimension 2) gets.
+    pub fn distribution(&self) -> Distribution {
+        self.distribution_on(2)
+    }
+
+    /// Reduce per-item work to per-node work under this layout. The
     /// partition math lives on the plan IR's [`crate::plan::ItemLayout`];
     /// this is a convenience alias.
     pub fn per_node(&self, per_item: &[f64], p: usize) -> Vec<f64> {
         crate::plan::ItemLayout::from(*self).per_node(per_item, p)
+    }
+}
+
+impl std::fmt::Display for ChemLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChemLayout::Block => write!(f, "BLOCK"),
+            ChemLayout::Cyclic => write!(f, "CYCLIC"),
+            ChemLayout::BlockCyclic(b) => write!(f, "CYCLIC({b})"),
+        }
+    }
+}
+
+/// One layout choice per distributed phase — the optimizer's decision
+/// variable. `Default` is the paper's plan: `BLOCK` everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PlanLayouts {
+    /// Transport distributes vertical layers (dimension 1).
+    pub transport: ChemLayout,
+    /// Chemistry distributes grid columns (dimension 2).
+    pub chemistry: ChemLayout,
+}
+
+impl PlanLayouts {
+    pub fn new(transport: ChemLayout, chemistry: ChemLayout) -> PlanLayouts {
+        PlanLayouts {
+            transport,
+            chemistry,
+        }
+    }
+
+    /// The historical single-knob form: default transport, chosen
+    /// chemistry layout.
+    pub fn chem(chemistry: ChemLayout) -> PlanLayouts {
+        PlanLayouts {
+            transport: ChemLayout::Block,
+            chemistry,
+        }
+    }
+}
+
+impl std::fmt::Display for PlanLayouts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transport={} chemistry={}",
+            self.transport, self.chemistry
+        )
     }
 }
 
@@ -59,6 +118,8 @@ pub struct HourPlans {
     pub main: AirshedRedists,
     /// `D_Trans -> D_Repl` at the hour boundary (before `outputhour`).
     pub trans_to_repl: RedistPlan,
+    /// Transport layer layout.
+    pub trans_layout: ChemLayout,
     /// Chemistry column layout.
     pub chem_layout: ChemLayout,
 }
@@ -71,30 +132,46 @@ impl HourPlans {
     /// Plans for a specific chemistry layout: the `D_Trans -> D_Chem` and
     /// `D_Chem -> D_Repl` plans follow the chosen distribution.
     pub fn with_layout(shape: &[usize; 3], p: usize, chem_layout: ChemLayout) -> HourPlans {
+        Self::with_layouts(shape, p, PlanLayouts::chem(chem_layout))
+    }
+
+    /// Plans for an explicit per-phase layout choice: every edge touching
+    /// a non-default phase distribution is re-planned from the chosen
+    /// distributions. With the default (all-`BLOCK`) layouts this builds
+    /// exactly the paper's plans, bit for bit.
+    pub fn with_layouts(shape: &[usize; 3], p: usize, layouts: PlanLayouts) -> HourPlans {
         let mut main = airshed_redists(shape, p, WORD);
-        if chem_layout != ChemLayout::Block {
-            let d_chem = chem_layout.distribution();
-            let mut t2c = plan(shape, &Distribution::block(3, 1), &d_chem, p, WORD);
+        let d_trans = layouts.transport.distribution_on(1);
+        let d_chem = layouts.chemistry.distribution_on(2);
+        if layouts.transport != ChemLayout::Block {
+            let mut r2t = plan(shape, &Distribution::replicated(3), &d_trans, p, WORD);
+            r2t.label = labels::REPL_TO_TRANS;
+            main.repl_to_trans = r2t;
+        }
+        if layouts.transport != ChemLayout::Block || layouts.chemistry != ChemLayout::Block {
+            let mut t2c = plan(shape, &d_trans, &d_chem, p, WORD);
             t2c.label = labels::TRANS_TO_CHEM;
+            main.trans_to_chem = t2c;
+        }
+        if layouts.chemistry != ChemLayout::Block {
             let mut c2r = plan(shape, &d_chem, &Distribution::replicated(3), p, WORD);
             c2r.label = labels::CHEM_TO_REPL;
-            main.trans_to_chem = t2c;
             main.chem_to_repl = c2r;
         }
-        let mut trans_to_repl = plan(
-            shape,
-            &Distribution::block(3, 1),
-            &Distribution::replicated(3),
-            p,
-            WORD,
-        );
+        let mut trans_to_repl = plan(shape, &d_trans, &Distribution::replicated(3), p, WORD);
         trans_to_repl.label = labels::TRANS_TO_REPL;
         HourPlans {
             shape: *shape,
             main,
             trans_to_repl,
-            chem_layout,
+            trans_layout: layouts.transport,
+            chem_layout: layouts.chemistry,
         }
+    }
+
+    /// The layout pair these plans were built for.
+    pub fn layouts(&self) -> PlanLayouts {
+        PlanLayouts::new(self.trans_layout, self.chem_layout)
     }
 }
 

@@ -58,9 +58,10 @@ pub mod viz;
 pub use backend::{Backend, BackendKind, ExecSpec};
 pub use config::{DatasetChoice, SimConfig};
 pub use driver::{replay, run, run_with_profile};
+pub use driver::{ChemLayout, PlanLayouts};
 pub use obs::oracle::{validate_profile, Oracle, Validation};
 pub use obs::Obs;
-pub use plan::PhaseGraph;
-pub use predict::PerfModel;
+pub use plan::{optimize_plan, PhaseGraph, PlanChoice};
+pub use predict::{cost_of, GraphCost, LayoutChoice, PerfModel};
 pub use profile::WorkProfile;
 pub use report::RunReport;

@@ -45,7 +45,7 @@
 use super::Obs;
 use crate::driver::HourPlans;
 use crate::plan::{Op, PhaseGraph, Work};
-use crate::predict::{comm_step_costs, PerfModel, Prediction};
+use crate::predict::{comm_step_costs, step_seconds, PerfModel, Prediction};
 use crate::profile::WorkProfile;
 use crate::report::RunReport;
 use airshed_hpf::redist::labels;
@@ -259,8 +259,9 @@ impl Oracle {
                 Op::Compute { kind, work } => {
                     let (charged, imbalance) = work.charged(p);
                     // Pricing: what the nominal machine charges for the
-                    // heaviest node — exact on a healthy run.
-                    let pricing = charged / rate;
+                    // heaviest node — exact on a healthy run. Shared with
+                    // the planner's objective fold ([`crate::predict::cost_of`]).
+                    let pricing = step_seconds(graph, node, &self.nominal);
                     // Model: §4.1 even division with the ceil rule over
                     // the phase's parallel axis.
                     let model = match work {
@@ -283,7 +284,7 @@ impl Oracle {
                 }
                 Op::Comm { edge } => {
                     let e = &graph.edges[*edge];
-                    let pricing = self.nominal.comm_phase_seconds(&e.loads);
+                    let pricing = step_seconds(graph, node, &self.nominal);
                     let model = costs.for_label(e.label).unwrap_or(pricing);
                     let per_node: Vec<f64> =
                         e.loads.iter().map(|l| self.nominal.comm_cost(l)).collect();

@@ -30,12 +30,16 @@
 //!    [`replay_profile`], so a cached profile and a fresh run charge
 //!    identical virtual cost.
 
-use crate::driver::{ChemLayout, HourPlans};
+use crate::driver::{ChemLayout, HourPlans, PlanLayouts};
 use crate::profile::{HourProfile, WorkProfile};
 use crate::report::RunReport;
 use airshed_hpf::loops::block_ranges;
 use airshed_hpf::redist::PlanEdge;
 use airshed_machine::{Machine, MachineProfile, PhaseKind, PlanStep};
+
+pub mod optimize;
+
+pub use optimize::{optimize_plan, PlanChoice};
 
 /// Pipeline stage a phase node belongs to (§5's three-stage split). The
 /// data-parallel lowering ignores the annotation; the task-parallel
@@ -54,7 +58,7 @@ pub enum Stage {
 /// of an HPF distribution's work partition. This is the *single* place
 /// that owns the per-item → per-node reduction; `ChemLayout::per_node`
 /// and the driver both delegate here.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ItemLayout {
     /// Contiguous blocks (HPF `BLOCK`), ceil-sized with trailing nodes
     /// possibly empty.
@@ -62,6 +66,10 @@ pub enum ItemLayout {
     /// Round-robin striping (HPF `CYCLIC`): item `i` goes to node
     /// `i mod p`.
     Cyclic,
+    /// Round-robin runs of `b` items (HPF `CYCLIC(b)`): item `i` goes to
+    /// node `(i / b) mod p` — the same ownership rule as
+    /// `hpf::dist::DimDist::BlockCyclic`.
+    BlockCyclic(usize),
 }
 
 impl ItemLayout {
@@ -89,6 +97,14 @@ impl ItemLayout {
                 let mut out = vec![0.0; p];
                 for (i, &w) in per_item.iter().enumerate() {
                     out[i % p] += w;
+                }
+                out
+            }
+            ItemLayout::BlockCyclic(b) => {
+                let b = (*b).max(1);
+                let mut out = vec![0.0; p];
+                for (i, &w) in per_item.iter().enumerate() {
+                    out[(i / b) % p] += w;
                 }
                 out
             }
@@ -123,6 +139,14 @@ impl ItemLayout {
                 }
                 out
             }
+            ItemLayout::BlockCyclic(b) => {
+                let b = (*b).max(1);
+                let mut out = vec![Vec::new(); parts];
+                for i in 0..n_items {
+                    out[(i / b) % parts].push(i);
+                }
+                out
+            }
         }
     }
 }
@@ -132,6 +156,7 @@ impl From<ChemLayout> for ItemLayout {
         match layout {
             ChemLayout::Block => ItemLayout::Block,
             ChemLayout::Cyclic => ItemLayout::Cyclic,
+            ChemLayout::BlockCyclic(b) => ItemLayout::BlockCyclic(b),
         }
     }
 }
@@ -256,6 +281,7 @@ impl PhaseGraph {
             assert_eq!(e.loads.len(), p, "plans were built for a different P");
         }
         let layers = plans.shape[1];
+        let trans_layout = ItemLayout::from(plans.trans_layout);
         let chem_layout = ItemLayout::from(plans.chem_layout);
 
         let compute = |stage, kind, work| PhaseNode {
@@ -294,7 +320,7 @@ impl PhaseGraph {
                 PhaseKind::Transport,
                 Work::Distributed {
                     per_item: step.transport1.clone(),
-                    layout: ItemLayout::Block,
+                    layout: trans_layout,
                 },
             ));
             nodes.push(comm(Self::EDGE_TRANS_TO_CHEM));
@@ -323,7 +349,7 @@ impl PhaseGraph {
                 PhaseKind::Transport,
                 Work::Distributed {
                     per_item: step.transport2.clone(),
-                    layout: ItemLayout::Block,
+                    layout: trans_layout,
                 },
             ));
         }
@@ -450,8 +476,21 @@ pub fn replay_profile(
     p: usize,
     layout: ChemLayout,
 ) -> RunReport {
+    replay_profile_with(profile, machine_profile, p, PlanLayouts::chem(layout))
+}
+
+/// [`replay_profile`] with an explicit per-phase layout choice — the
+/// execution path for optimizer-chosen plans. Science summaries carry
+/// over from the profile untouched, so an optimized plan is
+/// bit-identical to the default plan in everything but virtual time.
+pub fn replay_profile_with(
+    profile: &WorkProfile,
+    machine_profile: MachineProfile,
+    p: usize,
+    layouts: PlanLayouts,
+) -> RunReport {
     let mut machine = Machine::new(machine_profile, p);
-    let plans = HourPlans::with_layout(&profile.shape, p, layout);
+    let plans = HourPlans::with_layouts(&profile.shape, p, layouts);
     for hp in &profile.hours {
         PhaseGraph::for_hour(hp, &plans, p).execute(&mut machine);
     }

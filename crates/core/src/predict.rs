@@ -25,12 +25,71 @@
 //! graph supplies what happens and how often, the model prices it
 //! independently.
 
-use crate::driver::HourPlans;
-use crate::plan::{Op, PhaseGraph};
+use crate::driver::{HourPlans, PlanLayouts};
+use crate::plan::optimize::candidate_layouts;
+use crate::plan::{ItemLayout, Op, PhaseGraph, PhaseNode};
 use crate::profile::WorkProfile;
 use airshed_hpf::redist::labels;
 use airshed_machine::{MachineProfile, PhaseKind};
 use serde::Serialize;
+
+/// Virtual seconds the machine charges for one plan node — the single
+/// §4 pricing rule. [`cost_of`], the oracle's pricing residuals
+/// ([`crate::obs::oracle`]) and the plan optimizer
+/// ([`crate::plan::optimize`]) all delegate here, so a plan is priced
+/// identically wherever it is folded.
+pub fn step_seconds(graph: &PhaseGraph, node: &PhaseNode, machine: &MachineProfile) -> f64 {
+    match &node.op {
+        Op::Compute { work, .. } => work.charged(graph.p).0 / machine.rate,
+        Op::Comm { edge } => machine.comm_phase_seconds(&graph.edges[*edge].loads),
+    }
+}
+
+/// Phase-attributed §4 cost of one plan graph on one machine.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct GraphCost {
+    pub io: f64,
+    pub transport: f64,
+    /// Chemistry plus the aerosol pass (the paper's phase accounting
+    /// groups them).
+    pub chemistry: f64,
+    pub communication: f64,
+    pub total: f64,
+}
+
+impl GraphCost {
+    /// Accumulate another graph's cost (e.g. summing hours of a run).
+    pub fn accumulate(&mut self, other: &GraphCost) {
+        self.io += other.io;
+        self.transport += other.transport;
+        self.chemistry += other.chemistry;
+        self.communication += other.communication;
+        self.total += other.total;
+    }
+}
+
+/// Fold the §4 cost of a plan graph — the analytic counterpart of
+/// [`PhaseGraph::execute`], and bit-identical to it: the fold visits the
+/// nodes in program order and charges each with [`step_seconds`], which
+/// is exactly what the virtual machine does. This is the optimizer's
+/// objective function and the single pricing API the server's admission
+/// control, the fabric router and the oracle all build on.
+pub fn cost_of(graph: &PhaseGraph, machine: &MachineProfile) -> GraphCost {
+    let mut c = GraphCost::default();
+    for node in &graph.nodes {
+        let s = step_seconds(graph, node, machine);
+        match &node.op {
+            Op::Compute { kind, .. } => match kind {
+                PhaseKind::InputHour | PhaseKind::PreTrans | PhaseKind::OutputHour => c.io += s,
+                PhaseKind::Transport => c.transport += s,
+                PhaseKind::Chemistry | PhaseKind::Aerosol => c.chemistry += s,
+            },
+            Op::Comm { .. } => c.communication += s,
+        }
+        c.total += s;
+    }
+    c
+}
 
 /// How many times each redistribution edge occurs in the modelled run,
 /// counted off the plan graphs' comm nodes.
@@ -56,6 +115,14 @@ pub struct PerfModel {
     pub hours: usize,
     /// Redistribution occurrence counts from the plan graphs.
     pub occurrences: CommOccurrences,
+    /// Per-layer transport work summed over the whole run
+    /// (P- and layout-independent) — what the layout-aware pricing in
+    /// [`PerfModel::layout_cost`] folds instead of the even-division
+    /// approximation. Empty on models calibrated before this field
+    /// existed; pricing then falls back to the §4.1 ceil rule.
+    pub transport_per_item: Vec<f64>,
+    /// Per-column chemistry work summed over the whole run.
+    pub chemistry_per_item: Vec<f64>,
 }
 
 /// The §4.2 closed-form cost of **one occurrence** of each
@@ -142,6 +209,15 @@ impl PerfModel {
         let mut aerosol = 0.0;
         let mut steps = 0usize;
         let mut occ = CommOccurrences::default();
+        let mut transport_per_item = vec![0.0; profile.shape[1]];
+        let mut chemistry_per_item = vec![0.0; profile.shape[2]];
+        let accumulate = |into: &mut [f64], work: &crate::plan::Work| {
+            if let crate::plan::Work::Distributed { per_item, .. } = work {
+                for (acc, w) in into.iter_mut().zip(per_item) {
+                    *acc += w;
+                }
+            }
+        };
         for hp in &profile.hours {
             let graph = PhaseGraph::for_hour(hp, &plans, 1);
             for node in &graph.nodes {
@@ -152,10 +228,14 @@ impl PerfModel {
                             PhaseKind::InputHour | PhaseKind::PreTrans | PhaseKind::OutputHour => {
                                 io += w
                             }
-                            PhaseKind::Transport => transport += w,
+                            PhaseKind::Transport => {
+                                transport += w;
+                                accumulate(&mut transport_per_item, work);
+                            }
                             PhaseKind::Chemistry => {
                                 chemistry += w;
                                 steps += 1;
+                                accumulate(&mut chemistry_per_item, work);
                             }
                             PhaseKind::Aerosol => aerosol += w,
                         }
@@ -179,6 +259,8 @@ impl PerfModel {
             steps,
             hours: profile.hours.len(),
             occurrences: occ,
+            transport_per_item,
+            chemistry_per_item,
         }
     }
 
@@ -226,6 +308,106 @@ impl PerfModel {
     /// Predict across a node sweep.
     pub fn sweep(&self, machine: &MachineProfile, ps: &[usize]) -> Vec<Prediction> {
         ps.iter().map(|&p| self.predict(machine, p)).collect()
+    }
+
+    /// Per-hour §4 cost of the default (all-`BLOCK`) plan on one machine
+    /// × P point — the **single** pricing rule behind server admission
+    /// and the fabric router (both used to fold this slightly
+    /// differently; they now delegate here).
+    pub fn hour_cost(&self, machine: &MachineProfile, p: usize) -> f64 {
+        self.predict(machine, p).total / self.hours.max(1) as f64
+    }
+
+    /// Predicted virtual cost of an `hours`-hour scenario of this family
+    /// under the default plan.
+    pub fn scenario_seconds(&self, machine: &MachineProfile, p: usize, hours: usize) -> f64 {
+        self.predict(machine, p).total * (hours as f64 / self.hours.max(1) as f64)
+    }
+
+    /// The §4 cost of the calibrated run under an explicit per-phase
+    /// layout choice: distributed compute phases charge their heaviest
+    /// node under the layout (the measured per-item work, not the §4.1
+    /// even division), and each redistribution is priced from the
+    /// *planned* loads of the layout's actual redistribution schedule —
+    /// so layouts that trade imbalance for extra messages are costed
+    /// honestly on both sides. Falls back to the closed-form compute
+    /// terms for models calibrated without per-item vectors.
+    pub fn layout_cost(&self, machine: &MachineProfile, p: usize, layouts: PlanLayouts) -> f64 {
+        let rate = machine.rate;
+        let ceil_model = self.predict(machine, p);
+        let heaviest = |per_item: &[f64], layout: crate::driver::ChemLayout| -> Option<f64> {
+            if per_item.is_empty() {
+                return None;
+            }
+            let per = ItemLayout::from(layout).per_node(per_item, p);
+            Some(per.iter().fold(0.0f64, |a, &b| a.max(b)) / rate)
+        };
+        let transport =
+            heaviest(&self.transport_per_item, layouts.transport).unwrap_or(ceil_model.transport);
+        let chemistry = heaviest(&self.chemistry_per_item, layouts.chemistry)
+            .map(|c| c + self.seq_aerosol / rate)
+            .unwrap_or(ceil_model.chemistry);
+        let plans = HourPlans::with_layouts(&self.shape, p, layouts);
+        let occ = self.occurrences;
+        let communication = machine.comm_phase_seconds(&plans.main.repl_to_trans.loads)
+            * occ.repl_to_trans as f64
+            + machine.comm_phase_seconds(&plans.main.trans_to_chem.loads)
+                * occ.trans_to_chem as f64
+            + machine.comm_phase_seconds(&plans.main.chem_to_repl.loads) * occ.chem_to_repl as f64
+            + machine.comm_phase_seconds(&plans.trans_to_repl.loads) * occ.trans_to_repl as f64;
+        ceil_model.io + transport + chemistry + communication
+    }
+
+    /// Search the per-phase layout space for the cheapest plan on
+    /// `machine` × `p` under [`PerfModel::layout_cost`]. Exhaustive over
+    /// the candidate set ([`candidate_layouts`]); the default plan is
+    /// always a candidate and ties keep it, so
+    /// `chosen.hour_cost <= chosen.default_hour_cost` by construction.
+    pub fn choose_layout(&self, machine: &MachineProfile, p: usize) -> LayoutChoice {
+        let default_cost = self.layout_cost(machine, p, PlanLayouts::default());
+        let mut best = (PlanLayouts::default(), default_cost);
+        for &transport in &candidate_layouts(self.shape[1], p) {
+            for &chemistry in &candidate_layouts(self.shape[2], p) {
+                let layouts = PlanLayouts::new(transport, chemistry);
+                if layouts == PlanLayouts::default() {
+                    continue;
+                }
+                let cost = self.layout_cost(machine, p, layouts);
+                if cost < best.1 {
+                    best = (layouts, cost);
+                }
+            }
+        }
+        let hours = self.hours.max(1) as f64;
+        LayoutChoice {
+            layouts: best.0,
+            hour_cost: best.1 / hours,
+            default_hour_cost: default_cost / hours,
+        }
+    }
+}
+
+/// The model-level result of a layout search: the chosen per-phase
+/// layouts with their predicted per-hour cost next to the default
+/// plan's. Profile-level optimization (with the exact per-hour graphs
+/// and pipeline splits) lives in [`crate::plan::optimize`]; this is the
+/// cheap form admission control and the fabric router can afford per
+/// pricing decision.
+#[derive(Debug, Clone, Copy)]
+pub struct LayoutChoice {
+    pub layouts: PlanLayouts,
+    /// Predicted per-hour cost of the chosen plan.
+    pub hour_cost: f64,
+    /// Predicted per-hour cost of the default (all-`BLOCK`) plan under
+    /// the same fold.
+    pub default_hour_cost: f64,
+}
+
+impl LayoutChoice {
+    /// Predicted saving of the chosen plan over the default, in seconds
+    /// per hour (>= 0 by construction).
+    pub fn hour_saving(&self) -> f64 {
+        self.default_hour_cost - self.hour_cost
     }
 }
 

@@ -48,6 +48,13 @@ pub struct RunReport {
     /// before the run, when a prediction was available (server jobs
     /// admitted through a calibrated [`crate::PerfModel`]).
     pub predicted_seconds: Option<f64>,
+    /// The per-phase layouts the plan optimizer chose (its
+    /// [`crate::PlanLayouts`] rendering), when this run executed an
+    /// optimized plan rather than the paper default.
+    pub plan_layouts: Option<String>,
+    /// Predicted seconds the chosen plan saves over the default plan
+    /// (`default - chosen`, >= 0), alongside [`RunReport::plan_layouts`].
+    pub plan_delta_seconds: Option<f64>,
 }
 
 impl RunReport {
@@ -72,6 +79,8 @@ impl RunReport {
             popexp_seconds: b.get(PhaseCategory::PopExp),
             backend: String::new(),
             predicted_seconds: None,
+            plan_layouts: None,
+            plan_delta_seconds: None,
             comm_steps: machine
                 .comm_log
                 .records()
@@ -117,6 +126,10 @@ impl fmt::Display for RunReport {
         )?;
         if !self.backend.is_empty() {
             writeln!(f, "  host backend: {}", self.backend)?;
+        }
+        if let Some(layouts) = &self.plan_layouts {
+            let delta = self.plan_delta_seconds.unwrap_or(0.0);
+            writeln!(f, "  plan: {layouts} (predicted saving {delta:.1}s)")?;
         }
         if let Some(predicted) = self.predicted_seconds {
             let rel = (self.total_seconds - predicted) / predicted.abs().max(1e-12);

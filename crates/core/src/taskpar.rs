@@ -12,7 +12,7 @@
 //! stages (main loop replayed on the P − io compute subgroup), and the
 //! pipeline recurrence combines them.
 
-use crate::driver::HourPlans;
+use crate::driver::{HourPlans, PlanLayouts};
 use crate::obs::{Obs, Track};
 use crate::plan::PhaseGraph;
 use crate::profile::WorkProfile;
@@ -77,6 +77,29 @@ pub fn replay_taskparallel_obs(
     p_out: usize,
     obs: &Obs,
 ) -> TaskParReport {
+    replay_taskparallel_obs_with(
+        profile,
+        machine_profile,
+        p,
+        p_in,
+        p_out,
+        PlanLayouts::default(),
+        obs,
+    )
+}
+
+/// [`replay_taskparallel_obs`] with an explicit per-phase layout choice
+/// for the main compute loop — the pipelined execution path for
+/// optimizer-chosen plans.
+pub fn replay_taskparallel_obs_with(
+    profile: &WorkProfile,
+    machine_profile: MachineProfile,
+    p: usize,
+    p_in: usize,
+    p_out: usize,
+    layouts: PlanLayouts,
+    obs: &Obs,
+) -> TaskParReport {
     assert!(p_in >= 1 && p_out >= 1);
     assert!(
         p > p_in + p_out,
@@ -94,7 +117,7 @@ pub fn replay_taskparallel_obs(
     // across layers there) and hand off the decoded inputs; the Main
     // stage replays on a scratch compute-subgroup machine; the Output
     // stage receives the concentration array and writes it out.
-    let plans = HourPlans::new(&profile.shape, p_compute);
+    let plans = HourPlans::with_layouts(&profile.shape, p_compute, layouts);
     for hp in &profile.hours {
         let graph = PhaseGraph::for_hour(hp, &plans, p_compute);
         let [input, compute, output] = graph.stage_durations(machine_profile, p_in, p_out);
@@ -134,6 +157,18 @@ pub fn optimize_split(
     machine_profile: MachineProfile,
     p: usize,
 ) -> (usize, usize, TaskParReport) {
+    optimize_split_with(profile, machine_profile, p, PlanLayouts::default())
+}
+
+/// [`optimize_split`] with the main loop executed under an explicit
+/// per-phase layout choice — the pipeline-stage half of the plan
+/// optimizer's search ([`crate::plan::optimize::optimize_plan`]).
+pub fn optimize_split_with(
+    profile: &WorkProfile,
+    machine_profile: MachineProfile,
+    p: usize,
+    layouts: PlanLayouts,
+) -> (usize, usize, TaskParReport) {
     assert!(p >= 3);
     let mut best: Option<(usize, usize, TaskParReport)> = None;
     let max_io = (p - 1).min(9);
@@ -142,7 +177,15 @@ pub fn optimize_split(
             if p_in + p_out >= p {
                 continue;
             }
-            let r = replay_taskparallel_split(profile, machine_profile, p, p_in, p_out);
+            let r = replay_taskparallel_obs_with(
+                profile,
+                machine_profile,
+                p,
+                p_in,
+                p_out,
+                layouts,
+                &Obs::off(),
+            );
             if best
                 .as_ref()
                 .is_none_or(|(_, _, b)| r.total_seconds < b.total_seconds)

@@ -1,8 +1,9 @@
 //! Property-based tests for the plan-graph IR.
 
 use airshed_core::driver::{ChemLayout, HourPlans};
-use airshed_core::plan::{ItemLayout, Op, PhaseGraph};
-use airshed_core::profile::{HourProfile, StepProfile};
+use airshed_core::plan::{optimize_plan, ItemLayout, Op, PhaseGraph};
+use airshed_core::profile::{HourProfile, StepProfile, WorkProfile};
+use airshed_machine::MachineProfile;
 use proptest::prelude::*;
 
 fn hour(shape: [usize; 3], steps: usize, scale: f64) -> HourProfile {
@@ -58,21 +59,73 @@ proptest! {
         }
     }
 
-    /// Both item layouts partition per-item work exactly: per-node
+    /// Every item layout partitions per-item work exactly: per-node
     /// vectors have length p and sum to the total work.
     #[test]
     fn item_layouts_partition_work(
         items in 1usize..300,
         p in 1usize..64,
-        cyclic in any::<bool>(),
+        pick in 0usize..3,
+        b in 1usize..17,
     ) {
-        let layout = if cyclic { ItemLayout::Cyclic } else { ItemLayout::Block };
+        let layout = match pick {
+            0 => ItemLayout::Block,
+            1 => ItemLayout::Cyclic,
+            _ => ItemLayout::BlockCyclic(b),
+        };
         let work: Vec<f64> = (0..items).map(|i| 1.0 + (i % 7) as f64).collect();
         let per = layout.per_node(&work, p);
         prop_assert_eq!(per.len(), p);
         let total: f64 = per.iter().sum();
         let expect: f64 = work.iter().sum();
         prop_assert!((total - expect).abs() < 1e-9 * expect.max(1.0));
+    }
+
+    /// Optimizer-emitted plans are well-formed for arbitrary shapes and
+    /// node counts: the chosen layouts partition every distributed
+    /// phase's items exactly, the lowered hour graphs' redistribution
+    /// edges conserve bytes, and the prediction never loses to the
+    /// default plan.
+    #[test]
+    fn optimizer_plans_are_well_formed(
+        layers in 1usize..9,
+        nodes in 4usize..400,
+        p in 1usize..24,
+        steps in 1usize..3,
+    ) {
+        let shape = [5usize, layers, nodes];
+        let profile = WorkProfile {
+            dataset: "PROP",
+            shape,
+            hours: vec![hour(shape, steps, 1.0e6)],
+            summaries: Vec::new(),
+        };
+        let choice = optimize_plan(&profile, &MachineProfile::t3e(), p);
+        prop_assert!(choice.predicted_seconds <= choice.default_seconds);
+        for (n_items, layout) in [
+            (layers, choice.layouts.transport),
+            (nodes, choice.layouts.chemistry),
+        ] {
+            let work: Vec<f64> = (0..n_items).map(|i| 1.0 + (i % 5) as f64).collect();
+            let per = ItemLayout::from(layout).per_node(&work, p);
+            prop_assert_eq!(per.len(), p);
+            let total: f64 = per.iter().sum();
+            let expect: f64 = work.iter().sum();
+            prop_assert!((total - expect).abs() < 1e-9 * expect.max(1.0),
+                "layout {layout:?} must cover all {n_items} items");
+        }
+        let plans = HourPlans::with_layouts(&shape, p, choice.layouts);
+        let graph = PhaseGraph::for_hour(&profile.hours[0], &plans, p);
+        for edge in &graph.edges {
+            prop_assert!(
+                edge.conserves_bytes(),
+                "{} shape={shape:?} p={p} layouts={}: sent {} != recv {}",
+                edge.label,
+                choice.layouts,
+                edge.total_bytes_sent(),
+                edge.total_bytes_recv()
+            );
+        }
     }
 
     /// The graph's compute nodes carry exactly the profile's work: the

@@ -306,16 +306,21 @@ fn dec_machine(d: &mut Dec) -> Result<MachineProfile, WireError> {
 }
 
 fn enc_layout(e: &mut Enc, l: ChemLayout) {
-    e.u8(match l {
-        ChemLayout::Block => 0,
-        ChemLayout::Cyclic => 1,
-    });
+    match l {
+        ChemLayout::Block => e.u8(0),
+        ChemLayout::Cyclic => e.u8(1),
+        ChemLayout::BlockCyclic(b) => {
+            e.u8(2);
+            e.usize(b);
+        }
+    }
 }
 
 fn dec_layout(d: &mut Dec) -> Result<ChemLayout, WireError> {
     match d.u8()? {
         0 => Ok(ChemLayout::Block),
         1 => Ok(ChemLayout::Cyclic),
+        2 => Ok(ChemLayout::BlockCyclic(d.usize()?)),
         _ => Err(WireError::Malformed("unknown chem layout")),
     }
 }
@@ -480,6 +485,20 @@ fn enc_report(e: &mut Enc, r: &RunReport) {
             e.f64(p);
         }
     }
+    match &r.plan_layouts {
+        None => e.bool(false),
+        Some(l) => {
+            e.bool(true);
+            e.str(l);
+        }
+    }
+    match r.plan_delta_seconds {
+        None => e.bool(false),
+        Some(s) => {
+            e.bool(true);
+            e.f64(s);
+        }
+    }
 }
 
 fn dec_report(d: &mut Dec) -> Result<RunReport, WireError> {
@@ -508,6 +527,8 @@ fn dec_report(d: &mut Dec) -> Result<RunReport, WireError> {
         .collect::<Result<_, _>>()?;
     let backend = d.str()?;
     let predicted_seconds = if d.bool()? { Some(d.f64()?) } else { None };
+    let plan_layouts = if d.bool()? { Some(d.str()?) } else { None };
+    let plan_delta_seconds = if d.bool()? { Some(d.f64()?) } else { None };
     Ok(RunReport {
         dataset,
         machine,
@@ -523,6 +544,8 @@ fn dec_report(d: &mut Dec) -> Result<RunReport, WireError> {
         summaries,
         backend,
         predicted_seconds,
+        plan_layouts,
+        plan_delta_seconds,
     })
 }
 
@@ -541,6 +564,8 @@ fn enc_model(e: &mut Enc, m: &PerfModel) {
     e.usize(o.trans_to_chem);
     e.usize(o.chem_to_repl);
     e.usize(o.trans_to_repl);
+    e.f64s(&m.transport_per_item);
+    e.f64s(&m.chemistry_per_item);
 }
 
 fn dec_model(d: &mut Dec) -> Result<PerfModel, WireError> {
@@ -558,13 +583,16 @@ fn dec_model(d: &mut Dec) -> Result<PerfModel, WireError> {
             chem_to_repl: d.usize()?,
             trans_to_repl: d.usize()?,
         },
+        transport_per_item: d.f64s()?,
+        chemistry_per_item: d.f64s()?,
     })
 }
 
 /// Canonical fingerprint of a [`RunReport`]'s *deterministic* content:
 /// every `f64` as its exact bit pattern, every count verbatim. The
-/// host-dependent fields — `backend` (which machine ran the kernels)
-/// and `predicted_seconds` (routing-time model state) — are excluded,
+/// host-dependent fields — `backend` (which machine ran the kernels),
+/// `predicted_seconds` and the `plan_*` annotations (routing-time model
+/// state) — are excluded,
 /// so a report computed behind the fabric (possibly resumed across a
 /// shard failover) fingerprints identically to a single-process run of
 /// the same scenario. The CI smoke test diffs these files.
@@ -755,6 +783,8 @@ mod tests {
         let a = report_fingerprint(&report);
         report.backend = "rayon(64)".into();
         report.predicted_seconds = Some(123.0);
+        report.plan_layouts = Some("transport=BLOCK chemistry=CYCLIC".into());
+        report.plan_delta_seconds = Some(4.5);
         assert_eq!(a, report_fingerprint(&report));
         report.total_seconds += 1.0;
         assert_ne!(a, report_fingerprint(&report));

@@ -382,9 +382,12 @@ impl Router {
     }
 
     /// Predicted remaining virtual seconds of `job` on `shard`: the
-    /// family model priced with the shard's recalibrated machine,
-    /// scaled to the hours not yet checkpointed. Public so tests can
-    /// assert the cost function directly.
+    /// family model's *optimized* hour cost — the cheapest per-phase
+    /// layout the planner could run this family with, priced on the
+    /// shard's recalibrated machine — scaled to the hours not yet
+    /// checkpointed. Placement-only: the shard still executes the job's
+    /// requested layout, so results are bit-identical wherever the job
+    /// lands. Public so tests can assert the cost function directly.
     pub fn job_cost(&self, shard: usize, job: u64) -> Option<f64> {
         let j = self.jobs.get(&job)?;
         let model = self.models.get(&NumericsKey::of(&j.config).family())?;
@@ -393,7 +396,7 @@ impl Router {
             .get(j.config.machine.name)
             .copied()
             .unwrap_or(j.config.machine);
-        let per_hour = model.predict(&machine, j.config.p).total / model.hours.max(1) as f64;
+        let per_hour = model.choose_layout(&machine, j.config.p).hour_cost;
         let done = j.resume.as_ref().map_or(0, |r| r.partial.hours.len());
         let remaining = j.config.hours.saturating_sub(done);
         Some(per_hour * remaining as f64)

@@ -221,6 +221,40 @@ impl OwnedRegion {
             .map(|(a, b)| intersect_len(a, b))
             .product()
     }
+
+    /// Number of contiguous pieces in the intersection with another
+    /// region (dimension-wise piece count, then product). A BLOCK↔BLOCK
+    /// overlap is a single piece; interleaved (`CYCLIC`) ownership
+    /// shatters the same volume into strided pieces, each paying its own
+    /// message startup when the transfer is lowered.
+    pub fn intersection_fragments(&self, other: &OwnedRegion) -> usize {
+        assert_eq!(self.per_dim.len(), other.per_dim.len());
+        self.per_dim
+            .iter()
+            .zip(&other.per_dim)
+            .map(|(a, b)| intersect_pieces(a, b))
+            .product()
+    }
+}
+
+/// Number of nonempty pieces in the intersection of two sorted, disjoint
+/// range lists.
+fn intersect_pieces(a: &[Range<usize>], b: &[Range<usize>]) -> usize {
+    let mut pieces = 0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].start.max(b[j].start);
+        let hi = a[i].end.min(b[j].end);
+        if lo < hi {
+            pieces += 1;
+        }
+        if a[i].end <= b[j].end {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    pieces
 }
 
 /// Total overlap length of two sorted, disjoint range lists.

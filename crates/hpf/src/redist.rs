@@ -188,9 +188,14 @@ pub fn plan(
             if s == r {
                 loads[r].bytes_copied += bytes;
             } else {
-                loads[s].msgs_sent += 1;
+                // Message startups scale with the contiguous pieces of
+                // the transfer: a BLOCK↔BLOCK overlap is one message,
+                // while interleaved (CYCLIC) ownership shatters the same
+                // bytes into strided pieces, each paying its own `L`.
+                let msgs = src_regions[s].intersection_fragments(&dst_regions[r]);
+                loads[s].msgs_sent += msgs;
                 loads[s].bytes_sent += bytes;
-                loads[r].msgs_recv += 1;
+                loads[r].msgs_recv += msgs;
                 loads[r].bytes_recv += bytes;
                 transfers.push(Transfer {
                     from: s,

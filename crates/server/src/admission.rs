@@ -18,7 +18,7 @@
 
 use crate::cache::NumericsKey;
 use airshed_core::config::SimConfig;
-use airshed_core::{PerfModel, WorkProfile};
+use airshed_core::{LayoutChoice, PerfModel, WorkProfile};
 use airshed_machine::MachineProfile;
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -76,9 +76,30 @@ impl AdmissionController {
         let machine = self
             .recalibrated(config.machine.name)
             .unwrap_or(config.machine);
-        let prediction = model.predict(&machine, config.p);
-        let scale = config.hours as f64 / model.hours.max(1) as f64;
-        Some(prediction.total * scale)
+        Some(model.scenario_seconds(&machine, config.p, config.hours))
+    }
+
+    /// Run the model-level plan search for `config`'s family: the
+    /// cheapest per-phase layouts on the (recalibrated, latest-wins)
+    /// machine, cost-annotated against the default plan. `None` until
+    /// the family is calibrated. Called at execute time rather than
+    /// memoized, so every queued job is automatically re-planned with
+    /// whatever the oracle has learned by the time it runs.
+    pub fn plan_for(&self, config: &SimConfig) -> Option<LayoutChoice> {
+        let family = NumericsKey::of(config).family();
+        let models = self.models.lock().unwrap();
+        let model = models.get(&family)?;
+        let machine = self
+            .recalibrated(config.machine.name)
+            .unwrap_or(config.machine);
+        Some(model.choose_layout(&machine, config.p))
+    }
+
+    /// [`AdmissionController::predict_seconds`] repriced with the
+    /// optimizer's chosen plan instead of the default.
+    pub fn predict_seconds_optimized(&self, config: &SimConfig) -> Option<f64> {
+        self.plan_for(config)
+            .map(|choice| choice.hour_cost * config.hours as f64)
     }
 
     /// Install an oracle-recalibrated machine profile. Subsequent
@@ -98,14 +119,28 @@ impl AdmissionController {
         self.machines.lock().unwrap().len()
     }
 
-    /// Decide whether to admit `config`.
+    /// Decide whether to admit `config` under the default plan.
     pub fn decide(&self, config: &SimConfig) -> AdmissionDecision {
+        self.decide_opt(config, false)
+    }
+
+    /// Decide whether to admit `config`; `optimize` prices against the
+    /// plan the optimizer would run instead of the paper default, so a
+    /// scenario that only fits the budget when re-planned is admitted.
+    pub fn decide_opt(&self, config: &SimConfig, optimize: bool) -> AdmissionDecision {
+        let predict = || {
+            if optimize {
+                self.predict_seconds_optimized(config)
+            } else {
+                self.predict_seconds(config)
+            }
+        };
         let Some(budget) = self.budget_seconds else {
             return AdmissionDecision::Admit {
-                predicted_seconds: self.predict_seconds(config),
+                predicted_seconds: predict(),
             };
         };
-        match self.predict_seconds(config) {
+        match predict() {
             None => AdmissionDecision::Admit {
                 predicted_seconds: None,
             },
@@ -237,5 +272,62 @@ mod tests {
         let mut other = config.clone();
         other.machine = MachineProfile::paragon();
         assert!(ctl.recalibrated(other.machine.name).is_none());
+    }
+
+    #[test]
+    fn planted_drift_changes_the_chosen_layout() {
+        use airshed_core::driver::ChemLayout;
+        use airshed_core::profile::{HourProfile, StepProfile};
+
+        // A family whose chemistry load piles onto the first block of
+        // columns: under the nominal machine the optimizer must pick
+        // CYCLIC to spread it.
+        let mut chemistry = vec![1.0e8; 16];
+        for w in chemistry.iter_mut().take(4) {
+            *w = 9.0e8;
+        }
+        let planted = airshed_core::WorkProfile {
+            dataset: "TEST",
+            shape: [1, 1, 16],
+            hours: vec![HourProfile {
+                input_work: 1.0,
+                pretrans_work: 1.0,
+                output_work: 1.0,
+                input_bytes: 8,
+                steps: vec![StepProfile {
+                    transport1: vec![1.0],
+                    transport2: vec![1.0],
+                    chemistry,
+                    aerosol: 0.0,
+                }],
+                surface: vec![],
+            }],
+            summaries: vec![],
+        };
+        let mut config = SimConfig::test_tiny(4, 1);
+        config.machine = MachineProfile::t3e();
+        let ctl = AdmissionController::new(None);
+        assert!(ctl.plan_for(&config).is_none(), "uncalibrated family");
+        ctl.calibrate(&config, &planted);
+
+        let before = ctl.plan_for(&config).unwrap();
+        assert_eq!(before.layouts.chemistry, ChemLayout::Cyclic);
+        assert!(before.hour_cost < before.default_hour_cost);
+
+        // The oracle observes a drifted interconnect whose per-message
+        // latency exploded: CYCLIC's extra messages now cost more than
+        // its balance wins, so re-planning the same family flips the
+        // choice back to the default BLOCK plan.
+        let drifted = MachineProfile {
+            latency: config.machine.latency * 1.0e6,
+            ..config.machine
+        };
+        ctl.apply_recalibration(drifted);
+        let after = ctl.plan_for(&config).unwrap();
+        assert_eq!(after.layouts.chemistry, ChemLayout::Block);
+        // And the optimized admission price tracks the re-plan.
+        let optimized = ctl.predict_seconds_optimized(&config).unwrap();
+        let default = ctl.predict_seconds(&config).unwrap();
+        assert!(optimized <= default * 1.5, "{optimized} vs {default}");
     }
 }

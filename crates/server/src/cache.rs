@@ -12,7 +12,7 @@
 
 use airshed_chem::youngboris::{AsymptoticForm, YbOptions};
 use airshed_core::config::{DatasetChoice, SimConfig, Weather};
-use airshed_core::driver::ChemLayout;
+use airshed_core::driver::{ChemLayout, PlanLayouts};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -101,22 +101,31 @@ impl NumericsKey {
     }
 }
 
-/// Full scenario identity: numerics plus the virtual machine placement.
+/// Full scenario identity: numerics plus the virtual machine placement,
+/// including the per-phase layouts the plan was executed with (two
+/// placements of the same numerics charge different virtual cost under
+/// different layouts, so they must not share a cached report).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ResultKey {
     pub numerics: NumericsKey,
     pub machine: &'static str,
     pub p: usize,
-    pub cyclic_chem: bool,
+    pub layouts: PlanLayouts,
 }
 
 impl ResultKey {
     pub fn of(config: &SimConfig, layout: ChemLayout) -> ResultKey {
+        ResultKey::of_layouts(config, PlanLayouts::chem(layout))
+    }
+
+    /// Key for a run under an explicit (possibly optimizer-chosen)
+    /// per-phase layout pair.
+    pub fn of_layouts(config: &SimConfig, layouts: PlanLayouts) -> ResultKey {
         ResultKey {
             numerics: NumericsKey::of(config),
             machine: config.machine.name,
             p: config.p,
-            cyclic_chem: layout == ChemLayout::Cyclic,
+            layouts,
         }
     }
 }
@@ -281,6 +290,16 @@ mod tests {
         assert_eq!(
             ResultKey::of(&a, ChemLayout::Block),
             ResultKey::of(&a, ChemLayout::Block)
+        );
+        // Optimizer-chosen layout pairs are first-class key material.
+        let opt = ResultKey::of_layouts(
+            &a,
+            PlanLayouts::new(ChemLayout::Cyclic, ChemLayout::BlockCyclic(4)),
+        );
+        assert_ne!(opt, ResultKey::of(&a, ChemLayout::Block));
+        assert_eq!(
+            ResultKey::of(&a, ChemLayout::Cyclic).layouts.chemistry,
+            ChemLayout::Cyclic
         );
     }
 }

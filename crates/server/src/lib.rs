@@ -75,7 +75,16 @@ pub struct ResumePoint {
 pub struct ScenarioRequest {
     pub config: SimConfig,
     /// Chemistry column layout for the replay (does not affect science).
+    /// Ignored when [`ScenarioRequest::optimize`] is set and the family
+    /// is calibrated — the planner chooses the layouts instead.
     pub layout: ChemLayout,
+    /// Let the plan optimizer pick the per-phase layouts at execute
+    /// time, priced on whatever machine parameters the oracle has
+    /// learned by then (queued jobs are thereby re-planned after each
+    /// recalibration). First-of-family jobs fall back to
+    /// [`ScenarioRequest::layout`]: there is no model to plan with
+    /// until their own run calibrates it.
+    pub optimize: bool,
     /// Wall-clock budget for the job once it starts running; checked at
     /// hour boundaries. `None` falls back to the server default.
     pub deadline: Option<Duration>,
@@ -88,6 +97,7 @@ impl ScenarioRequest {
         ScenarioRequest {
             config,
             layout: ChemLayout::Block,
+            optimize: false,
             deadline: None,
             resume: None,
         }
@@ -95,6 +105,12 @@ impl ScenarioRequest {
 
     pub fn with_deadline(mut self, deadline: Duration) -> ScenarioRequest {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Ask the server to run this scenario under the optimizer's plan.
+    pub fn optimized(mut self) -> ScenarioRequest {
+        self.optimize = true;
         self
     }
 
@@ -376,7 +392,10 @@ impl ScenarioServer {
             if let AdmissionDecision::Reject {
                 predicted_seconds,
                 budget_seconds,
-            } = self.shared.admission.decide(&request.config)
+            } = self
+                .shared
+                .admission
+                .decide_opt(&request.config, request.optimize)
             {
                 metrics.rejected_admission.inc();
                 return SubmitOutcome::Rejected {
@@ -563,6 +582,32 @@ mod tests {
         assert_eq!(m.profile_cache_hits, 1);
         assert_eq!(m.profile_cache_misses, 1);
         assert!(m.reconciles());
+    }
+
+    #[test]
+    fn optimized_requests_are_replanned_and_annotated() {
+        let server = small_server(1);
+        // Calibrate the family with a default run.
+        let base = server
+            .submit(tiny_request(4, 1))
+            .into_handle()
+            .unwrap()
+            .wait()
+            .unwrap();
+        // Optimized request on a fresh placement: the worker plans at
+        // execute time and annotates the report with its choice.
+        let opt = server
+            .submit(tiny_request(16, 1).optimized())
+            .into_handle()
+            .unwrap()
+            .wait()
+            .unwrap();
+        let layouts = opt.plan_layouts.as_deref().expect("planned run");
+        assert!(layouts.contains("transport="), "{layouts}");
+        assert!(opt.plan_delta_seconds.unwrap() >= 0.0);
+        // Optimized plans never change the science.
+        assert_eq!(opt.peak_o3(), base.peak_o3());
+        server.shutdown();
     }
 
     #[test]

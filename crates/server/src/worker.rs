@@ -21,8 +21,9 @@ use crate::cache::{NumericsKey, ResultKey};
 use crate::{JobCell, JobError, JobResult, ResumePoint, ScenarioRequest, Shared};
 use airshed_core::config::SimConfig;
 use airshed_core::driver::run_resumable_obs;
+use airshed_core::driver::PlanLayouts;
 use airshed_core::obs::Track;
-use airshed_core::plan::replay_profile;
+use airshed_core::plan::replay_profile_with;
 use airshed_core::profile::HourProfile;
 use airshed_core::state::HourSummary;
 use airshed_core::ExecSpec;
@@ -113,12 +114,29 @@ fn execute(shared: &Shared, job: &QueuedJob, deadline_at: Option<Instant>, obs: 
     let request = &job.request;
     let config = &request.config;
     let numerics_key = NumericsKey::of(config);
-    let result_key = ResultKey::of(config, request.layout);
+    // Resolve the plan now, not at submit time: an optimized job queued
+    // before an oracle recalibration is re-planned with the machine
+    // parameters in force when it actually runs (latest wins, per
+    // machine family). First-of-family jobs have no model yet and run
+    // the requested layout.
+    let plan = if request.optimize {
+        shared.admission.plan_for(config)
+    } else {
+        None
+    };
+    let layouts = plan
+        .map(|c| c.layouts)
+        .unwrap_or(PlanLayouts::chem(request.layout));
+    let result_key = ResultKey::of_layouts(config, layouts);
     let metrics = &shared.metrics;
 
     // Predict the cost before doing any work, while the model state is
     // what admission saw (None for a first-of-its-family scenario).
-    let predicted_before = shared.admission.predict_seconds(config);
+    let predicted_before = if request.optimize {
+        shared.admission.predict_seconds_optimized(config)
+    } else {
+        shared.admission.predict_seconds(config)
+    };
 
     if let Some(report) = shared.results.get(&result_key) {
         metrics.result_cache_hits.inc();
@@ -162,8 +180,12 @@ fn execute(shared: &Shared, job: &QueuedJob, deadline_at: Option<Instant>, obs: 
     // profile and a fresh run price identically.
     let predicted = predicted_before.or_else(|| shared.admission.predict_seconds(config));
     let _replay_span = obs.span("replay");
-    let mut report = replay_profile(&profile, config.machine, config.p, request.layout);
+    let mut report = replay_profile_with(&profile, config.machine, config.p, layouts);
     report.predicted_seconds = predicted;
+    if let Some(choice) = plan {
+        report.plan_layouts = Some(choice.layouts.to_string());
+        report.plan_delta_seconds = Some(choice.hour_saving() * config.hours as f64);
+    }
     let report = Arc::new(report);
     shared.results.insert(result_key, Arc::clone(&report));
     Ok(report)
@@ -335,6 +357,7 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
 mod tests {
     use super::*;
     use airshed_core::driver::{replay, run_with_profile};
+    use airshed_core::plan::replay_profile;
 
     fn config(hours: usize) -> SimConfig {
         let mut c = SimConfig::test_tiny(4, hours);

@@ -82,6 +82,15 @@ cargo run --release --bin airshed -- validate \
 python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$trace_dir/validate.json"
 echo "validate OK: tables printed, JSON parses"
 
+echo "==> plan optimizer smoke (both grids, predicted <= default)"
+# cmd_plan asserts chosen <= default internally and prints "plan OK"
+# only after that check; grep makes a silent regression fail the gate.
+cargo run --release --bin airshed -- plan --optimize \
+    --grid la --nodes 16 --hours 1 | grep "plan OK"
+cargo run --release --bin airshed -- plan --optimize \
+    --grid ne --nodes 16 --hours 1 | grep "plan OK"
+echo "plan OK: optimizer never predicts worse than the default on either grid"
+
 echo "==> cargo doc --workspace --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

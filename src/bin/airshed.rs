@@ -12,11 +12,15 @@
 //! configuration, from one binary — the "downstream user" entry point.
 
 use airshed::core::config::{DatasetChoice, SimConfig, Weather};
-use airshed::core::driver::{replay_with_layout, run_with_profile_obs, ChemLayout};
+use airshed::core::driver::{replay_with_layout, run_with_profile_obs, ChemLayout, PlanLayouts};
 use airshed::core::obs::oracle::{validate_profile, Oracle};
 use airshed::core::obs::{Collector, Obs, SpanSink};
+use airshed::core::plan::optimize::plan_cost;
+use airshed::core::plan::{optimize_plan, replay_profile_with};
 use airshed::core::predict::PerfModel;
-use airshed::core::taskpar::{optimize_split, replay_taskparallel_obs};
+use airshed::core::taskpar::{
+    optimize_split, replay_taskparallel_obs, replay_taskparallel_obs_with,
+};
 use airshed::core::viz;
 use airshed::core::{BackendKind, ExecSpec};
 use airshed::fabric::{
@@ -41,6 +45,7 @@ struct Options {
     weather: Weather,
     cyclic: bool,
     taskpar: bool,
+    optimize: bool,
     map: bool,
     backend: Option<BackendKind>,
     threads: Option<usize>,
@@ -84,6 +89,7 @@ impl Default for Options {
             weather: Weather::Ventilated,
             cyclic: false,
             taskpar: false,
+            optimize: false,
             map: true,
             backend: None,
             threads: None,
@@ -124,6 +130,9 @@ COMMANDS:
     run         simulate and report phase timings + surface ozone map
     sweep       replay one run across machines and node counts (Figure 2 style)
     predict     calibrate the analytic model and extrapolate (Figure 6/7 style)
+    plan        show the plan the optimizer would run; with --optimize,
+                search per-phase layouts and pipeline splits for the
+                cheapest predicted plan and verify it against a replay
     popexp      integrated Airshed + population exposure (Figure 13 style)
     validate    run the performance oracle: predicted-vs-measured tables
                 over a node sweep plus L/G/H recalibration (Figure 5-7 style)
@@ -146,6 +155,9 @@ OPTIONS:
     --stagnation  simulate a stagnant high-pressure smog episode
     --cyclic  use CYCLIC chemistry distribution
     --taskpar use the pipelined task-parallel driver
+    --optimize    plan: search the layout/pipeline plan space;
+                  serve-batch: re-plan every job from the admission
+                  model (re-priced after each oracle recalibration)
     --no-map  skip the ASCII ozone map
     --backend serial | rayon               (default rayon)
     --threads N  host threads for the rayon backend (default: all cores)
@@ -194,6 +206,7 @@ EXAMPLES:
     airshed fabric --shards 2 --jobs 16 --kill-shard 1 --kill-after-hours 4
     airshed sweep --dataset la --nodes 4,8,16,32,64,128
     airshed validate --grid la --nodes 4,16,64
+    airshed plan --optimize --grid la --nodes 16 --hours 2
     airshed run --dataset tiny:120 --emis 0.5 --hours 6   # policy scenario
     airshed serve-batch --dataset tiny:60 --workers 4 --clients 8 --budget 2e4"
     );
@@ -263,6 +276,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--cyclic" => o.cyclic = true,
             "--taskpar" => o.taskpar = true,
+            "--optimize" => o.optimize = true,
             "--no-map" => o.map = false,
             "--workers" => {
                 o.workers = val("--workers")?.parse().map_err(|e| format!("{e}"))?;
@@ -492,6 +506,110 @@ fn cmd_predict(o: &Options, obs: &Obs) {
     }
 }
 
+fn cmd_plan(o: &Options, obs: &Obs) {
+    let p = o.nodes[0];
+    let exec = exec(o);
+    eprintln!(
+        "planning {} for {} hours on {} x{} nodes (host backend {})...",
+        o.dataset.name(),
+        o.hours,
+        o.machine.name,
+        p,
+        exec.describe()
+    );
+    // One numerics run captures the work profile the planner folds over;
+    // every plan below is a replay of the same (bit-identical) physics.
+    let (_, profile) = run_with_profile_obs(&config(o, p), exec, obs);
+    let default_layouts = PlanLayouts::default();
+    let default_predicted = plan_cost(&profile, &o.machine, p, default_layouts);
+    let default_measured = replay_profile_with(&profile, o.machine, p, default_layouts);
+    println!(
+        "{:<8} {:>38} {:>14} {:>13}",
+        "plan", "layouts", "predicted (s)", "measured (s)"
+    );
+    println!(
+        "{:<8} {:>38} {:>14.1} {:>13.1}",
+        "default",
+        default_layouts.to_string(),
+        default_predicted,
+        default_measured.total_seconds
+    );
+    if !o.optimize {
+        println!("(pass --optimize to search the layout and pipeline plan space)");
+        return;
+    }
+    let choice = optimize_plan(&profile, &o.machine, p);
+    let (chosen_measured, chosen_desc) = match choice.split {
+        Some((p_in, p_out)) => {
+            let tp = replay_taskparallel_obs_with(
+                &profile,
+                o.machine,
+                p,
+                p_in,
+                p_out,
+                choice.layouts,
+                obs,
+            );
+            (
+                tp.total_seconds,
+                format!(
+                    "{} pipeline {p_in}/{}/{p_out}",
+                    choice.layouts,
+                    p - p_in - p_out
+                ),
+            )
+        }
+        None => {
+            let r = replay_profile_with(&profile, o.machine, p, choice.layouts);
+            (r.total_seconds, choice.layouts.to_string())
+        }
+    };
+    println!(
+        "{:<8} {:>38} {:>14.1} {:>13.1}",
+        "chosen", chosen_desc, choice.predicted_seconds, chosen_measured
+    );
+    println!(
+        "predicted saving {:.1}s ({:.1}%), measured saving {:.1}s",
+        choice.saving_seconds(),
+        100.0 * choice.saving_seconds() / default_predicted.max(1e-12),
+        default_measured.total_seconds - chosen_measured
+    );
+    // Record the decision on the trace/metrics exports: counter samples
+    // for the deltas, a text section naming the chosen layouts.
+    obs.record_counter("default", "plan predicted", 0.0, default_predicted, None);
+    obs.record_counter(
+        "chosen",
+        "plan predicted",
+        0.0,
+        choice.predicted_seconds,
+        None,
+    );
+    obs.record_counter(
+        "saving",
+        "plan predicted",
+        0.0,
+        choice.saving_seconds(),
+        None,
+    );
+    obs.publish(
+        "plan",
+        format!(
+            "# chosen plan: {chosen_desc}\n# predicted {:.3}s vs default {:.3}s\n",
+            choice.predicted_seconds, default_predicted
+        ),
+    );
+    // The optimizer's contract: the default is always a candidate, so the
+    // chosen plan can never predict worse.
+    assert!(
+        choice.predicted_seconds <= default_predicted,
+        "optimizer regressed past the default plan"
+    );
+    println!(
+        "plan OK: predicted {:.1}s <= default {:.1}s",
+        choice.predicted_seconds, default_predicted
+    );
+}
+
 fn cmd_validate(o: &Options, obs: &Obs) -> Result<(), String> {
     // An explicit multi-count list is swept as given; a single count
     // (including the default) expands to the Figure 6/7 sweep.
@@ -664,6 +782,7 @@ fn cmd_serve_batch(o: &Options, obs: &Obs) -> Result<(), String> {
     match server.submit(ScenarioRequest {
         config: first.config.clone(),
         layout: first.layout,
+        optimize: o.optimize,
         deadline: None,
         resume: None,
     }) {
@@ -691,6 +810,7 @@ fn cmd_serve_batch(o: &Options, obs: &Obs) -> Result<(), String> {
                     let request = ScenarioRequest {
                         config: scenario.config.clone(),
                         layout: scenario.layout,
+                        optimize: o.optimize,
                         deadline: None,
                         resume: None,
                     };
@@ -1016,6 +1136,7 @@ fn main() -> ExitCode {
         "gridinfo" => cmd_gridinfo(&opts, &obs),
         "sweep" => cmd_sweep(&opts, &obs),
         "predict" => cmd_predict(&opts, &obs),
+        "plan" => cmd_plan(&opts, &obs),
         "validate" => {
             if let Err(e) = cmd_validate(&opts, &obs) {
                 eprintln!("error: {e}");
@@ -1094,6 +1215,13 @@ mod tests {
         assert_eq!(o.start_hour, 5);
         assert_eq!(o.emission_scale, 0.5);
         assert!(o.cyclic && o.taskpar && !o.map);
+        assert!(!o.optimize);
+    }
+
+    #[test]
+    fn parse_optimize_flag() {
+        assert!(!parse(&[]).unwrap().optimize);
+        assert!(parse(&args("--optimize")).unwrap().optimize);
     }
 
     #[test]

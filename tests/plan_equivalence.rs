@@ -278,6 +278,47 @@ fn taskparallel_stages_are_bit_identical_to_legacy() {
 }
 
 #[test]
+fn optimized_plans_are_bit_identical_and_never_lose_to_default() {
+    // The optimizer golden suite: across LA/NE × {Paragon, T3D, T3E} ×
+    // P ∈ {4, 16, 64}, the chosen plan (a) predicts no worse than the
+    // default, (b) charges *exactly* its predicted cost when replayed
+    // (the cost fold is the virtual machine, bit for bit), and (c)
+    // changes nothing about the science — the replayed reports differ
+    // only in time accounting, never in the carried concentrations.
+    use airshed::core::driver::PlanLayouts;
+    use airshed::core::plan::{optimize_plan, replay_profile_with};
+
+    for profile in &paper_profiles() {
+        for mp in MachineProfile::paper_machines() {
+            for p in SWEEP_P {
+                let choice = optimize_plan(profile, &mp, p);
+                let tag = format!("{} {} p={p}", profile.dataset, mp.name);
+                assert!(
+                    choice.predicted_seconds <= choice.default_seconds,
+                    "{tag}: {choice:?}"
+                );
+                let default = replay_profile_with(profile, mp, p, PlanLayouts::default());
+                assert_eq!(choice.default_seconds, default.total_seconds, "{tag}");
+                // The pipelined lowering (when adopted) is checked by the
+                // taskpar golden test; the data-parallel fold must be exact.
+                if choice.split.is_none() {
+                    let chosen = replay_profile_with(profile, mp, p, choice.layouts);
+                    assert_eq!(choice.predicted_seconds, chosen.total_seconds, "{tag}");
+                    // Identical science: both replays carry the profile's
+                    // hour summaries untouched.
+                    assert_eq!(chosen.summaries.len(), default.summaries.len(), "{tag}");
+                    assert_eq!(
+                        chosen.peak_o3().to_bits(),
+                        default.peak_o3().to_bits(),
+                        "{tag}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn graph_edges_conserve_bytes_for_lcg_shapes_and_layouts() {
     // Deterministic sweep over irregular shapes, node counts and both
     // chemistry layouts: every comm edge of every graph must conserve
