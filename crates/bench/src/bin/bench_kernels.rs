@@ -1,12 +1,16 @@
 //! Kernel and backend wall-clock medians, written to `BENCH_kernels.json`
 //! (override the path with the first CLI argument).
 //!
-//! Four measurements, each reported as the median over repeated runs:
+//! The measurements, each reported as the median over repeated runs:
 //!
-//! 1. **LA hour, serial vs rayon(4)** — one full Los Angeles hour end to
-//!    end on both backends; the headline scaling number. Meaningful
-//!    speedup needs real cores: on a single-core host the rayon row
-//!    only measures pool dispatch overhead.
+//! 1. **LA hour, serial vs rayon(4) vs simd(4)** — one full Los Angeles
+//!    hour end to end on every backend; the headline scaling numbers.
+//!    Meaningful rayon speedup needs real cores: on a single-core host
+//!    the rayon row only measures pool dispatch overhead, while the simd
+//!    row still measures a real win (lane-level parallelism needs no
+//!    extra cores). The report records the machine's physical processor
+//!    count and detected vector features so a reader can tell which
+//!    regime a result came from.
 //! 2. **Transport workspace hoisting** — `half_step` on one LA layer
 //!    with a reused [`TransportWorkspace`] vs a freshly allocated one
 //!    per call (the pre-hoisting behaviour); a single-thread win that
@@ -201,17 +205,29 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_kernels.json".to_string());
     let host_threads = airshed_hpf::host::available_threads();
+    let physical_threads = airshed_hpf::host::physical_threads();
+    let features = airshed_simd::cpu_features();
 
-    eprintln!("measuring LA hour (serial, rayon(4))...");
+    eprintln!("measuring LA hour (serial, rayon(4), simd(4))...");
     let serial_s = la_hour(ExecSpec::serial());
     let rayon4_s = la_hour(ExecSpec::rayon(4));
+    let simd4_s = la_hour(ExecSpec::simd(4));
 
     eprintln!("measuring workspace hoisting...");
     let (tr_reused_s, tr_fresh_s) = transport_hoisting();
     let (yb_reused_s, yb_fresh_s) = yb_hoisting();
 
-    eprintln!("measuring per-phase span medians...");
+    eprintln!("measuring per-phase span medians (serial, rayon(4), simd(4))...");
+    let phases_serial = phase_medians(ExecSpec::serial());
     let phases = phase_medians(ExecSpec::rayon(4));
+    let phases_simd = phase_medians(ExecSpec::simd(4));
+    let chem_of = |set: &[(&'static str, f64)]| {
+        set.iter()
+            .find(|(n, _)| *n == "chemistry")
+            .map(|&(_, us)| us)
+            .unwrap_or(f64::NAN)
+    };
+    let simd_chem_speedup = chem_of(&phases_serial) / chem_of(&phases_simd);
 
     eprintln!("measuring plan optimizer (LA hour, T3E, P=16)...");
     let (plan_default_s, plan_opt_s, plan_search_s) = plan_optimize(ExecSpec::rayon(4));
@@ -230,6 +246,11 @@ fn main() {
         "la_hour/rayon4".to_string(),
         format!("{rayon4_s:.2} s"),
         format!("{:.2}x vs serial", serial_s / rayon4_s),
+    ]);
+    table.row(vec![
+        "la_hour/simd4".to_string(),
+        format!("{simd4_s:.2} s"),
+        format!("{:.2}x vs serial", serial_s / simd4_s),
     ]);
     table.row(vec![
         "transport_half_step/reused_ws".to_string(),
@@ -255,9 +276,21 @@ fn main() {
         table.row(vec![
             format!("la_hour/phase/{name}"),
             format!("{:.2} ms", us * 1e-3),
-            "span-derived".to_string(),
+            "span-derived, rayon(4)".to_string(),
         ]);
     }
+    for (name, us) in &phases_simd {
+        table.row(vec![
+            format!("la_hour/phase_simd/{name}"),
+            format!("{:.2} ms", us * 1e-3),
+            "span-derived, simd(4)".to_string(),
+        ]);
+    }
+    table.row(vec![
+        "chemistry/simd_vs_serial".to_string(),
+        format!("{simd_chem_speedup:.2}x"),
+        format!("features: {}", features.join("+")),
+    ]);
     table.row(vec![
         "plan/default_hour".to_string(),
         format!("{plan_default_s:.1} s"),
@@ -288,15 +321,27 @@ fn main() {
     ]);
     table.print("Kernel and backend medians", "bench_kernels");
 
-    // The serde shim is a no-op, so the JSON is formatted by hand.
-    let phase_json = phases
+    // The serde shim is a no-op, so the JSON is formatted by hand. The
+    // check gate's parser only accepts numeric leaves, so the detected
+    // CPU features are emitted as 0/1 flags over the fixed probe list.
+    let phase_obj = |set: &[(&'static str, f64)]| {
+        set.iter()
+            .map(|(name, us)| format!("    \"{name}\": {us:.2}"))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let phase_json = phase_obj(&phases);
+    let phase_serial_json = phase_obj(&phases_serial);
+    let phase_simd_json = phase_obj(&phases_simd);
+    let feat_json = ["sse2", "avx", "avx2", "fma", "avx512f"]
         .iter()
-        .map(|(name, us)| format!("    \"{name}\": {us:.2}"))
+        .map(|f| format!("    \"{f}\": {}", u8::from(features.contains(f))))
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
-        "{{\n  \"host_threads\": {host_threads},\n  \"la_hour\": {{\n    \"serial_s\": {serial_s:.4},\n    \"rayon4_s\": {rayon4_s:.4},\n    \"speedup_rayon4\": {:.4}\n  }},\n  \"la_hour_phase_median_us\": {{\n{phase_json}\n  }},\n  \"workspace_hoisting\": {{\n    \"transport_half_step_reused_s\": {tr_reused_s:.6},\n    \"transport_half_step_fresh_s\": {tr_fresh_s:.6},\n    \"transport_speedup\": {:.4},\n    \"yb_cell_reused_s\": {yb_reused_s:.9},\n    \"yb_cell_fresh_s\": {yb_fresh_s:.9},\n    \"yb_speedup\": {:.4}\n  }},\n  \"plan_optimize\": {{\n    \"nodes\": 16,\n    \"default_hour_virtual_s\": {plan_default_s:.4},\n    \"optimized_hour_virtual_s\": {plan_opt_s:.4},\n    \"saving_frac\": {:.4},\n    \"search_wall_s\": {plan_search_s:.6}\n  }},\n  \"server_throughput\": {{\n    \"jobs\": 8,\n    \"workers1_jobs_per_s\": {rate1:.4},\n    \"workers4_jobs_per_s\": {rate4:.4},\n    \"scaling_4v1\": {:.4}\n  }}\n}}\n",
+        "{{\n  \"host_threads\": {host_threads},\n  \"host_physical_threads\": {physical_threads},\n  \"cpu_features\": {{\n{feat_json}\n  }},\n  \"la_hour\": {{\n    \"serial_s\": {serial_s:.4},\n    \"rayon4_s\": {rayon4_s:.4},\n    \"simd4_s\": {simd4_s:.4},\n    \"speedup_rayon4\": {:.4},\n    \"speedup_simd4\": {:.4}\n  }},\n  \"la_hour_phase_median_us\": {{\n{phase_json}\n  }},\n  \"la_hour_phase_median_us_serial\": {{\n{phase_serial_json}\n  }},\n  \"la_hour_phase_median_us_simd\": {{\n{phase_simd_json}\n  }},\n  \"simd\": {{\n    \"chemistry_speedup_vs_serial\": {simd_chem_speedup:.4}\n  }},\n  \"workspace_hoisting\": {{\n    \"transport_half_step_reused_s\": {tr_reused_s:.6},\n    \"transport_half_step_fresh_s\": {tr_fresh_s:.6},\n    \"transport_speedup\": {:.4},\n    \"yb_cell_reused_s\": {yb_reused_s:.9},\n    \"yb_cell_fresh_s\": {yb_fresh_s:.9},\n    \"yb_speedup\": {:.4}\n  }},\n  \"plan_optimize\": {{\n    \"nodes\": 16,\n    \"default_hour_virtual_s\": {plan_default_s:.4},\n    \"optimized_hour_virtual_s\": {plan_opt_s:.4},\n    \"saving_frac\": {:.4},\n    \"search_wall_s\": {plan_search_s:.6}\n  }},\n  \"server_throughput\": {{\n    \"jobs\": 8,\n    \"workers1_jobs_per_s\": {rate1:.4},\n    \"workers4_jobs_per_s\": {rate4:.4},\n    \"scaling_4v1\": {:.4}\n  }}\n}}\n",
         serial_s / rayon4_s,
+        serial_s / simd4_s,
         tr_fresh_s / tr_reused_s,
         yb_fresh_s / yb_reused_s,
         (plan_default_s - plan_opt_s) / plan_default_s,

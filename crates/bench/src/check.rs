@@ -169,13 +169,15 @@ pub struct Gate {
 /// numbers (proportional noise dominates), looser with an absolute
 /// floor for the microsecond-scale span medians.
 pub fn gate_for(key: &str) -> Option<Gate> {
-    if key == "la_hour.serial_s" || key == "la_hour.rayon4_s" {
+    if key == "la_hour.serial_s" || key == "la_hour.rayon4_s" || key == "la_hour.simd4_s" {
         return Some(Gate {
             rel_limit: 1.35,
             abs_slack: 0.5,
         });
     }
-    if key.starts_with("la_hour_phase_median_us.") {
+    // All three per-backend phase-median groups share the span gate:
+    // la_hour_phase_median_us (rayon), ..._serial and ..._simd.
+    if key.starts_with("la_hour_phase_median_us") {
         return Some(Gate {
             rel_limit: 1.6,
             abs_slack: 1000.0,
@@ -326,8 +328,10 @@ mod tests {
 
     const DOC: &str = r#"{
   "host_threads": 1,
-  "la_hour": { "serial_s": 6.0, "rayon4_s": 6.1, "speedup_rayon4": 0.98 },
+  "cpu_features": { "avx2": 1, "fma": 1 },
+  "la_hour": { "serial_s": 6.0, "rayon4_s": 6.1, "simd4_s": 3.1, "speedup_rayon4": 0.98 },
   "la_hour_phase_median_us": { "chemistry": 1000000.0, "transport": 42000.0, "aerosol": 207.4 },
+  "la_hour_phase_median_us_simd": { "chemistry": 400000.0, "transport": 30000.0 },
   "workspace_hoisting": { "yb_cell_reused_s": 0.00033, "yb_speedup": 1.03 }
 }"#;
 
@@ -338,7 +342,9 @@ mod tests {
         assert_eq!(m["la_hour.serial_s"], 6.0);
         assert_eq!(m["la_hour_phase_median_us.chemistry"], 1_000_000.0);
         assert_eq!(m["workspace_hoisting.yb_speedup"], 1.03);
-        assert_eq!(m.len(), 9);
+        assert_eq!(m["cpu_features.fma"], 1.0);
+        assert_eq!(m["la_hour_phase_median_us_simd.chemistry"], 400_000.0);
+        assert_eq!(m.len(), 14);
         // Real bench output round-trips too.
         assert!(flatten_bench_json("{\n}\n").unwrap().is_empty());
         assert!(flatten_bench_json("{ \"a\": [1] }").is_err());
@@ -368,6 +374,20 @@ mod tests {
         );
         let text = report.to_string();
         assert!(text.contains("REGRESSION"));
+    }
+
+    #[test]
+    fn simd_keys_are_gated_too() {
+        let base = flatten_bench_json(DOC).unwrap();
+        let mut cur = base.clone();
+        inject(&mut cur, "la_hour.simd4_s=2.0").unwrap();
+        inject(&mut cur, "la_hour_phase_median_us_simd.chemistry=2.0").unwrap();
+        let report = compare(&base, &cur);
+        assert_eq!(report.regressions.len(), 2);
+        // CPU feature flags are facts, not timings — never gated.
+        let mut cur = base.clone();
+        inject(&mut cur, "cpu_features.fma=0.0").unwrap();
+        assert!(compare(&base, &cur).ok());
     }
 
     #[test]

@@ -30,6 +30,7 @@
 pub mod aerosol;
 pub mod audit;
 pub mod mechanism;
+pub mod simd;
 pub mod species;
 pub mod vertical;
 pub mod youngboris;

@@ -26,6 +26,11 @@ pub enum RateLaw {
 impl RateLaw {
     /// Evaluate the rate constant at temperature `t` (K) and actinic
     /// factor `sun`.
+    ///
+    /// Integer exponents take an exact fast path (`powf(x, 0) = 1` and
+    /// `powf(x, 1) = x` bit-for-bit per IEEE `pow`, and `powi` for the
+    /// other small integers), so hoisting or fast-pathing never changes
+    /// a rate constant's bits.
     #[inline]
     pub fn eval(&self, t: f64, sun: f64) -> f64 {
         match *self {
@@ -33,15 +38,39 @@ impl RateLaw {
                 a,
                 t_exp,
                 ea_over_r,
-            } => a * (t / 300.0).powf(t_exp) * (-ea_over_r / t).exp(),
+            } => {
+                let mut k = a;
+                if t_exp != 0.0 {
+                    k *= pow_fast(t / 300.0, t_exp);
+                }
+                if ea_over_r != 0.0 {
+                    k *= (-ea_over_r / t).exp();
+                }
+                k
+            }
             RateLaw::Photolysis { j_max, power } => {
                 if sun <= 0.0 {
                     0.0
                 } else {
-                    j_max * sun.powf(power)
+                    j_max * pow_fast(sun, power)
                 }
             }
         }
+    }
+}
+
+/// `powf` with exact fast paths for the integer exponents the mechanism
+/// actually uses: `x^1 = x` (IEEE `pow` identity) and `x^2 = x·x` (both
+/// a correctly rounded square). Other exponents fall through to `powf`,
+/// so the result is bit-identical to the unconditional `powf` form.
+#[inline]
+fn pow_fast(x: f64, e: f64) -> f64 {
+    if e == 1.0 {
+        x
+    } else if e == 2.0 {
+        x * x
+    } else {
+        x.powf(e)
     }
 }
 
@@ -736,6 +765,55 @@ mod tests {
 
     fn mech() -> Mechanism {
         Mechanism::carbon_bond()
+    }
+
+    #[test]
+    fn pow_fast_paths_are_bit_identical_to_powf() {
+        // Every exponent the mechanism uses, across the physical ranges
+        // (T/300 near 1, sun in [0,1]). The fast paths must not move a
+        // single bit, or hoisted rate constants would drift against the
+        // unhoisted history.
+        let exps = [0.5, 1.0, 1.2, 1.3, 2.0];
+        for i in 0..200 {
+            let x = 0.005 * i as f64;
+            for &e in &exps {
+                assert_eq!(
+                    pow_fast(x, e).to_bits(),
+                    x.powf(e).to_bits(),
+                    "pow_fast({x}, {e})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_fast_paths_match_reference_formula() {
+        let m = mech();
+        for (t, sun) in [(275.0, 0.0), (288.5, 0.3), (300.0, 1.0), (310.0, 0.85)] {
+            for r in &m.reactions {
+                let want = match r.rate_law {
+                    RateLaw::Arrhenius {
+                        a,
+                        t_exp,
+                        ea_over_r,
+                    } => a * (t / 300.0f64).powf(t_exp) * (-ea_over_r / t).exp(),
+                    RateLaw::Photolysis { j_max, power } => {
+                        if sun <= 0.0 {
+                            0.0
+                        } else {
+                            j_max * f64::powf(sun, power)
+                        }
+                    }
+                };
+                let got = r.rate_law.eval(t, sun);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{} at T={t} sun={sun}",
+                    r.label
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,553 @@
+//! 4-column lockstep chemistry kernels for the `--backend simd`
+//! executor.
+//!
+//! The scalar chemistry phase integrates one grid cell at a time. This
+//! module integrates **four columns of the same layer in lockstep**:
+//! the cells share temperature, actinic factor (and therefore rate
+//! constants) and the substep controller, so the whole Young–Boris
+//! predictor/corrector runs on [`F64x4`] vectors — one lane per column.
+//! The shared substep is governed by the *strictest* lane (`err` is the
+//! max over lanes), so every lane is integrated at least as accurately
+//! as its scalar counterpart, but the accept/reject history differs —
+//! which is why the simd chemistry contract is epsilon-bounded, not
+//! bit-identical (see DESIGN.md "SIMD backend").
+//!
+//! Two deliberate reassociations beyond the lockstep stepping:
+//!
+//! * [`prod_loss4`] precomputes `1 / max(c, FLOOR)` once per species
+//!   and multiplies, instead of dividing per consume entry (~35 divides
+//!   per evaluation instead of ~110);
+//! * fused multiply-adds ([`Madd`] with [`Fused`]) round once where the
+//!   scalar kernel rounds twice.
+//!
+//! The vertical solve ([`diffuse_column4`]) uses neither: its
+//! coefficients are lane-shared scalars and its lanewise arithmetic is
+//! exactly [`crate::vertical::diffuse_column`]'s, so each lane of the
+//! vertical solve is bit-identical to the scalar path.
+//!
+//! Dispatch: every public kernel checks [`fma_available`] once and runs
+//! a `#[target_feature(enable = "avx2,fma")]` instantiation ([`Fused`])
+//! or the portable one ([`Unfused`]).
+
+use crate::mechanism::Mechanism;
+use crate::vertical::ColumnGeometry;
+use crate::youngboris::{advance, asymptotic, YbOptions, YbStats};
+use airshed_simd::{fma_available, F64x4, Fused, Madd, Unfused};
+
+/// Scratch for the lockstep integrator — the [`F64x4`] mirror of
+/// `YbWorkspace`, plus the per-species reciprocal buffer.
+pub struct Yb4Workspace {
+    p0: Vec<F64x4>,
+    l0: Vec<F64x4>,
+    pp: Vec<F64x4>,
+    lp: Vec<F64x4>,
+    cp: Vec<F64x4>,
+    c1: Vec<F64x4>,
+    inv: Vec<F64x4>,
+}
+
+impl Yb4Workspace {
+    pub fn new(n_species: usize) -> Yb4Workspace {
+        Yb4Workspace {
+            p0: vec![F64x4::zero(); n_species],
+            l0: vec![F64x4::zero(); n_species],
+            pp: vec![F64x4::zero(); n_species],
+            lp: vec![F64x4::zero(); n_species],
+            cp: vec![F64x4::zero(); n_species],
+            c1: vec![F64x4::zero(); n_species],
+            inv: vec![F64x4::zero(); n_species],
+        }
+    }
+}
+
+/// Vectorised production/loss evaluation: lane `j` of `p[s]`/`l[s]` is
+/// the production rate / loss frequency of species `s` in column `j`.
+/// Matches `Mechanism::prod_loss` per lane up to the reciprocal
+/// reassociation (`rate * (1/c)` instead of `rate / c`).
+pub fn prod_loss4(
+    mech: &Mechanism,
+    conc: &[F64x4],
+    k: &[f64],
+    p: &mut [F64x4],
+    l: &mut [F64x4],
+    inv: &mut [F64x4],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fma_available() {
+        // SAFETY: avx2+fma verified by `fma_available`.
+        unsafe { prod_loss4_fma(mech, conc, k, p, l, inv) };
+        return;
+    }
+    prod_loss4_impl::<Unfused>(mech, conc, k, p, l, inv);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn prod_loss4_fma(
+    mech: &Mechanism,
+    conc: &[F64x4],
+    k: &[f64],
+    p: &mut [F64x4],
+    l: &mut [F64x4],
+    inv: &mut [F64x4],
+) {
+    prod_loss4_impl::<Fused>(mech, conc, k, p, l, inv);
+}
+
+#[inline(always)]
+fn prod_loss4_impl<M: Madd>(
+    mech: &Mechanism,
+    conc: &[F64x4],
+    k: &[f64],
+    p: &mut [F64x4],
+    l: &mut [F64x4],
+    inv: &mut [F64x4],
+) {
+    debug_assert_eq!(conc.len(), mech.n_species);
+    const FLOOR: f64 = 1e-30;
+    let floor = F64x4::splat(FLOOR);
+    let one = F64x4::splat(1.0);
+    for s in 0..mech.n_species {
+        p[s] = F64x4::zero();
+        l[s] = F64x4::zero();
+        inv[s] = one / conc[s].max(floor);
+    }
+    for (r, &kr) in mech.reactions.iter().zip(k) {
+        if kr == 0.0 {
+            continue;
+        }
+        let mut rate = F64x4::splat(kr);
+        for &s in &r.rate_order {
+            rate *= conc[s];
+        }
+        // No `rate <= 0` early-out: concentrations are non-negative, so
+        // a zero rate contributes exactly zero to every lane.
+        for &(s, nu) in &r.consume {
+            l[s] = M::madd4(rate * inv[s], F64x4::splat(nu), l[s]);
+        }
+        for &(s, nu) in &r.produce {
+            p[s] = M::madd4(rate, F64x4::splat(nu), p[s]);
+        }
+    }
+}
+
+/// Advance four same-layer cells (one per lane of `conc[s]`) by
+/// `dt_min` minutes in lockstep, with shared, pre-evaluated rate
+/// constants `k`. Returns the batch's stats: `evals`/`substeps` count
+/// each lockstep operation once (all four lanes participate in every
+/// evaluation).
+pub fn integrate_cell4(
+    mech: &Mechanism,
+    conc: &mut [F64x4],
+    k: &[f64],
+    dt_min: f64,
+    opts: &YbOptions,
+    ws: &mut Yb4Workspace,
+) -> YbStats {
+    #[cfg(target_arch = "x86_64")]
+    if fma_available() {
+        // SAFETY: avx2+fma verified by `fma_available`.
+        return unsafe { integrate_cell4_fma(mech, conc, k, dt_min, opts, ws) };
+    }
+    integrate_cell4_impl::<Unfused>(mech, conc, k, dt_min, opts, ws)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn integrate_cell4_fma(
+    mech: &Mechanism,
+    conc: &mut [F64x4],
+    k: &[f64],
+    dt_min: f64,
+    opts: &YbOptions,
+    ws: &mut Yb4Workspace,
+) -> YbStats {
+    integrate_cell4_impl::<Fused>(mech, conc, k, dt_min, opts, ws)
+}
+
+#[inline(always)]
+fn integrate_cell4_impl<M: Madd>(
+    mech: &Mechanism,
+    conc: &mut [F64x4],
+    k: &[f64],
+    dt_min: f64,
+    opts: &YbOptions,
+    ws: &mut Yb4Workspace,
+) -> YbStats {
+    debug_assert_eq!(conc.len(), mech.n_species);
+    let mut stats = YbStats::default();
+    if dt_min <= 0.0 {
+        return stats;
+    }
+    let n = mech.n_species;
+    let zero = F64x4::zero();
+    let atol4 = F64x4::splat(opts.atol);
+    let half = F64x4::splat(0.5);
+
+    prod_loss4_impl::<M>(mech, conc, k, &mut ws.p0, &mut ws.l0, &mut ws.inv);
+    stats.evals += 1;
+
+    // Initial substep from the fastest non-stiff relative rate — the
+    // strictest over all four lanes, mirroring the scalar seeding per
+    // lane.
+    let mut h = {
+        let mut max_rel = 0.0f64;
+        for i in 0..n {
+            for lane in 0..F64x4::LANES {
+                let c = conc[i].lane(lane);
+                let l0 = ws.l0[i].lane(lane);
+                let f = (ws.p0[i].lane(lane) - l0 * c).abs();
+                if l0 * opts.h_max < 1e4 {
+                    max_rel = max_rel.max(f / (c + opts.atol));
+                }
+            }
+        }
+        if max_rel > 0.0 {
+            (opts.eps / max_rel).clamp(opts.h_min, opts.h_max)
+        } else {
+            opts.h_max
+        }
+    }
+    .min(dt_min);
+
+    let mut t = 0.0;
+    let mut fresh_pl = true;
+    while t < dt_min {
+        h = h.min(dt_min - t).max(opts.h_min);
+        if !fresh_pl {
+            prod_loss4_impl::<M>(mech, conc, k, &mut ws.p0, &mut ws.l0, &mut ws.inv);
+            stats.evals += 1;
+            fresh_pl = true;
+        }
+        let h4 = F64x4::splat(h);
+
+        // Predictor: vector explicit Euler when every lane is non-stiff
+        // for this species; otherwise the scalar per-lane branch (which
+        // is the only place the stiff exponential appears).
+        for i in 0..n {
+            let cp = if (ws.l0[i] * h4).reduce_max() <= opts.stiff_ratio {
+                let f = ws.p0[i] - ws.l0[i] * conc[i];
+                M::madd4(h4, f, conc[i])
+            } else {
+                let mut out = F64x4::zero();
+                for lane in 0..F64x4::LANES {
+                    out.set_lane(
+                        lane,
+                        advance(
+                            conc[i].lane(lane),
+                            ws.p0[i].lane(lane),
+                            ws.l0[i].lane(lane),
+                            h,
+                            opts,
+                        ),
+                    );
+                }
+                out
+            };
+            ws.cp[i] = cp.max(zero);
+        }
+
+        prod_loss4_impl::<M>(mech, &ws.cp, k, &mut ws.pp, &mut ws.lp, &mut ws.inv);
+        stats.evals += 1;
+
+        // Corrector: vector trapezoid when every lane is non-stiff;
+        // mixed-stiffness species fall back to the scalar branch
+        // per lane.
+        for i in 0..n {
+            let lbar4 = (ws.l0[i] + ws.lp[i]) * half;
+            let c1 = if (lbar4 * h4).reduce_max() <= opts.stiff_ratio {
+                let f0 = ws.p0[i] - ws.l0[i] * conc[i];
+                let fp = ws.pp[i] - ws.lp[i] * ws.cp[i];
+                M::madd4(F64x4::splat(0.5 * h), f0 + fp, conc[i])
+            } else {
+                let mut out = F64x4::zero();
+                for lane in 0..F64x4::LANES {
+                    let c0 = conc[i].lane(lane);
+                    let lbar = lbar4.lane(lane);
+                    let v = if lbar * h <= opts.stiff_ratio {
+                        let f0 = ws.p0[i].lane(lane) - ws.l0[i].lane(lane) * c0;
+                        let fp = ws.pp[i].lane(lane) - ws.lp[i].lane(lane) * ws.cp[i].lane(lane);
+                        c0 + 0.5 * h * (f0 + fp)
+                    } else {
+                        let pbar = 0.5 * (ws.p0[i].lane(lane) + ws.pp[i].lane(lane));
+                        asymptotic(c0, pbar, lbar, h, opts.form)
+                    };
+                    out.set_lane(lane, v);
+                }
+                out
+            };
+            ws.c1[i] = c1.max(zero);
+        }
+
+        // Error: the strictest lane controls the shared substep.
+        let mut err = 0.0f64;
+        for i in 0..n {
+            let e4 = (ws.c1[i] - ws.cp[i]).abs() / (ws.c1[i] + atol4);
+            err = err.max(e4.reduce_max());
+            for lane in 0..F64x4::LANES {
+                let l0 = ws.l0[i].lane(lane);
+                let lp = ws.lp[i].lane(lane);
+                let lbar = 0.5 * (l0 + lp);
+                if lbar * h > opts.stiff_ratio && l0 > 0.0 && lp > 0.0 {
+                    let eq0 = ws.p0[i].lane(lane) / l0;
+                    let eqp = ws.pp[i].lane(lane) / lp;
+                    let e = 0.5 * (eqp - eq0).abs() / (ws.c1[i].lane(lane) + opts.atol);
+                    err = err.max(e);
+                }
+            }
+        }
+
+        if err <= opts.eps || h <= opts.h_min * (1.0 + 1e-12) {
+            conc.copy_from_slice(&ws.c1);
+            t += h;
+            stats.substeps += 1;
+            fresh_pl = false;
+            let grow = if err > 0.0 {
+                (0.9 * (opts.eps / err).sqrt()).clamp(0.5, 2.0)
+            } else {
+                2.0
+            };
+            h = (h * grow).clamp(opts.h_min, opts.h_max);
+        } else {
+            stats.rejected += 1;
+            h = (h * (0.9 * (opts.eps / err).sqrt()).clamp(0.1, 0.5)).max(opts.h_min);
+        }
+    }
+    stats
+}
+
+/// Scratch for [`diffuse_column4`]: the lane-shared tridiagonal
+/// coefficients and the Thomas elimination factors.
+#[derive(Default)]
+pub struct Column4Workspace {
+    lower: Vec<f64>,
+    diag: Vec<f64>,
+    upper: Vec<f64>,
+    cprime: Vec<f64>,
+}
+
+impl Column4Workspace {
+    pub fn new() -> Column4Workspace {
+        Column4Workspace::default()
+    }
+}
+
+/// Four-column vertical diffusion: lane `j` of `c[l]` is layer `l` of
+/// column `j`. Geometry, `kz` and the deposition velocity are shared
+/// across lanes; only the emission flux differs per column. The
+/// tridiagonal factorisation is lane-shared and the lanewise arithmetic
+/// is exactly [`crate::vertical::diffuse_column`]'s (no FMA), so each
+/// lane is bit-identical to the scalar solve.
+pub fn diffuse_column4(
+    geom: &ColumnGeometry,
+    kz: &[f64],
+    dep_velocity: f64,
+    emis_flux: F64x4,
+    dt_min: f64,
+    c: &mut [F64x4],
+    ws: &mut Column4Workspace,
+) {
+    let n = geom.n_layers();
+    debug_assert_eq!(kz.len(), n - 1);
+    debug_assert_eq!(c.len(), n);
+    if dt_min <= 0.0 {
+        return;
+    }
+    ws.lower.clear();
+    ws.lower.resize(n, 0.0);
+    ws.diag.clear();
+    ws.diag.resize(n, 1.0);
+    ws.upper.clear();
+    ws.upper.resize(n, 0.0);
+    ws.cprime.clear();
+    ws.cprime.resize(n, 0.0);
+    for l in 0..n {
+        if l > 0 {
+            let dzc = geom.zm[l] - geom.zm[l - 1];
+            let a = dt_min * kz[l - 1] / (geom.dz[l] * dzc);
+            ws.lower[l] = -a;
+            ws.diag[l] += a;
+        }
+        if l + 1 < n {
+            let dzc = geom.zm[l + 1] - geom.zm[l];
+            let b = dt_min * kz[l] / (geom.dz[l] * dzc);
+            ws.upper[l] = -b;
+            ws.diag[l] += b;
+        }
+    }
+    ws.diag[0] += dt_min * dep_velocity / geom.dz[0];
+    // Same association as the scalar path: (dt · E) / dz, per lane.
+    c[0] += F64x4::splat(dt_min) * emis_flux / F64x4::splat(geom.dz[0]);
+    // Thomas elimination with lane-shared factors, vector RHS.
+    let mut denom = ws.diag[0];
+    assert!(denom.abs() > 1e-300, "singular tridiagonal system");
+    ws.cprime[0] = ws.upper[0] / denom;
+    c[0] = c[0] / F64x4::splat(denom);
+    for l in 1..n {
+        denom = ws.diag[l] - ws.lower[l] * ws.cprime[l - 1];
+        assert!(denom.abs() > 1e-300, "singular tridiagonal system");
+        ws.cprime[l] = ws.upper[l] / denom;
+        c[l] = (c[l] - F64x4::splat(ws.lower[l]) * c[l - 1]) / F64x4::splat(denom);
+    }
+    for l in (0..n - 1).rev() {
+        let next = c[l + 1];
+        c[l] -= F64x4::splat(ws.cprime[l]) * next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::{self as sp, background_vector, N_SPECIES};
+    use crate::vertical::diffuse_column;
+    use crate::youngboris::{integrate_cell_with_k, YbWorkspace};
+
+    fn polluted(seed: usize) -> Vec<f64> {
+        let mut c = background_vector();
+        let f = 1.0 + 0.25 * seed as f64;
+        c[sp::NO] = 0.05 * f;
+        c[sp::NO2] = 0.02 * f;
+        c[sp::PAR] = 0.6 * f;
+        c[sp::OLE] = 0.02 * f;
+        c[sp::FORM] = 0.012 * f;
+        c[sp::CO] = 1.5 * f;
+        c
+    }
+
+    #[test]
+    fn prod_loss4_matches_scalar_per_lane() {
+        let m = Mechanism::carbon_bond();
+        let mut k = Vec::new();
+        m.rate_constants(298.0, 0.8, &mut k);
+        let cols: Vec<Vec<f64>> = (0..4).map(polluted).collect();
+        let mut conc4 = vec![F64x4::zero(); N_SPECIES];
+        for s in 0..N_SPECIES {
+            conc4[s] = F64x4::new(cols[0][s], cols[1][s], cols[2][s], cols[3][s]);
+        }
+        let mut p4 = vec![F64x4::zero(); N_SPECIES];
+        let mut l4 = vec![F64x4::zero(); N_SPECIES];
+        let mut inv = vec![F64x4::zero(); N_SPECIES];
+        prod_loss4(&m, &conc4, &k, &mut p4, &mut l4, &mut inv);
+        for (lane, col) in cols.iter().enumerate() {
+            let mut p = vec![0.0; N_SPECIES];
+            let mut l = vec![0.0; N_SPECIES];
+            m.prod_loss(col, &k, &mut p, &mut l);
+            for s in 0..N_SPECIES {
+                let (gp, gl) = (p4[s].lane(lane), l4[s].lane(lane));
+                assert!(
+                    (gp - p[s]).abs() <= 1e-12 * p[s].abs().max(1e-300),
+                    "lane {lane} species {s}: p {gp} vs {}",
+                    p[s]
+                );
+                assert!(
+                    (gl - l[s]).abs() <= 1e-12 * l[s].abs().max(1e-300),
+                    "lane {lane} species {s}: l {gl} vs {}",
+                    l[s]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_integration_tracks_scalar_within_tolerance() {
+        let m = Mechanism::carbon_bond();
+        let opts = YbOptions::default();
+        let mut k = Vec::new();
+        m.rate_constants(300.0, 0.85, &mut k);
+        let cols: Vec<Vec<f64>> = (0..4).map(polluted).collect();
+
+        let mut conc4 = vec![F64x4::zero(); N_SPECIES];
+        for s in 0..N_SPECIES {
+            conc4[s] = F64x4::new(cols[0][s], cols[1][s], cols[2][s], cols[3][s]);
+        }
+        let mut ws4 = Yb4Workspace::new(N_SPECIES);
+        let stats4 = integrate_cell4(&m, &mut conc4, &k, 10.0, &opts, &mut ws4);
+        assert!(stats4.substeps > 0 && stats4.evals > 0);
+
+        for (lane, col) in cols.iter().enumerate() {
+            let mut ws = YbWorkspace::new(N_SPECIES);
+            let mut c = col.clone();
+            integrate_cell_with_k(&m, &mut c, &k, 10.0, &opts, &mut ws);
+            for s in 0..N_SPECIES {
+                let got = conc4[s].lane(lane);
+                let want = c[s];
+                // Both trajectories satisfy the same eps; they may
+                // differ at the order of the local error.
+                let tol = 0.05 * want.abs() + 1e-7;
+                assert!(
+                    (got - want).abs() <= tol,
+                    "lane {lane} species {s}: {got} vs {want}"
+                );
+                assert!(got.is_finite() && got >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_identical_lanes_stay_identical() {
+        // Four identical columns must produce four identical lanes —
+        // lockstep cannot introduce lane cross-talk.
+        let m = Mechanism::carbon_bond();
+        let opts = YbOptions::default();
+        let mut k = Vec::new();
+        m.rate_constants(298.0, 0.6, &mut k);
+        let col = polluted(2);
+        let mut conc4: Vec<F64x4> = col.iter().map(|&v| F64x4::splat(v)).collect();
+        let mut ws4 = Yb4Workspace::new(N_SPECIES);
+        integrate_cell4(&m, &mut conc4, &k, 10.0, &opts, &mut ws4);
+        for s in 0..N_SPECIES {
+            let v = conc4[s].lane(0);
+            for lane in 1..4 {
+                assert_eq!(v.to_bits(), conc4[s].lane(lane).to_bits(), "species {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn diffuse_column4_is_bit_identical_to_scalar_per_lane() {
+        let geom = ColumnGeometry::from_interfaces(&[0.0, 75.0, 200.0, 450.0, 900.0, 1600.0]);
+        let kz = [30.0, 25.0, 15.0, 5.0];
+        let lanes: Vec<Vec<f64>> = (0..4)
+            .map(|j| {
+                (0..5)
+                    .map(|l| 0.1 * (1.0 + j as f64) / (1.0 + l as f64))
+                    .collect()
+            })
+            .collect();
+        let emis = F64x4::new(0.0, 0.5, 1.0, 2.0);
+        let mut c4: Vec<F64x4> = (0..5)
+            .map(|l| F64x4::new(lanes[0][l], lanes[1][l], lanes[2][l], lanes[3][l]))
+            .collect();
+        let mut ws = Column4Workspace::new();
+        diffuse_column4(&geom, &kz, 0.3, emis, 10.0, &mut c4, &mut ws);
+        for (j, lane) in lanes.iter().enumerate() {
+            let mut c = lane.clone();
+            diffuse_column(&geom, &kz, 0.3, emis.lane(j), 10.0, &mut c);
+            for l in 0..5 {
+                assert_eq!(
+                    c4[l].lane(j).to_bits(),
+                    c[l].to_bits(),
+                    "lane {j} layer {l}: {} vs {}",
+                    c4[l].lane(j),
+                    c[l]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dt_is_a_noop() {
+        let m = Mechanism::carbon_bond();
+        let mut k = Vec::new();
+        m.rate_constants(298.0, 0.5, &mut k);
+        let mut conc4: Vec<F64x4> = background_vector()
+            .iter()
+            .map(|&v| F64x4::splat(v))
+            .collect();
+        let before = conc4.clone();
+        let mut ws4 = Yb4Workspace::new(N_SPECIES);
+        let stats = integrate_cell4(&m, &mut conc4, &k, 0.0, &YbOptions::default(), &mut ws4);
+        assert_eq!(stats, YbStats::default());
+        assert_eq!(before, conc4);
+    }
+}

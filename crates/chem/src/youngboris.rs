@@ -112,6 +112,10 @@ impl YbWorkspace {
 /// Advance one cell's concentration vector by `dt_min` minutes at fixed
 /// temperature and actinic factor. `conc` is updated in place; all entries
 /// remain finite and non-negative.
+///
+/// Evaluates the rate constants for this one cell; callers integrating
+/// many cells at the same `(T, sun)` — every cell of a layer shares
+/// them — should evaluate once and use [`integrate_cell_with_k`].
 pub fn integrate_cell(
     mech: &Mechanism,
     conc: &mut [f64],
@@ -121,18 +125,37 @@ pub fn integrate_cell(
     opts: &YbOptions,
     ws: &mut YbWorkspace,
 ) -> YbStats {
+    let mut k = std::mem::take(&mut ws.k);
+    mech.rate_constants(t_kelvin, sun, &mut k);
+    let stats = integrate_cell_with_k(mech, conc, &k, dt_min, opts, ws);
+    ws.k = k;
+    stats
+}
+
+/// [`integrate_cell`] with the rate constants already evaluated —
+/// `k[r]` for reaction `r` at the cell's `(T, sun)`. Rate-constant
+/// evaluation is pure, so hoisting it out of the cell loop is
+/// bit-identical to evaluating per cell.
+pub fn integrate_cell_with_k(
+    mech: &Mechanism,
+    conc: &mut [f64],
+    k: &[f64],
+    dt_min: f64,
+    opts: &YbOptions,
+    ws: &mut YbWorkspace,
+) -> YbStats {
     debug_assert_eq!(conc.len(), mech.n_species);
+    debug_assert_eq!(k.len(), mech.n_reactions());
     let mut stats = YbStats::default();
     if dt_min <= 0.0 {
         return stats;
     }
-    mech.rate_constants(t_kelvin, sun, &mut ws.k);
 
     let n = mech.n_species;
     let mut t = 0.0;
 
     // Initial P/L evaluation; reused across rejected retries.
-    mech.prod_loss(conc, &ws.k, &mut ws.p0, &mut ws.l0);
+    mech.prod_loss(conc, k, &mut ws.p0, &mut ws.l0);
     stats.evals += 1;
 
     // Initial substep from the fastest non-stiff relative rate.
@@ -159,7 +182,7 @@ pub fn integrate_cell(
     while t < dt_min {
         h = h.min(dt_min - t).max(opts.h_min);
         if !fresh_pl {
-            mech.prod_loss(conc, &ws.k, &mut ws.p0, &mut ws.l0);
+            mech.prod_loss(conc, k, &mut ws.p0, &mut ws.l0);
             stats.evals += 1;
             fresh_pl = true;
         }
@@ -171,7 +194,7 @@ pub fn integrate_cell(
         // Corrector: stiff species re-run the asymptotic update with
         // step-averaged production/loss; non-stiff species use the
         // trapezoidal rule (second slope evaluated at the predictor).
-        mech.prod_loss(&ws.cp, &ws.k, &mut ws.pp, &mut ws.lp);
+        mech.prod_loss(&ws.cp, k, &mut ws.pp, &mut ws.lp);
         stats.evals += 1;
         for i in 0..n {
             let lbar = 0.5 * (ws.l0[i] + ws.lp[i]);
@@ -224,9 +247,10 @@ pub fn integrate_cell(
 }
 
 /// Predictor update for a single species: explicit Euler when non-stiff,
-/// asymptotic when `l·h` exceeds the threshold.
+/// asymptotic when `l·h` exceeds the threshold. `pub(crate)` so the
+/// lockstep 4-lane integrator reuses the scalar branch bit-for-bit.
 #[inline]
-fn advance(c0: f64, p: f64, l: f64, h: f64, opts: &YbOptions) -> f64 {
+pub(crate) fn advance(c0: f64, p: f64, l: f64, h: f64, opts: &YbOptions) -> f64 {
     if l * h <= opts.stiff_ratio {
         c0 + h * (p - l * c0)
     } else {
@@ -237,7 +261,7 @@ fn advance(c0: f64, p: f64, l: f64, h: f64, opts: &YbOptions) -> f64 {
 /// Asymptotic update of `dc/dt = P − L·c` over a step `h`, treating `P`
 /// and `τ = 1/L` as constant.
 #[inline]
-fn asymptotic(c0: f64, p: f64, l: f64, h: f64, form: AsymptoticForm) -> f64 {
+pub(crate) fn asymptotic(c0: f64, p: f64, l: f64, h: f64, form: AsymptoticForm) -> f64 {
     let lh = l * h;
     match form {
         AsymptoticForm::Rational => {

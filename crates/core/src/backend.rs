@@ -8,20 +8,31 @@
 //! partitions and runs them on OS threads via the shared-memory pool in
 //! `airshed_hpf::host`.
 //!
-//! Two backends exist:
+//! Three backends exist:
 //!
 //! * [`Serial`] — every partition runs inline on the caller's thread, in
 //!   partition order. The baseline, and the reference for bit-identity.
 //! * [`Rayon`] — a fork–join worker pool (the rayon model: scoped
 //!   workers pulling tasks from a shared queue; the crate itself is not
 //!   a dependency — the pool is `airshed_hpf::host::run_parts`).
+//! * [`BackendKind::Simd`] — the same fork–join pool, but inside each
+//!   partition the phase kernels run their 4-wide vectorised variants
+//!   (`airshed_chem::simd`, `airshed_transport`'s simd solver path).
+//!   Thread-level and lane-level parallelism compose: partitions across
+//!   the pool, columns across lanes.
 //!
 //! Determinism contract: backends only control *where* a partition
 //! runs, never how results merge. Kernels write into per-item or
 //! per-partition slots and the caller reduces sequentially in item
 //! order afterwards, so `Serial` and `Rayon` at any thread count
 //! produce bit-identical states and work profiles (pinned by the
-//! `backend_determinism` suite).
+//! `backend_determinism` suite). `Simd` keeps the same merge
+//! discipline but swaps the kernel arithmetic: lockstep chemistry
+//! stepping and reassociated solver reductions make it
+//! *epsilon-bounded* against serial, not bit-identical — except where
+//! the simd kernels deliberately keep scalar association (the vertical
+//! Thomas solve), which stays exact. The equivalence suite pins both
+//! sides of that contract.
 
 use airshed_hpf::host;
 
@@ -33,6 +44,9 @@ pub enum BackendKind {
     /// Fork–join worker pool on host threads.
     #[default]
     Rayon,
+    /// Pool scheduling plus 4-wide vectorised kernels inside each
+    /// partition (lockstep chemistry columns, simd transport solver).
+    Simd,
 }
 
 impl std::str::FromStr for BackendKind {
@@ -41,7 +55,8 @@ impl std::str::FromStr for BackendKind {
         match s {
             "serial" => Ok(BackendKind::Serial),
             "rayon" => Ok(BackendKind::Rayon),
-            other => Err(format!("unknown backend '{other}' (serial|rayon)")),
+            "simd" => Ok(BackendKind::Simd),
+            other => Err(format!("unknown backend '{other}' (serial|rayon|simd)")),
         }
     }
 }
@@ -51,6 +66,7 @@ impl std::fmt::Display for BackendKind {
         match self {
             BackendKind::Serial => write!(f, "serial"),
             BackendKind::Rayon => write!(f, "rayon"),
+            BackendKind::Simd => write!(f, "simd"),
         }
     }
 }
@@ -89,6 +105,15 @@ impl ExecSpec {
         }
     }
 
+    /// The vectorised executor: pool scheduling over `threads` workers
+    /// (min 1) with 4-wide simd kernels inside each partition.
+    pub fn simd(threads: usize) -> ExecSpec {
+        ExecSpec {
+            kind: BackendKind::Simd,
+            threads: threads.max(1),
+        }
+    }
+
     /// Build a spec from CLI-ish inputs: optional kind (default rayon)
     /// and optional thread count (default all host cores).
     pub fn resolve(kind: Option<BackendKind>, threads: Option<usize>) -> ExecSpec {
@@ -96,6 +121,7 @@ impl ExecSpec {
         match kind {
             BackendKind::Serial => ExecSpec::serial(),
             BackendKind::Rayon => ExecSpec::rayon(threads.unwrap_or_else(host::available_threads)),
+            BackendKind::Simd => ExecSpec::simd(threads.unwrap_or_else(host::available_threads)),
         }
     }
 
@@ -103,8 +129,13 @@ impl ExecSpec {
     pub fn parallelism(&self) -> usize {
         match self.kind {
             BackendKind::Serial => 1,
-            BackendKind::Rayon => self.threads.max(1),
+            BackendKind::Rayon | BackendKind::Simd => self.threads.max(1),
         }
+    }
+
+    /// Whether phase kernels should take their vectorised variants.
+    pub fn vectorized(&self) -> bool {
+        self.kind == BackendKind::Simd
     }
 
     /// Human-readable form for run reports and logs, e.g. `rayon(8)`.
@@ -112,6 +143,7 @@ impl ExecSpec {
         match self.kind {
             BackendKind::Serial => "serial".to_string(),
             BackendKind::Rayon => format!("rayon({})", self.threads),
+            BackendKind::Simd => format!("simd({})", self.threads),
         }
     }
 
@@ -144,7 +176,7 @@ impl ExecSpec {
     ) {
         let threads = match self.kind {
             BackendKind::Serial => 1,
-            BackendKind::Rayon => self.threads.max(1),
+            BackendKind::Rayon | BackendKind::Simd => self.threads.max(1),
         };
         host::run_parts_observed(threads, tasks, observer);
     }
@@ -207,8 +239,10 @@ mod tests {
             BackendKind::Serial
         );
         assert_eq!("rayon".parse::<BackendKind>().unwrap(), BackendKind::Rayon);
+        assert_eq!("simd".parse::<BackendKind>().unwrap(), BackendKind::Simd);
         assert!("omp".parse::<BackendKind>().is_err());
         assert_eq!(BackendKind::Rayon.to_string(), "rayon");
+        assert_eq!(BackendKind::Simd.to_string(), "simd");
     }
 
     #[test]
@@ -227,11 +261,17 @@ mod tests {
         assert_eq!(r.threads, 3);
         assert_eq!(r.parallelism(), 3);
         assert_eq!(r.describe(), "rayon(3)");
+        let v = ExecSpec::resolve(Some(BackendKind::Simd), Some(2));
+        assert_eq!(v, ExecSpec::simd(2));
+        assert_eq!(v.parallelism(), 2);
+        assert!(v.vectorized());
+        assert_eq!(v.describe(), "simd(2)");
+        assert!(!r.vectorized() && !s.vectorized());
     }
 
     #[test]
     fn both_backends_complete_all_tasks() {
-        for spec in [ExecSpec::serial(), ExecSpec::rayon(4)] {
+        for spec in [ExecSpec::serial(), ExecSpec::rayon(4), ExecSpec::simd(4)] {
             let mut out = vec![0usize; 8];
             let tasks: Vec<airshed_hpf::host::Task> = out
                 .iter_mut()

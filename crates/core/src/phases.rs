@@ -11,8 +11,12 @@
 //! backend (`crate::backend`) — transport blocks by layer, chemistry
 //! stripes columns cyclically, the aerosol's parallel pass blocks by
 //! cell. Work-unit merges are item-indexed and reduced sequentially in
-//! item order, so every backend and thread count produces bit-identical
-//! states and profiles.
+//! item order, so the serial and rayon backends at any thread count
+//! produce bit-identical states and profiles. The simd backend keeps
+//! the same merge discipline but runs vectorised kernels inside each
+//! partition (4-column lockstep chemistry, simd transport solver),
+//! making it epsilon-bounded against serial rather than bit-identical
+//! (see `crate::backend` for the full contract).
 //!
 //! Work-unit coefficients are flop-scale calibration constants
 //! ([`WorkCoeffs`]); with the default machine rates they land the
@@ -28,13 +32,15 @@ use airshed_chem::aerosol::{
     CellDelta,
 };
 use airshed_chem::mechanism::Mechanism;
+use airshed_chem::simd::{diffuse_column4, integrate_cell4, Column4Workspace, Yb4Workspace};
 use airshed_chem::species::{self as sp, N_SPECIES, SPECIES};
 use airshed_chem::vertical::{diffuse_column, ColumnGeometry};
-use airshed_chem::youngboris::{integrate_cell, YbOptions, YbWorkspace};
+use airshed_chem::youngboris::{integrate_cell_with_k, YbOptions, YbWorkspace};
 use airshed_grid::datasets::Dataset;
 use airshed_hpf::host::Task;
 use airshed_met::emissions::{EmissionInventory, PointSource};
 use airshed_met::hourly::{HourlyInput, InputGenerator};
+use airshed_simd::F64x4;
 use airshed_transport::operator::{HorizontalTransport, TransportWorkspace};
 use std::sync::Mutex;
 
@@ -96,11 +102,35 @@ impl<T> WorkspacePool<T> {
     }
 }
 
-/// Per-worker chemistry scratch: the Young–Boris workspace plus the
-/// vertical-solve column buffer.
+/// Per-worker chemistry scratch: the Young–Boris workspace, the
+/// vertical-solve column buffer, the per-layer rate-constant cache, and
+/// the lockstep (4-column) mirrors used by the simd backend.
 struct ChemScratch {
     ws: YbWorkspace,
     column: Vec<f64>,
+    /// Rate constants per layer — shared by every column in a
+    /// partition, evaluated once per fork instead of once per cell.
+    k_layers: Vec<Vec<f64>>,
+    ws4: Yb4Workspace,
+    /// One grid cell across four columns (`cell4[s]` = species `s`).
+    cell4: Vec<F64x4>,
+    /// One species column across four grid columns (`col4[l]`).
+    col4: Vec<F64x4>,
+    thomas4: Column4Workspace,
+}
+
+impl ChemScratch {
+    fn new(layers: usize) -> ChemScratch {
+        ChemScratch {
+            ws: YbWorkspace::new(N_SPECIES),
+            column: vec![0.0f64; layers],
+            k_layers: Vec::new(),
+            ws4: Yb4Workspace::new(N_SPECIES),
+            cell4: vec![F64x4::zero(); N_SPECIES],
+            col4: vec![F64x4::zero(); layers],
+            thomas4: Column4Workspace::new(),
+        }
+    }
 }
 
 /// Everything the phases need, bundled.
@@ -249,10 +279,15 @@ impl PhaseEngine {
                         ));
                     }
                 }
+                let simd = self.exec.vectorized();
                 tasks.push(Box::new(move || {
                     let mut ws = self.transport_pool.take(TransportWorkspace::new);
                     for (s, l, data, iters) in owned {
-                        let stats = op.half_step(l, data, bg[s], &mut ws);
+                        let stats = if simd {
+                            op.half_step_simd(l, data, bg[s], &mut ws)
+                        } else {
+                            op.half_step(l, data, bg[s], &mut ws)
+                        };
                         *iters = stats.iterations;
                     }
                     self.transport_pool.put(ws);
@@ -340,6 +375,16 @@ impl PhaseEngine {
     /// per entry, in list order, cell-major: `col[l*N_SPECIES + s]`, so
     /// each grid cell's species vector is a contiguous in-place slice).
     /// Work units land in `work_out[k]` for column `cols_idx[k]`.
+    ///
+    /// Rate constants depend only on `(temp, sun(layer))` — identical
+    /// for every column — so they are evaluated once per layer up
+    /// front (bit-identically: `RateLaw::eval` is deterministic) and
+    /// shared by every cell integration in the partition.
+    ///
+    /// On the simd backend, columns go through
+    /// [`chemistry_columns4`](Self::chemistry_columns4) in batches of
+    /// four; the remainder (and every column on the scalar backends)
+    /// takes the per-column loop below.
     #[allow(clippy::too_many_arguments)]
     fn chemistry_columns(
         &self,
@@ -352,12 +397,33 @@ impl PhaseEngine {
         work_out: &mut [f64],
     ) {
         let col_len = N_SPECIES * layers;
-        let mut scratch = self.chem_pool.take(|| ChemScratch {
-            ws: YbWorkspace::new(N_SPECIES),
-            column: vec![0.0f64; layers],
-        });
+        let mut scratch = self.chem_pool.take(|| ChemScratch::new(layers));
         scratch.column.resize(layers, 0.0);
-        for (k, &n) in cols_idx.iter().enumerate() {
+        scratch.k_layers.resize(layers, Vec::new());
+        for (l, kl) in scratch.k_layers.iter_mut().enumerate() {
+            self.mech
+                .rate_constants(input.temp_k, input.sun_layers[l], kl);
+        }
+
+        let mut k0 = 0usize;
+        if self.exec.vectorized() {
+            while k0 + F64x4::LANES <= cols_idx.len() {
+                self.chemistry_columns4(
+                    buf,
+                    cols_idx,
+                    k0,
+                    layers,
+                    dt,
+                    input,
+                    n_rx,
+                    work_out,
+                    &mut scratch,
+                );
+                k0 += F64x4::LANES;
+            }
+        }
+
+        for (k, &n) in cols_idx.iter().enumerate().skip(k0) {
             let col = &mut buf[k * col_len..(k + 1) * col_len];
             let mut evals = 0u64;
 
@@ -374,11 +440,10 @@ impl PhaseEngine {
             // on the cell's contiguous species vector.
             for l in 0..layers {
                 let cell = &mut col[l * N_SPECIES..(l + 1) * N_SPECIES];
-                let stats = integrate_cell(
+                let stats = integrate_cell_with_k(
                     &self.mech,
                     cell,
-                    input.temp_k,
-                    input.sun_layers[l],
+                    &scratch.k_layers[l],
                     dt,
                     &self.chem_opts,
                     &mut scratch.ws,
@@ -411,6 +476,122 @@ impl PhaseEngine {
                 + N_SPECIES as f64 * self.coeffs.vertical_per_column_species;
         }
         self.chem_pool.put(scratch);
+    }
+
+    /// Four columns of the partition (`cols_idx[k0..k0+4]`) in lockstep:
+    /// gather each layer's four cells into [`F64x4`] lanes, run the
+    /// vectorised Young–Boris integrator, then the four-wide vertical
+    /// solve per species. Injection stays scalar (point sources are
+    /// column-specific and rare).
+    ///
+    /// Work accounting mirrors the scalar path's semantics: each column
+    /// is charged every production/loss evaluation its integration
+    /// performed — in lockstep all four lanes participate in every
+    /// evaluation, so the four work entries are equal. The *wall time
+    /// per charged unit* is what drops, which is exactly the signal the
+    /// oracle's work-rate recalibration consumes.
+    #[allow(clippy::too_many_arguments)]
+    fn chemistry_columns4(
+        &self,
+        buf: &mut [f64],
+        cols_idx: &[usize],
+        k0: usize,
+        layers: usize,
+        dt: f64,
+        input: &HourlyInput,
+        n_rx: f64,
+        work_out: &mut [f64],
+        scratch: &mut ChemScratch,
+    ) {
+        let col_len = N_SPECIES * layers;
+        let lanes = F64x4::LANES;
+
+        // Point-source injection (elevated stacks), per column.
+        for j in 0..lanes {
+            let n = cols_idx[k0 + j];
+            let col = &mut buf[(k0 + j) * col_len..(k0 + j + 1) * col_len];
+            for ps in &self.point_by_slot[n] {
+                let dz = self.geom.dz[ps.layer];
+                for (s, info) in SPECIES.iter().enumerate() {
+                    col[ps.layer * N_SPECIES + s] +=
+                        ps.strength * info.point_emission_weight * dt / dz;
+                }
+            }
+        }
+
+        // Gas-phase kinetics: the four same-layer cells share rate
+        // constants and the substep controller.
+        let mut evals = 0u64;
+        scratch.cell4.resize(N_SPECIES, F64x4::zero());
+        for l in 0..layers {
+            let base = l * N_SPECIES;
+            for s in 0..N_SPECIES {
+                scratch.cell4[s] = F64x4::new(
+                    buf[k0 * col_len + base + s],
+                    buf[(k0 + 1) * col_len + base + s],
+                    buf[(k0 + 2) * col_len + base + s],
+                    buf[(k0 + 3) * col_len + base + s],
+                );
+            }
+            let stats = integrate_cell4(
+                &self.mech,
+                &mut scratch.cell4,
+                &scratch.k_layers[l],
+                dt,
+                &self.chem_opts,
+                &mut scratch.ws4,
+            );
+            evals += stats.evals;
+            for s in 0..N_SPECIES {
+                for j in 0..lanes {
+                    buf[(k0 + j) * col_len + base + s] = scratch.cell4[s].lane(j);
+                }
+            }
+        }
+
+        // Vertical diffusion + emission + deposition: four columns per
+        // species; only the surface emission flux differs per lane.
+        scratch.col4.resize(layers, F64x4::zero());
+        for (s, info) in SPECIES.iter().enumerate() {
+            for l in 0..layers {
+                let base = l * N_SPECIES + s;
+                scratch.col4[l] = F64x4::new(
+                    buf[k0 * col_len + base],
+                    buf[(k0 + 1) * col_len + base],
+                    buf[(k0 + 2) * col_len + base],
+                    buf[(k0 + 3) * col_len + base],
+                );
+            }
+            let w = info.urban_emission_weight;
+            let hod = input.hour_of_day;
+            let emis = F64x4::new(
+                self.inventory.area_flux(w, cols_idx[k0], hod),
+                self.inventory.area_flux(w, cols_idx[k0 + 1], hod),
+                self.inventory.area_flux(w, cols_idx[k0 + 2], hod),
+                self.inventory.area_flux(w, cols_idx[k0 + 3], hod),
+            );
+            diffuse_column4(
+                &self.geom,
+                &input.kz,
+                info.deposition_m_per_min,
+                emis,
+                dt,
+                &mut scratch.col4,
+                &mut scratch.thomas4,
+            );
+            for l in 0..layers {
+                let base = l * N_SPECIES + s;
+                for j in 0..lanes {
+                    buf[(k0 + j) * col_len + base] = scratch.col4[l].lane(j);
+                }
+            }
+        }
+
+        let w = evals as f64 * n_rx * self.coeffs.chem_per_reaction_eval
+            + N_SPECIES as f64 * self.coeffs.vertical_per_column_species;
+        for entry in work_out.iter_mut().skip(k0).take(lanes) {
+            *entry = w;
+        }
     }
 
     /// The aerosol equilibrium over the replicated array. Returns
@@ -584,6 +765,42 @@ mod tests {
             assert_eq!(wt1, wt2, "threads={threads}");
             assert_eq!(wc1, wc2, "threads={threads}");
             assert_eq!(ar1, ar2, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn simd_backend_is_epsilon_bounded_against_serial() {
+        // The simd backend reassociates (lockstep substeps, fused
+        // multiply-adds, simd solver reductions) so it is not
+        // bit-identical — but one full phase sequence must stay within
+        // integrator-tolerance distance of the serial reference, and
+        // the per-item work layouts must be identically shaped.
+        let mut e = engine();
+        let (input, _) = e.input_hour(13);
+        let vols = SimState::cell_volumes(&e.dataset);
+        let run = |e: &PhaseEngine| {
+            let mut s = SimState::from_background(&e.dataset);
+            let (op, _) = e.pretrans(&input);
+            let wt = e.transport_half_step(&op, &mut s);
+            let wc = e.chemistry_step(&mut s, &input);
+            let (ar, _) = e.aerosol_step(&mut s, &input, &vols);
+            (s, wt, wc, ar)
+        };
+        e.exec = ExecSpec::serial();
+        let (s1, wt1, wc1, _) = run(&e);
+        for threads in [1usize, 4] {
+            e.exec = ExecSpec::simd(threads);
+            let (s2, wt2, wc2, _) = run(&e);
+            assert!(s2.is_physical());
+            assert_eq!(wt1.len(), wt2.len());
+            assert_eq!(wc1.len(), wc2.len());
+            assert!(wc2.iter().all(|&w| w > 0.0));
+            for (i, (a, b)) in s1.conc.iter().zip(&s2.conc).enumerate() {
+                assert!(
+                    (a - b).abs() <= 0.02 * a.abs() + 1e-7,
+                    "threads={threads} slot {i}: {a} vs {b}"
+                );
+            }
         }
     }
 

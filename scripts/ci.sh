@@ -26,6 +26,12 @@ echo "==> backend smoke test (rayon, 2 threads)"
 cargo run --release --bin airshed -- run \
     --dataset tiny:60 --hours 1 --backend rayon --threads 2 --no-map
 
+echo "==> simd backend smoke test (both paper grids)"
+cargo run --release --bin airshed -- run \
+    --dataset la --hours 1 --backend simd --no-map
+cargo run --release --bin airshed -- run \
+    --dataset ne --hours 1 --backend simd --no-map
+
 echo "==> observability smoke test (--trace-out / --metrics-out)"
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT

@@ -159,8 +159,8 @@ OPTIONS:
                   serve-batch: re-plan every job from the admission
                   model (re-priced after each oracle recalibration)
     --no-map  skip the ASCII ozone map
-    --backend serial | rayon               (default rayon)
-    --threads N  host threads for the rayon backend (default: all cores)
+    --backend serial | rayon | simd        (default rayon)
+    --threads N  host threads for the rayon/simd pool (default: all cores)
     --trace-out F    write a Chrome trace-event JSON of the run to F
                      (open in Perfetto / chrome://tracing)
     --metrics-out F  write a Prometheus text-format metrics snapshot to F
@@ -992,8 +992,14 @@ fn cmd_fabric(o: &Options, obs: &Obs) -> Result<(), String> {
             .arg(o.workers.to_string())
             .arg("--heartbeat-ms")
             .arg(o.heartbeat_ms.to_string());
-        if o.backend == Some(BackendKind::Serial) {
-            cmd.arg("--backend").arg("serial");
+        match o.backend {
+            Some(BackendKind::Serial) => {
+                cmd.arg("--backend").arg("serial");
+            }
+            Some(BackendKind::Simd) => {
+                cmd.arg("--backend").arg("simd");
+            }
+            Some(BackendKind::Rayon) | None => {}
         }
         if let Some(t) = o.threads {
             cmd.arg("--threads").arg(t.to_string());
@@ -1304,6 +1310,11 @@ mod tests {
         assert_eq!(exec(&o), ExecSpec::serial());
         let o = parse(&args("--backend rayon --threads 4")).unwrap();
         assert_eq!(exec(&o), ExecSpec::rayon(4));
+        let o = parse(&args("--backend simd --threads 2")).unwrap();
+        assert_eq!(exec(&o), ExecSpec::simd(2));
+        let o = parse(&args("--backend simd")).unwrap();
+        assert_eq!(exec(&o).kind, BackendKind::Simd);
+        assert!(exec(&o).threads >= 1);
         assert!(parse(&args("--backend omp")).is_err());
         assert!(parse(&args("--threads 0")).is_err());
     }

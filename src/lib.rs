@@ -35,4 +35,5 @@ pub use airshed_machine as machine;
 pub use airshed_met as met;
 pub use airshed_popexp as popexp;
 pub use airshed_server as server;
+pub use airshed_simd as simd;
 pub use airshed_transport as transport;

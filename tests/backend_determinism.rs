@@ -13,6 +13,15 @@
 //! The always-on tests use the tiny dataset across P ∈ {1, 4, 16} ×
 //! threads ∈ {1, 2, 8}. The LA/NE episodes run the real paper shapes
 //! and are `#[ignore]`d for runtime (opt in with `--ignored`).
+//!
+//! The **simd backend has a different contract** (see DESIGN.md "SIMD
+//! backend"): its chemistry steps four columns in lockstep and its
+//! transport solver reassociates reductions, so simd-vs-serial is
+//! **epsilon-bounded**, not bit-identical — but where the simd kernels
+//! promise bit-identity (input/pretrans/output phases, which take the
+//! scalar code paths; aerosol work charges; profile shapes) the suite
+//! still demands exact equality, and simd-vs-simd reruns must be
+//! exactly reproducible.
 
 use airshed::core::config::{DatasetChoice, SimConfig};
 use airshed::core::driver::{run_resumable_obs, run_resumable_with};
@@ -66,6 +75,82 @@ fn assert_identical(label: &str, a: &(WorkProfile, Vec<f64>), b: &(WorkProfile, 
     }
 }
 
+/// Assert the simd equivalence contract against a serial reference:
+/// exact equality where the simd backend runs scalar code (input,
+/// pretrans, output work; profile shapes), epsilon-bounded agreement on
+/// the state and on the work charges of the reassociated kernels.
+fn assert_simd_equivalent(
+    label: &str,
+    serial: &(WorkProfile, Vec<f64>),
+    simd: &(WorkProfile, Vec<f64>),
+) {
+    assert_eq!(serial.1.len(), simd.1.len(), "{label}: state shape");
+    let mut worst = 0.0f64;
+    for (i, (a, b)) in serial.1.iter().zip(&simd.1).enumerate() {
+        let err = (a - b).abs() / (a.abs() + 1e-7);
+        worst = worst.max(err);
+        assert!(
+            err <= 0.05,
+            "{label}: conc[{i}] diverged beyond tolerance: {a} vs {b}"
+        );
+        assert!(b.is_finite() && *b >= 0.0, "{label}: conc[{i}] = {b}");
+    }
+    assert_eq!(serial.0.hours.len(), simd.0.hours.len());
+    for (h, (ha, hb)) in serial.0.hours.iter().zip(&simd.0.hours).enumerate() {
+        // The sequential phases run identical scalar code on inputs that
+        // do not depend on the concentration state — exact equality.
+        assert_eq!(ha.input_work, hb.input_work, "{label}: hour {h} input work");
+        assert_eq!(
+            ha.pretrans_work, hb.pretrans_work,
+            "{label}: hour {h} pretrans work"
+        );
+        assert_eq!(
+            ha.output_work, hb.output_work,
+            "{label}: hour {h} output work"
+        );
+        assert_eq!(ha.steps.len(), hb.steps.len());
+        for (k, (sa, sb)) in ha.steps.iter().zip(&hb.steps).enumerate() {
+            // Work layouts keep their shape; magnitudes may differ
+            // (lockstep substep counts, solver iteration counts).
+            assert_eq!(sa.transport1.len(), sb.transport1.len());
+            assert_eq!(sa.chemistry.len(), sb.chemistry.len());
+            assert!(
+                sb.chemistry.iter().all(|&w| w > 0.0),
+                "{label}: hour {h} step {k}: empty chemistry charge"
+            );
+            // Aerosol charges are state-independent (fixed per-cell
+            // scan cost) — exact equality.
+            assert_eq!(sa.aerosol, sb.aerosol, "{label}: hour {h} step {k} aerosol");
+        }
+    }
+    // The summaries track closely (peaks move with the epsilon).
+    assert_eq!(serial.0.summaries.len(), simd.0.summaries.len());
+    eprintln!("{label}: max rel state divergence {worst:.2e}");
+}
+
+fn simd_sweep(dataset: DatasetChoice, hours: usize, ps: &[usize]) {
+    for &p in ps {
+        let mut config = SimConfig::test_tiny(13, hours);
+        config.dataset = dataset;
+        config.p = p;
+        config.start_hour = 11;
+        let reference = episode(&config, ExecSpec::serial());
+        for threads in [1usize, 2] {
+            let vectored = episode(&config, ExecSpec::simd(threads));
+            assert_simd_equivalent(
+                &format!("{} P={p} simd({threads})", dataset.name()),
+                &reference,
+                &vectored,
+            );
+        }
+        // Rerunning the simd backend is exactly reproducible — the
+        // epsilon is a contract with serial, not nondeterminism.
+        let a = episode(&config, ExecSpec::simd(2));
+        let b = episode(&config, ExecSpec::simd(2));
+        assert_identical(&format!("{} P={p} simd(2) rerun", dataset.name()), &a, &b);
+    }
+}
+
 fn sweep(dataset: DatasetChoice, hours: usize) {
     for p in [1usize, 4, 16] {
         let mut config = SimConfig::test_tiny(13, hours);
@@ -90,13 +175,18 @@ fn tiny_serial_and_rayon_are_bit_identical() {
 }
 
 #[test]
+fn tiny_simd_is_epsilon_bounded_and_reproducible() {
+    simd_sweep(DatasetChoice::Tiny(90), 2, &[1, 4, 16]);
+}
+
+#[test]
 fn tracing_enabled_is_bit_identical_to_disabled() {
     // The observability layer only reads clocks around phase boundaries;
     // it must never perturb the numerics, on either backend.
     let mut config = SimConfig::test_tiny(11, 2);
     config.p = 4;
     config.start_hour = 11;
-    for exec in [ExecSpec::serial(), ExecSpec::rayon(4)] {
+    for exec in [ExecSpec::serial(), ExecSpec::rayon(4), ExecSpec::simd(4)] {
         let (_, profile_off, chk_off) = run_resumable_obs(&config, None, exec, &Obs::off());
         let sink = Arc::new(SpanSink::new());
         let obs = Obs::new(Arc::clone(&sink) as Arc<dyn Collector>);
@@ -126,7 +216,7 @@ fn oracle_validation_is_bit_identical_to_untraced() {
     let mut config = SimConfig::test_tiny(17, 2);
     config.p = 4;
     config.start_hour = 11;
-    for exec in [ExecSpec::serial(), ExecSpec::rayon(4)] {
+    for exec in [ExecSpec::serial(), ExecSpec::rayon(4), ExecSpec::simd(4)] {
         let (_, profile_off, chk_off) = run_resumable_obs(&config, None, exec, &Obs::off());
 
         let sink = Arc::new(SpanSink::new());
@@ -161,12 +251,16 @@ fn oracle_validation_is_bit_identical_to_untraced() {
 #[test]
 fn backend_kind_roundtrips_through_report() {
     let config = SimConfig::test_tiny(8, 1);
-    for exec in [ExecSpec::serial(), ExecSpec::rayon(2)] {
+    for exec in [ExecSpec::serial(), ExecSpec::rayon(2), ExecSpec::simd(2)] {
         let (report, _, _) = run_resumable_with(&config, None, exec);
         assert_eq!(report.backend, exec.describe());
         assert_eq!(
             report.backend.starts_with("rayon"),
             exec.kind == BackendKind::Rayon
+        );
+        assert_eq!(
+            report.backend.starts_with("simd"),
+            exec.kind == BackendKind::Simd
         );
     }
 }
@@ -181,4 +275,16 @@ fn la_serial_and_rayon_are_bit_identical() {
 #[ignore = "runs the NE numerics across backends (~minutes)"]
 fn ne_serial_and_rayon_are_bit_identical() {
     sweep(DatasetChoice::NorthEast, 1);
+}
+
+#[test]
+#[ignore = "runs the LA numerics simd-vs-serial (~minutes)"]
+fn la_simd_is_epsilon_bounded() {
+    simd_sweep(DatasetChoice::LosAngeles, 1, &[4, 16, 64]);
+}
+
+#[test]
+#[ignore = "runs the NE numerics simd-vs-serial (~minutes)"]
+fn ne_simd_is_epsilon_bounded() {
+    simd_sweep(DatasetChoice::NorthEast, 1, &[4, 16, 64]);
 }
