@@ -38,12 +38,17 @@
 //!   same graph;
 //! * [`obs`] — the unified observability layer (spans, Chrome-trace and
 //!   Prometheus exporters) every other module reports through;
+//! * [`ensemble`] — perturbation sweeps run as one job, with the
+//!   shared input stage executed once per group of members;
+//! * [`surrogate`] — the per-cell response surface fitted over a
+//!   finished ensemble, answering what-if queries with an error bound;
 //! * [`report`] — run reports for the figure harness.
 
 pub mod backend;
 pub mod checkpoint;
 pub mod config;
 pub mod driver;
+pub mod ensemble;
 pub mod obs;
 pub mod phases;
 pub mod plan;
@@ -51,6 +56,7 @@ pub mod predict;
 pub mod profile;
 pub mod report;
 pub mod state;
+pub mod surrogate;
 pub mod taskpar;
 pub mod testsupport;
 pub mod viz;
@@ -59,9 +65,11 @@ pub use backend::{Backend, BackendKind, ExecSpec};
 pub use config::{DatasetChoice, SimConfig};
 pub use driver::{replay, run, run_with_profile};
 pub use driver::{ChemLayout, PlanLayouts};
+pub use ensemble::{run_ensemble, run_ensemble_obs, DedupStats, EnsembleJob, EnsembleResult};
 pub use obs::oracle::{validate_profile, Oracle, Validation};
 pub use obs::Obs;
 pub use plan::{optimize_plan, PhaseGraph, PlanChoice};
 pub use predict::{cost_of, GraphCost, LayoutChoice, PerfModel};
 pub use profile::WorkProfile;
 pub use report::RunReport;
+pub use surrogate::{what_if, ResponseSurface, SurrogateAnswer, WhatIfOutcome};

@@ -570,9 +570,12 @@ fn dot(a: &[f64; 3], x: &[f64; 3]) -> f64 {
     a[0] * x[0] + a[1] * x[1] + a[2] * x[2]
 }
 
-/// Solve `m y = r` (k ≤ 3) by Gaussian elimination with partial
-/// pivoting. Returns `None` on a (numerically) singular system.
-fn solve_dense(mut m: Vec<Vec<f64>>, mut r: Vec<f64>) -> Option<Vec<f64>> {
+/// Solve `m y = r` (small k) by Gaussian elimination with partial
+/// pivoting. Returns `None` on a (numerically) singular system. Shared
+/// with the surrogate tier's per-cell least squares
+/// (`crate::surrogate`), which solves the same small ridge-stabilised
+/// normal equations.
+pub(crate) fn solve_dense(mut m: Vec<Vec<f64>>, mut r: Vec<f64>) -> Option<Vec<f64>> {
     let k = r.len();
     for col in 0..k {
         let pivot = (col..k).max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))?;

@@ -55,6 +55,15 @@ pub struct RunReport {
     /// Predicted seconds the chosen plan saves over the default plan
     /// (`default - chosen`, >= 0), alongside [`RunReport::plan_layouts`].
     pub plan_delta_seconds: Option<f64>,
+    /// Bytes of hourly input generation this run avoided by sharing the
+    /// input stage with other ensemble members (`Some(0)` for the group
+    /// leader that ran the stage, `None` for non-ensemble runs). See
+    /// `crate::ensemble`.
+    pub dedup_saved_bytes: Option<u64>,
+    /// Wall-clock seconds of `inputhour`+`pretrans` this run avoided by
+    /// the shared input stage, measured from the stage's actual
+    /// duration; `None` for non-ensemble runs.
+    pub dedup_saved_seconds: Option<f64>,
 }
 
 impl RunReport {
@@ -81,6 +90,8 @@ impl RunReport {
             predicted_seconds: None,
             plan_layouts: None,
             plan_delta_seconds: None,
+            dedup_saved_bytes: None,
+            dedup_saved_seconds: None,
             comm_steps: machine
                 .comm_log
                 .records()
@@ -130,6 +141,16 @@ impl fmt::Display for RunReport {
         if let Some(layouts) = &self.plan_layouts {
             let delta = self.plan_delta_seconds.unwrap_or(0.0);
             writeln!(f, "  plan: {layouts} (predicted saving {delta:.1}s)")?;
+        }
+        if let (Some(bytes), Some(seconds)) = (self.dedup_saved_bytes, self.dedup_saved_seconds) {
+            if bytes > 0 || seconds > 0.0 {
+                writeln!(
+                    f,
+                    "  ensemble dedup: shared input stage saved {:.1} MB and {:.3}s wall",
+                    bytes as f64 / 1.0e6,
+                    seconds
+                )?;
+            }
         }
         if let Some(predicted) = self.predicted_seconds {
             let rel = (self.total_seconds - predicted) / predicted.abs().max(1e-12);

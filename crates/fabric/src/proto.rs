@@ -499,6 +499,20 @@ fn enc_report(e: &mut Enc, r: &RunReport) {
             e.f64(s);
         }
     }
+    match r.dedup_saved_bytes {
+        None => e.bool(false),
+        Some(b) => {
+            e.bool(true);
+            e.u64(b);
+        }
+    }
+    match r.dedup_saved_seconds {
+        None => e.bool(false),
+        Some(s) => {
+            e.bool(true);
+            e.f64(s);
+        }
+    }
 }
 
 fn dec_report(d: &mut Dec) -> Result<RunReport, WireError> {
@@ -529,6 +543,8 @@ fn dec_report(d: &mut Dec) -> Result<RunReport, WireError> {
     let predicted_seconds = if d.bool()? { Some(d.f64()?) } else { None };
     let plan_layouts = if d.bool()? { Some(d.str()?) } else { None };
     let plan_delta_seconds = if d.bool()? { Some(d.f64()?) } else { None };
+    let dedup_saved_bytes = if d.bool()? { Some(d.u64()?) } else { None };
+    let dedup_saved_seconds = if d.bool()? { Some(d.f64()?) } else { None };
     Ok(RunReport {
         dataset,
         machine,
@@ -546,6 +562,8 @@ fn dec_report(d: &mut Dec) -> Result<RunReport, WireError> {
         predicted_seconds,
         plan_layouts,
         plan_delta_seconds,
+        dedup_saved_bytes,
+        dedup_saved_seconds,
     })
 }
 

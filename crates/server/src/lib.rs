@@ -42,7 +42,10 @@ use crate::queue::{BoundedQueue, PushError};
 use airshed_core::checkpoint::Checkpoint;
 use airshed_core::config::SimConfig;
 use airshed_core::driver::ChemLayout;
+use airshed_core::ensemble::{run_ensemble_obs, EnsembleJob, EnsembleResult};
+use airshed_core::surrogate::{ResponseSurface, SurrogateAnswer, WhatIfOutcome};
 use airshed_core::{Obs, RunReport, WorkProfile};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -249,6 +252,54 @@ impl SubmitOutcome {
     }
 }
 
+/// The outcome of submitting a whole [`EnsembleJob`].
+pub enum EnsembleOutcome {
+    /// Every member ran; the result carries per-member reports and the
+    /// dedup accounting.
+    Completed(Box<EnsembleResult>),
+    /// Admission control predicts member `member` alone exceeds the
+    /// budget, so the whole sweep is refused up front (a partial sweep
+    /// cannot fit a trustworthy response surface).
+    Rejected {
+        member: usize,
+        predicted_seconds: f64,
+        budget_seconds: f64,
+    },
+}
+
+impl EnsembleOutcome {
+    /// The completed sweep, if admission let it run.
+    pub fn result(&self) -> Option<&EnsembleResult> {
+        match self {
+            EnsembleOutcome::Completed(r) => Some(r),
+            EnsembleOutcome::Rejected { .. } => None,
+        }
+    }
+}
+
+/// How the server routed a what-if query.
+pub enum WhatIfRouted {
+    /// Answered — from the surrogate tier (which bypasses admission
+    /// pricing entirely) or by an admitted exact fallback run.
+    Answered(WhatIfOutcome),
+    /// The surrogate declined and admission control refused the exact
+    /// fallback simulation.
+    Rejected {
+        predicted_seconds: f64,
+        budget_seconds: f64,
+    },
+}
+
+impl WhatIfRouted {
+    /// The answered outcome, if the query was not rejected.
+    pub fn outcome(&self) -> Option<&WhatIfOutcome> {
+        match self {
+            WhatIfRouted::Answered(o) => Some(o),
+            WhatIfRouted::Rejected { .. } => None,
+        }
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -301,8 +352,21 @@ pub(crate) struct Shared {
     pub(crate) profiles: ShardedLru<NumericsKey, Arc<WorkProfile>>,
     pub(crate) results: ShardedLru<ResultKey, Arc<RunReport>>,
     pub(crate) admission: AdmissionController,
+    /// Fitted response surfaces from completed ensembles, keyed by the
+    /// sweep's numerics with the emission scale normalised out (every
+    /// scale in the family shares one surface).
+    pub(crate) surrogates: Mutex<HashMap<NumericsKey, Arc<ResponseSurface>>>,
     pub(crate) exec: airshed_core::ExecSpec,
     pub(crate) obs: Obs,
+}
+
+/// Cache key for a response surface: the member numerics with the swept
+/// dimension (emission scale) erased, so a what-if at any scale finds
+/// the surface fitted by its family's sweep.
+fn surrogate_key(config: &SimConfig) -> NumericsKey {
+    let mut key = NumericsKey::of(config);
+    key.emission_scale_bits = 1.0f64.to_bits();
+    key
 }
 
 impl Drop for Shared {
@@ -354,6 +418,7 @@ impl ScenarioServer {
             profiles: ShardedLru::new(config.cache_shards, config.profile_cache_capacity),
             results: ShardedLru::new(config.cache_shards, config.result_cache_capacity),
             admission: AdmissionController::new(config.budget_seconds),
+            surrogates: Mutex::new(HashMap::new()),
             exec: config.exec,
             obs: config.obs.clone(),
         });
@@ -428,6 +493,125 @@ impl ScenarioServer {
                 SubmitOutcome::ShuttingDown
             }
         }
+    }
+
+    /// Run an ensemble sweep through the service: every member is priced
+    /// by admission control first (one over-budget member refuses the
+    /// whole job), the sweep runs with or without shared-input dedup,
+    /// member profiles seed the work-profile cache and calibrate
+    /// admission, and — when the members form a clean emission sweep — a
+    /// response surface is fitted and stored for [`ScenarioServer::what_if`].
+    pub fn run_ensemble(&self, job: &EnsembleJob, dedup: bool) -> EnsembleOutcome {
+        let obs = &self.shared.obs;
+        let _span = obs.span("ensemble");
+        for i in 0..job.len() {
+            let config = job.member_config(i);
+            let _admission_span = obs.span("admission");
+            if let AdmissionDecision::Reject {
+                predicted_seconds,
+                budget_seconds,
+            } = self.shared.admission.decide(&config)
+            {
+                return EnsembleOutcome::Rejected {
+                    member: i,
+                    predicted_seconds,
+                    budget_seconds,
+                };
+            }
+        }
+        let result = run_ensemble_obs(job, self.shared.exec, obs, dedup);
+
+        let metrics = &self.shared.metrics;
+        metrics.ensemble_members.add(result.members.len() as u64);
+        metrics
+            .ensemble_input_hours_shared
+            .add(result.dedup.input_hours_deduped as u64);
+        metrics.ensemble_saved_bytes.add(result.dedup.saved_bytes);
+
+        // Every member is a full run the rest of the service can reuse:
+        // its profile keys the cache for later submits of the same
+        // scenario, and calibrates the admission model for its family.
+        for m in &result.members {
+            self.shared
+                .profiles
+                .insert(NumericsKey::of(&m.config), Arc::new(m.profile.clone()));
+            self.shared.admission.calibrate(&m.config, &m.profile);
+        }
+
+        // A clean emission sweep (uniform weather/day) yields a response
+        // surface; mixed perturbations don't, and that is fine — the
+        // what-if tier simply has no surface for that family.
+        if let Ok(surface) = ResponseSurface::from_ensemble(&result) {
+            let key = surrogate_key(&job.member_config(0));
+            self.shared
+                .surrogates
+                .lock()
+                .unwrap()
+                .insert(key, Arc::new(surface));
+        }
+        EnsembleOutcome::Completed(Box::new(result))
+    }
+
+    /// Answer a what-if query ("what if emissions were at `scale`?") in
+    /// two tiers. A surrogate hit is answered from the fitted response
+    /// surface and **bypasses admission pricing entirely** — no budget
+    /// is spent on a query the surface answers within `tolerance`. When
+    /// the surrogate declines (no surface for the family, scale outside
+    /// the fitted range, or error bound over tolerance), the exact
+    /// fallback simulation is priced by admission control like any other
+    /// job and may be rejected.
+    pub fn what_if(&self, base: &SimConfig, scale: f64, tolerance: f64) -> WhatIfRouted {
+        let obs = &self.shared.obs;
+        let _span = obs.span("what-if");
+        let surface = self
+            .shared
+            .surrogates
+            .lock()
+            .unwrap()
+            .get(&surrogate_key(base))
+            .cloned();
+        let hit = surface
+            .as_ref()
+            .is_some_and(|s| matches!(s.query(scale, tolerance), SurrogateAnswer::Hit { .. }));
+        if !hit {
+            // Price the fallback before running it. Rejection here is
+            // not job-flow accounting: the query never entered the
+            // submit queue, so `rejected_admission` stays untouched.
+            let mut exact = base.clone();
+            exact.emission_scale = scale;
+            let _admission_span = obs.span("admission");
+            if let AdmissionDecision::Reject {
+                predicted_seconds,
+                budget_seconds,
+            } = self.shared.admission.decide(&exact)
+            {
+                return WhatIfRouted::Rejected {
+                    predicted_seconds,
+                    budget_seconds,
+                };
+            }
+        }
+        let outcome = airshed_core::what_if(
+            surface.as_deref(),
+            base,
+            scale,
+            tolerance,
+            self.shared.exec,
+            obs,
+        );
+        let metrics = &self.shared.metrics;
+        if outcome.is_surrogate() {
+            metrics.surrogate_hits.inc();
+        } else {
+            metrics.surrogate_misses.inc();
+        }
+        WhatIfRouted::Answered(outcome)
+    }
+
+    /// Number of response surfaces fitted and stored by completed
+    /// ensemble sweeps.
+    pub fn surrogate_surfaces(&self) -> usize {
+        self.shared.surrogates.lock().unwrap().len()
     }
 
     /// A point-in-time metrics snapshot.
@@ -746,6 +930,108 @@ mod tests {
         assert!(text.contains("airshed_server_submitted_total 1"), "{text}");
         assert!(text.contains("airshed_server_completed_total 1"), "{text}");
         assert!(text.contains("airshed_server_in_flight 0"), "{text}");
+    }
+
+    #[test]
+    fn ensemble_sweep_feeds_caches_admission_and_the_surrogate_tier() {
+        let server = small_server(1);
+        let mut base = SimConfig::test_tiny(4, 1);
+        base.start_hour = 9;
+        let job = EnsembleJob::emission_sweep(base.clone(), &[0.6, 0.8, 1.0, 1.2, 1.4]);
+
+        let outcome = server.run_ensemble(&job, true);
+        let result = outcome.result().expect("sweep admitted");
+        assert_eq!(result.members.len(), 5);
+        assert_eq!(result.dedup.input_runs, 1, "one shared input group");
+        assert!(result.dedup.saved_bytes > 0);
+        assert_eq!(server.surrogate_surfaces(), 1);
+        // Member profiles calibrated admission for the family.
+        assert!(server.calibrated_families() >= 1);
+
+        // A submit of a member scenario hits the profile cache seeded by
+        // the sweep — the worker replays instead of re-running numerics.
+        let mut member = base.clone();
+        member.emission_scale = 0.8;
+        member.p = 16;
+        let report = server
+            .submit(ScenarioRequest::new(member))
+            .into_handle()
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(report.p, 16);
+
+        // In-range what-if: answered by the surrogate, no simulation.
+        let hit = server.what_if(&base, 0.9, 1.0);
+        let answer = hit.outcome().expect("not rejected");
+        assert!(answer.is_surrogate(), "in-range query takes the surrogate");
+        assert!(!answer.field().is_empty());
+        // Out-of-range what-if: exact fallback runs the simulator.
+        let miss = server.what_if(&base, 3.0, 1.0);
+        let answer = miss.outcome().expect("admitted fallback");
+        assert!(!answer.is_surrogate(), "out-of-range query falls back");
+
+        let m = server.shutdown();
+        assert_eq!(m.ensemble_members, 5);
+        assert_eq!(m.ensemble_input_hours_shared, 4);
+        assert!(m.ensemble_saved_bytes > 0);
+        assert_eq!(m.surrogate_hits, 1);
+        assert_eq!(m.surrogate_misses, 1);
+        assert_eq!(m.profile_cache_hits, 1, "sweep seeded the profile cache");
+        assert!(m.reconciles(), "{m}");
+    }
+
+    #[test]
+    fn surrogate_hits_bypass_admission_but_fallbacks_are_priced() {
+        // Budget small enough that any real run of the family is
+        // rejected once calibrated, but the surrogate still answers.
+        let server = ScenarioServer::start(ServerConfig {
+            workers: 1,
+            budget_seconds: Some(f64::MIN_POSITIVE),
+            ..Default::default()
+        });
+        let mut base = SimConfig::test_tiny(4, 1);
+        base.start_hour = 9;
+        let job = EnsembleJob::emission_sweep(base.clone(), &[0.8, 1.0, 1.2]);
+        // The family is uncalibrated, so admission admits the sweep
+        // (first-of-family runs are never rejected) and the sweep itself
+        // calibrates it.
+        let outcome = server.run_ensemble(&job, true);
+        assert!(outcome.result().is_some());
+        assert!(server.calibrated_families() >= 1);
+
+        // Now every exact run at a calibrated scale busts the budget: a
+        // zero-tolerance query forces the fallback (any real surface has
+        // a nonzero bound), and admission prices it out. (A fallback at
+        // an *uncalibrated* scale is first-of-family and would still be
+        // admitted — the scale is part of the family key.)
+        let rejected = server.what_if(&base, 1.0, 0.0);
+        assert!(
+            matches!(rejected, WhatIfRouted::Rejected { .. }),
+            "over-tolerance fallback must be priced and rejected"
+        );
+        // ...but an in-range surrogate hit never consults the budget.
+        let hit = server.what_if(&base, 1.1, 1.0);
+        assert!(hit.outcome().expect("answered").is_surrogate());
+
+        // A second sweep of the now-calibrated, over-budget family is
+        // refused up front, naming the offending member.
+        match server.run_ensemble(&job, true) {
+            EnsembleOutcome::Rejected {
+                member,
+                predicted_seconds,
+                budget_seconds,
+            } => {
+                assert_eq!(member, 0);
+                assert!(predicted_seconds > budget_seconds);
+            }
+            EnsembleOutcome::Completed(_) => panic!("expected rejection"),
+        }
+
+        let m = server.shutdown();
+        assert_eq!(m.surrogate_hits, 1);
+        assert_eq!(m.surrogate_misses, 0, "rejected fallback served no answer");
+        assert!(m.reconciles());
     }
 
     #[test]

@@ -50,6 +50,15 @@ pub struct Metrics {
     pub result_cache_hits: Counter,
     pub result_cache_misses: Counter,
 
+    // Ensemble + surrogate tier. These count *sweep* work and
+    // what-if answers, not queue jobs, so they stay outside the
+    // job-flow reconciliation above.
+    pub ensemble_members: Counter,
+    pub ensemble_input_hours_shared: Counter,
+    pub ensemble_saved_bytes: Counter,
+    pub surrogate_hits: Counter,
+    pub surrogate_misses: Counter,
+
     // Latency histograms per job phase.
     pub queue_wait: Histogram,
     pub service: Histogram,
@@ -76,6 +85,11 @@ impl Metrics {
             profile_cache_misses: self.profile_cache_misses.get(),
             result_cache_hits: self.result_cache_hits.get(),
             result_cache_misses: self.result_cache_misses.get(),
+            ensemble_members: self.ensemble_members.get(),
+            ensemble_input_hours_shared: self.ensemble_input_hours_shared.get(),
+            ensemble_saved_bytes: self.ensemble_saved_bytes.get(),
+            surrogate_hits: self.surrogate_hits.get(),
+            surrogate_misses: self.surrogate_misses.get(),
             queue_wait: self.queue_wait.snapshot(),
             service: self.service.snapshot(),
             latency: self.latency.snapshot(),
@@ -100,6 +114,11 @@ pub struct MetricsSnapshot {
     pub profile_cache_misses: u64,
     pub result_cache_hits: u64,
     pub result_cache_misses: u64,
+    pub ensemble_members: u64,
+    pub ensemble_input_hours_shared: u64,
+    pub ensemble_saved_bytes: u64,
+    pub surrogate_hits: u64,
+    pub surrogate_misses: u64,
     pub queue_wait: HistogramSnapshot,
     pub service: HistogramSnapshot,
     pub latency: HistogramSnapshot,
@@ -115,6 +134,22 @@ impl MetricsSnapshot {
     /// cancellation + deadline expiry).
     pub fn cancelled_total(&self) -> u64 {
         self.cancelled + self.deadline_expired
+    }
+
+    /// Total what-if answers served (surrogate hits + exact fallbacks).
+    pub fn surrogate_answers(&self) -> u64 {
+        self.surrogate_hits + self.surrogate_misses
+    }
+
+    /// Fraction of what-if queries that fell back to exact simulation
+    /// (0.0 when none have been served).
+    pub fn surrogate_fallback_rate(&self) -> f64 {
+        let total = self.surrogate_answers();
+        if total == 0 {
+            0.0
+        } else {
+            self.surrogate_misses as f64 / total as f64
+        }
     }
 
     /// The accounting invariant: every submitted job is completed,
@@ -207,6 +242,43 @@ impl MetricsSnapshot {
             );
         }
 
+        let ensemble: [(&str, &str, u64); 3] = [
+            (
+                "airshed_server_ensemble_members_total",
+                "Ensemble members run through sweeps.",
+                self.ensemble_members,
+            ),
+            (
+                "airshed_server_ensemble_input_hours_shared_total",
+                "Member-hours whose input stage was deduplicated.",
+                self.ensemble_input_hours_shared,
+            ),
+            (
+                "airshed_server_ensemble_saved_bytes_total",
+                "Input-generation bytes avoided by the shared input stage.",
+                self.ensemble_saved_bytes,
+            ),
+        ];
+        for (name, help, v) in ensemble {
+            w.header(name, help, "counter");
+            w.sample(name, "", v as f64);
+        }
+        w.header(
+            "airshed_server_surrogate_answers_total",
+            "What-if answers by tier (surrogate hit vs exact fallback).",
+            "counter",
+        );
+        for (tier, v) in [
+            ("hit", self.surrogate_hits),
+            ("miss", self.surrogate_misses),
+        ] {
+            w.sample(
+                "airshed_server_surrogate_answers_total",
+                &prom::label("tier", tier),
+                v as f64,
+            );
+        }
+
         w.header(
             "airshed_server_job_seconds",
             "Job latency by stage (queue wait, service, end-to-end).",
@@ -269,6 +341,19 @@ impl fmt::Display for MetricsSnapshot {
             self.result_cache_hits,
             self.result_cache_misses
         )?;
+        if self.ensemble_members > 0 || self.surrogate_answers() > 0 {
+            writeln!(
+                f,
+                "  ensemble: {} members, {} input-hours shared ({} bytes saved); \
+                 surrogate: {} hits / {} exact fallbacks ({:.0}% fallback)",
+                self.ensemble_members,
+                self.ensemble_input_hours_shared,
+                self.ensemble_saved_bytes,
+                self.surrogate_hits,
+                self.surrogate_misses,
+                100.0 * self.surrogate_fallback_rate()
+            )?;
+        }
         fmt_hist(f, "queue-wait", &self.queue_wait)?;
         fmt_hist(f, "service", &self.service)?;
         fmt_hist(f, "latency", &self.latency)?;
@@ -327,5 +412,29 @@ mod tests {
         );
         assert!(text.contains("airshed_server_job_seconds_count{stage=\"service\"} 1"));
         assert!(text.contains("airshed_server_job_seconds_bucket{stage=\"service\",le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn ensemble_counters_render_without_touching_reconciliation() {
+        let m = Metrics::new();
+        m.ensemble_members.add(16);
+        m.ensemble_input_hours_shared.add(45);
+        m.ensemble_saved_bytes.add(1_000_000);
+        m.surrogate_hits.add(3);
+        m.surrogate_misses.inc();
+        let s = m.snapshot();
+        // Sweep/what-if work is not job flow: zero submits still reconcile.
+        assert!(s.reconciles(), "{s}");
+        assert_eq!(s.surrogate_answers(), 4);
+        assert!((s.surrogate_fallback_rate() - 0.25).abs() < 1e-12);
+        let prom = s.to_prometheus();
+        assert!(prom.contains("airshed_server_ensemble_members_total 16"));
+        assert!(prom.contains("airshed_server_ensemble_input_hours_shared_total 45"));
+        assert!(prom.contains("airshed_server_ensemble_saved_bytes_total 1000000"));
+        assert!(prom.contains("airshed_server_surrogate_answers_total{tier=\"hit\"} 3"));
+        assert!(prom.contains("airshed_server_surrogate_answers_total{tier=\"miss\"} 1"));
+        let text = format!("{s}");
+        assert!(text.contains("16 members"));
+        assert!(text.contains("25% fallback"));
     }
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Docs link checker: every intra-repo markdown link in README.md and
+# docs/*.md must point at a file (or a file#anchor) that exists. Dead
+# links fail CI; external http(s) links are not fetched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir="$(dirname "$doc")"
+    # Extract inline markdown link targets: [text](target)
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;   # external
+            '#'*) continue ;;                          # same-file anchor
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        # Links resolve relative to the file that contains them.
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "DEAD LINK in $doc: ($target)" >&2
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//; s/ .*//')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs link check FAILED" >&2
+    exit 1
+fi
+echo "docs link check OK: all intra-repo links resolve"

@@ -80,6 +80,26 @@ cmp "$trace_dir/fabric_ref.txt" "$trace_dir/fabric_run.txt"
 echo "$fabric_out" | grep -q "jobs/s sustained"
 echo "fabric OK: 16/16 reports bit-identical to single-process after shard kill"
 
+echo "==> ensemble + surrogate smoke (shared-input dedup, two-tier what-if)"
+# A small sweep with dedup: the Prometheus snapshot must show nonzero
+# dedup savings, and the what-if batch must exercise both tiers — the
+# surrogate hit (simulator not invoked) and the exact fallback.
+ensemble_out="$(cargo run --release -q --bin airshed -- ensemble \
+    --dataset tiny:60 --members 5 --hours 2 --nodes 8 --backend rayon --threads 2 \
+    --queries 0.9,2.0 --metrics-out "$trace_dir/ensemble.prom")"
+echo "$ensemble_out"
+echo "$ensemble_out" | grep -q "surrogate hit"
+echo "$ensemble_out" | grep -q "exact fallback"
+saved_bytes="$(grep '^airshed_ensemble_dedup_saved_bytes_total' "$trace_dir/ensemble.prom" | awk '{print $2}')"
+[ -n "$saved_bytes" ] && [ "${saved_bytes%.*}" -gt 0 ] || {
+    echo "ensemble smoke FAILED: dedup counter not positive ($saved_bytes)" >&2
+    exit 1
+}
+echo "ensemble OK: dedup saved $saved_bytes bytes, both what-if tiers exercised"
+
+echo "==> docs link check (README.md, docs/*.md)"
+bash scripts/check_links.sh
+
 echo "==> performance-oracle smoke (airshed validate)"
 cargo run --release --bin airshed -- validate --help >/dev/null
 cargo run --release --bin airshed -- validate \

@@ -13,11 +13,14 @@
 
 use airshed::core::config::{DatasetChoice, SimConfig, Weather};
 use airshed::core::driver::{replay_with_layout, run_with_profile_obs, ChemLayout, PlanLayouts};
+use airshed::core::ensemble::{run_ensemble_obs, EnsembleJob, MemberSpec};
 use airshed::core::obs::oracle::{validate_profile, Oracle};
 use airshed::core::obs::{Collector, Obs, SpanSink};
 use airshed::core::plan::optimize::plan_cost;
 use airshed::core::plan::{optimize_plan, replay_profile_with};
 use airshed::core::predict::PerfModel;
+use airshed::core::profile::SURFACE_SPECIES;
+use airshed::core::surrogate::{what_if, ResponseSurface, WhatIfOutcome};
 use airshed::core::taskpar::{
     optimize_split, replay_taskparallel_obs, replay_taskparallel_obs_with,
 };
@@ -75,6 +78,13 @@ struct Options {
     heartbeat_ms: u64,
     hb_timeout_ms: u64,
     fault: Option<String>,
+    // ensemble knobs
+    members: usize,
+    scale_range: (f64, f64),
+    days: usize,
+    no_dedup: bool,
+    tolerance: f64,
+    queries: Vec<f64>,
 }
 
 impl Default for Options {
@@ -115,6 +125,12 @@ impl Default for Options {
             heartbeat_ms: 250,
             hb_timeout_ms: 2000,
             fault: None,
+            members: 8,
+            scale_range: (0.5, 1.5),
+            days: 1,
+            no_dedup: false,
+            tolerance: 1.0e-3,
+            queries: vec![0.9, 1.25, 2.0],
         }
     }
 }
@@ -136,6 +152,10 @@ COMMANDS:
     popexp      integrated Airshed + population exposure (Figure 13 style)
     validate    run the performance oracle: predicted-vs-measured tables
                 over a node sweep plus L/G/H recalibration (Figure 5-7 style)
+    ensemble    run an emission-scaling (or multi-day) ensemble sweep with
+                shared-input dedup, fit the surrogate response surface, and
+                answer what-if queries from it (exact fallback when the
+                error bound exceeds --tolerance)
     serve-batch run a scenario batch through the concurrent scenario service
     fabric      serve a batch across shard processes with oracle-routed
                 load balancing (spawns shards; or --local for the
@@ -169,6 +189,17 @@ VALIDATE OPTIONS:
     --nodes N,N,...  node counts to sweep (default 4,16,64 when a single
                      count is given)
     --json F         also write the predicted-vs-measured tables as JSON
+
+ENSEMBLE OPTIONS:
+    --members N      members in the emission sweep        (default 8)
+    --scale-range lo:hi  emission scales swept, inclusive  (default 0.5:1.5)
+    --days D         replicate the sweep over D episode days (default 1;
+                     forks one input group per day)
+    --no-dedup       run every member standalone (the baseline the dedup
+                     savings compare against)
+    --tolerance T    surrogate error bound a what-if accepts, ppm (default 1e-3)
+    --queries S,S,.. what-if emission scales to answer     (default 0.9,1.25,2.0;
+                     out-of-range scales exercise the exact fallback)
 
 SERVE-BATCH OPTIONS:
     --workers N     worker pool size                    (default 4)
@@ -208,6 +239,7 @@ EXAMPLES:
     airshed validate --grid la --nodes 4,16,64
     airshed plan --optimize --grid la --nodes 16 --hours 2
     airshed run --dataset tiny:120 --emis 0.5 --hours 6   # policy scenario
+    airshed ensemble --dataset la --members 16 --hours 4 --queries 0.9,2.0
     airshed serve-batch --dataset tiny:60 --workers 4 --clients 8 --budget 2e4"
     );
 }
@@ -366,6 +398,43 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 let spec = val("--fault")?;
                 FaultPlan::parse(&spec)?; // validate eagerly
                 o.fault = Some(spec);
+            }
+            "--members" => {
+                o.members = val("--members")?.parse().map_err(|e| format!("{e}"))?;
+                if o.members < 2 {
+                    return Err("--members must be at least 2".into());
+                }
+            }
+            "--scale-range" => {
+                let spec = val("--scale-range")?;
+                let (lo, hi) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--scale-range wants lo:hi, got '{spec}'"))?;
+                let lo: f64 = lo.parse().map_err(|e| format!("{e}"))?;
+                let hi: f64 = hi.parse().map_err(|e| format!("{e}"))?;
+                if !(lo >= 0.0 && hi > lo) {
+                    return Err("--scale-range wants 0 <= lo < hi".into());
+                }
+                o.scale_range = (lo, hi);
+            }
+            "--days" => {
+                o.days = val("--days")?.parse().map_err(|e| format!("{e}"))?;
+                if o.days == 0 {
+                    return Err("--days must be positive".into());
+                }
+            }
+            "--no-dedup" => o.no_dedup = true,
+            "--tolerance" => {
+                o.tolerance = val("--tolerance")?.parse().map_err(|e| format!("{e}"))?;
+                if o.tolerance < 0.0 {
+                    return Err("--tolerance must be non-negative".into());
+                }
+            }
+            "--queries" => {
+                o.queries = val("--queries")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>().map_err(|e| format!("{e}")))
+                    .collect::<Result<Vec<f64>, String>>()?;
             }
             "--trace-out" => o.trace_out = Some(val("--trace-out")?),
             "--metrics-out" => o.metrics_out = Some(val("--metrics-out")?),
@@ -1086,6 +1155,123 @@ fn cmd_fabric(o: &Options, obs: &Obs) -> Result<(), String> {
     Ok(())
 }
 
+fn fmt_bytes(b: u64) -> String {
+    if b >= 10_000_000 {
+        format!("{:.1} MB", b as f64 / 1.0e6)
+    } else {
+        format!("{:.1} KB", b as f64 / 1.0e3)
+    }
+}
+
+fn cmd_ensemble(o: &Options, obs: &Obs) -> Result<(), String> {
+    let p = o.nodes[0];
+    let base = config(o, p);
+    let run_exec = exec(o);
+    let (lo, hi) = o.scale_range;
+    let n = o.members;
+    let scales: Vec<f64> = (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect();
+    let mut job = EnsembleJob::new(base.clone());
+    for d in 0..o.days {
+        for &s in &scales {
+            // Members inherit the base weather so the sweep stays in
+            // the regime the user asked for (--stagnation included).
+            job.push(MemberSpec {
+                emission_scale: s,
+                weather: o.weather,
+                day: d,
+            });
+        }
+    }
+    let dedup = !o.no_dedup;
+    eprintln!(
+        "running {}-member ensemble on {} ({}h from hour {}, {} input group{}, dedup {})...",
+        job.len(),
+        o.dataset.name(),
+        o.hours,
+        o.start_hour,
+        job.input_groups().len(),
+        if job.input_groups().len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        if dedup { "on" } else { "off" },
+    );
+    let result = run_ensemble_obs(&job, run_exec, obs, dedup);
+
+    println!("member  perturbation                      total(s)  peak O3(ppb)  input stage");
+    for (i, m) in result.members.iter().enumerate() {
+        let stage = match m.report.dedup_saved_bytes {
+            Some(0) => "ran it".to_string(),
+            Some(b) => format!("shared, {} saved", fmt_bytes(b)),
+            None => "standalone".to_string(),
+        };
+        println!(
+            "{:>6}  {:<32}  {:>8.1}  {:>12.1}  {stage}",
+            i,
+            m.spec.describe(),
+            m.report.total_seconds,
+            1000.0 * m.report.peak_o3(),
+        );
+    }
+    let d = &result.dedup;
+    println!(
+        "dedup: {} shared input-stage run(s) across {} group(s) for {} members; \
+         {} member-hours deduped, {} and {:.3}s of input generation saved; \
+         sweep wall {:.2}s",
+        d.input_runs,
+        d.groups,
+        result.members.len(),
+        d.input_hours_deduped,
+        fmt_bytes(d.saved_bytes),
+        d.saved_seconds,
+        result.wall_seconds,
+    );
+
+    match ResponseSurface::from_ensemble(&result) {
+        Ok(surface) => {
+            let (slo, shi) = surface.range();
+            println!(
+                "surrogate: degree-{} response surface over {} members, {} cells, \
+                 scales [{:.2}, {:.2}], max residual {:.3e} ppm",
+                surface.degree(),
+                surface.members(),
+                surface.cells(),
+                slo,
+                shi,
+                surface.error_bound(),
+            );
+            let nodes = surface.cells() / SURFACE_SPECIES.len();
+            for &q in &o.queries {
+                let answer = what_if(Some(&surface), &base, q, o.tolerance, run_exec, obs);
+                let peak_o3 = 1000.0
+                    * answer.field()[..nodes]
+                        .iter()
+                        .fold(0.0f64, |a, &v| a.max(v));
+                match answer {
+                    WhatIfOutcome::Surrogate { bound, .. } => println!(
+                        "what-if x{q:<5}: surrogate hit   peak O3 {peak_o3:>6.1} ppb \
+                         (bound {bound:.2e} <= tol {:.2e}, simulator not invoked)",
+                        o.tolerance
+                    ),
+                    WhatIfOutcome::Exact { report, reason, .. } => println!(
+                        "what-if x{q:<5}: exact fallback  peak O3 {peak_o3:>6.1} ppb \
+                         ({}; simulated {:.1}s virtual)",
+                        reason
+                            .map(|r| r.to_string())
+                            .unwrap_or_else(|| "no surface".to_string()),
+                        report.total_seconds
+                    ),
+                }
+            }
+        }
+        Err(e) => println!("surrogate: not fitted ({e}); what-if queries would run exact"),
+    }
+    Ok(())
+}
+
 fn cmd_shard(o: &Options, obs: &Obs) -> Result<(), String> {
     let connect = o
         .connect
@@ -1150,6 +1336,12 @@ fn main() -> ExitCode {
             }
         }
         "popexp" => cmd_popexp(&opts, &obs),
+        "ensemble" => {
+            if let Err(e) = cmd_ensemble(&opts, &obs) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         "serve-batch" => {
             if let Err(e) = cmd_serve_batch(&opts, &obs) {
                 eprintln!("error: {e}");
