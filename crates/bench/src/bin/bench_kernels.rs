@@ -167,6 +167,27 @@ fn plan_optimize(exec: ExecSpec) -> (f64, f64, f64) {
     (choice.default_seconds, choice.predicted_seconds, search_s)
 }
 
+/// Analytic copy-traffic accounting for one hour of a paper grid at
+/// P = 16: bytes moved outside the kernels — redistribution local
+/// copies (§3 plans), SoA column staging in chemistry, and result
+/// serialization. Deterministic plan-derived numbers, not wall clock;
+/// the same accounting a traced run exports on its `copy bytes`
+/// counter track.
+fn copy_traffic(dataset: DatasetChoice, exec: ExecSpec) -> airshed_core::report::CopyBytes {
+    let mut config = SimConfig::test_tiny(16, 1);
+    config.dataset = dataset;
+    config.start_hour = 12;
+    let (_, profile) = run_with_profile_obs(&config, exec, &Obs::off());
+    airshed_core::plan::replay_profile(
+        &profile,
+        config.machine,
+        16,
+        airshed_core::ChemLayout::Block,
+    )
+    .copy_bytes
+    .unwrap_or_default()
+}
+
 /// Cold-batch jobs/sec against a fresh pool of `workers` workers.
 fn server_rate(workers: usize) -> f64 {
     const JOBS: usize = 8;
@@ -235,6 +256,10 @@ fn main() {
     eprintln!("measuring server throughput...");
     let rate1 = server_rate(1);
     let rate4 = server_rate(4);
+
+    eprintln!("accounting copy traffic (la, ne; one hour, P=16)...");
+    let cb_la = copy_traffic(DatasetChoice::LosAngeles, ExecSpec::simd(4));
+    let cb_ne = copy_traffic(DatasetChoice::NorthEast, ExecSpec::simd(4));
 
     let mut table = Table::new(vec!["benchmark", "median", "note"]);
     table.row(vec![
@@ -319,6 +344,13 @@ fn main() {
         format!("{rate4:.2} jobs/s"),
         format!("{:.2}x vs 1 worker", rate4 / rate1),
     ]);
+    for (grid, cb) in [("la", &cb_la), ("ne", &cb_ne)] {
+        table.row(vec![
+            format!("copy_bytes/{grid}_hour"),
+            format!("{:.1} MB", cb.total() as f64 / 1e6),
+            "analytic, P=16, 1 hour".to_string(),
+        ]);
+    }
     table.print("Kernel and backend medians", "bench_kernels");
 
     // The serde shim is a no-op, so the JSON is formatted by hand. The
@@ -338,8 +370,22 @@ fn main() {
         .map(|f| format!("    \"{f}\": {}", u8::from(features.contains(f))))
         .collect::<Vec<_>>()
         .join(",\n");
+    let copy_json = |cb: &airshed_core::report::CopyBytes| {
+        format!(
+            "{{\n      \"redist_local\": {},\n      \"soa_staging\": {},\n      \"result_serialization\": {},\n      \"total\": {}\n    }}",
+            cb.redist_local,
+            cb.soa_staging,
+            cb.result_serialization,
+            cb.total()
+        )
+    };
+    let copy_bytes_json = format!(
+        "    \"la\": {},\n    \"ne\": {}",
+        copy_json(&cb_la),
+        copy_json(&cb_ne)
+    );
     let json = format!(
-        "{{\n  \"host_threads\": {host_threads},\n  \"host_physical_threads\": {physical_threads},\n  \"cpu_features\": {{\n{feat_json}\n  }},\n  \"la_hour\": {{\n    \"serial_s\": {serial_s:.4},\n    \"rayon4_s\": {rayon4_s:.4},\n    \"simd4_s\": {simd4_s:.4},\n    \"speedup_rayon4\": {:.4},\n    \"speedup_simd4\": {:.4}\n  }},\n  \"la_hour_phase_median_us\": {{\n{phase_json}\n  }},\n  \"la_hour_phase_median_us_serial\": {{\n{phase_serial_json}\n  }},\n  \"la_hour_phase_median_us_simd\": {{\n{phase_simd_json}\n  }},\n  \"simd\": {{\n    \"chemistry_speedup_vs_serial\": {simd_chem_speedup:.4}\n  }},\n  \"workspace_hoisting\": {{\n    \"transport_half_step_reused_s\": {tr_reused_s:.6},\n    \"transport_half_step_fresh_s\": {tr_fresh_s:.6},\n    \"transport_speedup\": {:.4},\n    \"yb_cell_reused_s\": {yb_reused_s:.9},\n    \"yb_cell_fresh_s\": {yb_fresh_s:.9},\n    \"yb_speedup\": {:.4}\n  }},\n  \"plan_optimize\": {{\n    \"nodes\": 16,\n    \"default_hour_virtual_s\": {plan_default_s:.4},\n    \"optimized_hour_virtual_s\": {plan_opt_s:.4},\n    \"saving_frac\": {:.4},\n    \"search_wall_s\": {plan_search_s:.6}\n  }},\n  \"server_throughput\": {{\n    \"jobs\": 8,\n    \"workers1_jobs_per_s\": {rate1:.4},\n    \"workers4_jobs_per_s\": {rate4:.4},\n    \"scaling_4v1\": {:.4}\n  }}\n}}\n",
+        "{{\n  \"host_threads\": {host_threads},\n  \"host_physical_threads\": {physical_threads},\n  \"cpu_features\": {{\n{feat_json}\n  }},\n  \"la_hour\": {{\n    \"serial_s\": {serial_s:.4},\n    \"rayon4_s\": {rayon4_s:.4},\n    \"simd4_s\": {simd4_s:.4},\n    \"speedup_rayon4\": {:.4},\n    \"speedup_simd4\": {:.4}\n  }},\n  \"la_hour_phase_median_us\": {{\n{phase_json}\n  }},\n  \"la_hour_phase_median_us_serial\": {{\n{phase_serial_json}\n  }},\n  \"la_hour_phase_median_us_simd\": {{\n{phase_simd_json}\n  }},\n  \"simd\": {{\n    \"chemistry_speedup_vs_serial\": {simd_chem_speedup:.4}\n  }},\n  \"workspace_hoisting\": {{\n    \"transport_half_step_reused_s\": {tr_reused_s:.6},\n    \"transport_half_step_fresh_s\": {tr_fresh_s:.6},\n    \"transport_speedup\": {:.4},\n    \"yb_cell_reused_s\": {yb_reused_s:.9},\n    \"yb_cell_fresh_s\": {yb_fresh_s:.9},\n    \"yb_speedup\": {:.4}\n  }},\n  \"plan_optimize\": {{\n    \"nodes\": 16,\n    \"default_hour_virtual_s\": {plan_default_s:.4},\n    \"optimized_hour_virtual_s\": {plan_opt_s:.4},\n    \"saving_frac\": {:.4},\n    \"search_wall_s\": {plan_search_s:.6}\n  }},\n  \"server_throughput\": {{\n    \"jobs\": 8,\n    \"workers1_jobs_per_s\": {rate1:.4},\n    \"workers4_jobs_per_s\": {rate4:.4},\n    \"scaling_4v1\": {:.4}\n  }},\n  \"copy_bytes\": {{\n{copy_bytes_json}\n  }}\n}}\n",
         serial_s / rayon4_s,
         serial_s / simd4_s,
         tr_fresh_s / tr_reused_s,

@@ -13,7 +13,7 @@ use crate::config::SimConfig;
 use crate::obs::{Obs, Track};
 use crate::phases::PhaseEngine;
 use crate::profile::{HourProfile, StepProfile, WorkProfile};
-use crate::report::RunReport;
+use crate::report::{CopyBytes, RunReport};
 use crate::state::SimState;
 use airshed_hpf::dist::Distribution;
 use airshed_hpf::redist::{airshed_redists, labels, plan, AirshedRedists, RedistPlan};
@@ -175,6 +175,31 @@ impl HourPlans {
     }
 }
 
+/// Bytes one simulated hour copies outside the kernels, computed from
+/// the redistribution plans and the grid shape — the measured `c` side
+/// of the zero-copy roadmap item. `redist_local` multiplies each
+/// plan's local-copy bytes by its per-hour execution count (the same
+/// counts `comm_steps` records: `D_Trans->D_Chem` and `D_Chem->D_Repl`
+/// once per step, `D_Repl->D_Trans` once per step plus once at hour
+/// start, `D_Trans->D_Repl` once per hour); `soa_staging` is the
+/// chemistry column staging (read + write-back per step, matching what
+/// [`PhaseEngine`] actually stages); `result_serialization` is the
+/// hour's surface snapshot. Deterministic, so live runs, replays and
+/// fabric shards agree byte for byte.
+pub fn copy_bytes_for_hour(plans: &HourPlans, steps: usize, surface_len: usize) -> CopyBytes {
+    let s = steps as u64;
+    let copied = |p: &RedistPlan| p.total_bytes_copied() as u64;
+    let col_len = plans.shape[0] * plans.shape[1];
+    CopyBytes {
+        redist_local: copied(&plans.main.trans_to_chem) * s
+            + copied(&plans.main.chem_to_repl) * s
+            + copied(&plans.main.repl_to_trans) * (s + 1)
+            + copied(&plans.trans_to_repl),
+        soa_staging: (2 * plans.shape[2] * col_len * WORD) as u64 * s,
+        result_serialization: (surface_len * WORD) as u64,
+    }
+}
+
 /// Charge one hour's captured work to the machine: build the hour's
 /// [`crate::plan::PhaseGraph`] and execute it. The graph's program order
 /// is exactly the phase/redistribution sequence of the main loop, so the
@@ -293,6 +318,7 @@ pub fn run_resumable_obs(
 
     let mut hours = Vec::with_capacity(config.hours);
     let mut summaries = Vec::with_capacity(config.hours);
+    let mut copy_total = CopyBytes::default();
 
     for h in 0..config.hours {
         let hour = first_hour + h;
@@ -360,10 +386,44 @@ pub fn run_resumable_obs(
             hours.push(hp);
             summaries.push(summary);
         }
+        // Copy-traffic accounting: redistribution local copies and the
+        // surface snapshot from the plans, SoA staging as measured by
+        // the engine (they agree today; the measured number is the one
+        // that drops when the zero-copy refactor lands).
+        {
+            let hp = hours.last().expect("hour profile was just pushed");
+            let mut cb = copy_bytes_for_hour(&plans, hp.steps.len(), hp.surface.len());
+            cb.soa_staging = engine.take_staged_bytes();
+            copy_total.add(&cb);
+        }
         // Hour boundary: export the virtual-machine events this hour's
         // graph execution charged (every PhaseKind node and redist
         // edge, in virtual time) and flush the span buffers.
         if obs.enabled() {
+            // Cumulative copy-bytes counters, one series per copy
+            // class, sampled at the hour boundary.
+            let now_us = obs.us_since_epoch(std::time::Instant::now());
+            obs.record_counter(
+                "redist_local",
+                "copy bytes",
+                now_us,
+                copy_total.redist_local as f64,
+                Some(tag),
+            );
+            obs.record_counter(
+                "soa_staging",
+                "copy bytes",
+                now_us,
+                copy_total.soa_staging as f64,
+                Some(tag),
+            );
+            obs.record_counter(
+                "result_serialization",
+                "copy bytes",
+                now_us,
+                copy_total.result_serialization as f64,
+                Some(tag),
+            );
             let events = machine.trace.events();
             let new_events = &events[trace_mark..];
             for e in new_events {
@@ -386,6 +446,31 @@ pub fn run_resumable_obs(
     if let Some(oracle) = obs.oracle() {
         oracle.publish_to(obs);
     }
+    if obs.enabled() {
+        use crate::obs::prom::{label, PromWriter};
+        let mut w = PromWriter::new();
+        w.header(
+            "airshed_copy_bytes_total",
+            "Bytes copied outside the kernels, by copy class.",
+            "counter",
+        );
+        for (kind, phase, v) in [
+            ("redist_local", "communication", copy_total.redist_local),
+            ("soa_staging", "chemistry", copy_total.soa_staging),
+            (
+                "result_serialization",
+                "output",
+                copy_total.result_serialization,
+            ),
+        ] {
+            w.sample(
+                "airshed_copy_bytes_total",
+                &format!("{},{}", label("kind", kind), label("phase", phase)),
+                v as f64,
+            );
+        }
+        obs.publish("copy-traffic", w.finish());
+    }
 
     let profile = WorkProfile {
         dataset: engine.dataset.spec.name,
@@ -396,6 +481,7 @@ pub fn run_resumable_obs(
     let mut report =
         RunReport::from_machine(engine.dataset.spec.name, &machine, config.hours, summaries);
     report.backend = exec.describe();
+    report.copy_bytes = Some(copy_total);
     let checkpoint = crate::checkpoint::Checkpoint {
         next_hour: first_hour + config.hours,
         state,
@@ -515,6 +601,20 @@ mod tests {
         // One extra D_Repl->D_Trans at each hour start.
         assert_eq!(find("D_Repl->D_Trans").count, steps + hours);
         assert_eq!(find("D_Trans->D_Repl").count, hours);
+    }
+
+    #[test]
+    fn copy_bytes_are_accounted_and_match_replay() {
+        // The live run measures SoA staging; the replay computes it
+        // from the plans. They must agree exactly (same grid, same
+        // steps), and every copy class must be nonzero.
+        let (r, prof) = tiny_run();
+        let cb = r.copy_bytes.expect("live run accounts copies");
+        assert!(cb.redist_local > 0, "redist local copies must be counted");
+        assert!(cb.soa_staging > 0, "SoA staging must be counted");
+        assert!(cb.result_serialization > 0, "surface bytes must be counted");
+        let r2 = replay(prof, tiny_config().machine, 4);
+        assert_eq!(r2.copy_bytes, Some(cb));
     }
 
     #[test]

@@ -25,6 +25,7 @@ const PID_HOST: u32 = 1;
 const PID_VIRTUAL: u32 = 2;
 const PID_PIPELINE: u32 = 3;
 const PID_COUNTERS: u32 = 4;
+const PID_JOBS: u32 = 5;
 
 /// Escape a string for inclusion in a JSON string literal.
 fn esc(s: &str) -> String {
@@ -72,6 +73,7 @@ fn pid_tid(track: Track, dynamic: &mut BTreeMap<(u32, &'static str), u32>) -> (u
                 *dynamic.entry((PID_COUNTERS, label)).or_insert(next),
             )
         }
+        Track::Job(job) => (PID_JOBS, job),
     }
 }
 
@@ -84,6 +86,7 @@ fn track_name(track: Track) -> String {
             format!("server-worker-{}/pool-{worker}", lane - 1)
         }
         Track::Virtual(label) | Track::Stage(label) | Track::Counter(label) => label.to_string(),
+        Track::Job(job) => format!("job-{job}"),
     }
 }
 
@@ -97,6 +100,20 @@ pub fn render(events: &[SpanRecord]) -> String {
 /// flushes-on-drop: a run interrupted mid-hour still produces a trace
 /// Perfetto loads, with the in-flight spans visibly open-ended.
 pub fn render_with_open(events: &[SpanRecord], open: &[SpanRecord]) -> String {
+    render_namespaced(events, open, 0, "")
+}
+
+/// [`render_with_open`] with every pid offset by `pid_base` and every
+/// process name prefixed with `label` — how a fabric shard namespaces
+/// its per-process trace so merged timelines never collide on track
+/// identity. `pid_base` must be a multiple of [`super::dist::PID_STRIDE`]
+/// (local pids stay below the stride); `(0, "")` is the plain render.
+pub fn render_namespaced(
+    events: &[SpanRecord],
+    open: &[SpanRecord],
+    pid_base: u32,
+    label: &str,
+) -> String {
     let mut dynamic: BTreeMap<(u32, &'static str), u32> = BTreeMap::new();
     // First pass: discover every (pid, tid) so metadata events can name
     // the tracks before any duration event references them.
@@ -128,15 +145,22 @@ pub fn render_with_open(events: &[SpanRecord], open: &[SpanRecord]) -> String {
             PID_HOST => "host (wall clock)",
             PID_VIRTUAL => "virtual machine",
             PID_COUNTERS => "oracle (counters)",
+            PID_JOBS => "fabric jobs",
             _ => "pipeline (virtual time)",
+        };
+        let pname = if label.is_empty() {
+            pname.to_string()
+        } else {
+            format!("{label}: {pname}")
         };
         push(
             &mut out,
             &mut first,
             format!(
-                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{},\"tid\":0,\
                  \"args\":{{\"name\":\"{}\"}}}}",
-                esc(pname)
+                pid + pid_base,
+                esc(&pname)
             ),
         );
     }
@@ -146,8 +170,9 @@ pub fn render_with_open(events: &[SpanRecord], open: &[SpanRecord]) -> String {
             &mut out,
             &mut first,
             format!(
-                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{},\"tid\":{tid},\
                  \"args\":{{\"name\":\"{}\"}}}}",
+                pid + pid_base,
                 esc(name)
             ),
         );
@@ -156,6 +181,7 @@ pub fn render_with_open(events: &[SpanRecord], open: &[SpanRecord]) -> String {
     // Duration and counter events.
     for e in events {
         let (pid, tid) = pid_tid(e.track, &mut dynamic);
+        let pid = pid + pid_base;
         if let Track::Counter(_) = e.track {
             // Counter sample: the record's dur field carries the value.
             push(
@@ -196,6 +222,7 @@ pub fn render_with_open(events: &[SpanRecord], open: &[SpanRecord]) -> String {
     // Still-open spans: begin events with no matching end.
     for e in open {
         let (pid, tid) = pid_tid(e.track, &mut dynamic);
+        let pid = pid + pid_base;
         let mut args = String::new();
         if let Some(hour) = e.hour {
             let _ = write!(args, "\"hour\":{hour}");
@@ -220,6 +247,14 @@ impl super::SpanSink {
     /// including spans whose guards are still open (flush-on-drop).
     pub fn chrome_trace(&self) -> String {
         render_with_open(&self.events(), &self.open_spans())
+    }
+
+    /// [`chrome_trace`](Self::chrome_trace) namespaced for a fabric
+    /// process: pids offset by `pid_base`, process names prefixed with
+    /// `label` (typically the shard name via
+    /// [`super::dist::pid_base`]).
+    pub fn chrome_trace_namespaced(&self, pid_base: u32, label: &str) -> String {
+        render_namespaced(&self.events(), &self.open_spans(), pid_base, label)
     }
 }
 
@@ -280,6 +315,40 @@ mod tests {
         assert!(json.contains("\"value\":0.250000"));
         assert!(json.contains("\"name\":\"oracle residual\"")); // thread name
         assert!(json.contains("\"name\":\"oracle (counters)\"")); // process
+    }
+
+    #[test]
+    fn namespaced_render_offsets_pids_and_prefixes_process_names() {
+        let events = vec![
+            span("hour", Track::Lane(0), 0.0, 100.0),
+            span("chemistry", Track::Virtual("chemistry"), 0.0, 5e6),
+        ];
+        let json = render_namespaced(&events, &[], 16, "shard-0");
+        assert!(json.contains("\"name\":\"shard-0: host (wall clock)\""));
+        assert!(json.contains("\"name\":\"shard-0: virtual machine\""));
+        assert!(json.contains("\"pid\":17"));
+        assert!(json.contains("\"pid\":18"));
+        assert!(!json.contains("\"pid\":1,"));
+        // Track (thread) names stay unprefixed — the process carries the
+        // shard identity.
+        assert!(json.contains("\"name\":\"driver\""));
+    }
+
+    #[test]
+    fn job_track_renders_on_the_fabric_jobs_process() {
+        let events = vec![SpanRecord {
+            name: "job",
+            track: Track::Job(3),
+            ts_us: 10.0,
+            dur_us: 50.0,
+            hour: None,
+            arg: Some(("trace_id", 4)),
+        }];
+        let json = render(&events);
+        assert!(json.contains("\"name\":\"fabric jobs\""));
+        assert!(json.contains("\"name\":\"job-3\""));
+        assert!(json.contains("\"trace_id\":4"));
+        assert!(json.contains("\"pid\":5"));
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! [`Trace`]: ../../airshed_machine/trace/struct.Trace.html
 
 pub mod chrome;
+pub mod dist;
 pub mod metrics;
 pub mod oracle;
 pub mod prom;
@@ -70,6 +71,10 @@ pub enum Track {
     /// per-hour residuals). For counter records the span's `dur_us`
     /// field carries the sampled *value*, not a duration.
     Counter(&'static str),
+    /// A per-job wall-clock track on the fabric frontend: one row per
+    /// scenario, carrying the job lifecycle span and its
+    /// route/steal/failover dispatch marks (see [`dist`]).
+    Job(u32),
 }
 
 /// One recorded interval. Timestamps are microseconds from the

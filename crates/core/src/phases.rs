@@ -153,6 +153,11 @@ pub struct PhaseEngine {
     /// it. Disabled by default; the driver installs an enabled handle
     /// (and keeps [`PhaseEngine::set_obs_hour`] current) when tracing.
     pub obs: Obs,
+    /// Bytes the chemistry phase staged into SoA column buffers since
+    /// the last [`PhaseEngine::take_staged_bytes`] — measured, not
+    /// modeled, so it drops when the zero-copy refactor lands. Atomic
+    /// because `chemistry_step` takes `&self` shared into pool tasks.
+    staged_bytes: std::sync::atomic::AtomicU64,
     /// Simulated hour tag attached to pool-task spans.
     obs_hour: Option<u32>,
     /// Reusable per-worker transport scratch (RHS + solver vectors).
@@ -185,6 +190,7 @@ impl PhaseEngine {
             point_by_slot,
             exec: ExecSpec::default(),
             obs: Obs::off(),
+            staged_bytes: std::sync::atomic::AtomicU64::new(0),
             obs_hour: None,
             transport_pool: WorkspacePool::new(),
             chem_pool: WorkspacePool::new(),
@@ -208,6 +214,13 @@ impl PhaseEngine {
     /// hour (the driver calls this at each hour boundary).
     pub fn set_obs_hour(&mut self, hour: u32) {
         self.obs_hour = Some(hour);
+    }
+
+    /// Drain the SoA staging byte counter (the driver reads it at each
+    /// hour boundary for the copy-traffic counters).
+    pub fn take_staged_bytes(&self) -> u64 {
+        self.staged_bytes
+            .swap(0, std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Background (boundary) concentration of a species.
@@ -327,6 +340,12 @@ impl PhaseEngine {
 
         let parts = ItemLayout::Cyclic.partition(nodes, self.exec.parallelism());
         let col_len = N_SPECIES * layers;
+        // Copy-traffic accounting: every column is staged out of the
+        // state array and written back — 2 × the buffer size per step.
+        self.staged_bytes.fetch_add(
+            (2 * nodes * col_len * std::mem::size_of::<f64>()) as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
         let mut cols = vec![0.0f64; nodes * col_len];
         let mut slot = 0usize;
         for part in &parts {

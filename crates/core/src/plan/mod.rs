@@ -491,15 +491,23 @@ pub fn replay_profile_with(
 ) -> RunReport {
     let mut machine = Machine::new(machine_profile, p);
     let plans = HourPlans::with_layouts(&profile.shape, p, layouts);
+    let mut copy_total = crate::report::CopyBytes::default();
     for hp in &profile.hours {
         PhaseGraph::for_hour(hp, &plans, p).execute(&mut machine);
+        copy_total.add(&crate::driver::copy_bytes_for_hour(
+            &plans,
+            hp.steps.len(),
+            hp.surface.len(),
+        ));
     }
-    RunReport::from_machine(
+    let mut report = RunReport::from_machine(
         profile.dataset,
         &machine,
         profile.hours.len(),
         profile.summaries.clone(),
-    )
+    );
+    report.copy_bytes = Some(copy_total);
+    report
 }
 
 #[cfg(test)]

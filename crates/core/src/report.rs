@@ -25,6 +25,65 @@ impl CommStepSummary {
     }
 }
 
+/// Where a fabric job's wall-clock time went, end to end — the
+/// fields the frontend's router measures from its own clock plus the
+/// shard-reported execute time. Carried on [`RunReport::anatomy`] for
+/// fabric jobs and aggregated into fleet Prometheus histograms
+/// (`airshed_fabric_job_stage_seconds`). Not part of the report
+/// fingerprint: latency is host-dependent by nature.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct LatencyAnatomy {
+    /// Submit → first dispatch (frontend clock, ms).
+    pub queued_ms: u64,
+    /// Shard-measured execute wall time summed over hours (µs).
+    pub exec_us: u64,
+    /// Accumulated one-way wire time of progress messages (µs),
+    /// measured against the clock-offset estimate; 0 when untraced.
+    pub wire_us: u64,
+    /// One-way wire time of the final reply (µs); 0 when untraced.
+    pub reply_us: u64,
+    /// Submit → completion at the frontend (ms).
+    pub end_to_end_ms: u64,
+    /// Hours the shards reported progress for.
+    pub hours: u32,
+    /// Dispatch segments this job ran as (1 = a single uninterrupted
+    /// assignment; each steal or failover adds one).
+    pub segments: u32,
+    /// Times the job was stolen from a backlog.
+    pub stolen: u32,
+    /// Times the job failed over after losing its shard.
+    pub failed_over: u32,
+}
+
+/// Bytes the hour pipeline copied outside the kernels — the measured
+/// side of the zero-copy roadmap item. `redist_local` counts
+/// redistribution local copies (plan `bytes_copied` × executions),
+/// `soa_staging` the chemistry SoA column staging (read + write-back),
+/// `result_serialization` the per-hour surface snapshot. All
+/// deterministic functions of grid shape and step count, so fabric and
+/// local runs agree exactly; excluded from the report fingerprint
+/// regardless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CopyBytes {
+    pub redist_local: u64,
+    pub soa_staging: u64,
+    pub result_serialization: u64,
+}
+
+impl CopyBytes {
+    /// Accumulate another hour's (or job's) worth of copies.
+    pub fn add(&mut self, other: &CopyBytes) {
+        self.redist_local += other.redist_local;
+        self.soa_staging += other.soa_staging;
+        self.result_serialization += other.result_serialization;
+    }
+
+    /// All counters together.
+    pub fn total(&self) -> u64 {
+        self.redist_local + self.soa_staging + self.result_serialization
+    }
+}
+
 /// The outcome of one simulated run on the virtual machine.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunReport {
@@ -64,6 +123,12 @@ pub struct RunReport {
     /// the shared input stage, measured from the stage's actual
     /// duration; `None` for non-ensemble runs.
     pub dedup_saved_seconds: Option<f64>,
+    /// Where this job's wall-clock time went across the fabric
+    /// (queue, wire, execute, reply); `None` outside the fabric.
+    pub anatomy: Option<LatencyAnatomy>,
+    /// Bytes copied outside the kernels over the whole run; `None`
+    /// when the run path predates copy accounting.
+    pub copy_bytes: Option<CopyBytes>,
 }
 
 impl RunReport {
@@ -92,6 +157,8 @@ impl RunReport {
             plan_delta_seconds: None,
             dedup_saved_bytes: None,
             dedup_saved_seconds: None,
+            anatomy: None,
+            copy_bytes: None,
             comm_steps: machine
                 .comm_log
                 .records()
@@ -151,6 +218,31 @@ impl fmt::Display for RunReport {
                     seconds
                 )?;
             }
+        }
+        if let Some(a) = &self.anatomy {
+            writeln!(
+                f,
+                "  latency: queued {}ms, exec {:.1}ms over {} hour(s), wire {}us, reply {}us, \
+                 e2e {}ms ({} segment(s), {} stolen, {} failed over)",
+                a.queued_ms,
+                a.exec_us as f64 / 1000.0,
+                a.hours,
+                a.wire_us,
+                a.reply_us,
+                a.end_to_end_ms,
+                a.segments,
+                a.stolen,
+                a.failed_over
+            )?;
+        }
+        if let Some(c) = &self.copy_bytes {
+            writeln!(
+                f,
+                "  copies: redist-local {:.2} MB, SoA staging {:.2} MB, result serialization {:.2} MB",
+                c.redist_local as f64 / 1.0e6,
+                c.soa_staging as f64 / 1.0e6,
+                c.result_serialization as f64 / 1.0e6
+            )?;
         }
         if let Some(predicted) = self.predicted_seconds {
             let rel = (self.total_seconds - predicted) / predicted.abs().max(1e-12);

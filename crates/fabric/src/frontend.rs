@@ -15,6 +15,8 @@ use crate::wire::WireError;
 use airshed_core::config::SimConfig;
 use airshed_core::driver::ChemLayout;
 use airshed_core::ensemble::EnsembleJob;
+use airshed_core::obs::dist::CLOCK_OFFSET_TRACK;
+use airshed_core::obs::Track;
 use airshed_core::surrogate::{ResponseSurface, SurrogateAnswer};
 use airshed_core::Obs;
 use airshed_core::RunReport;
@@ -79,10 +81,15 @@ pub fn serve_batch(
     let (tx, rx) = mpsc::channel::<Event>();
     let mut writers: Vec<Option<TcpStream>> = Vec::new();
     let mut readers = Vec::new();
+    // Best clock-offset estimate per shard (µs this frontend's trace
+    // clock is ahead of the shard's): min over `recv - sent` of every
+    // Hello/Heartbeat sample — each is the true offset plus a one-way
+    // wire delay, so the minimum is the tightest upper bound.
+    let mut offsets: Vec<f64> = vec![f64::INFINITY; opts.expect];
 
     // Phase 1: collect the fleet. Shards introduce themselves with a
     // Hello frame carrying their name and worker count.
-    for i in 0..opts.expect {
+    for (i, offset) in offsets.iter_mut().enumerate() {
         let (stream, addr) = listener
             .accept()
             .map_err(|e| format!("accept failed: {e}"))?;
@@ -91,12 +98,20 @@ pub fn serve_batch(
             .try_clone()
             .map_err(|e| format!("clone failed: {e}"))?;
         let hello = proto::recv(&mut reader).map_err(|e| format!("bad hello from {addr}: {e}"))?;
-        let Msg::Hello { name, workers } = hello else {
+        let Msg::Hello {
+            name,
+            workers,
+            sent_us,
+        } = hello
+        else {
             return Err(format!(
                 "expected Hello from {addr}, got tag {}",
                 hello.tag()
             ));
         };
+        if obs.enabled() && sent_us > 0 {
+            *offset = obs.us_since_epoch(Instant::now()) - sent_us as f64;
+        }
         let shard = router.add_shard(&name, workers as usize, 0);
         debug_assert_eq!(shard, i);
         let tx = tx.clone();
@@ -142,6 +157,22 @@ pub fn serve_batch(
         }
         let now_ms = epoch.elapsed().as_millis() as u64;
         for (shard, msg) in router.poll(now_ms) {
+            if obs.enabled() {
+                if let Msg::Assign { job, ctx, .. } = &msg {
+                    // A dispatch mark on the job's track: the stitcher
+                    // draws the flow arrow from here to the shard-side
+                    // execute span with the same trace_id.
+                    let now = Instant::now();
+                    obs.record_interval(
+                        router.job_hop(*job),
+                        Track::Job(*job as u32),
+                        now,
+                        now + Duration::from_micros(1),
+                        None,
+                        Some(("trace_id", ctx.trace_id as i64)),
+                    );
+                }
+            }
             let ok = match writers[shard].as_mut() {
                 Some(w) => proto::send(w, &msg).is_ok(),
                 None => false,
@@ -152,6 +183,7 @@ pub fn serve_batch(
             }
         }
         for (scenario, result) in router.take_finished() {
+            finish_job_span(obs, epoch, scenario);
             match result {
                 Ok(report) => reports.push((scenario, report)),
                 Err(message) => failures.push((scenario, message)),
@@ -174,7 +206,12 @@ pub fn serve_batch(
                 let now_ms = epoch.elapsed().as_millis() as u64;
                 for ev in pending {
                     match ev {
-                        Event::Msg(shard, msg) => router.on_msg(shard, msg, now_ms),
+                        Event::Msg(shard, msg) => {
+                            if obs.enabled() {
+                                observe_msg(obs, &mut router, &mut offsets, shard, &msg);
+                            }
+                            router.on_msg(shard, msg, now_ms);
+                        }
                         Event::Gone(shard) => {
                             writers[shard] = None;
                             router.on_disconnect(shard);
@@ -189,6 +226,7 @@ pub fn serve_batch(
             }
         }
         for (scenario, result) in router.take_finished() {
+            finish_job_span(obs, epoch, scenario);
             match result {
                 Ok(report) => reports.push((scenario, report)),
                 Err(message) => failures.push((scenario, message)),
@@ -197,6 +235,19 @@ pub fn serve_batch(
     }
 
     shutdown(&mut writers, &mut readers);
+    if obs.enabled() {
+        // Persist the per-shard clock offsets as a counter track so the
+        // trace stitcher can place every process on this timeline from
+        // the frontend trace alone.
+        let ts = obs.us_since_epoch(Instant::now());
+        for (s, &offset) in offsets.iter().enumerate().take(router.shard_count()) {
+            if offset.is_finite() {
+                let name: &'static str =
+                    Box::leak(router.shard_name(s).to_string().into_boxed_str());
+                obs.record_counter(name, CLOCK_OFFSET_TRACK, ts, offset, None);
+            }
+        }
+    }
     let prometheus = router.prometheus();
     obs.publish("fabric-metrics", prometheus.clone());
     obs.flush();
@@ -299,6 +350,46 @@ pub fn serve_ensemble(
         shards: outcome.shards,
         prometheus: outcome.prometheus,
     })
+}
+
+/// Refine the shard's clock-offset estimate from heartbeat samples and
+/// turn shard-stamped `sent_us` values into one-way wire times for the
+/// router's latency anatomy. Must run *before* the message reaches
+/// [`Router::on_msg`]: completion consumes the job record.
+fn observe_msg(obs: &Obs, router: &mut Router, offsets: &mut [f64], shard: usize, msg: &Msg) {
+    let recv_us = obs.us_since_epoch(Instant::now());
+    match msg {
+        Msg::Heartbeat { sent_us, .. } if *sent_us > 0 => {
+            let sample = recv_us - *sent_us as f64;
+            if sample < offsets[shard] {
+                offsets[shard] = sample;
+            }
+        }
+        Msg::Progress { job, sent_us, .. } | Msg::Completed { job, sent_us, .. }
+            if *sent_us > 0 && offsets[shard].is_finite() =>
+        {
+            let wire = (recv_us - (*sent_us as f64 + offsets[shard])).max(0.0);
+            router.note_wire(*job, wire as u64, matches!(msg, Msg::Completed { .. }));
+        }
+        _ => {}
+    }
+}
+
+/// Close job `scenario`'s lifecycle span on the fabric-jobs track:
+/// submit (the batch epoch — all jobs are submitted together) to the
+/// moment its result drained. Tagged with the trace id every shard-side
+/// span of this job carries.
+fn finish_job_span(obs: &Obs, epoch: Instant, scenario: usize) {
+    if obs.enabled() {
+        obs.record_interval(
+            "job",
+            Track::Job(scenario as u32),
+            epoch,
+            Instant::now(),
+            None,
+            Some(("trace_id", scenario as i64 + 1)),
+        );
+    }
 }
 
 /// Tell live shards to exit, unblock their readers, and join them.

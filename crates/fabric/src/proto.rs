@@ -15,9 +15,10 @@ use airshed_chem::youngboris::{AsymptoticForm, YbOptions};
 use airshed_core::checkpoint::Checkpoint;
 use airshed_core::config::{DatasetChoice, SimConfig, Weather};
 use airshed_core::driver::ChemLayout;
+use airshed_core::obs::dist::TraceContext;
 use airshed_core::predict::CommOccurrences;
 use airshed_core::profile::{HourProfile, StepProfile};
-use airshed_core::report::CommStepSummary;
+use airshed_core::report::{CommStepSummary, CopyBytes, LatencyAnatomy};
 use airshed_core::state::HourSummary;
 use airshed_core::{PerfModel, RunReport, WorkProfile};
 use airshed_machine::MachineProfile;
@@ -48,21 +49,56 @@ pub struct ScenarioJob {
 }
 
 /// Every message on a fabric connection.
+///
+/// Job-bearing messages carry a [`TraceContext`] so every shard-side
+/// span parents under the front-end's job span; handshake and telemetry
+/// messages carry `sent_us` (µs on the sender's trace clock, 0 when
+/// untraced) so the front-end can bound each shard's clock offset and
+/// the trace stitcher can place all processes on one timeline.
 #[derive(Debug, Clone)]
 pub enum Msg {
     /// Shard -> front-end, once per connection: identity and capacity.
-    Hello { name: String, workers: u32 },
+    Hello {
+        name: String,
+        workers: u32,
+        sent_us: u64,
+    },
     /// Shard -> front-end liveness beacon with queue-depth telemetry.
-    Heartbeat { seq: u64, running: u32, queued: u32 },
+    Heartbeat {
+        seq: u64,
+        running: u32,
+        queued: u32,
+        sent_us: u64,
+    },
     /// Front-end -> shard: run this job.
-    Assign { job: u64, work: Box<ScenarioJob> },
+    Assign {
+        job: u64,
+        ctx: TraceContext,
+        work: Box<ScenarioJob>,
+    },
     /// Shard -> front-end, each hour boundary: the resume state the
-    /// front-end will re-route from if this shard dies.
-    Progress { job: u64, resume: Box<ResumePoint> },
+    /// front-end will re-route from if this shard dies. `hour_us` is
+    /// the shard-measured wall time of the hour just finished.
+    Progress {
+        job: u64,
+        ctx: TraceContext,
+        sent_us: u64,
+        hour_us: u64,
+        resume: Box<ResumePoint>,
+    },
     /// Shard -> front-end: terminal success.
-    Completed { job: u64, report: Box<RunReport> },
+    Completed {
+        job: u64,
+        ctx: TraceContext,
+        sent_us: u64,
+        report: Box<RunReport>,
+    },
     /// Shard -> front-end: terminal failure (panic in the numerics).
-    Failed { job: u64, message: String },
+    Failed {
+        job: u64,
+        ctx: TraceContext,
+        message: String,
+    },
     /// Shard -> front-end: a fresh numerics run calibrated this job's
     /// scenario family; here is its §4 performance model.
     Calibrated { job: u64, model: PerfModel },
@@ -94,33 +130,58 @@ impl Msg {
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Enc::new();
         match self {
-            Msg::Hello { name, workers } => {
+            Msg::Hello {
+                name,
+                workers,
+                sent_us,
+            } => {
                 e.str(name);
                 e.u32(*workers);
+                e.u64(*sent_us);
             }
             Msg::Heartbeat {
                 seq,
                 running,
                 queued,
+                sent_us,
             } => {
                 e.u64(*seq);
                 e.u32(*running);
                 e.u32(*queued);
+                e.u64(*sent_us);
             }
-            Msg::Assign { job, work } => {
+            Msg::Assign { job, ctx, work } => {
                 e.u64(*job);
+                enc_ctx(&mut e, ctx);
                 enc_job(&mut e, work);
             }
-            Msg::Progress { job, resume } => {
+            Msg::Progress {
+                job,
+                ctx,
+                sent_us,
+                hour_us,
+                resume,
+            } => {
                 e.u64(*job);
+                enc_ctx(&mut e, ctx);
+                e.u64(*sent_us);
+                e.u64(*hour_us);
                 enc_resume(&mut e, resume);
             }
-            Msg::Completed { job, report } => {
+            Msg::Completed {
+                job,
+                ctx,
+                sent_us,
+                report,
+            } => {
                 e.u64(*job);
+                enc_ctx(&mut e, ctx);
+                e.u64(*sent_us);
                 enc_report(&mut e, report);
             }
-            Msg::Failed { job, message } => {
+            Msg::Failed { job, ctx, message } => {
                 e.u64(*job);
+                enc_ctx(&mut e, ctx);
                 e.str(message);
             }
             Msg::Calibrated { job, model } => {
@@ -142,26 +203,35 @@ impl Msg {
             tags::HELLO => Msg::Hello {
                 name: d.str()?,
                 workers: d.u32()?,
+                sent_us: d.u64()?,
             },
             tags::HEARTBEAT => Msg::Heartbeat {
                 seq: d.u64()?,
                 running: d.u32()?,
                 queued: d.u32()?,
+                sent_us: d.u64()?,
             },
             tags::ASSIGN => Msg::Assign {
                 job: d.u64()?,
+                ctx: dec_ctx(&mut d)?,
                 work: Box::new(dec_job(&mut d)?),
             },
             tags::PROGRESS => Msg::Progress {
                 job: d.u64()?,
+                ctx: dec_ctx(&mut d)?,
+                sent_us: d.u64()?,
+                hour_us: d.u64()?,
                 resume: Box::new(dec_resume(&mut d)?),
             },
             tags::COMPLETED => Msg::Completed {
                 job: d.u64()?,
+                ctx: dec_ctx(&mut d)?,
+                sent_us: d.u64()?,
                 report: Box::new(dec_report(&mut d)?),
             },
             tags::FAILED => Msg::Failed {
                 job: d.u64()?,
+                ctx: dec_ctx(&mut d)?,
                 message: d.str()?,
             },
             tags::CALIBRATED => Msg::Calibrated {
@@ -205,6 +275,24 @@ fn intern(name: String) -> &'static str {
         "TEST" => "TEST",
         _ => Box::leak(name.into_boxed_str()),
     }
+}
+
+/// Trace context rides as three fixed u64s — no option prefix, so an
+/// untraced run still carries the (all-zero) field and the frame layout
+/// never forks on whether tracing is on. That is what keeps traced and
+/// untraced runs bit-identical in everything the fingerprint covers.
+fn enc_ctx(e: &mut Enc, c: &TraceContext) {
+    e.u64(c.trace_id);
+    e.u64(c.parent_span);
+    e.u64(c.job_id);
+}
+
+fn dec_ctx(d: &mut Dec) -> Result<TraceContext, WireError> {
+    Ok(TraceContext {
+        trace_id: d.u64()?,
+        parent_span: d.u64()?,
+        job_id: d.u64()?,
+    })
 }
 
 fn enc_config(e: &mut Enc, c: &SimConfig) {
@@ -513,6 +601,30 @@ fn enc_report(e: &mut Enc, r: &RunReport) {
             e.f64(s);
         }
     }
+    match &r.anatomy {
+        None => e.bool(false),
+        Some(a) => {
+            e.bool(true);
+            e.u64(a.queued_ms);
+            e.u64(a.exec_us);
+            e.u64(a.wire_us);
+            e.u64(a.reply_us);
+            e.u64(a.end_to_end_ms);
+            e.u32(a.hours);
+            e.u32(a.segments);
+            e.u32(a.stolen);
+            e.u32(a.failed_over);
+        }
+    }
+    match &r.copy_bytes {
+        None => e.bool(false),
+        Some(c) => {
+            e.bool(true);
+            e.u64(c.redist_local);
+            e.u64(c.soa_staging);
+            e.u64(c.result_serialization);
+        }
+    }
 }
 
 fn dec_report(d: &mut Dec) -> Result<RunReport, WireError> {
@@ -545,6 +657,30 @@ fn dec_report(d: &mut Dec) -> Result<RunReport, WireError> {
     let plan_delta_seconds = if d.bool()? { Some(d.f64()?) } else { None };
     let dedup_saved_bytes = if d.bool()? { Some(d.u64()?) } else { None };
     let dedup_saved_seconds = if d.bool()? { Some(d.f64()?) } else { None };
+    let anatomy = if d.bool()? {
+        Some(LatencyAnatomy {
+            queued_ms: d.u64()?,
+            exec_us: d.u64()?,
+            wire_us: d.u64()?,
+            reply_us: d.u64()?,
+            end_to_end_ms: d.u64()?,
+            hours: d.u32()?,
+            segments: d.u32()?,
+            stolen: d.u32()?,
+            failed_over: d.u32()?,
+        })
+    } else {
+        None
+    };
+    let copy_bytes = if d.bool()? {
+        Some(CopyBytes {
+            redist_local: d.u64()?,
+            soa_staging: d.u64()?,
+            result_serialization: d.u64()?,
+        })
+    } else {
+        None
+    };
     Ok(RunReport {
         dataset,
         machine,
@@ -564,6 +700,8 @@ fn dec_report(d: &mut Dec) -> Result<RunReport, WireError> {
         plan_delta_seconds,
         dedup_saved_bytes,
         dedup_saved_seconds,
+        anatomy,
+        copy_bytes,
     })
 }
 
@@ -669,14 +807,17 @@ mod tests {
             Msg::Hello {
                 name: "s0".into(),
                 workers: 3,
+                sent_us: 12_345,
             },
             Msg::Heartbeat {
                 seq: 42,
                 running: 2,
                 queued: 7,
+                sent_us: 67_890,
             },
             Msg::Failed {
                 job: 9,
+                ctx: TraceContext::for_job(9),
                 message: "chemistry blew up".into(),
             },
             Msg::Shutdown,
@@ -691,16 +832,18 @@ mod tests {
         let c = sample_config();
         let msg = Msg::Assign {
             job: 5,
+            ctx: TraceContext::for_job(5),
             work: Box::new(ScenarioJob {
                 config: c.clone(),
                 layout: ChemLayout::Cyclic,
                 resume: None,
             }),
         };
-        let Msg::Assign { job, work } = Msg::decode(msg.tag(), &msg.encode()).unwrap() else {
+        let Msg::Assign { job, ctx, work } = Msg::decode(msg.tag(), &msg.encode()).unwrap() else {
             panic!("wrong variant");
         };
         assert_eq!(job, 5);
+        assert_eq!(ctx, TraceContext::for_job(5));
         assert_eq!(
             work.config.emission_scale.to_bits(),
             c.emission_scale.to_bits()
@@ -727,15 +870,26 @@ mod tests {
 
         let progress = Msg::Progress {
             job: 1,
+            ctx: TraceContext::for_job(1),
+            sent_us: 500,
+            hour_us: 7_000,
             resume: Box::new(ResumePoint {
                 checkpoint: ckpt.clone(),
                 partial: profile.clone(),
             }),
         };
-        let Msg::Progress { resume, .. } = Msg::decode(progress.tag(), &progress.encode()).unwrap()
+        let Msg::Progress {
+            resume,
+            ctx,
+            sent_us,
+            hour_us,
+            ..
+        } = Msg::decode(progress.tag(), &progress.encode()).unwrap()
         else {
             panic!("wrong variant");
         };
+        assert_eq!(ctx, TraceContext::for_job(1));
+        assert_eq!((sent_us, hour_us), (500, 7_000));
         assert_eq!(resume.checkpoint.next_hour, ckpt.next_hour);
         assert_eq!(resume.checkpoint.state.conc, ckpt.state.conc);
         assert_eq!(resume.partial.dataset, profile.dataset);
@@ -749,9 +903,28 @@ mod tests {
             }
         }
 
+        let mut annotated = report.clone();
+        annotated.anatomy = Some(LatencyAnatomy {
+            queued_ms: 3,
+            exec_us: 9_500,
+            wire_us: 40,
+            reply_us: 25,
+            end_to_end_ms: 12,
+            hours: 1,
+            segments: 1,
+            stolen: 0,
+            failed_over: 0,
+        });
+        annotated.copy_bytes = Some(CopyBytes {
+            redist_local: 123,
+            soa_staging: 456,
+            result_serialization: 789,
+        });
         let completed = Msg::Completed {
             job: 1,
-            report: Box::new(report.clone()),
+            ctx: TraceContext::for_job(1),
+            sent_us: 900,
+            report: Box::new(annotated.clone()),
         };
         let Msg::Completed { report: back, .. } =
             Msg::decode(completed.tag(), &completed.encode()).unwrap()
@@ -760,6 +933,8 @@ mod tests {
         };
         assert_eq!(report_fingerprint(&back), report_fingerprint(&report));
         assert_eq!(back.total_seconds.to_bits(), report.total_seconds.to_bits());
+        assert_eq!(back.anatomy, annotated.anatomy);
+        assert_eq!(back.copy_bytes, annotated.copy_bytes);
 
         let calibrated = Msg::Calibrated {
             job: 1,
@@ -803,6 +978,20 @@ mod tests {
         report.predicted_seconds = Some(123.0);
         report.plan_layouts = Some("transport=BLOCK chemistry=CYCLIC".into());
         report.plan_delta_seconds = Some(4.5);
+        report.anatomy = Some(LatencyAnatomy {
+            queued_ms: 7,
+            exec_us: 12_000,
+            end_to_end_ms: 19,
+            hours: 1,
+            segments: 2,
+            stolen: 1,
+            ..Default::default()
+        });
+        report.copy_bytes = Some(CopyBytes {
+            redist_local: 1 << 20,
+            soa_staging: 1 << 18,
+            result_serialization: 1 << 12,
+        });
         assert_eq!(a, report_fingerprint(&report));
         report.total_seconds += 1.0;
         assert_ne!(a, report_fingerprint(&report));
@@ -813,6 +1002,7 @@ mod tests {
         let msg = Msg::Hello {
             name: "s1".into(),
             workers: 2,
+            sent_us: 0,
         };
         let mut payload = msg.encode();
         // Unknown tag.
@@ -832,6 +1022,7 @@ mod tests {
         let (_, profile, ckpt) = run_resumable(&cfg, None);
         let assign = Msg::Assign {
             job: 3,
+            ctx: TraceContext::for_job(3),
             work: Box::new(ScenarioJob {
                 config: cfg,
                 layout: ChemLayout::Block,
@@ -848,7 +1039,7 @@ mod tests {
         // are WireErrors. (The flip could land in profile f64 data and
         // still decode — find a byte that actually breaks decoding.)
         let mut broke = false;
-        for at in [at, 100, 120, 140] {
+        for at in std::iter::once(at).chain((96..200).step_by(4)) {
             let mut b = assign.encode();
             b[at] ^= 0xff;
             if Msg::decode(tags::ASSIGN, &b).is_err() {

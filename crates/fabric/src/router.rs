@@ -36,8 +36,10 @@
 use crate::proto::{Msg, ScenarioJob};
 use airshed_core::config::SimConfig;
 use airshed_core::driver::ChemLayout;
+use airshed_core::obs::dist::{TraceContext, HOP_NAMES};
 use airshed_core::obs::metrics::Histogram;
 use airshed_core::obs::prom::{label, PromWriter};
+use airshed_core::report::{CopyBytes, LatencyAnatomy};
 use airshed_core::{PerfModel, RunReport};
 use airshed_machine::MachineProfile;
 use airshed_server::cache::NumericsKey;
@@ -96,6 +98,26 @@ struct Job {
     /// Predicted remaining virtual seconds at dispatch time.
     predicted: Option<f64>,
     shard: Option<usize>,
+    /// Trace context stamped at submit; every shard reply must echo it.
+    ctx: TraceContext,
+    /// How the job most recently changed shards ([`HOP_NAMES`] entry):
+    /// the dispatch-marker name the frontend draws in the trace.
+    hop: &'static str,
+    // --- latency anatomy, all on the router's scripted clock ---------
+    submit_ms: u64,
+    first_dispatch_ms: Option<u64>,
+    /// Shard-measured execute time accumulated from `Progress.hour_us`.
+    exec_us: u64,
+    /// One-way wire time of progress messages (fed by the frontend's
+    /// clock-offset estimate via [`Router::note_wire`]).
+    wire_us: u64,
+    /// One-way wire time of the final reply.
+    reply_us: u64,
+    hours_reported: u32,
+    /// Dispatch segments (each Assign shipped for this job is one).
+    segments: u32,
+    stolen: u32,
+    failed_over: u32,
 }
 
 /// See the module docs.
@@ -113,6 +135,20 @@ pub struct Router {
     /// Predicted-vs-actual completion time distributions (virtual s).
     predicted_hist: Histogram,
     actual_hist: Histogram,
+    /// Latest `now_ms` any caller passed in — the clock submit and
+    /// completion stamps read, so `submit()`'s signature stays pure.
+    now_ms: u64,
+    /// Shard replies whose echoed [`TraceContext`] did not match the
+    /// submit-time stamp (should stay 0; asserted in tests).
+    ctx_mismatches: u64,
+    /// Fleet-wide copy traffic summed over completed jobs' reports.
+    fleet_copy: CopyBytes,
+    // Latency-anatomy stage histograms (frontend clock).
+    queued_hist: Histogram,
+    exec_hour_hist: Histogram,
+    wire_hist: Histogram,
+    reply_hist: Histogram,
+    e2e_hist: Histogram,
 }
 
 impl Router {
@@ -127,6 +163,14 @@ impl Router {
             finished: Vec::new(),
             predicted_hist: Histogram::new(),
             actual_hist: Histogram::new(),
+            now_ms: 0,
+            ctx_mismatches: 0,
+            fleet_copy: CopyBytes::default(),
+            queued_hist: Histogram::new(),
+            exec_hour_hist: Histogram::new(),
+            wire_hist: Histogram::new(),
+            reply_hist: Histogram::new(),
+            e2e_hist: Histogram::new(),
         }
     }
 
@@ -159,6 +203,17 @@ impl Router {
                 resume: None,
                 predicted: None,
                 shard: None,
+                ctx: TraceContext::for_job(id),
+                hop: HOP_NAMES[0],
+                submit_ms: self.now_ms,
+                first_dispatch_ms: None,
+                exec_us: 0,
+                wire_us: 0,
+                reply_us: 0,
+                hours_reported: 0,
+                segments: 0,
+                stolen: 0,
+                failed_over: 0,
             },
         );
         match self.route(id) {
@@ -176,18 +231,35 @@ impl Router {
 
     /// Handle one shard message. `now_ms` marks the shard live.
     pub fn on_msg(&mut self, shard: usize, msg: Msg, now_ms: u64) {
+        self.now_ms = self.now_ms.max(now_ms);
         if self.shards[shard].alive {
             self.shards[shard].last_seen_ms = now_ms;
         }
         match msg {
             Msg::Heartbeat { .. } | Msg::Hello { .. } => {}
-            Msg::Progress { job, resume } => {
+            Msg::Progress {
+                job,
+                ctx,
+                hour_us,
+                resume,
+                ..
+            } => {
+                self.check_ctx(job, ctx);
                 if let Some(j) = self.jobs.get_mut(&job) {
                     j.resume = Some(*resume);
+                    j.exec_us += hour_us;
+                    j.hours_reported += 1;
+                    self.exec_hour_hist.record(Duration::from_micros(hour_us));
                 }
             }
-            Msg::Completed { job, report } => self.complete(shard, job, *report),
-            Msg::Failed { job, message } => {
+            Msg::Completed {
+                job, ctx, report, ..
+            } => {
+                self.check_ctx(job, ctx);
+                self.complete(shard, job, *report);
+            }
+            Msg::Failed { job, ctx, message } => {
+                self.check_ctx(job, ctx);
                 if let Some(j) = self.jobs.remove(&job) {
                     self.detach(job);
                     self.finished.push((j.scenario, Err(message)));
@@ -219,6 +291,7 @@ impl Router {
     /// re-route their jobs, let dry shards steal, and dispatch up to
     /// each live shard's window. Returns the frames to put on the wire.
     pub fn poll(&mut self, now_ms: u64) -> Vec<(usize, Msg)> {
+        self.now_ms = self.now_ms.max(now_ms);
         // Failover on missed heartbeats.
         let timeout = self.cfg.heartbeat_timeout_ms;
         for s in 0..self.shards.len() {
@@ -233,12 +306,29 @@ impl Router {
                 break;
             };
             match self.route(id) {
-                Some(s) => self.shards[s].counters.failed_over += 1,
+                Some(s) => {
+                    self.shards[s].counters.failed_over += 1;
+                    if let Some(j) = self.jobs.get_mut(&id) {
+                        j.hop = HOP_NAMES[2];
+                        j.failed_over += 1;
+                    }
+                }
                 None => self.orphans.push_back(id),
             }
         }
         self.steal();
         self.dispatch()
+    }
+
+    /// Count a shard reply whose echoed trace context does not match
+    /// the submit-time stamp (unknown jobs are fine — races with
+    /// completion are expected, forged contexts are not).
+    fn check_ctx(&mut self, job: u64, ctx: TraceContext) {
+        if let Some(j) = self.jobs.get(&job) {
+            if ctx != j.ctx {
+                self.ctx_mismatches += 1;
+            }
+        }
     }
 
     /// Work stealing: a live shard whose pipeline has room and whose
@@ -275,7 +365,10 @@ impl Router {
                 let id = self.shards[victim].backlog.pop_back().unwrap();
                 self.shards[thief].backlog.push_back(id);
                 self.shards[thief].counters.stolen += 1;
-                self.jobs.get_mut(&id).unwrap().shard = Some(thief);
+                let j = self.jobs.get_mut(&id).unwrap();
+                j.shard = Some(thief);
+                j.hop = HOP_NAMES[1];
+                j.stolen += 1;
                 moved = true;
             }
             if !moved {
@@ -295,12 +388,16 @@ impl Router {
                 let id = self.shards[s].backlog.pop_front().unwrap();
                 self.shards[s].inflight.push(id);
                 let predicted = self.job_cost(s, id);
+                let now_ms = self.now_ms;
                 let job = self.jobs.get_mut(&id).unwrap();
                 job.predicted = predicted;
+                job.first_dispatch_ms.get_or_insert(now_ms);
+                job.segments += 1;
                 out.push((
                     s,
                     Msg::Assign {
                         job: id,
+                        ctx: job.ctx,
                         work: Box::new(ScenarioJob {
                             config: job.config.clone(),
                             layout: job.layout,
@@ -325,6 +422,29 @@ impl Router {
                 .record(Duration::from_secs_f64(p.max(0.0)));
             self.actual_hist
                 .record(Duration::from_secs_f64(report.total_seconds.max(0.0)));
+        }
+        let queued_ms = j
+            .first_dispatch_ms
+            .unwrap_or(j.submit_ms)
+            .saturating_sub(j.submit_ms);
+        let end_to_end_ms = self.now_ms.saturating_sub(j.submit_ms);
+        self.queued_hist.record(Duration::from_millis(queued_ms));
+        self.wire_hist.record(Duration::from_micros(j.wire_us));
+        self.reply_hist.record(Duration::from_micros(j.reply_us));
+        self.e2e_hist.record(Duration::from_millis(end_to_end_ms));
+        report.anatomy = Some(LatencyAnatomy {
+            queued_ms,
+            exec_us: j.exec_us,
+            wire_us: j.wire_us,
+            reply_us: j.reply_us,
+            end_to_end_ms,
+            hours: j.hours_reported,
+            segments: j.segments,
+            stolen: j.stolen,
+            failed_over: j.failed_over,
+        });
+        if let Some(cb) = &report.copy_bytes {
+            self.fleet_copy.add(cb);
         }
         self.finished.push((j.scenario, Ok(report)));
     }
@@ -353,7 +473,13 @@ impl Router {
                 j.predicted = None;
             }
             match self.route(id) {
-                Some(s) => self.shards[s].counters.failed_over += 1,
+                Some(s) => {
+                    self.shards[s].counters.failed_over += 1;
+                    if let Some(j) = self.jobs.get_mut(&id) {
+                        j.hop = HOP_NAMES[2];
+                        j.failed_over += 1;
+                    }
+                }
                 None => self.orphans.push_back(id),
             }
         }
@@ -477,6 +603,43 @@ impl Router {
         self.jobs.get(&job).and_then(|j| j.shard)
     }
 
+    /// The trace context stamped on `job` at submit.
+    pub fn job_ctx(&self, job: u64) -> Option<TraceContext> {
+        self.jobs.get(&job).map(|j| j.ctx)
+    }
+
+    /// The dispatch-marker name ([`HOP_NAMES`] entry) for `job`'s most
+    /// recent shard change — what the frontend draws when it ships the
+    /// next Assign. Defaults to `"route"` for unknown jobs.
+    pub fn job_hop(&self, job: u64) -> &'static str {
+        self.jobs.get(&job).map_or(HOP_NAMES[0], |j| j.hop)
+    }
+
+    /// Accumulate a measured one-way wire time (µs) onto `job`'s
+    /// anatomy: progress messages when `is_reply` is false, the final
+    /// reply otherwise. Call *before* feeding the triggering message to
+    /// [`Router::on_msg`] — completion consumes the job.
+    pub fn note_wire(&mut self, job: u64, wire_us: u64, is_reply: bool) {
+        if let Some(j) = self.jobs.get_mut(&job) {
+            if is_reply {
+                j.reply_us += wire_us;
+            } else {
+                j.wire_us += wire_us;
+            }
+        }
+    }
+
+    /// Shard replies whose echoed trace context did not match (0 in a
+    /// healthy fabric).
+    pub fn ctx_mismatches(&self) -> u64 {
+        self.ctx_mismatches
+    }
+
+    /// Fleet-wide copy traffic summed over completed jobs.
+    pub fn fleet_copy_bytes(&self) -> CopyBytes {
+        self.fleet_copy
+    }
+
     /// Hours of `job` already checkpointed (from progress reports).
     pub fn job_hours_done(&self, job: u64) -> usize {
         self.jobs
@@ -532,6 +695,53 @@ impl Router {
             "airshed_fabric_completion_virtual_seconds",
             &label("kind", "actual"),
             &self.actual_hist.snapshot(),
+        );
+        w.header(
+            "airshed_fabric_job_stage_seconds",
+            "Per-job latency anatomy by stage (frontend clock; execute \
+             per shard-reported hour).",
+            "histogram",
+        );
+        for (stage, h) in [
+            ("queued", &self.queued_hist),
+            ("execute_hour", &self.exec_hour_hist),
+            ("wire", &self.wire_hist),
+            ("reply", &self.reply_hist),
+            ("end_to_end", &self.e2e_hist),
+        ] {
+            w.histogram(
+                "airshed_fabric_job_stage_seconds",
+                &label("stage", stage),
+                &h.snapshot(),
+            );
+        }
+        w.header(
+            "airshed_fabric_copy_bytes_total",
+            "Fleet-wide bytes copied outside the kernels, summed over \
+             completed jobs.",
+            "counter",
+        );
+        for (kind, v) in [
+            ("redist_local", self.fleet_copy.redist_local),
+            ("soa_staging", self.fleet_copy.soa_staging),
+            ("result_serialization", self.fleet_copy.result_serialization),
+        ] {
+            w.sample(
+                "airshed_fabric_copy_bytes_total",
+                &label("kind", kind),
+                v as f64,
+            );
+        }
+        w.header(
+            "airshed_fabric_ctx_mismatches_total",
+            "Frames whose trace context disagreed with the router's \
+             record for the job (should stay 0).",
+            "counter",
+        );
+        w.sample(
+            "airshed_fabric_ctx_mismatches_total",
+            "",
+            self.ctx_mismatches as f64,
         );
         w.finish()
     }
@@ -659,10 +869,13 @@ mod tests {
         for id in b_jobs {
             let mut report = airshed_core::driver::replay(tiny_profile(), MachineProfile::t3e(), 4);
             report.predicted_seconds = None;
+            let ctx = r.job_ctx(id).unwrap();
             r.on_msg(
                 1,
                 Msg::Completed {
                     job: id,
+                    ctx,
+                    sent_us: 0,
                     report: Box::new(report),
                 },
                 10,
@@ -704,11 +917,18 @@ mod tests {
         let id = r.submit(0, family_config(4, 1), ChemLayout::Block);
         let assigns = r.poll(0);
         assert_eq!(assigns.len(), 1);
-        let report = airshed_core::driver::replay(tiny_profile(), MachineProfile::t3e(), 4);
+        let mut report = airshed_core::driver::replay(tiny_profile(), MachineProfile::t3e(), 4);
+        report.copy_bytes = Some(airshed_core::report::CopyBytes {
+            redist_local: 1000,
+            soa_staging: 500,
+            result_serialization: 50,
+        });
         r.on_msg(
             0,
             Msg::Completed {
                 job: id,
+                ctx: r.job_ctx(id).unwrap(),
+                sent_us: 0,
                 report: Box::new(report),
             },
             5,
@@ -722,6 +942,12 @@ mod tests {
             report.predicted_seconds.is_some(),
             "router stamps its prediction"
         );
+        let a = report.anatomy.expect("completion fills the anatomy");
+        assert_eq!(a.segments, 1);
+        assert_eq!(a.end_to_end_ms, 5);
+        assert_eq!((a.stolen, a.failed_over), (0, 0));
+        assert_eq!(r.ctx_mismatches(), 0);
+        assert_eq!(r.fleet_copy_bytes().total(), 1550);
 
         let text = r.prometheus();
         assert!(text.contains(r#"airshed_fabric_jobs_total{shard="fast",event="routed"} 1"#));
@@ -733,5 +959,10 @@ mod tests {
         assert!(
             text.contains(r#"airshed_fabric_completion_virtual_seconds_count{kind="actual"} 1"#)
         );
+        assert!(text.contains(r#"airshed_fabric_job_stage_seconds_count{stage="queued"} 1"#));
+        assert!(text.contains(r#"airshed_fabric_job_stage_seconds_count{stage="end_to_end"} 1"#));
+        assert!(text.contains(r#"airshed_fabric_copy_bytes_total{kind="redist_local"} 1000"#));
+        assert!(text.contains(r#"airshed_fabric_copy_bytes_total{kind="soa_staging"} 500"#));
+        assert!(text.contains("airshed_fabric_ctx_mismatches_total 0"));
     }
 }

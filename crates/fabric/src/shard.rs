@@ -26,6 +26,7 @@
 
 use crate::proto::{self, Msg, ScenarioJob};
 use crate::wire::{FaultPlan, FaultyWriter, WireError};
+use airshed_core::obs::dist::TraceContext;
 use airshed_core::obs::oracle::Oracle;
 use airshed_core::obs::SpanSink;
 use airshed_core::plan::replay_profile;
@@ -37,7 +38,7 @@ use std::net::{Shutdown, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Shard configuration.
 #[derive(Debug, Clone)]
@@ -77,7 +78,7 @@ impl Default for ShardOptions {
 
 struct Inner {
     writer: Mutex<FaultyWriter<TcpStream>>,
-    queue: Mutex<VecDeque<(u64, ScenarioJob)>>,
+    queue: Mutex<VecDeque<(u64, TraceContext, ScenarioJob)>>,
     ready: Condvar,
     done: AtomicBool,
     /// Global cancel: set by `drop_after_hours`, observed by running
@@ -93,7 +94,7 @@ impl Inner {
         w.write_frame(msg.tag(), &msg.encode()).is_ok()
     }
 
-    fn pop(&self) -> Option<(u64, ScenarioJob)> {
+    fn pop(&self) -> Option<(u64, TraceContext, ScenarioJob)> {
         let mut q = self.queue.lock().unwrap();
         loop {
             if let Some(job) = q.pop_front() {
@@ -138,9 +139,18 @@ pub fn run_shard(opts: ShardOptions, obs: &Obs) -> Result<(), String> {
         hours_done: AtomicU64::new(0),
     });
 
+    // `sent_us` stamps ride on Hello/Heartbeat/Progress/Completed so
+    // the front-end can bound this shard's clock offset; 0 (= no stamp)
+    // when the shard runs untraced.
+    let traced = obs.enabled();
     if !inner.send(&Msg::Hello {
         name: opts.name.clone(),
         workers: opts.workers.max(1) as u32,
+        sent_us: if traced {
+            obs.us_since_epoch(Instant::now()) as u64
+        } else {
+            0
+        },
     }) {
         return Err("failed to send Hello".to_string());
     }
@@ -149,6 +159,7 @@ pub fn run_shard(opts: ShardOptions, obs: &Obs) -> Result<(), String> {
     let hb = {
         let inner = Arc::clone(&inner);
         let period = Duration::from_millis(opts.heartbeat_ms.max(10));
+        let wall = traced.then(|| obs.clone());
         std::thread::spawn(move || {
             let mut seq = 0u64;
             while !inner.done.load(Ordering::Relaxed) {
@@ -160,6 +171,9 @@ pub fn run_shard(opts: ShardOptions, obs: &Obs) -> Result<(), String> {
                     seq,
                     running,
                     queued,
+                    sent_us: wall
+                        .as_ref()
+                        .map_or(0, |o| o.us_since_epoch(Instant::now()) as u64),
                 }) {
                     return;
                 }
@@ -179,15 +193,15 @@ pub fn run_shard(opts: ShardOptions, obs: &Obs) -> Result<(), String> {
                 // even when the caller runs without observability.
                 Obs::new(Arc::new(SpanSink::new())).with_lane(w as u32)
             };
-            std::thread::spawn(move || worker_loop(&inner, &opts, &base))
+            std::thread::spawn(move || worker_loop(&inner, &opts, &base, traced))
         })
         .collect();
 
     // Main thread: the read side of the protocol.
     loop {
         match proto::recv(&mut reader) {
-            Ok(Msg::Assign { job, work }) => {
-                inner.queue.lock().unwrap().push_back((job, *work));
+            Ok(Msg::Assign { job, ctx, work }) => {
+                inner.queue.lock().unwrap().push_back((job, ctx, *work));
                 inner.ready.notify_one();
             }
             Ok(Msg::Shutdown) | Err(WireError::Closed) => {
@@ -211,8 +225,18 @@ pub fn run_shard(opts: ShardOptions, obs: &Obs) -> Result<(), String> {
     Ok(())
 }
 
-fn worker_loop(inner: &Arc<Inner>, opts: &ShardOptions, base: &Obs) {
-    while let Some((id, job)) = inner.pop() {
+fn worker_loop(inner: &Arc<Inner>, opts: &ShardOptions, base: &Obs, traced: bool) {
+    // Wall stamps use `base`'s epoch — when traced it shares the
+    // process obs epoch, which is exactly what the front-end's
+    // clock-offset estimate is relative to.
+    let stamp = || {
+        if traced {
+            base.us_since_epoch(Instant::now()) as u64
+        } else {
+            0
+        }
+    };
+    while let Some((id, ctx, job)) = inner.pop() {
         inner.running.fetch_add(1, Ordering::Relaxed);
         let oracle = Arc::new(Oracle::new(job.config.machine));
         let job_obs = base.clone().with_oracle(Arc::clone(&oracle));
@@ -221,11 +245,20 @@ fn worker_loop(inner: &Arc<Inner>, opts: &ShardOptions, base: &Obs) {
         let resume = job.resume;
 
         let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // The shard-side job span: same trace_id as the frontend's
+            // job span, so the stitcher can parent and link them.
+            let _job_span = job_obs.span_arg("job", "trace_id", ctx.trace_id as i64);
+            let mut hour_started = Instant::now();
             let mut on_hour = |rp: &airshed_server::ResumePoint| {
+                let hour_us = hour_started.elapsed().as_micros() as u64;
                 let _ = inner.send(&Msg::Progress {
                     job: id,
+                    ctx,
+                    sent_us: stamp(),
+                    hour_us,
                     resume: Box::new(rp.clone()),
                 });
+                hour_started = Instant::now();
                 let done = inner.hours_done.fetch_add(1, Ordering::Relaxed) + 1;
                 if opts.die_after_hours.is_some_and(|n| done >= n) {
                     // The CI crash: gone between two heartbeats, with
@@ -261,21 +294,40 @@ fn worker_loop(inner: &Arc<Inner>, opts: &ShardOptions, base: &Obs) {
                     });
                 }
                 let report = replay_profile(&profile, config.machine, config.p, layout);
-                inner.send(&Msg::Completed {
+                let msg = Msg::Completed {
                     job: id,
+                    ctx,
+                    sent_us: stamp(),
                     report: Box::new(report),
-                });
+                };
+                if traced {
+                    // The wire cost of shipping this result back — the
+                    // serialization leg of copy accounting.
+                    base.record_counter(
+                        "result_frame_bytes",
+                        "copy bytes",
+                        base.us_since_epoch(Instant::now()),
+                        msg.encode().len() as f64,
+                        None,
+                    );
+                }
+                inner.send(&msg);
             }
             Ok(Err(JobError::Cancelled { .. } | JobError::DeadlineExpired { .. })) => {
                 // Severed or shutting down: the front-end re-routes
                 // from the last Progress checkpoint; nothing to say.
             }
             Ok(Err(JobError::Failed { message })) => {
-                inner.send(&Msg::Failed { job: id, message });
+                inner.send(&Msg::Failed {
+                    job: id,
+                    ctx,
+                    message,
+                });
             }
             Err(panic) => {
                 inner.send(&Msg::Failed {
                     job: id,
+                    ctx,
                     message: panic_message(panic.as_ref()),
                 });
             }

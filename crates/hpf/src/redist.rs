@@ -63,6 +63,14 @@ impl RedistPlan {
         self.loads.iter().map(|l| l.msgs_sent).sum()
     }
 
+    /// Total bytes copied node-locally (the `c` term of `Ct = L·m +
+    /// G·b + H·c`) — the copies the zero-copy roadmap item wants
+    /// eliminated, and what the copy-traffic counters account per
+    /// execution of this plan.
+    pub fn total_bytes_copied(&self) -> usize {
+        self.loads.iter().map(|l| l.bytes_copied).sum()
+    }
+
     /// Extract the comm edge this plan contributes to an execution
     /// graph: its label plus the per-node `(m, b, c)` loads, detached
     /// from the pairwise transfer detail. `airshed-core`'s

@@ -71,14 +71,41 @@ cargo run --release -q --bin airshed -- fabric --local \
     --jobs 16 --dataset tiny:60 --hours 3 --out "$trace_dir/fabric_ref.txt"
 # ... then the real thing: two shard processes, shard 1 hard-exits after
 # 4 completed hours, its jobs must fail over (resuming from streamed
-# checkpoints) and every report must still arrive bit-identical.
+# checkpoints) and every report must still arrive bit-identical — with
+# per-process traces on, proving tracing costs no fidelity.
 fabric_out="$(cargo run --release -q --bin airshed -- fabric \
     --shards 2 --jobs 16 --dataset tiny:60 --hours 3 \
-    --kill-shard 1 --kill-after-hours 4 --out "$trace_dir/fabric_run.txt")"
+    --kill-shard 1 --kill-after-hours 4 --out "$trace_dir/fabric_run.txt" \
+    --trace-out "$trace_dir/fab.json" --metrics-out "$trace_dir/fab.prom")"
 echo "$fabric_out"
 cmp "$trace_dir/fabric_ref.txt" "$trace_dir/fabric_run.txt"
 echo "$fabric_out" | grep -q "jobs/s sustained"
 echo "fabric OK: 16/16 reports bit-identical to single-process after shard kill"
+
+echo "==> distributed trace merge (stitch frontend + shard traces)"
+# The killed shard hard-exited without flushing a trace; trace-merge
+# must skip it and still stitch the frontend with the surviving shard.
+cargo run --release -q --bin airshed -- trace-merge --frontend "$trace_dir/fab.json"
+python3 - "$trace_dir/fab.merged.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+procs = {e["pid"]: e["args"]["name"] for e in events
+         if e.get("ph") == "M" and e.get("name") == "process_name"}
+namespaces = {pid // 16 for pid in procs}
+assert len(namespaces) >= 2, f"merged trace has one process namespace: {procs}"
+counters = {e["name"] for e in events if e.get("ph") == "C"}
+assert "redist_local" in counters, f"copy-bytes counter track missing: {sorted(counters)}"
+flows = [e for e in events if e.get("ph") in ("s", "f")]
+assert flows, "no flow arrows in the merged trace"
+print(f"merged trace OK: {len(events)} events, {len(namespaces)} process"
+      f" namespaces, {len(flows)} flow endpoints, copy counters present")
+PY
+# Fleet latency-anatomy histograms and copy counters in the frontend metrics.
+grep -q 'airshed_fabric_job_stage_seconds_count{stage="end_to_end"}' "$trace_dir/fab.prom"
+grep -q 'airshed_fabric_copy_bytes_total{kind="redist_local"}' "$trace_dir/fab.prom"
+grep -q 'airshed_fabric_ctx_mismatches_total 0' "$trace_dir/fab.prom"
+echo "fabric metrics OK: latency anatomy + copy bytes + zero ctx mismatches"
 
 echo "==> ensemble + surrogate smoke (shared-input dedup, two-tier what-if)"
 # A small sweep with dedup: the Prometheus snapshot must show nonzero

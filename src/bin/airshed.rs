@@ -14,6 +14,7 @@
 use airshed::core::config::{DatasetChoice, SimConfig, Weather};
 use airshed::core::driver::{replay_with_layout, run_with_profile_obs, ChemLayout, PlanLayouts};
 use airshed::core::ensemble::{run_ensemble_obs, EnsembleJob, MemberSpec};
+use airshed::core::obs::dist::{self, TraceDoc};
 use airshed::core::obs::oracle::{validate_profile, Oracle};
 use airshed::core::obs::{Collector, Obs, SpanSink};
 use airshed::core::plan::optimize::plan_cost;
@@ -78,6 +79,9 @@ struct Options {
     heartbeat_ms: u64,
     hb_timeout_ms: u64,
     fault: Option<String>,
+    // trace-merge knobs
+    frontend_trace: Option<String>,
+    shard_traces: Vec<String>,
     // ensemble knobs
     members: usize,
     scale_range: (f64, f64),
@@ -125,6 +129,8 @@ impl Default for Options {
             heartbeat_ms: 250,
             hb_timeout_ms: 2000,
             fault: None,
+            frontend_trace: None,
+            shard_traces: Vec::new(),
             members: 8,
             scale_range: (0.5, 1.5),
             days: 1,
@@ -161,6 +167,8 @@ COMMANDS:
                 load balancing (spawns shards; or --local for the
                 single-process reference run)
     shard       run one shard process (normally spawned by fabric)
+    trace-merge stitch per-process fabric traces into one Perfetto
+                timeline (clock-offset corrected, flow arrows on hops)
     gridinfo    multiscale-grid statistics for a dataset
     help        this text
 
@@ -231,10 +239,22 @@ SHARD OPTIONS:
     --die-after-hours H  hard-exit after H completed hours (crash drill)
     --fault SPEC     wire fault injection: drop:N | delay:N:MS | truncate:N:KEEP
 
+TRACE-MERGE OPTIONS:
+    --frontend F     the frontend trace written by `fabric --trace-out F`
+    --shard-trace F  a shard trace to merge (repeatable); without it the
+                     shards named on the frontend's clock-offset track are
+                     auto-discovered at F's sibling paths (trace.json ->
+                     trace.shard-0.json); a crashed shard's missing trace
+                     is skipped with a note
+    --out F          merged trace path (default: frontend with `.merged`
+                     inserted, trace.json -> trace.merged.json)
+
 EXAMPLES:
     airshed run --dataset tiny:150 --nodes 32 --hours 8
     airshed fabric --shards 2 --jobs 16 --dataset tiny:60 --hours 3
     airshed fabric --shards 2 --jobs 16 --kill-shard 1 --kill-after-hours 4
+    airshed fabric --shards 2 --jobs 8 --trace-out fab.json && \\
+        airshed trace-merge --frontend fab.json   # -> fab.merged.json
     airshed sweep --dataset la --nodes 4,8,16,32,64,128
     airshed validate --grid la --nodes 4,16,64
     airshed plan --optimize --grid la --nodes 16 --hours 2
@@ -399,6 +419,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 FaultPlan::parse(&spec)?; // validate eagerly
                 o.fault = Some(spec);
             }
+            "--frontend" => o.frontend_trace = Some(val("--frontend")?),
+            "--shard-trace" => o.shard_traces.push(val("--shard-trace")?),
             "--members" => {
                 o.members = val("--members")?.parse().map_err(|e| format!("{e}"))?;
                 if o.members < 2 {
@@ -1080,6 +1102,17 @@ fn cmd_fabric(o: &Options, obs: &Obs) -> Result<(), String> {
         if let Some(spec) = &o.fault {
             cmd.arg("--fault").arg(spec);
         }
+        // Per-shard observability artifacts land next to the frontend's,
+        // at the `trace.json` + `shard-0` -> `trace.shard-0.json` paths
+        // that `airshed trace-merge` auto-discovers.
+        if let Some(path) = &o.trace_out {
+            cmd.arg("--trace-out")
+                .arg(dist::sharded_path(path, &format!("shard-{i}")));
+        }
+        if let Some(path) = &o.metrics_out {
+            cmd.arg("--metrics-out")
+                .arg(dist::sharded_path(path, &format!("shard-{i}")));
+        }
         children.push(
             cmd.spawn()
                 .map_err(|e| format!("spawning shard {i}: {e}"))?,
@@ -1296,6 +1329,64 @@ fn cmd_shard(o: &Options, obs: &Obs) -> Result<(), String> {
     )
 }
 
+/// Recover the shard label a `sharded_path` name encodes:
+/// `runs/trace.shard-0.json` -> `shard-0`. Falls back to the file stem
+/// for paths outside the convention.
+fn merge_label(path: &str) -> String {
+    let file = path.rsplit('/').next().unwrap_or(path);
+    let stem = file.rsplit_once('.').map_or(file, |(s, _)| s);
+    stem.rsplit_once('.').map_or(stem, |(_, l)| l).to_string()
+}
+
+fn cmd_trace_merge(o: &Options) -> Result<(), String> {
+    let front_path = o
+        .frontend_trace
+        .clone()
+        .ok_or_else(|| "trace-merge needs --frontend <frontend trace.json>".to_string())?;
+    let front_text =
+        std::fs::read_to_string(&front_path).map_err(|e| format!("reading {front_path}: {e}"))?;
+    let front = dist::Json::parse(&front_text).map_err(|e| format!("{front_path}: {e}"))?;
+    let mut docs = vec![TraceDoc {
+        label: "frontend".to_string(),
+        text: front_text,
+    }];
+    if o.shard_traces.is_empty() {
+        // Every shard that said Hello left a clock-offset sample on the
+        // frontend trace; its own trace sits at the sibling path the
+        // fabric spawner passed it. A crashed shard never flushed one.
+        for label in dist::clock_offsets(&front).keys() {
+            let path = dist::sharded_path(&front_path, label);
+            match std::fs::read_to_string(&path) {
+                Ok(text) => docs.push(TraceDoc {
+                    label: label.clone(),
+                    text,
+                }),
+                Err(_) => eprintln!(
+                    "trace-merge: no trace for {label} at {path} (skipped — crashed shards write none)"
+                ),
+            }
+        }
+    } else {
+        for path in &o.shard_traces {
+            docs.push(TraceDoc {
+                label: merge_label(path),
+                text: std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+            });
+        }
+    }
+    if docs.len() < 2 {
+        eprintln!("trace-merge: no shard traces found; merging the frontend alone");
+    }
+    let merged = dist::stitch(&docs)?;
+    let out = o
+        .out
+        .clone()
+        .unwrap_or_else(|| dist::sharded_path(&front_path, "merged"));
+    std::fs::write(&out, merged).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("wrote {out} ({} process traces merged)", docs.len());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -1360,6 +1451,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "trace-merge" => {
+            if let Err(e) = cmd_trace_merge(&opts) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         other => {
             eprintln!("error: unknown command '{other}'");
             usage();
@@ -1367,8 +1464,16 @@ fn main() -> ExitCode {
         }
     }
     if let Some(sink) = sink {
+        // Shard processes namespace their pids/tids by shard name so
+        // the merged timeline never collides tracks across processes.
+        let trace = if cmd == "shard" {
+            let name = opts.shard_name.as_deref().unwrap_or("shard");
+            sink.chrome_trace_namespaced(dist::pid_base(name), name)
+        } else {
+            sink.chrome_trace()
+        };
         let exports = [
-            (opts.trace_out.as_deref(), sink.chrome_trace()),
+            (opts.trace_out.as_deref(), trace),
             (opts.metrics_out.as_deref(), sink.prometheus()),
         ];
         for (path, text) in exports {
@@ -1476,6 +1581,23 @@ mod tests {
         assert!(o.trace_out.is_none() && o.metrics_out.is_none());
         assert!(parse(&args("--trace-out")).is_err());
         assert!(parse(&args("--metrics-out")).is_err());
+    }
+
+    #[test]
+    fn parse_trace_merge_options() {
+        let o = parse(&args(
+            "--frontend fab.json --shard-trace fab.shard-0.json --shard-trace fab.shard-1.json --out merged.json",
+        ))
+        .unwrap();
+        assert_eq!(o.frontend_trace.as_deref(), Some("fab.json"));
+        assert_eq!(o.shard_traces, vec!["fab.shard-0.json", "fab.shard-1.json"]);
+        assert_eq!(o.out.as_deref(), Some("merged.json"));
+        assert!(parse(&[]).unwrap().frontend_trace.is_none());
+        assert!(parse(&args("--frontend")).is_err());
+        // Labels recover from the sharded-path convention.
+        assert_eq!(merge_label("runs/fab.shard-3.json"), "shard-3");
+        assert_eq!(merge_label("fab.json"), "fab");
+        assert_eq!(merge_label("noext"), "noext");
     }
 
     #[test]

@@ -179,6 +179,58 @@ fn fabric_survives_a_shard_dropping_mid_batch() {
 }
 
 #[test]
+fn trace_context_survives_dropped_and_delayed_frames() {
+    // Wire faults must not corrupt trace propagation: one shard drops
+    // its 3rd outbound frame (a heartbeat or a progress checkpoint —
+    // both survivable), the other delays its 3rd by 40ms. Every frame
+    // that does arrive must still echo the context the router stamped
+    // at submit, and fidelity must be untouched.
+    let batch = scenarios(4);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let shards = [
+        shard_thread(addr, "droppy", None, FaultPlan::parse("drop:2").unwrap()),
+        shard_thread(addr, "latey", None, FaultPlan::parse("delay:2:40").unwrap()),
+    ];
+
+    let outcome = serve_batch(
+        &listener,
+        FrontendOptions {
+            expect: 2,
+            router: RouterConfig {
+                heartbeat_timeout_ms: 2000,
+            },
+            deadline: Some(Duration::from_secs(120)),
+        },
+        &batch,
+        &Obs::off(),
+    )
+    .unwrap();
+    for handle in shards {
+        handle.join().unwrap();
+    }
+
+    assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+    assert_eq!(outcome.reports.len(), batch.len());
+    // No surviving frame disagreed with the router's context record.
+    assert!(
+        outcome
+            .prometheus
+            .contains("airshed_fabric_ctx_mismatches_total 0"),
+        "context mismatches under wire faults"
+    );
+    let reference = reference_fingerprints(&batch);
+    for (i, report) in &outcome.reports {
+        // Completions carry the latency anatomy assembled from the
+        // frames that made it through.
+        let a = report.anatomy.expect("fabric completions carry anatomy");
+        assert!(a.segments >= 1, "scenario {i} never dispatched?");
+        assert!(a.end_to_end_ms > 0, "scenario {i} has no lifetime");
+        assert_eq!(report_fingerprint(report), reference[*i]);
+    }
+}
+
+#[test]
 fn fabric_recovers_from_a_shard_with_a_truncating_writer() {
     // Wire-level fault injection, end to end: shard "mute" truncates its
     // 3rd outbound frame (killing its writer), so the front-end stops

@@ -166,6 +166,7 @@ fn fabric_shard_loss_fails_over_on_missed_heartbeats_deterministically() {
             seq: 1,
             running: 2,
             queued: 0,
+            sent_us: 0,
         },
         900,
     );
@@ -186,6 +187,93 @@ fn fabric_shard_loss_fails_over_on_missed_heartbeats_deterministically() {
     assert_eq!(r.poll(1800).len(), 0);
     assert_eq!(r.counters(0).failed_over, 2);
     assert_eq!(r.outstanding(), jobs.len());
+}
+
+#[test]
+fn fabric_steal_keeps_one_trace_context_across_victim_and_thief() {
+    use airshed::fabric::{Msg, Router, RouterConfig};
+
+    let mut r = Router::new(RouterConfig {
+        heartbeat_timeout_ms: 1000,
+    });
+    r.add_shard("victim", 1, 0);
+    r.add_shard("thief", 1, 0);
+    // Three one-hour jobs into two one-job windows: both windows fill,
+    // the third queues behind the victim (ties route to index 0).
+    let jobs: Vec<u64> = (0..3)
+        .map(|i| {
+            r.submit(
+                i,
+                SimConfig::test_tiny(4, 1),
+                airshed::core::driver::ChemLayout::Block,
+            )
+        })
+        .collect();
+    let assigns = r.poll(0);
+    assert_eq!(assigns.len(), 2, "one-job windows fill, the third queues");
+    let queued = jobs[2];
+    let ctx = r.job_ctx(queued).expect("queued job has a stamped context");
+    assert_eq!(ctx.trace_id, queued + 1);
+    let thief_job = assigns
+        .iter()
+        .find_map(|(s, m)| match m {
+            Msg::Assign { job, .. } if *s == 1 => Some(*job),
+            _ => None,
+        })
+        .expect("the thief got one job");
+
+    // The thief finishes its own job and runs dry while the victim's
+    // window is still full: the queued job is stolen, and the Assign it
+    // rides out on carries the context stamped at submit.
+    let (_, profile, _) = airshed::core::driver::run_resumable(&SimConfig::test_tiny(4, 1), None);
+    let report = replay(&profile, MachineProfile::t3e(), 4);
+    let thief_ctx = r.job_ctx(thief_job).unwrap();
+    r.on_msg(
+        1,
+        Msg::Completed {
+            job: thief_job,
+            ctx: thief_ctx,
+            sent_us: 0,
+            report: Box::new(report.clone()),
+        },
+        100,
+    );
+    let reassigns = r.poll(100);
+    assert_eq!(r.counters(1).stolen, 1);
+    assert_eq!(r.job_hop(queued), "steal");
+    let (shard, msg) = reassigns
+        .iter()
+        .find(|(_, m)| matches!(m, Msg::Assign { job, .. } if *job == queued))
+        .expect("the stolen job dispatches to the thief");
+    assert_eq!(*shard, 1);
+    match msg {
+        Msg::Assign {
+            ctx: stolen_ctx, ..
+        } => assert_eq!(*stolen_ctx, ctx, "one trace id across victim and thief"),
+        other => panic!("expected Assign, got tag {}", other.tag()),
+    }
+
+    // Completion on the thief: the anatomy records the steal.
+    r.on_msg(
+        1,
+        Msg::Completed {
+            job: queued,
+            ctx,
+            sent_us: 0,
+            report: Box::new(report),
+        },
+        250,
+    );
+    let finished = r.take_finished();
+    let stolen_report = finished
+        .iter()
+        .find(|(i, _)| *i == 2)
+        .map(|(_, r)| r.as_ref().expect("the stolen job completed"))
+        .expect("the stolen job finished");
+    let a = stolen_report.anatomy.expect("completion fills the anatomy");
+    assert_eq!(a.stolen, 1);
+    assert_eq!(a.segments, 1, "stolen before its first dispatch");
+    assert_eq!(r.ctx_mismatches(), 0);
 }
 
 #[test]
@@ -215,11 +303,17 @@ fn fabric_failover_resumes_from_progress_checkpoints() {
     assert_eq!(assigns.len(), 1);
 
     // The doomed shard reports one completed hour, then goes silent;
-    // the survivor keeps heartbeating.
+    // the survivor keeps heartbeating. The progress echoes the trace
+    // context the router stamped at submit.
+    let ctx = r.job_ctx(job).expect("outstanding job has a context");
+    assert_eq!(ctx.trace_id, job + 1);
     r.on_msg(
         0,
         Msg::Progress {
             job,
+            ctx,
+            sent_us: 0,
+            hour_us: 2_500,
             resume: Box::new(resume),
         },
         500,
@@ -230,6 +324,7 @@ fn fabric_failover_resumes_from_progress_checkpoints() {
             seq: 1,
             running: 0,
             queued: 0,
+            sent_us: 0,
         },
         1400,
     );
@@ -240,8 +335,16 @@ fn fabric_failover_resumes_from_progress_checkpoints() {
     let (shard, msg) = &reassigns[0];
     assert_eq!(*shard, 1);
     match msg {
-        Msg::Assign { job: id, work } => {
+        Msg::Assign {
+            job: id,
+            ctx: reassigned_ctx,
+            work,
+        } => {
             assert_eq!(*id, job);
+            assert_eq!(
+                *reassigned_ctx, ctx,
+                "the failed-over assignment keeps one trace id"
+            );
             let resume = work
                 .resume
                 .as_ref()
@@ -255,4 +358,31 @@ fn fabric_failover_resumes_from_progress_checkpoints() {
         other => panic!("expected Assign, got tag {}", other.tag()),
     }
     assert_eq!(r.job_hours_done(job), 1);
+    assert_eq!(r.job_hop(job), "failover");
+    assert_eq!(r.ctx_mismatches(), 0);
+
+    // Completion on the survivor: the report's latency anatomy records
+    // the failover segment and the shard-measured hour.
+    let (_, profile, _) = airshed::core::driver::run_resumable(&SimConfig::test_tiny(4, 1), None);
+    let report = replay(&profile, MachineProfile::t3e(), 4);
+    r.on_msg(
+        1,
+        Msg::Completed {
+            job,
+            ctx,
+            sent_us: 0,
+            report: Box::new(report),
+        },
+        2400,
+    );
+    let finished = r.take_finished();
+    assert_eq!(finished.len(), 1);
+    let report = finished[0].1.as_ref().expect("job completed");
+    let a = report.anatomy.expect("fabric completion fills anatomy");
+    assert_eq!(a.failed_over, 1, "one failover segment recorded");
+    assert_eq!(a.segments, 2, "original dispatch plus the re-dispatch");
+    assert_eq!(a.hours, 1);
+    assert_eq!(a.exec_us, 2_500);
+    assert_eq!(a.end_to_end_ms, 2400);
+    assert_eq!(r.ctx_mismatches(), 0);
 }

@@ -292,6 +292,7 @@ fn cli_trace_and_metrics_exports_are_valid_and_complete() {
 
     let mut spans = Vec::new();
     let mut thread_names = Vec::new();
+    let mut counters = Vec::new();
     for e in events {
         match e.get("ph").and_then(Json::as_str) {
             Some("X") => spans.push(Span {
@@ -301,6 +302,13 @@ fn cli_trace_and_metrics_exports_are_valid_and_complete() {
                 ts: e.get("ts").and_then(Json::as_num).unwrap(),
                 dur: e.get("dur").and_then(Json::as_num).unwrap(),
             }),
+            Some("C") => counters.push((
+                e.get("name").and_then(Json::as_str).unwrap().to_string(),
+                e.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_num)
+                    .expect("counter events carry args.value"),
+            )),
             Some("M") => {
                 if e.get("name").and_then(Json::as_str) == Some("thread_name") {
                     let name = e
@@ -383,6 +391,18 @@ fn cli_trace_and_metrics_exports_are_valid_and_complete() {
         "redistribution edge spans (e.g. D_Trans->D_Chem) missing"
     );
 
+    // Copy-traffic accounting: cumulative per-hour counters for all
+    // three copy classes, each strictly positive by the last sample.
+    for series in ["redist_local", "soa_staging", "result_serialization"] {
+        let last = counters
+            .iter()
+            .filter(|(name, _)| name == series)
+            .map(|&(_, v)| v)
+            .next_back()
+            .unwrap_or_else(|| panic!("no '{series}' counter samples in the trace"));
+        assert!(last > 0.0, "'{series}' counter never became positive");
+    }
+
     // ---- the Prometheus snapshot -------------------------------------
     let prom = std::fs::read_to_string(&metrics_path).unwrap();
     let mut samples = 0;
@@ -405,6 +425,152 @@ fn cli_trace_and_metrics_exports_are_valid_and_complete() {
     assert!(
         prom.contains("airshed_pool_task_seconds_count"),
         "pool task histogram missing from metrics"
+    );
+    assert!(
+        prom.contains("airshed_copy_bytes_total{kind=\"redist_local\""),
+        "copy-traffic counters missing from metrics"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tentpole check for distributed tracing: a real two-process fabric
+/// run, stitched by `airshed trace-merge`, must read as ONE timeline —
+/// shard tracks shifted onto the frontend clock in their own pid
+/// namespaces, every shard-side `job` span sharing a trace_id with a
+/// frontend `job` span, and flow arrows pairing dispatch hops with the
+/// shard spans they started.
+#[test]
+fn fabric_traces_merge_into_one_coherent_timeline() {
+    let dir = std::env::temp_dir().join(format!("airshed-trace-merge-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("fab.json");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_airshed"))
+        .args([
+            "fabric",
+            "--shards",
+            "2",
+            "--jobs",
+            "2",
+            "--workers",
+            "1",
+            "--dataset",
+            "tiny:40",
+            "--hours",
+            "2",
+            "--backend",
+            "serial",
+            "--trace-out",
+        ])
+        .arg(&trace_path)
+        .status()
+        .expect("airshed binary runs");
+    assert!(status.success(), "airshed fabric failed: {status}");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_airshed"))
+        .args(["trace-merge", "--frontend"])
+        .arg(&trace_path)
+        .status()
+        .expect("airshed binary runs");
+    assert!(status.success(), "airshed trace-merge failed: {status}");
+
+    let text = std::fs::read_to_string(dir.join("fab.merged.json")).unwrap();
+    let doc = Parser::parse(&text).expect("merged trace must be valid JSON");
+    let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+
+    let mut process_names: BTreeMap<i64, String> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(i64, i64), f64> = BTreeMap::new();
+    let mut jobs: Vec<(i64, i64)> = Vec::new(); // ("job" X span) -> (pid, trace_id)
+    let mut flows: BTreeMap<i64, (u32, u32)> = BTreeMap::new(); // flow id -> (starts, finishes)
+    let mut counter_names = Vec::new();
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
+        let pid = e.get("pid").and_then(Json::as_num).unwrap_or(-1.0) as i64;
+        let tid = e.get("tid").and_then(Json::as_num).unwrap_or(-1.0) as i64;
+        let name = e.get("name").and_then(Json::as_str).unwrap_or("");
+        if ph == "M" {
+            if name == "process_name" {
+                let n = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap();
+                process_names.insert(pid, n.to_string());
+            }
+            continue;
+        }
+        match ph {
+            "s" | "f" => {
+                let id = e.get("id").and_then(Json::as_num).expect("flows carry ids") as i64;
+                let c = flows.entry(id).or_default();
+                if ph == "s" {
+                    c.0 += 1;
+                } else {
+                    c.1 += 1;
+                }
+            }
+            "C" => counter_names.push(name.to_string()),
+            _ => {}
+        }
+        // Timestamps never run backwards within a (pid, tid) track.
+        if let Some(ts) = e.get("ts").and_then(Json::as_num) {
+            let last = last_ts.entry((pid, tid)).or_insert(f64::NEG_INFINITY);
+            assert!(
+                *last <= ts,
+                "track ({pid},{tid}) went backwards: {last} > {ts}"
+            );
+            *last = ts;
+            if ph == "X" && name == "job" {
+                if let Some(id) = e
+                    .get("args")
+                    .and_then(|a| a.get("trace_id"))
+                    .and_then(Json::as_num)
+                {
+                    jobs.push((pid, id as i64));
+                }
+            }
+        }
+    }
+
+    // The frontend (namespace 0) and both shards are present, each in
+    // its own pid namespace.
+    let shard_namespaces: std::collections::BTreeSet<i64> = process_names
+        .iter()
+        .filter(|(_, n)| n.starts_with("shard-"))
+        .map(|(pid, _)| *pid / 16)
+        .collect();
+    assert!(
+        shard_namespaces.len() >= 2,
+        "expected two shard pid namespaces: {process_names:?}"
+    );
+
+    // One trace across processes: every shard-side job span's trace_id
+    // also names a frontend job span (its ancestor on the timeline).
+    let frontend_jobs: std::collections::BTreeSet<i64> = jobs
+        .iter()
+        .filter(|(pid, _)| *pid < 16)
+        .map(|&(_, id)| id)
+        .collect();
+    let shard_jobs: Vec<(i64, i64)> = jobs.into_iter().filter(|(pid, _)| *pid >= 16).collect();
+    assert!(!shard_jobs.is_empty(), "no shard-side job spans made it");
+    for (pid, id) in &shard_jobs {
+        assert!(
+            frontend_jobs.contains(id),
+            "shard pid {pid} job trace_id {id} has no frontend ancestor"
+        );
+    }
+
+    // Flow arrows pair up: each id has exactly one start and one finish.
+    assert!(!flows.is_empty(), "no flow arrows in the merged trace");
+    for (id, (s, f)) in &flows {
+        assert_eq!((*s, *f), (1, 1), "flow {id} must pair start with finish");
+    }
+
+    // The copy-bytes counter tracks survive the merge.
+    assert!(
+        counter_names.iter().any(|n| n == "redist_local"),
+        "copy counters missing after merge: {counter_names:?}"
     );
 
     std::fs::remove_dir_all(&dir).ok();
